@@ -1,0 +1,95 @@
+//! Baseline KNN-graph construction algorithms (paper §IV-B).
+//!
+//! The paper compares Cluster-and-Conquer against four competitors, all
+//! implemented here from scratch on the shared substrates:
+//!
+//! * [`BruteForce`] — exact graph via `n(n−1)/2` pairwise similarities;
+//! * [`Hyrec`] — greedy local search comparing each user with its
+//!   neighbours-of-neighbours (Boutet et al., Middleware'14);
+//! * [`NnDescent`] — greedy local search comparing neighbours (and reverse
+//!   neighbours) pairwise (Dong et al., WWW'11);
+//! * [`Lsh`] — MinHash bucketing with per-function buckets and local brute
+//!   force, the paper's "fair" LSH variant (§IV-B3).
+//!
+//! All algorithms implement [`KnnAlgorithm`] and consume the same
+//! instrumented [`cnc_similarity::SimilarityData`] oracle, so their
+//! similarity-computation counts are directly comparable — the paper's cost
+//! model. The [`local`] module exposes the cluster-restricted solvers
+//! (brute force and Hyrec) that C²'s Step 2 dispatches on each cluster.
+
+pub mod brute;
+pub mod hyrec;
+pub mod local;
+pub mod lsh;
+pub mod nndescent;
+
+pub use brute::BruteForce;
+pub use hyrec::Hyrec;
+pub use lsh::Lsh;
+pub use nndescent::NnDescent;
+
+use cnc_dataset::Dataset;
+use cnc_graph::KnnGraph;
+use cnc_similarity::SimilarityData;
+
+/// Everything an algorithm needs to build a KNN graph.
+pub struct BuildContext<'a> {
+    /// The dataset (profiles are only read through `sim` by most
+    /// algorithms, but LSH buckets on raw profiles).
+    pub dataset: &'a Dataset,
+    /// The instrumented similarity oracle (raw Jaccard or GoldFinger).
+    pub sim: &'a SimilarityData<'a>,
+    /// Neighbourhood size `k` (paper default: 30).
+    pub k: usize,
+    /// Worker threads; 0 = all available hardware threads.
+    pub threads: usize,
+    /// Seed for every stochastic choice (random init, sampling, hashing).
+    pub seed: u64,
+}
+
+impl<'a> BuildContext<'a> {
+    /// Creates a context with the paper's defaults (`k = 30`, all threads).
+    pub fn new(dataset: &'a Dataset, sim: &'a SimilarityData<'a>, seed: u64) -> Self {
+        BuildContext { dataset, sim, k: 30, threads: 0, seed }
+    }
+
+    /// Resolved thread count.
+    pub fn effective_threads(&self) -> usize {
+        cnc_threadpool::effective_threads(self.threads)
+    }
+}
+
+/// A KNN-graph construction algorithm.
+pub trait KnnAlgorithm {
+    /// Human-readable name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Builds the (approximate) KNN graph of `ctx.dataset`.
+    fn build(&self, ctx: &BuildContext<'_>) -> KnnGraph;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use cnc_dataset::{Dataset, SyntheticConfig};
+    use cnc_graph::{quality, KnnGraph};
+    use cnc_similarity::{SimilarityBackend, SimilarityData};
+
+    /// A small clustered dataset on which all algorithms must do well.
+    pub fn small_dataset() -> Dataset {
+        let mut cfg = SyntheticConfig::small(123);
+        cfg.num_users = 400;
+        cfg.num_items = 300;
+        cfg.communities = 8;
+        cfg.mean_profile = 25.0;
+        cfg.min_profile = 10;
+        cfg.generate()
+    }
+
+    /// Builds an exact graph and measures quality of `approx` against it.
+    pub fn quality_against_exact(approx: &KnnGraph, ds: &Dataset, k: usize) -> f64 {
+        let sim = SimilarityData::build(SimilarityBackend::Raw, ds);
+        let ctx = super::BuildContext { dataset: ds, sim: &sim, k, threads: 1, seed: 9 };
+        let exact = super::KnnAlgorithm::build(&super::BruteForce, &ctx);
+        quality(approx, &exact, ds)
+    }
+}

@@ -1,0 +1,216 @@
+//! Cluster-restricted KNN solvers (the workers of C²'s Step 2 and of LSH's
+//! buckets).
+//!
+//! Both solvers operate on an arbitrary subset of users and *merge* their
+//! partial results into a [`SharedKnnGraph`], which is exactly the contract
+//! of Algorithm 2 + Algorithm 3: "The partial KNN graph of each cluster …
+//! does not need to be synchronized with any other computation", followed by
+//! a per-user bounded-heap merge.
+
+use cnc_dataset::UserId;
+use cnc_graph::{KnnGraph, NeighborList, SharedKnnGraph};
+use cnc_similarity::SimilarityData;
+
+/// Exhaustive pairwise KNN restricted to `users` (|C|·(|C|−1)/2
+/// similarities), merged into `out`.
+///
+/// Used when `|C| < ρ·k²` (Algorithm 2's cheap branch) and by the LSH
+/// baseline inside each bucket.
+pub fn brute_force(users: &[UserId], sim: &SimilarityData<'_>, out: &SharedKnnGraph) {
+    let k = out.k();
+    if users.len() < 2 {
+        return;
+    }
+    // Work on local lists so the shared graph is locked once per user, not
+    // once per pair.
+    let mut lists: Vec<NeighborList> = (0..users.len()).map(|_| NeighborList::new(k)).collect();
+    for i in 0..users.len() {
+        for j in (i + 1)..users.len() {
+            let s = sim.sim(users[i], users[j]);
+            lists[i].insert(users[j], s);
+            lists[j].insert(users[i], s);
+        }
+    }
+    for (i, &u) in users.iter().enumerate() {
+        out.merge_into(u, &lists[i]);
+    }
+}
+
+/// Greedy Hyrec restricted to `users`, merged into `out` (Algorithm 2's
+/// expensive branch, bounded by `ρ·k²·|C|/2` similarities).
+///
+/// Runs the standard Hyrec loop on a *local* graph over the cluster: random
+/// k-degree init, then up to `rho` iterations comparing every user with its
+/// neighbours-of-neighbours, stopping early when an iteration produces fewer
+/// than `delta·k·|C|` updates.
+pub fn hyrec(
+    users: &[UserId],
+    sim: &SimilarityData<'_>,
+    out: &SharedKnnGraph,
+    rho: usize,
+    delta: f64,
+    seed: u64,
+) {
+    let k = out.k();
+    let n = users.len();
+    if n < 2 {
+        return;
+    }
+    // Tiny clusters degenerate to brute force (cheaper and exact).
+    if n <= k + 1 {
+        brute_force(users, sim, out);
+        return;
+    }
+    // Local graph over local indices 0..n.
+    let mut graph = KnnGraph::random_init(n, k, seed, |a, b| sim.sim(users[a as usize], users[b as usize]));
+    let mut candidates: Vec<u32> = Vec::new();
+    for _ in 0..rho {
+        let ids: Vec<Vec<u32>> = (0..n as u32).map(|u| {
+            graph.neighbors(u).iter().map(|nb| nb.user).collect()
+        }).collect();
+        let mut updates = 0usize;
+        for u in 0..n as u32 {
+            candidates.clear();
+            for &v in &ids[u as usize] {
+                for &w in &ids[v as usize] {
+                    if w != u {
+                        candidates.push(w);
+                    }
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            for &w in &candidates {
+                if graph.neighbors(u).contains(w) {
+                    continue; // already connected; similarity known
+                }
+                let s = sim.sim(users[u as usize], users[w as usize]);
+                updates += usize::from(graph.insert(u, w, s));
+                updates += usize::from(graph.insert(w, u, s));
+            }
+        }
+        if (updates as f64) < delta * k as f64 * n as f64 {
+            break;
+        }
+    }
+    // Translate local indices back to global user ids and merge.
+    for (local, &u) in users.iter().enumerate() {
+        let mut translated = NeighborList::new(k);
+        for nb in graph.neighbors(local as u32).iter() {
+            translated.insert(users[nb.user as usize], nb.sim);
+        }
+        out.merge_into(u, &translated);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_dataset::Dataset;
+    use cnc_similarity::{SimilarityBackend, SimilarityData};
+
+    fn twins_dataset() -> Dataset {
+        // 40 users in 4 groups of 10; users in the same group share most of
+        // their profile.
+        let mut profiles = Vec::new();
+        for g in 0..4u32 {
+            for i in 0..10u32 {
+                let base: Vec<u32> = (g * 100..g * 100 + 20).collect();
+                let mut p = base;
+                p.push(1000 + g * 10 + i); // one personal item
+                profiles.push(p);
+            }
+        }
+        Dataset::from_profiles(profiles, 0)
+    }
+
+    #[test]
+    fn brute_force_on_subset_only_touches_subset() {
+        let ds = twins_dataset();
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let out = SharedKnnGraph::new(ds.num_users(), 3);
+        let users: Vec<u32> = (0..10).collect();
+        brute_force(&users, &sim, &out);
+        let graph = out.into_graph();
+        for u in 0..10u32 {
+            assert!(!graph.neighbors(u).is_empty());
+            for nb in graph.neighbors(u).iter() {
+                assert!(nb.user < 10, "edge to outside the cluster");
+            }
+        }
+        for u in 10..40u32 {
+            assert!(graph.neighbors(u).is_empty());
+        }
+        assert_eq!(sim.comparisons(), 45);
+    }
+
+    #[test]
+    fn brute_force_handles_trivial_clusters() {
+        let ds = twins_dataset();
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let out = SharedKnnGraph::new(ds.num_users(), 3);
+        brute_force(&[], &sim, &out);
+        brute_force(&[5], &sim, &out);
+        assert_eq!(sim.comparisons(), 0);
+    }
+
+    #[test]
+    fn hyrec_small_cluster_falls_back_to_brute_force() {
+        let ds = twins_dataset();
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let out = SharedKnnGraph::new(ds.num_users(), 10);
+        let users: Vec<u32> = (0..8).collect();
+        hyrec(&users, &sim, &out, 5, 0.001, 7);
+        // 8 users, k = 10 → brute force on 28 pairs.
+        assert_eq!(sim.comparisons(), 28);
+    }
+
+    #[test]
+    fn hyrec_converges_to_good_neighbors_within_cluster() {
+        let ds = twins_dataset();
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let out = SharedKnnGraph::new(ds.num_users(), 5);
+        let users: Vec<u32> = (0..40).collect();
+        hyrec(&users, &sim, &out, 5, 0.001, 3);
+        let graph = out.into_graph();
+        // Every user's best neighbour must be a same-group twin
+        // (similarity ≈ 20/22) rather than a cross-group user (≈ 0).
+        for u in 0..40u32 {
+            let best = graph.best_neighbor(u).unwrap();
+            assert_eq!(best.user / 10, u / 10, "user {u} matched to the wrong group");
+            assert!(best.sim > 0.8);
+        }
+    }
+
+    #[test]
+    fn hyrec_costs_less_than_brute_force_on_large_clusters() {
+        let ds = twins_dataset();
+        let k = 2;
+        let sim_hyrec = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let out = SharedKnnGraph::new(ds.num_users(), k);
+        let users: Vec<u32> = (0..40).collect();
+        hyrec(&users, &sim_hyrec, &out, 3, 0.001, 11);
+        // Brute force would need 40·39/2 = 780 comparisons; greedy Hyrec
+        // with k = 2 must use substantially fewer.
+        assert!(
+            sim_hyrec.comparisons() < 780,
+            "hyrec used {} comparisons, no better than brute force",
+            sim_hyrec.comparisons()
+        );
+    }
+
+    #[test]
+    fn merging_two_clusters_unions_neighborhoods() {
+        let ds = twins_dataset();
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let out = SharedKnnGraph::new(ds.num_users(), 4);
+        // Two overlapping clusters both containing user 0.
+        let a: Vec<u32> = (0..10).collect();
+        let b: Vec<u32> = vec![0, 10, 11, 12];
+        brute_force(&a, &sim, &out);
+        brute_force(&b, &sim, &out);
+        let graph = out.into_graph();
+        // User 0 saw candidates from both clusters.
+        assert_eq!(graph.neighbors(0).len(), 4);
+    }
+}

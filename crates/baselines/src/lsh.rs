@@ -1,0 +1,163 @@
+//! LSH baseline: MinHash bucketing + local brute force (paper §IV-B3).
+//!
+//! "LSH reduces the number of similarity computations by hashing each user
+//! into several buckets. The neighbors of a user u are then selected among
+//! the users present in the same buckets as u. … For fairness, we implement
+//! LSH the same way as Cluster-and-Conquer: each hash function creates its
+//! own buckets." Each of the `t` MinHash functions buckets every user by
+//! the item achieving the min-wise value — one *potential* bucket per item,
+//! which is exactly what fragments sparse, high-dimensional datasets (the
+//! weakness C²'s bounded hash space removes). Buckets are processed
+//! largest-first on the shared priority pool and merged per user.
+
+use crate::{local, BuildContext, KnnAlgorithm};
+use cnc_dataset::{ItemId, UserId};
+use cnc_graph::{KnnGraph, SharedKnnGraph};
+use cnc_similarity::MinHasher;
+use cnc_threadpool::PriorityPool;
+use std::collections::HashMap;
+
+/// The MinHash-based LSH baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct Lsh {
+    /// Number of independent MinHash functions (paper: 10).
+    pub hash_functions: usize,
+}
+
+impl Default for Lsh {
+    fn default() -> Self {
+        Lsh { hash_functions: 10 }
+    }
+}
+
+impl Lsh {
+    /// Buckets every user by the argmin item under each MinHash function.
+    /// Returns one bucket map per function; singleton buckets are dropped
+    /// (no pair to compare).
+    pub fn build_buckets(
+        &self,
+        ctx: &BuildContext<'_>,
+    ) -> Vec<Vec<Vec<UserId>>> {
+        let hashers = MinHasher::family(ctx.seed, self.hash_functions);
+        hashers
+            .iter()
+            .map(|hasher| {
+                let mut buckets: HashMap<ItemId, Vec<UserId>> = HashMap::new();
+                for (u, profile) in ctx.dataset.iter() {
+                    if let Some(item) = hasher.bucket(profile) {
+                        buckets.entry(item).or_default().push(u);
+                    }
+                }
+                let mut non_trivial: Vec<Vec<UserId>> =
+                    buckets.into_values().filter(|b| b.len() > 1).collect();
+                // Deterministic job order regardless of HashMap iteration.
+                non_trivial.sort_unstable_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+                non_trivial
+            })
+            .collect()
+    }
+}
+
+impl KnnAlgorithm for Lsh {
+    fn name(&self) -> &'static str {
+        "LSH"
+    }
+
+    fn build(&self, ctx: &BuildContext<'_>) -> KnnGraph {
+        let n = ctx.dataset.num_users();
+        let shared = SharedKnnGraph::new(n, ctx.k);
+        let jobs: Vec<(u64, Vec<UserId>)> = self
+            .build_buckets(ctx)
+            .into_iter()
+            .flatten()
+            .map(|bucket| (bucket.len() as u64, bucket))
+            .collect();
+        PriorityPool::run(ctx.effective_threads(), jobs, |bucket| {
+            local::brute_force(&bucket, ctx.sim, &shared);
+        });
+        shared.into_graph()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{quality_against_exact, small_dataset};
+    use cnc_dataset::Dataset;
+    use cnc_similarity::{SimilarityBackend, SimilarityData};
+
+    #[test]
+    fn buckets_partition_non_empty_profiles() {
+        let ds = small_dataset();
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let ctx = BuildContext { dataset: &ds, sim: &sim, k: 5, threads: 1, seed: 2 };
+        let per_function = Lsh { hash_functions: 3 }.build_buckets(&ctx);
+        assert_eq!(per_function.len(), 3);
+        for buckets in &per_function {
+            let mut seen = vec![false; ds.num_users()];
+            for bucket in buckets {
+                assert!(bucket.len() > 1, "singleton buckets must be dropped");
+                for &u in bucket {
+                    assert!(!seen[u as usize], "user {u} in two buckets of one function");
+                    seen[u as usize] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_profile_users_share_every_bucket() {
+        let ds = Dataset::from_profiles(vec![vec![1, 2, 3]; 4], 0);
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let ctx = BuildContext { dataset: &ds, sim: &sim, k: 3, threads: 1, seed: 5 };
+        let per_function = Lsh { hash_functions: 4 }.build_buckets(&ctx);
+        for buckets in per_function {
+            assert_eq!(buckets.len(), 1);
+            assert_eq!(buckets[0].len(), 4);
+        }
+    }
+
+    #[test]
+    fn reaches_reasonable_quality_on_clustered_data() {
+        let ds = small_dataset();
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let ctx = BuildContext { dataset: &ds, sim: &sim, k: 10, threads: 2, seed: 3 };
+        let graph = Lsh::default().build(&ctx);
+        let q = quality_against_exact(&graph, &ds, 10);
+        assert!(q > 0.6, "LSH quality {q:.3} unexpectedly low");
+    }
+
+    #[test]
+    fn uses_fewer_comparisons_than_brute_force() {
+        let ds = small_dataset();
+        let n = ds.num_users() as u64;
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let ctx = BuildContext { dataset: &ds, sim: &sim, k: 5, threads: 2, seed: 3 };
+        Lsh::default().build(&ctx);
+        assert!(sim.comparisons() < n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn more_hash_functions_increase_coverage() {
+        let ds = small_dataset();
+        let sim1 = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let ctx1 = BuildContext { dataset: &ds, sim: &sim1, k: 10, threads: 1, seed: 3 };
+        let g1 = Lsh { hash_functions: 1 }.build(&ctx1);
+        let sim8 = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let ctx8 = BuildContext { dataset: &ds, sim: &sim8, k: 10, threads: 1, seed: 3 };
+        let g8 = Lsh { hash_functions: 8 }.build(&ctx8);
+        let a1 = cnc_graph::avg_exact_similarity(&g1, &ds);
+        let a8 = cnc_graph::avg_exact_similarity(&g8, &ds);
+        assert!(a8 >= a1, "more functions must not reduce average similarity");
+        assert!(sim8.comparisons() > sim1.comparisons());
+    }
+
+    #[test]
+    fn empty_dataset_yields_empty_graph() {
+        let ds = Dataset::from_profiles(vec![], 0);
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let ctx = BuildContext { dataset: &ds, sim: &sim, k: 3, threads: 1, seed: 1 };
+        let graph = Lsh::default().build(&ctx);
+        assert_eq!(graph.num_users(), 0);
+    }
+}

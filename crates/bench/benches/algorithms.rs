@@ -1,0 +1,48 @@
+//! End-to-end algorithm benchmarks on a small MovieLens10M calibration —
+//! the criterion-tracked counterpart of Table II (one group per algorithm,
+//! same backend, same k).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cnc_baselines::{BruteForce, BuildContext, Hyrec, KnnAlgorithm, Lsh, NnDescent};
+use cnc_core::{C2Config, ClusterAndConquer};
+use cnc_dataset::{Dataset, DatasetProfile};
+use cnc_similarity::{SimilarityBackend, SimilarityData};
+use std::hint::black_box;
+
+const K: usize = 30;
+
+fn dataset() -> Dataset {
+    DatasetProfile::MovieLens10M.generate(0.03, 21)
+}
+
+fn run(algo: &dyn KnnAlgorithm, ds: &Dataset) -> usize {
+    let sim = SimilarityData::build(SimilarityBackend::default(), ds);
+    let ctx = BuildContext { dataset: ds, sim: &sim, k: K, threads: 0, seed: 21 };
+    algo.build(&ctx).num_edges()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("knn_algorithms_ml10M_3pct");
+    group.sample_size(10);
+    let c2 = ClusterAndConquer::new(C2Config { seed: 21, ..C2Config::default() });
+    let hyrec = Hyrec::default();
+    let nnd = NnDescent::default();
+    let lsh = Lsh::default();
+    let algos: [(&str, &dyn KnnAlgorithm); 5] = [
+        ("c2", &c2),
+        ("hyrec", &hyrec),
+        ("nndescent", &nnd),
+        ("lsh", &lsh),
+        ("brute_force", &BruteForce),
+    ];
+    for (name, algo) in algos {
+        group.bench_function(name, |bench| {
+            bench.iter(|| black_box(run(algo, &ds)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Benchmarks of C²'s Step 1: FastRandomHash clustering with and without
+//! recursive splitting, against the MinHash variant — the cost side of
+//! Table IV and the time axis of Figs 7/8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cnc_core::{cluster_dataset, minhash_variant::cluster_minhash, FastRandomHash};
+use cnc_dataset::{Dataset, DatasetProfile};
+use std::hint::black_box;
+
+fn dataset() -> Dataset {
+    DatasetProfile::MovieLens10M.generate(0.05, 3)
+}
+
+fn bench_frh_clustering(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("frh_clustering");
+    group.sample_size(20);
+    for (label, b, n_max) in [
+        ("b4096_no_split", 4096u32, usize::MAX),
+        ("b4096_n100", 4096, 100),
+        ("b512_n100", 512, 100),
+    ] {
+        let functions = FastRandomHash::family(9, 8, b);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |bench, _| {
+            bench.iter(|| cluster_dataset(black_box(&ds), &functions, n_max));
+        });
+    }
+    group.finish();
+}
+
+fn bench_minhash_clustering(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("minhash_clustering");
+    group.sample_size(20);
+    group.bench_function("t8", |bench| {
+        bench.iter(|| cluster_minhash(black_box(&ds), 9, 8));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frh_clustering, bench_minhash_clustering);
+criterion_main!(benches);

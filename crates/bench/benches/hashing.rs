@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the hashing substrate: the seeded avalanche hash,
+//! FastRandomHash user hashing (Eq. 3), the splitting hash `H\η`, and the
+//! MinHash bucket — the per-user costs of C²'s Step 1 vs LSH's bucketing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cnc_core::FastRandomHash;
+use cnc_similarity::{MinHasher, SeededHash};
+use std::hint::black_box;
+
+fn bench_seeded_hash(c: &mut Criterion) {
+    let hash = SeededHash::new(42);
+    c.bench_function("seeded_hash_u32", |bench| {
+        let mut x = 0u32;
+        bench.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(hash.hash_u32(x))
+        });
+    });
+}
+
+fn bench_frh_user_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frh_user_hash");
+    let frh = FastRandomHash::new(7, 4096);
+    for len in [20usize, 84, 256] {
+        let profile: Vec<u32> = (0..len as u32).map(|i| i * 13).collect();
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |bench, _| {
+            bench.iter(|| frh.user_hash(black_box(&profile)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_frh_splitting_hash(c: &mut Criterion) {
+    let frh = FastRandomHash::new(7, 4096);
+    let profile: Vec<u32> = (0..84u32).map(|i| i * 13).collect();
+    let eta = frh.user_hash(&profile).unwrap();
+    c.bench_function("frh_user_hash_excluding", |bench| {
+        bench.iter(|| frh.user_hash_excluding(black_box(&profile), black_box(eta)));
+    });
+}
+
+fn bench_minhash_bucket(c: &mut Criterion) {
+    let mh = MinHasher::new(7);
+    let profile: Vec<u32> = (0..84u32).map(|i| i * 13).collect();
+    c.bench_function("minhash_bucket", |bench| {
+        bench.iter(|| mh.bucket(black_box(&profile)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_seeded_hash,
+    bench_frh_user_hash,
+    bench_frh_splitting_hash,
+    bench_minhash_bucket
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the similarity substrate: exact Jaccard vs the
+//! GoldFinger estimator at every fingerprint width the paper explores
+//! (64–8192 bits). This is the "why" of Table V: a GoldFinger comparison is
+//! a few word-wise popcounts regardless of profile size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cnc_dataset::{Dataset, SyntheticConfig};
+use cnc_similarity::bbit::BBitSignature;
+use cnc_similarity::bloom::BloomFilter;
+use cnc_similarity::{GoldFinger, Jaccard, MinHasher};
+use std::hint::black_box;
+
+fn profile_pair(len: usize) -> (Vec<u32>, Vec<u32>) {
+    // 50% overlap, sorted, realistic id spread.
+    let a: Vec<u32> = (0..len as u32).map(|i| i * 7).collect();
+    let b: Vec<u32> = (len as u32 / 2..len as u32 * 3 / 2).map(|i| i * 7).collect();
+    (a, b)
+}
+
+fn bench_exact_jaccard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_jaccard");
+    for len in [32usize, 96, 256, 1024] {
+        let (a, b) = profile_pair(len);
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |bench, _| {
+            bench.iter(|| Jaccard::similarity(black_box(&a), black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_goldfinger_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("goldfinger_estimate");
+    let ds = SyntheticConfig::small(1).generate();
+    for bits in [64usize, 256, 1024, 4096, 8192] {
+        let gf = GoldFinger::build(&ds, bits, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
+            bench.iter(|| gf.estimate(black_box(10), black_box(20)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_goldfinger_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("goldfinger_build");
+    group.sample_size(20);
+    let ds: Dataset = SyntheticConfig::small(2).generate();
+    for bits in [64usize, 1024, 8192] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, &bits| {
+            bench.iter(|| GoldFinger::build(black_box(&ds), bits, 7));
+        });
+    }
+    group.finish();
+}
+
+fn bench_alternative_estimators(c: &mut Criterion) {
+    // The estimator zoo at a comparable memory budget (~128 bytes/user):
+    // GoldFinger 1024-bit, 1-bit minwise with 1024 coords, Bloom 1024-bit.
+    let mut group = c.benchmark_group("estimators_128B");
+    let (a, b) = profile_pair(96);
+    let ds = Dataset::from_profiles(vec![a.clone(), b.clone()], 0);
+    let gf = GoldFinger::build(&ds, 1024, 7);
+    group.bench_function("goldfinger_1024b", |bench| {
+        bench.iter(|| gf.estimate(black_box(0), black_box(1)));
+    });
+    let bank = MinHasher::family(7, 1024);
+    let sa = BBitSignature::compute(&bank, &a, 1);
+    let sb = BBitSignature::compute(&bank, &b, 1);
+    group.bench_function("bbit_1x1024", |bench| {
+        bench.iter(|| sa.estimate(black_box(&sb)));
+    });
+    let fa = BloomFilter::from_profile(&a, 1024, 3, 7);
+    let fb = BloomFilter::from_profile(&b, 1024, 3, 7);
+    group.bench_function("bloom_1024b_h3", |bench| {
+        bench.iter(|| fa.estimate_jaccard(black_box(&fb)));
+    });
+    group.bench_function("exact_jaccard_96", |bench| {
+        bench.iter(|| Jaccard::similarity(black_box(&a), black_box(&b)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_jaccard,
+    bench_goldfinger_estimate,
+    bench_goldfinger_build,
+    bench_alternative_estimators
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Ablation of the bounded-neighbour-list design (DESIGN.md §5): the flat
+//! sift-heap with linear dedup at the paper's k = 30, plus the merge path
+//! of Algorithm 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cnc_graph::NeighborList;
+use cnc_similarity::SeededHash;
+use std::hint::black_box;
+
+/// A deterministic stream of (user, sim) candidates.
+fn candidates(n: usize, seed: u64) -> Vec<(u32, f32)> {
+    let hash = SeededHash::new(seed);
+    (0..n as u64)
+        .map(|i| {
+            let h = hash.hash_u64(i);
+            ((h >> 32) as u32 % 10_000, (h & 0xFFFF) as f32 / 65535.0)
+        })
+        .collect()
+}
+
+fn bench_insert_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbour_list_insert_1000");
+    let stream = candidates(1000, 5);
+    for k in [10usize, 30, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, &k| {
+            bench.iter(|| {
+                let mut list = NeighborList::new(k);
+                for &(user, sim) in &stream {
+                    list.insert(black_box(user), black_box(sim));
+                }
+                list
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rejection_fast_path(c: &mut Criterion) {
+    // Once the list is full of high-sim entries, almost every candidate is
+    // rejected on the single worst_sim comparison — the hot path of the
+    // merge phase.
+    let mut list = NeighborList::new(30);
+    for i in 0..30u32 {
+        list.insert(i, 0.9 + i as f32 / 1000.0);
+    }
+    c.bench_function("neighbour_list_reject", |bench| {
+        let mut user = 100u32;
+        bench.iter(|| {
+            user = user.wrapping_add(1);
+            black_box(list.insert(user, 0.1))
+        });
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    // Algorithm 3's inner loop: merging a cluster-local top-k into the
+    // global list.
+    let stream = candidates(200, 9);
+    let mut global = NeighborList::new(30);
+    let mut partial = NeighborList::new(30);
+    for &(user, sim) in &stream[..100] {
+        global.insert(user, sim);
+    }
+    for &(user, sim) in &stream[100..] {
+        partial.insert(user, sim);
+    }
+    c.bench_function("neighbour_list_merge_k30", |bench| {
+        bench.iter(|| {
+            let mut g = global.clone();
+            g.merge(black_box(&partial))
+        });
+    });
+}
+
+criterion_group!(benches, bench_insert_stream, bench_rejection_fast_path, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Query-layer benchmarks: beam-search latency vs a linear scan, and the
+//! online-insertion cost of the dynamic index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cnc_baselines::{BruteForce, BuildContext, KnnAlgorithm};
+use cnc_dataset::{Dataset, SyntheticConfig};
+use cnc_graph::KnnGraph;
+use cnc_query::{BeamSearchConfig, DynamicIndex, QueryIndex};
+use cnc_similarity::{SimilarityBackend, SimilarityData};
+use std::hint::black_box;
+
+fn setup() -> (Dataset, KnnGraph) {
+    let mut cfg = SyntheticConfig::small(515);
+    cfg.num_users = 4000;
+    cfg.num_items = 2000;
+    cfg.mean_profile = 40.0;
+    let ds = cfg.generate();
+    let sim = SimilarityData::build(SimilarityBackend::default(), &ds);
+    let ctx = BuildContext { dataset: &ds, sim: &sim, k: 20, threads: 0, seed: 3 };
+    let graph = BruteForce.build(&ctx);
+    (ds, graph)
+}
+
+fn bench_query(c: &mut Criterion) {
+    let (ds, graph) = setup();
+    let index = QueryIndex::new(&ds, &graph);
+    let query: Vec<u32> = ds.profile(123).to_vec();
+    let mut group = c.benchmark_group("knn_query_4000_users");
+    for beam in [32usize, 64, 128] {
+        let config = BeamSearchConfig { beam_width: beam, entry_points: 8, max_comparisons: 0 };
+        let mut searcher = index.searcher();
+        group.bench_with_input(BenchmarkId::new("beam", beam), &beam, |bench, _| {
+            bench.iter(|| index.search_with(&mut searcher, black_box(&query), 10, &config, 7));
+        });
+    }
+    group.bench_function("linear_scan", |bench| {
+        bench.iter(|| index.exact_search(black_box(&query), 10));
+    });
+    group.finish();
+}
+
+fn bench_dynamic_insert(c: &mut Criterion) {
+    let (ds, graph) = setup();
+    let config = BeamSearchConfig { beam_width: 32, entry_points: 8, max_comparisons: 0 };
+    c.bench_function("dynamic_index_insert", |bench| {
+        // Rebuild the index outside the measured loop; measure insertions.
+        let mut index = DynamicIndex::new(&ds, graph.clone(), config);
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            let profile: Vec<u32> = ds.profile((seed % 4000) as u32).to_vec();
+            black_box(index.add_user(profile, seed))
+        });
+    });
+}
+
+criterion_group!(benches, bench_query, bench_dynamic_insert);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig6 (see `cnc_bench::experiments::fig6`).
+
+fn main() {
+    let args = cnc_bench::HarnessArgs::from_env();
+    print!("{}", cnc_bench::experiments::fig6::run(&args));
+}

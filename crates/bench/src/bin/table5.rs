@@ -1,0 +1,6 @@
+//! Regenerates the paper's table5 (see `cnc_bench::experiments::table5`).
+
+fn main() {
+    let args = cnc_bench::HarnessArgs::from_env();
+    print!("{}", cnc_bench::experiments::table5::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's theory (see `cnc_bench::experiments::theory`).
+
+fn main() {
+    let args = cnc_bench::HarnessArgs::from_env();
+    print!("{}", cnc_bench::experiments::theory::run(&args));
+}

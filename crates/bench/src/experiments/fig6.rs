@@ -1,0 +1,97 @@
+//! Figure 6: effect of the number of hash functions `t` and clusters `b`
+//! on the time × quality trade-off (MovieLens10M and AmazonMovies).
+//!
+//! One curve per `b ∈ {512, 2048, 8192}`; the points of a curve are
+//! `t ∈ {1, 2, 4, 8, 10}`. The paper's findings to reproduce: higher `t`
+//! trades time for quality with diminishing returns past 8, and higher `b`
+//! improves both axes.
+
+use crate::args::HarnessArgs;
+use crate::experiments::table4::sensitivity_datasets;
+use crate::experiments::{generate, paper_c2_config, section, K};
+use crate::harness::{exact_graph, measure};
+use cnc_core::{C2Config, ClusterAndConquer};
+
+/// The swept values of `b` (clusters per hash function).
+pub const B_VALUES: [u32; 3] = [512, 2048, 8192];
+/// The swept values of `t` (hash functions).
+pub const T_VALUES: [usize; 5] = [1, 2, 4, 8, 10];
+
+/// One sweep point.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    pub b: u32,
+    pub t: usize,
+    pub seconds: f64,
+    pub quality: f64,
+}
+
+/// Sweeps `t × b` for one dataset.
+pub fn sweep(
+    profile: cnc_dataset::DatasetProfile,
+    args: &HarnessArgs,
+) -> Vec<SweepPoint> {
+    let ds = generate(profile, args);
+    let threads = cnc_threadpool::effective_threads(args.threads);
+    let exact = exact_graph(&ds, K, threads);
+    let base = paper_c2_config(profile, args);
+    let mut points = Vec::new();
+    for &b in &B_VALUES {
+        for &t in &T_VALUES {
+            eprintln!("[fig6] {} b={b} t={t}", profile.name());
+            let algo = ClusterAndConquer::new(C2Config { b, t, ..base });
+            let run = measure(&algo, &ds, base.backend, K, args.threads, args.seed, Some(&exact));
+            points.push(SweepPoint {
+                b,
+                t,
+                seconds: run.seconds,
+                quality: run.quality.unwrap_or(0.0),
+            });
+        }
+    }
+    points
+}
+
+/// Runs the experiment and renders the markdown section.
+pub fn run(args: &HarnessArgs) -> String {
+    let mut out = section("Figure 6 — effect of t and b (time × quality)", args);
+    for profile in sensitivity_datasets(args) {
+        out.push_str(&format!("### {}\n\n", profile.name()));
+        out.push_str("| b | t | Time (s) | Quality |\n|---:|---:|---:|---:|\n");
+        for p in sweep(profile, args) {
+            out.push_str(&format!(
+                "| {} | {} | {:.2} | {:.3} |\n",
+                p.b, p.t, p.seconds, p.quality
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_dataset::DatasetProfile;
+
+    #[test]
+    fn more_hash_functions_raise_quality_with_diminishing_returns() {
+        let args = HarnessArgs {
+            scale: 0.03,
+            threads: 2,
+            datasets: vec![DatasetProfile::MovieLens10M],
+            ..HarnessArgs::default()
+        };
+        let ds = generate(DatasetProfile::MovieLens10M, &args);
+        let exact = exact_graph(&ds, 10, 2);
+        let base = paper_c2_config(DatasetProfile::MovieLens10M, &args);
+        let q = |t: usize| {
+            let algo = ClusterAndConquer::new(C2Config { t, k: 10, b: 512, ..base });
+            let run = measure(&algo, &ds, base.backend, 10, 2, args.seed, Some(&exact));
+            run.quality.unwrap()
+        };
+        let q1 = q(1);
+        let q8 = q(8);
+        assert!(q8 > q1, "t=8 quality {q8:.3} should exceed t=1 quality {q1:.3}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 7: effect of the maximum cluster size `N` on the time × quality
+//! trade-off (MovieLens10M).
+//!
+//! The finding to reproduce: on the dense MovieLens10M, larger `N` buys
+//! quality at the price of time (knee around `N ≈ 3000` at full scale),
+//! while AmazonMovies is insensitive because its raw clusters never exceed
+//! 1000 users (shown by Fig. 8).
+
+use crate::args::HarnessArgs;
+use crate::experiments::table4::sensitivity_datasets;
+use crate::experiments::{generate, paper_c2_config, section, K};
+use crate::harness::{exact_graph, measure};
+use cnc_core::{C2Config, ClusterAndConquer};
+
+/// The swept values of `N` (paper: 500 … 10000 at full scale; the harness
+/// scales them by the dataset scale factor so splitting stays active).
+pub const N_VALUES: [usize; 6] = [500, 1000, 2500, 3000, 5000, 10000];
+
+/// One sweep point.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    pub n_max: usize,
+    pub effective_n_max: usize,
+    pub seconds: f64,
+    pub quality: f64,
+    pub splits: usize,
+}
+
+/// Scales a full-scale `N` to the harness scale (min 50 to stay meaningful).
+pub fn scaled_n(n_full: usize, scale: f64) -> usize {
+    ((n_full as f64 * scale) as usize).max(50)
+}
+
+/// Sweeps `N` for one dataset.
+pub fn sweep(profile: cnc_dataset::DatasetProfile, args: &HarnessArgs) -> Vec<SweepPoint> {
+    let ds = generate(profile, args);
+    let threads = cnc_threadpool::effective_threads(args.threads);
+    let exact = exact_graph(&ds, K, threads);
+    let base = paper_c2_config(profile, args);
+    N_VALUES
+        .iter()
+        .map(|&n_full| {
+            let n = scaled_n(n_full, args.scale);
+            eprintln!("[fig7] {} N={n_full} (scaled: {n})", profile.name());
+            let algo = ClusterAndConquer::new(C2Config { max_cluster_size: n, ..base });
+            let run = measure(&algo, &ds, base.backend, K, args.threads, args.seed, Some(&exact));
+            let splits = algo.build(&ds).stats.splits;
+            SweepPoint {
+                n_max: n_full,
+                effective_n_max: n,
+                seconds: run.seconds,
+                quality: run.quality.unwrap_or(0.0),
+                splits,
+            }
+        })
+        .collect()
+}
+
+/// Runs the experiment and renders the markdown section.
+pub fn run(args: &HarnessArgs) -> String {
+    let mut out = section("Figure 7 — effect of the maximum cluster size N", args);
+    for profile in sensitivity_datasets(args) {
+        out.push_str(&format!("### {}\n\n", profile.name()));
+        out.push_str(
+            "| N (paper scale) | N (this run) | Time (s) | Quality | Splits |\n\
+             |---:|---:|---:|---:|---:|\n",
+        );
+        for p in sweep(profile, args) {
+            out.push_str(&format!(
+                "| {} | {} | {:.2} | {:.3} | {} |\n",
+                p.n_max, p.effective_n_max, p.seconds, p.quality, p.splits
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_dataset::DatasetProfile;
+
+    #[test]
+    fn smaller_n_triggers_more_splits() {
+        let args = HarnessArgs {
+            scale: 0.03,
+            threads: 2,
+            datasets: vec![DatasetProfile::MovieLens10M],
+            ..HarnessArgs::default()
+        };
+        let ds = generate(DatasetProfile::MovieLens10M, &args);
+        let base = paper_c2_config(DatasetProfile::MovieLens10M, &args);
+        let splits_at = |n: usize| {
+            ClusterAndConquer::new(C2Config { max_cluster_size: n, ..base })
+                .build(&ds)
+                .stats
+                .splits
+        };
+        let tight = splits_at(50);
+        let loose = splits_at(100_000);
+        assert!(tight > loose, "N=50 splits {tight} should exceed N=100000 splits {loose}");
+        assert_eq!(loose, 0);
+    }
+
+    #[test]
+    fn scaled_n_floors_at_50() {
+        assert_eq!(scaled_n(500, 0.01), 50);
+        assert_eq!(scaled_n(10_000, 0.5), 5_000);
+    }
+}

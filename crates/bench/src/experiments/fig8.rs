@@ -1,0 +1,90 @@
+//! Figure 8: the 100 biggest cluster sizes as a function of `N`
+//! (MovieLens10M and AmazonMovies).
+//!
+//! The mechanism behind Fig. 7's dataset dependence: on MovieLens10M the
+//! raw clusters are highly unbalanced and `N` caps them, whereas on
+//! AmazonMovies the largest raw cluster is already small, so recursive
+//! splitting never fires for `N ≥ 1000` (full scale).
+
+use crate::args::HarnessArgs;
+use crate::experiments::fig7::scaled_n;
+use crate::experiments::table4::sensitivity_datasets;
+use crate::experiments::{generate, paper_c2_config, section};
+use cnc_core::{cluster_dataset, FastRandomHash};
+
+/// The swept `N` values (full-scale; scaled like Fig. 7).
+pub const N_VALUES: [usize; 6] = [500, 1000, 2500, 5000, 7500, 10000];
+
+/// Cluster-size head (top `take`) for one dataset and one `N`.
+pub fn biggest_clusters(
+    profile: cnc_dataset::DatasetProfile,
+    args: &HarnessArgs,
+    n_full: usize,
+    take: usize,
+) -> Vec<usize> {
+    let ds = generate(profile, args);
+    let config = paper_c2_config(profile, args);
+    let functions = FastRandomHash::family(config.seed, config.t, config.b);
+    let clustering = cluster_dataset(&ds, &functions, scaled_n(n_full, args.scale));
+    clustering.sizes_desc().into_iter().take(take).collect()
+}
+
+/// Runs the experiment and renders the markdown section.
+pub fn run(args: &HarnessArgs) -> String {
+    let mut out = section("Figure 8 — the 100 biggest clusters per N", args);
+    for profile in sensitivity_datasets(args) {
+        out.push_str(&format!("### {}\n\n", profile.name()));
+        out.push_str("| N (paper scale) | Top cluster sizes (rank 1, 5, 10, 25, 50, 100) |\n|---:|---|\n");
+        for &n_full in &N_VALUES {
+            eprintln!("[fig8] {} N={n_full}", profile.name());
+            let sizes = biggest_clusters(profile, args, n_full, 100);
+            let pick = |rank: usize| sizes.get(rank - 1).copied().unwrap_or(0);
+            out.push_str(&format!(
+                "| {} | {} / {} / {} / {} / {} / {} |\n",
+                n_full,
+                pick(1),
+                pick(5),
+                pick(10),
+                pick(25),
+                pick(50),
+                pick(100)
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_dataset::DatasetProfile;
+
+    #[test]
+    fn n_caps_the_biggest_movielens_clusters() {
+        let args = HarnessArgs {
+            scale: 0.03,
+            threads: 2,
+            datasets: vec![DatasetProfile::MovieLens10M],
+            ..HarnessArgs::default()
+        };
+        let tight = biggest_clusters(DatasetProfile::MovieLens10M, &args, 500, 1)[0];
+        let loose = biggest_clusters(DatasetProfile::MovieLens10M, &args, 10_000, 1)[0];
+        assert!(
+            tight <= loose,
+            "N=500 biggest cluster {tight} exceeds N=10000 biggest {loose}"
+        );
+    }
+
+    #[test]
+    fn sizes_are_reported_in_decreasing_order() {
+        let args = HarnessArgs {
+            scale: 0.02,
+            threads: 1,
+            datasets: vec![DatasetProfile::AmazonMovies],
+            ..HarnessArgs::default()
+        };
+        let sizes = biggest_clusters(DatasetProfile::AmazonMovies, &args, 1000, 100);
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

@@ -1,0 +1,160 @@
+//! Table II (and Figures 4 + 5): computation time and KNN quality of
+//! Hyrec, NNDescent, LSH and C² on every dataset.
+//!
+//! All four algorithms run on the paper's 1024-bit GoldFinger backend;
+//! quality is measured against the exact (raw-Jaccard brute-force) graph.
+//! The speed-up column is computed against the fastest competitor (the
+//! paper's underlined "best baseline"), and Figures 4/5 are the time and
+//! quality columns of the C²-vs-best-baseline pairs.
+
+use crate::args::HarnessArgs;
+use crate::experiments::{generate, goldfinger_backend, paper_c2_config, section, K};
+use crate::harness::{exact_graph, measure, AlgoRun};
+use cnc_baselines::{Hyrec, KnnAlgorithm, Lsh, NnDescent};
+use cnc_core::ClusterAndConquer;
+use cnc_dataset::DatasetProfile;
+
+/// Structured result for one dataset (reused by fig4/fig5 rendering).
+pub struct DatasetOutcome {
+    /// Dataset short name.
+    pub dataset: &'static str,
+    /// Hyrec, NNDescent, LSH runs (in that order).
+    pub baselines: Vec<AlgoRun>,
+    /// The C² run.
+    pub c2: AlgoRun,
+}
+
+impl DatasetOutcome {
+    /// The fastest competitor (the paper's underlined baseline).
+    pub fn best_baseline(&self) -> &AlgoRun {
+        self.baselines
+            .iter()
+            .min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap())
+            .expect("at least one baseline")
+    }
+
+    /// Speed-up of C² against the best baseline.
+    pub fn speedup(&self) -> f64 {
+        self.best_baseline().seconds / self.c2.seconds
+    }
+}
+
+/// Runs all four algorithms on one dataset preset.
+pub fn run_dataset(profile: DatasetProfile, args: &HarnessArgs) -> DatasetOutcome {
+    eprintln!("[table2] {}: generating dataset", profile.name());
+    let ds = generate(profile, args);
+    eprintln!(
+        "[table2] {}: exact graph ({} users)",
+        profile.name(),
+        ds.num_users()
+    );
+    let exact = exact_graph(&ds, K, cnc_threadpool::effective_threads(args.threads));
+    let backend = goldfinger_backend(args);
+
+    let hyrec = Hyrec::default();
+    let nndescent = NnDescent::default();
+    let lsh = Lsh::default();
+    let algos: [&dyn KnnAlgorithm; 3] = [&hyrec, &nndescent, &lsh];
+    let mut baselines = Vec::with_capacity(3);
+    for algo in algos {
+        eprintln!("[table2] {}: running {}", profile.name(), algo.name());
+        baselines.push(measure(algo, &ds, backend, K, args.threads, args.seed, Some(&exact)));
+    }
+    eprintln!("[table2] {}: running C2", profile.name());
+    let c2 = ClusterAndConquer::new(paper_c2_config(profile, args));
+    let c2_run = measure(&c2, &ds, backend, K, args.threads, args.seed, Some(&exact));
+    DatasetOutcome { dataset: profile.name(), baselines, c2: c2_run }
+}
+
+/// Runs the experiment and renders the markdown section.
+pub fn run(args: &HarnessArgs) -> String {
+    let outcomes: Vec<DatasetOutcome> =
+        args.datasets.iter().map(|p| run_dataset(*p, args)).collect();
+
+    let mut out = section("Table II — computation time and KNN quality", args);
+    out.push_str(
+        "| Dataset | Algo | Time (s) | Gain (%) | Quality | Δ vs baseline | Comparisons |\n\
+         |---|---|---:|---:|---:|---:|---:|\n",
+    );
+    for outcome in &outcomes {
+        let best = outcome.best_baseline();
+        let best_time = best.seconds;
+        let best_quality = best.quality.unwrap_or(0.0);
+        let best_name = best.name.clone();
+        for run in &outcome.baselines {
+            let marker = if run.name == best_name { " (baseline)" } else { "" };
+            out.push_str(&format!(
+                "| {} | {}{} | {:.2} | - | {:.2} | - | {} |\n",
+                outcome.dataset,
+                run.name,
+                marker,
+                run.seconds,
+                run.quality.unwrap_or(0.0),
+                run.comparisons
+            ));
+        }
+        let gain = (1.0 - outcome.c2.seconds / best_time) * 100.0;
+        let delta = outcome.c2.quality.unwrap_or(0.0) - best_quality;
+        out.push_str(&format!(
+            "| {} | **C2 (ours)** | {:.2} | {:.2} | {:.2} | {:+.2} | {} |\n",
+            outcome.dataset,
+            outcome.c2.seconds,
+            gain,
+            outcome.c2.quality.unwrap_or(0.0),
+            delta,
+            outcome.c2.comparisons
+        ));
+    }
+
+    // Figures 4 and 5 are the bar-chart projections of the same runs.
+    out.push_str("\n### Figure 4 — execution time, C² vs best baseline (lower is better)\n\n");
+    out.push_str("| Dataset | Baseline (s) | C² (s) | Speed-up |\n|---|---:|---:|---:|\n");
+    for outcome in &outcomes {
+        out.push_str(&format!(
+            "| {} | {:.2} ({}) | {:.2} | ×{:.2} |\n",
+            outcome.dataset,
+            outcome.best_baseline().seconds,
+            outcome.best_baseline().name,
+            outcome.c2.seconds,
+            outcome.speedup()
+        ));
+    }
+    out.push_str("\n### Figure 5 — KNN quality, C² vs best baseline (higher is better)\n\n");
+    out.push_str("| Dataset | Baseline quality | C² quality |\n|---|---:|---:|\n");
+    for outcome in &outcomes {
+        out.push_str(&format!(
+            "| {} | {:.3} ({}) | {:.3} |\n",
+            outcome.dataset,
+            outcome.best_baseline().quality.unwrap_or(0.0),
+            outcome.best_baseline().name,
+            outcome.c2.quality.unwrap_or(0.0)
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c2_wins_on_a_small_movielens_calibration() {
+        let args = HarnessArgs {
+            scale: 0.04,
+            threads: 2,
+            datasets: vec![DatasetProfile::MovieLens10M],
+            ..HarnessArgs::default()
+        };
+        let outcome = run_dataset(DatasetProfile::MovieLens10M, &args);
+        assert_eq!(outcome.baselines.len(), 3);
+        // Shape assertions, not absolute numbers: C² must be competitive in
+        // quality with the baselines (the paper reports −0.01…+0.04).
+        let c2_q = outcome.c2.quality.unwrap();
+        assert!(c2_q > 0.7, "C2 quality {c2_q:.3} collapsed");
+        // And every algorithm must beat the trivial bound of 0 comparisons.
+        for run in outcome.baselines.iter().chain([&outcome.c2]) {
+            assert!(run.comparisons > 0, "{} made no comparisons", run.name);
+        }
+    }
+}

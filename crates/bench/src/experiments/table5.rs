@@ -1,0 +1,106 @@
+//! Table V: impact of GoldFinger — C² on 1024-bit fingerprints vs raw
+//! profiles, on MovieLens10M and AmazonMovies.
+//!
+//! The paper reports that C² without GoldFinger remains competitive with
+//! the (GoldFinger-accelerated) baselines, and that fingerprints buy a
+//! further ×1.8–×4 speed-up at a small quality delta.
+
+use crate::args::HarnessArgs;
+use crate::experiments::{generate, goldfinger_backend, paper_c2_config, section, K};
+use crate::experiments::table4::sensitivity_datasets;
+use crate::harness::{exact_graph, measure};
+use cnc_core::ClusterAndConquer;
+use cnc_similarity::SimilarityBackend;
+
+/// Runs the experiment and renders the markdown section.
+pub fn run(args: &HarnessArgs) -> String {
+    let mut out = section("Table V — impact of GoldFinger on C²", args);
+    out.push_str(
+        "| Dataset | Similarity data | Time (s) | Speed-up vs raw | Quality |\n\
+         |---|---|---:|---:|---:|\n",
+    );
+    for profile in sensitivity_datasets(args) {
+        eprintln!("[table5] {}", profile.name());
+        let ds = generate(profile, args);
+        let threads = cnc_threadpool::effective_threads(args.threads);
+        let exact = exact_graph(&ds, K, threads);
+        let config = paper_c2_config(profile, args);
+        let algo = ClusterAndConquer::new(config);
+
+        let raw = measure(
+            &algo,
+            &ds,
+            SimilarityBackend::Raw,
+            K,
+            args.threads,
+            args.seed,
+            Some(&exact),
+        );
+        let gf = measure(
+            &algo,
+            &ds,
+            goldfinger_backend(args),
+            K,
+            args.threads,
+            args.seed,
+            Some(&exact),
+        );
+        out.push_str(&format!(
+            "| {} | Raw data | {:.2} | ×1.00 | {:.2} |\n",
+            profile.name(),
+            raw.seconds,
+            raw.quality.unwrap_or(0.0)
+        ));
+        out.push_str(&format!(
+            "| {} | **GoldFinger 1024b (ours)** | {:.2} | ×{:.2} | {:.2} |\n",
+            profile.name(),
+            gf.seconds,
+            raw.seconds / gf.seconds,
+            gf.quality.unwrap_or(0.0)
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_dataset::DatasetProfile;
+
+    #[test]
+    fn raw_backend_quality_is_at_least_goldfinger_quality() {
+        // Raw exact Jaccard selects neighbours at least as well as the
+        // collision-noised estimator (the paper's quality deltas: raw ≥ GF
+        // on ml10M, equal on AM).
+        let args = HarnessArgs {
+            scale: 0.03,
+            threads: 2,
+            datasets: vec![DatasetProfile::MovieLens10M],
+            ..HarnessArgs::default()
+        };
+        let ds = generate(DatasetProfile::MovieLens10M, &args);
+        let exact = exact_graph(&ds, 10, 2);
+        let config = cnc_core::C2Config {
+            k: 10,
+            ..paper_c2_config(DatasetProfile::MovieLens10M, &args)
+        };
+        let algo = ClusterAndConquer::new(config);
+        let raw = measure(&algo, &ds, SimilarityBackend::Raw, 10, 2, args.seed, Some(&exact));
+        let gf = measure(
+            &algo,
+            &ds,
+            SimilarityBackend::GoldFinger { bits: 64, seed: 1 }, // deliberately narrow
+            10,
+            2,
+            args.seed,
+            Some(&exact),
+        );
+        assert!(
+            raw.quality.unwrap() >= gf.quality.unwrap() - 0.02,
+            "raw {:.3} vs narrow GoldFinger {:.3}",
+            raw.quality.unwrap(),
+            gf.quality.unwrap()
+        );
+    }
+}

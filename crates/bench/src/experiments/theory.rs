@@ -1,0 +1,73 @@
+//! Section III: empirical validation of Theorems 1 and 2.
+//!
+//! Reproduces the paper's numerical example (ℓ = 256, b = 4096): the
+//! FastRandomHash collision probability of a user pair is sandwiched by
+//! `J ± O(κ/ℓ)` and the collision density obeys the Chernoff bound of
+//! Theorem 2. Note: the published example says "d = 0.5" but its three
+//! numbers (0.078, 0.234, 0.998) all correspond to d = 1.5 in the paper's
+//! own formulas; we report both.
+
+use crate::args::HarnessArgs;
+use cnc_core::theory::{collision_experiment, theorem2_experiment};
+
+/// Number of sampled hash functions per pair.
+pub const SAMPLES: u64 = 4000;
+
+/// Runs the validation and renders the markdown section.
+pub fn run(args: &HarnessArgs) -> String {
+    let mut out = String::from("## Theorems 1 & 2 — collision probability vs Jaccard\n\n");
+    out.push_str(&format!("*{} sampled hash functions per pair, b = 4096, ℓ = 256*\n\n", SAMPLES));
+    out.push_str(
+        "| J(u1,u2) | empirical P[H=H] | mean lower bound | mean upper bound | mean κ/ℓ |\n\
+         |---:|---:|---:|---:|---:|\n",
+    );
+    // Pairs with ℓ = 256 and varying overlap (J = overlap / 256).
+    for overlap in [0u32, 32, 64, 128, 192, 240] {
+        let half = (256 + overlap) / 2; // |P1| = |P2| = half, ℓ = 2·half − overlap = 256
+        let p1: Vec<u32> = (0..half).collect();
+        let p2: Vec<u32> = (half - overlap..2 * half - overlap).collect();
+        let exp = collision_experiment(&p1, &p2, 4096, args.seed..args.seed + SAMPLES);
+        out.push_str(&format!(
+            "| {:.3} | {:.3} | {:.3} | {:.3} | {:.4} |\n",
+            exp.jaccard, exp.empirical, exp.lower_bound, exp.upper_bound, exp.mean_collision_density
+        ));
+    }
+
+    out.push_str("\n### Theorem 2 — Chernoff bound on the collision density\n\n");
+    out.push_str(
+        "| d | threshold (1+d)(ℓ−1)/2b | empirical P[κ/ℓ < thr] | analytic bound |\n\
+         |---:|---:|---:|---:|\n",
+    );
+    let p1: Vec<u32> = (0..160).collect();
+    let p2: Vec<u32> = (96..256).collect(); // ℓ = 256
+    for d in [0.5, 1.0, 1.5] {
+        let (empirical, bound, threshold) =
+            theorem2_experiment(&p1, &p2, 4096, d, args.seed..args.seed + SAMPLES);
+        out.push_str(&format!(
+            "| {d:.1} | {threshold:.4} | {empirical:.4} | {bound:.4} |\n"
+        ));
+    }
+    out.push_str(
+        "\nThe paper's §III example quotes margins 0.078 / 0.234 with probability 0.998;\n\
+         those numbers correspond to the d = 1.5 row (its text says d = 0.5 — see\n\
+         EXPERIMENTS.md for the discrepancy note).\n\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_all_rows() {
+        let args = HarnessArgs { ..HarnessArgs::default() };
+        // Use a reduced-sample variant for test speed by calling the
+        // underlying primitives directly.
+        let p1: Vec<u32> = (0..160).collect();
+        let p2: Vec<u32> = (96..256).collect();
+        let exp = collision_experiment(&p1, &p2, 4096, args.seed..args.seed + 300);
+        assert!(exp.empirical >= exp.lower_bound - 0.05);
+        assert!(exp.empirical <= exp.upper_bound + 0.05);
+    }
+}

@@ -1,0 +1,104 @@
+//! Shared measurement machinery for the reproduction binaries.
+
+use cnc_baselines::{BruteForce, BuildContext, KnnAlgorithm};
+use cnc_dataset::Dataset;
+use cnc_graph::{quality, KnnGraph};
+use cnc_similarity::{SimilarityBackend, SimilarityData};
+use std::time::Instant;
+
+/// One measured algorithm execution (a row of Tables II/IV/V).
+#[derive(Clone, Debug)]
+pub struct AlgoRun {
+    /// Algorithm name.
+    pub name: String,
+    /// Wall-clock build time in seconds (includes fingerprint construction
+    /// when the backend is GoldFinger, as in the paper).
+    pub seconds: f64,
+    /// Similarity computations performed.
+    pub comparisons: u64,
+    /// Quality ratio (Eq. 2) against the exact graph, when one is provided.
+    pub quality: Option<f64>,
+    /// The graph itself (for downstream use, e.g. recommendation).
+    pub graph: KnnGraph,
+}
+
+/// Runs `algo` on `dataset` with the given backend and measures time,
+/// comparisons and (optionally) quality against `exact`.
+///
+/// The backend (e.g. GoldFinger fingerprints) is built *inside* the timed
+/// region, mirroring the paper's end-to-end wall-clock methodology.
+pub fn measure(
+    algo: &dyn KnnAlgorithm,
+    dataset: &Dataset,
+    backend: SimilarityBackend,
+    k: usize,
+    threads: usize,
+    seed: u64,
+    exact: Option<&KnnGraph>,
+) -> AlgoRun {
+    let start = Instant::now();
+    let sim = SimilarityData::build(backend, dataset);
+    let ctx = BuildContext { dataset, sim: &sim, k, threads, seed };
+    let graph = algo.build(&ctx);
+    let seconds = start.elapsed().as_secs_f64();
+    AlgoRun {
+        name: algo.name().to_owned(),
+        seconds,
+        comparisons: sim.comparisons(),
+        quality: exact.map(|e| quality(&graph, e, dataset)),
+        graph,
+    }
+}
+
+/// Builds the exact KNN graph (raw Jaccard brute force) used as the quality
+/// reference of every experiment.
+pub fn exact_graph(dataset: &Dataset, k: usize, threads: usize) -> KnnGraph {
+    let sim = SimilarityData::build(SimilarityBackend::Raw, dataset);
+    let ctx = BuildContext { dataset, sim: &sim, k, threads, seed: 0 };
+    BruteForce.build(&ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_baselines::Hyrec;
+    use cnc_dataset::SyntheticConfig;
+
+    #[test]
+    fn measure_reports_time_comparisons_and_quality() {
+        let mut cfg = SyntheticConfig::small(70);
+        cfg.num_users = 200;
+        cfg.num_items = 150;
+        cfg.min_profile = 5;
+        cfg.mean_profile = 15.0;
+        let ds = cfg.generate();
+        let exact = exact_graph(&ds, 5, 2);
+        let run = measure(
+            &Hyrec::default(),
+            &ds,
+            SimilarityBackend::Raw,
+            5,
+            2,
+            3,
+            Some(&exact),
+        );
+        assert_eq!(run.name, "Hyrec");
+        assert!(run.seconds > 0.0);
+        assert!(run.comparisons > 0);
+        let q = run.quality.unwrap();
+        assert!(q > 0.5 && q <= 1.001, "quality {q}");
+    }
+
+    #[test]
+    fn exact_graph_has_quality_one() {
+        let mut cfg = SyntheticConfig::small(71);
+        cfg.num_users = 100;
+        cfg.num_items = 120;
+        cfg.min_profile = 5;
+        cfg.mean_profile = 12.0;
+        let ds = cfg.generate();
+        let exact = exact_graph(&ds, 4, 1);
+        let run = measure(&BruteForce, &ds, SimilarityBackend::Raw, 4, 1, 0, Some(&exact));
+        assert!((run.quality.unwrap() - 1.0).abs() < 1e-9);
+    }
+}

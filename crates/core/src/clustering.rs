@@ -1,0 +1,252 @@
+//! Step 1 of C²: clustering with recursive splitting (§II-D, Algorithm 1).
+//!
+//! Every user is assigned to one cluster per hash function — `t` clustering
+//! configurations of `b` clusters each. Because the min-aggregation biases
+//! users toward low-index clusters (popular items with low hashes capture
+//! many users), any cluster larger than the threshold `N` is **recursively
+//! split**: its users are re-hashed with `H\η` (ignoring item hashes ≤ the
+//! cluster's index η) and regrouped, with two exceptions that stay behind —
+//! users whose `H\η` is undefined and users who would be alone in their new
+//! cluster.
+
+use crate::frh::FastRandomHash;
+use cnc_dataset::{Dataset, UserId};
+use std::collections::BTreeMap;
+
+/// The output of Step 1: the final cluster list plus instrumentation.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// All final clusters across the `t` configurations. Every cluster has
+    /// at least one user; users with empty profiles appear in none.
+    pub clusters: Vec<Vec<UserId>>,
+    /// Number of hash functions `t` that produced the clustering.
+    pub num_functions: usize,
+    /// How many split operations were performed (0 when every raw cluster
+    /// fits within `N`).
+    pub splits: usize,
+    /// Number of clusters per configuration *before* splitting, for each
+    /// function (≤ b non-empty clusters each).
+    pub raw_cluster_counts: Vec<usize>,
+}
+
+impl Clustering {
+    /// Cluster sizes sorted in decreasing order (the series of Fig. 8).
+    pub fn sizes_desc(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self.clusters.iter().map(Vec::len).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+
+    /// The size of the largest final cluster.
+    pub fn max_size(&self) -> usize {
+        self.clusters.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total user slots across clusters (= t × |users with items| when no
+    /// user is dropped).
+    pub fn total_assignments(&self) -> usize {
+        self.clusters.iter().map(Vec::len).sum()
+    }
+}
+
+/// Runs Algorithm 1 plus recursive splitting: clusters `dataset` under each
+/// function in `functions`, splitting every cluster larger than
+/// `max_size` (the paper's `N`). With `max_size = usize::MAX` splitting is
+/// disabled.
+pub fn cluster_dataset(
+    dataset: &Dataset,
+    functions: &[FastRandomHash],
+    max_size: usize,
+) -> Clustering {
+    assert!(max_size >= 2, "max cluster size must allow at least one pair");
+    let mut clusters: Vec<Vec<UserId>> = Vec::new();
+    let mut splits = 0usize;
+    let mut raw_cluster_counts = Vec::with_capacity(functions.len());
+
+    for frh in functions {
+        // Algorithm 1: one pass assigning every user to bucket H(u).
+        // Buckets are kept sparse (BTreeMap) because most of the b indices
+        // are empty on sparse datasets.
+        let mut buckets: BTreeMap<u32, Vec<UserId>> = BTreeMap::new();
+        for (u, profile) in dataset.iter() {
+            if let Some(h) = frh.user_hash(profile) {
+                buckets.entry(h).or_default().push(u);
+            }
+        }
+        raw_cluster_counts.push(buckets.len());
+        for (eta, users) in buckets {
+            split_recursive(dataset, frh, users, eta, max_size, &mut clusters, &mut splits);
+        }
+    }
+
+    Clustering { clusters, num_functions: functions.len(), splits, raw_cluster_counts }
+}
+
+/// Recursively splits `users` (the cluster with index `eta`) until every
+/// emitted cluster fits within `max_size` or cannot be split further.
+fn split_recursive(
+    dataset: &Dataset,
+    frh: &FastRandomHash,
+    users: Vec<UserId>,
+    eta: u32,
+    max_size: usize,
+    out: &mut Vec<Vec<UserId>>,
+    splits: &mut usize,
+) {
+    if users.len() <= max_size || eta >= frh.b() {
+        // Within bounds, or no hash value above η exists: terminal.
+        if !users.is_empty() {
+            out.push(users);
+        }
+        return;
+    }
+    *splits += 1;
+    let mut remainder: Vec<UserId> = Vec::new();
+    let mut groups: BTreeMap<u32, Vec<UserId>> = BTreeMap::new();
+    for u in users {
+        match frh.user_hash_excluding(dataset.profile(u), eta) {
+            // Exception 1: H\η undefined (e.g. single-item users) → stay.
+            None => remainder.push(u),
+            Some(h) => groups.entry(h).or_default().push(u),
+        }
+    }
+    for (new_eta, group) in groups {
+        if group.len() == 1 {
+            // Exception 2: users alone in their new cluster stay in C.
+            remainder.extend(group);
+        } else {
+            debug_assert!(new_eta > eta, "split must strictly increase the index");
+            split_recursive(dataset, frh, group, new_eta, max_size, out, splits);
+        }
+    }
+    if !remainder.is_empty() {
+        // The remainder keeps index η; H\η cannot refine it further, so it
+        // is terminal even if it still exceeds max_size.
+        out.push(remainder);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_dataset::SyntheticConfig;
+
+    fn functions(t: usize, b: u32) -> Vec<FastRandomHash> {
+        FastRandomHash::family(0xC2, t, b)
+    }
+
+    #[test]
+    fn every_user_appears_once_per_function() {
+        let ds = SyntheticConfig::small(51).generate();
+        let t = 4;
+        let clustering = cluster_dataset(&ds, &functions(t, 64), usize::MAX);
+        assert_eq!(clustering.total_assignments(), t * ds.num_users());
+        // Per-function partition check: count each user's occurrences.
+        let mut counts = vec![0usize; ds.num_users()];
+        for cluster in &clustering.clusters {
+            for &u in cluster {
+                counts[u as usize] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == t), "users must appear exactly t times");
+    }
+
+    #[test]
+    fn splitting_preserves_the_partition() {
+        let ds = SyntheticConfig::small(52).generate();
+        let t = 3;
+        let clustering = cluster_dataset(&ds, &functions(t, 16), 50);
+        assert!(clustering.splits > 0, "b=16 over 2000 users must trigger splits");
+        let mut counts = vec![0usize; ds.num_users()];
+        for cluster in &clustering.clusters {
+            for &u in cluster {
+                counts[u as usize] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == t), "splitting lost or duplicated users");
+    }
+
+    #[test]
+    fn split_clusters_respect_max_size_except_terminal_remainders() {
+        let ds = SyntheticConfig::small(53).generate();
+        let n_max = 100;
+        let clustering = cluster_dataset(&ds, &functions(2, 8), n_max);
+        // All clusters above the bound must be terminal remainders, which
+        // are rare; the bulk must fit.
+        let oversized = clustering.clusters.iter().filter(|c| c.len() > n_max).count();
+        assert!(
+            oversized * 10 <= clustering.clusters.len(),
+            "{oversized}/{} clusters exceed N",
+            clustering.clusters.len()
+        );
+        assert!(clustering.max_size() < ds.num_users());
+    }
+
+    #[test]
+    fn no_splitting_when_clusters_fit() {
+        let ds = SyntheticConfig::small(54).generate();
+        let clustering = cluster_dataset(&ds, &functions(2, 4096), usize::MAX);
+        assert_eq!(clustering.splits, 0);
+    }
+
+    #[test]
+    fn smaller_n_gives_more_balanced_clusters() {
+        // Fig. 7/8 mechanism: decreasing N caps the biggest clusters.
+        let ds = SyntheticConfig::small(55).generate();
+        let loose = cluster_dataset(&ds, &functions(2, 32), 1000);
+        let tight = cluster_dataset(&ds, &functions(2, 32), 60);
+        assert!(tight.max_size() <= loose.max_size());
+        assert!(tight.clusters.len() >= loose.clusters.len());
+    }
+
+    #[test]
+    fn users_with_empty_profiles_are_unclustered() {
+        let ds = cnc_dataset::Dataset::from_profiles(vec![vec![1, 2], vec![], vec![2, 3]], 0);
+        let clustering = cluster_dataset(&ds, &functions(2, 8), usize::MAX);
+        let mut seen = [false; 3];
+        for cluster in &clustering.clusters {
+            for &u in cluster {
+                seen[u as usize] = true;
+            }
+        }
+        assert!(seen[0] && seen[2]);
+        assert!(!seen[1], "empty-profile user cannot be hashed");
+    }
+
+    #[test]
+    fn identical_users_share_clusters_in_every_configuration() {
+        let ds = cnc_dataset::Dataset::from_profiles(vec![vec![5, 9, 11]; 6], 0);
+        let clustering = cluster_dataset(&ds, &functions(4, 64), usize::MAX);
+        // Six identical users: each configuration puts all six together.
+        assert_eq!(clustering.clusters.len(), 4);
+        for cluster in &clustering.clusters {
+            assert_eq!(cluster.len(), 6);
+        }
+    }
+
+    #[test]
+    fn raw_cluster_counts_are_bounded_by_b() {
+        let ds = SyntheticConfig::small(56).generate();
+        let b = 16u32;
+        let clustering = cluster_dataset(&ds, &functions(3, b), usize::MAX);
+        for &count in &clustering.raw_cluster_counts {
+            assert!(count <= b as usize);
+        }
+    }
+
+    #[test]
+    fn sizes_desc_is_sorted() {
+        let ds = SyntheticConfig::small(57).generate();
+        let clustering = cluster_dataset(&ds, &functions(2, 64), 200);
+        let sizes = clustering.sizes_desc();
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(sizes.iter().sum::<usize>(), clustering.total_assignments());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pair")]
+    fn max_size_one_panics() {
+        let ds = SyntheticConfig::small(58).generate();
+        cluster_dataset(&ds, &functions(1, 8), 1);
+    }
+}

@@ -1,0 +1,334 @@
+//! Steps 2 and 3 of C²: scheduling, local KNN and merging (§II-F, §II-G,
+//! Algorithms 2 and 3) — the end-to-end [`ClusterAndConquer`] pipeline.
+
+use crate::clustering::{cluster_dataset, Clustering};
+use crate::config::{C2Config, ClusteringScheme};
+use crate::frh::FastRandomHash;
+use crate::minhash_variant::cluster_minhash;
+use cnc_baselines::{local, BuildContext, KnnAlgorithm};
+use cnc_dataset::{Dataset, UserId};
+use cnc_graph::{KnnGraph, SharedKnnGraph};
+use cnc_similarity::{SeededHash, SimilarityData};
+use cnc_threadpool::{effective_threads, PriorityPool};
+use std::time::{Duration, Instant};
+
+/// Wall-clock durations of the pipeline phases.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Step 1: hashing + recursive splitting (plus fingerprint building
+    /// when the backend is GoldFinger and `build` constructed it).
+    pub clustering: Duration,
+    /// Steps 2 + 3: per-cluster KNN and concurrent merging.
+    pub local_knn: Duration,
+    /// End-to-end duration.
+    pub total: Duration,
+}
+
+/// Instrumentation of one C² run (drives Tables II, IV, V and Figs 6–8).
+#[derive(Clone, Debug)]
+pub struct C2Stats {
+    /// Final number of clusters across all `t` configurations.
+    pub num_clusters: usize,
+    /// Number of recursive split operations performed.
+    pub splits: usize,
+    /// Final cluster sizes, sorted in decreasing order (Fig. 8 series).
+    pub cluster_sizes_desc: Vec<usize>,
+    /// Similarity computations performed during the run.
+    pub comparisons: u64,
+    /// Phase timings.
+    pub timings: PhaseTimings,
+}
+
+/// A built KNN graph plus the run's instrumentation.
+#[derive(Debug)]
+pub struct C2Result {
+    /// The approximate KNN graph.
+    pub graph: KnnGraph,
+    /// Run statistics.
+    pub stats: C2Stats,
+}
+
+/// The Cluster-and-Conquer KNN-graph builder.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClusterAndConquer {
+    config: C2Config,
+}
+
+impl ClusterAndConquer {
+    /// Creates a builder from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`C2Config::validate`]).
+    pub fn new(config: C2Config) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid C2Config: {msg}");
+        }
+        ClusterAndConquer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &C2Config {
+        &self.config
+    }
+
+    /// Builds the KNN graph of `dataset`, materializing the similarity
+    /// backend declared in the configuration.
+    ///
+    /// Fingerprint construction (for GoldFinger backends) is timed as part
+    /// of the clustering phase, mirroring the paper's inclusion of all
+    /// preprocessing in the reported wall-clock times.
+    pub fn build(&self, dataset: &Dataset) -> C2Result {
+        let start = Instant::now();
+        let sim = SimilarityData::build(self.config.backend, dataset);
+        self.run(&self.config, dataset, &sim, start)
+    }
+
+    /// Builds the graph against an externally-provided similarity oracle
+    /// (used by the experiment harness to share fingerprints between
+    /// algorithms, as the paper does).
+    pub fn build_with(&self, dataset: &Dataset, sim: &SimilarityData<'_>) -> C2Result {
+        self.run(&self.config, dataset, sim, Instant::now())
+    }
+
+    /// Step 1 dispatcher.
+    fn cluster(config: &C2Config, dataset: &Dataset) -> Clustering {
+        match config.scheme {
+            ClusteringScheme::FastRandomHash => {
+                let functions = FastRandomHash::family(config.seed, config.t, config.b);
+                cluster_dataset(dataset, &functions, config.max_cluster_size)
+            }
+            ClusteringScheme::MinHash => cluster_minhash(dataset, config.seed, config.t),
+        }
+    }
+
+    fn run(
+        &self,
+        config: &C2Config,
+        dataset: &Dataset,
+        sim: &SimilarityData<'_>,
+        start: Instant,
+    ) -> C2Result {
+        let comparisons_before = sim.comparisons();
+        let n = dataset.num_users();
+        let threads = effective_threads(config.threads);
+
+        // --- Step 1: clustering -----------------------------------------
+        let clustering = Self::cluster(config, dataset);
+        let clustering_elapsed = start.elapsed();
+
+        // --- Steps 2 + 3: scheduled local KNN, merged on the fly --------
+        let local_start = Instant::now();
+        let shared = SharedKnnGraph::new(n, config.k);
+        let threshold = config.brute_force_threshold();
+        let job_seed = SeededHash::new(config.seed ^ 0x5EED);
+        let cluster_sizes_desc = clustering.sizes_desc();
+        let num_clusters = clustering.clusters.len();
+        let splits = clustering.splits;
+
+        let jobs: Vec<(u64, (u64, Vec<UserId>))> = clustering
+            .clusters
+            .into_iter()
+            .enumerate()
+            .map(|(index, users)| {
+                // Deterministic per-cluster seed for the greedy solver.
+                (users.len() as u64, (job_seed.hash_u64(index as u64), users))
+            })
+            .collect();
+        PriorityPool::run(threads, jobs, |(seed, cluster)| {
+            // Algorithm 2: brute force for small clusters, Hyrec above the
+            // ρ·k² crossover of the two cost estimates.
+            if cluster.len() < threshold {
+                local::brute_force(&cluster, sim, &shared);
+            } else {
+                local::hyrec(&cluster, sim, &shared, config.rho, config.delta, seed);
+            }
+        });
+        let local_elapsed = local_start.elapsed();
+
+        C2Result {
+            graph: shared.into_graph(),
+            stats: C2Stats {
+                num_clusters,
+                splits,
+                cluster_sizes_desc,
+                comparisons: sim.comparisons() - comparisons_before,
+                timings: PhaseTimings {
+                    clustering: clustering_elapsed,
+                    local_knn: local_elapsed,
+                    total: start.elapsed(),
+                },
+            },
+        }
+    }
+}
+
+impl KnnAlgorithm for ClusterAndConquer {
+    fn name(&self) -> &'static str {
+        match self.config.scheme {
+            ClusteringScheme::FastRandomHash => "C2",
+            ClusteringScheme::MinHash => "C2/MinHash",
+        }
+    }
+
+    /// Trait entry point: the context's `k`, `threads` and `seed` override
+    /// the corresponding config fields, so harnesses drive all algorithms
+    /// uniformly.
+    fn build(&self, ctx: &BuildContext<'_>) -> KnnGraph {
+        let config = C2Config {
+            k: ctx.k,
+            threads: ctx.threads,
+            seed: ctx.seed,
+            ..self.config
+        };
+        self.run(&config, ctx.dataset, ctx.sim, Instant::now()).graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_dataset::SyntheticConfig;
+    use cnc_graph::quality;
+    use cnc_similarity::SimilarityBackend;
+
+    fn test_dataset() -> Dataset {
+        let mut cfg = SyntheticConfig::small(77);
+        cfg.num_users = 600;
+        cfg.num_items = 500;
+        cfg.communities = 10;
+        cfg.mean_profile = 30.0;
+        cfg.min_profile = 10;
+        cfg.generate()
+    }
+
+    fn small_config() -> C2Config {
+        C2Config {
+            k: 10,
+            b: 64,
+            t: 4,
+            max_cluster_size: 150,
+            threads: 2,
+            backend: SimilarityBackend::Raw,
+            ..C2Config::default()
+        }
+    }
+
+    fn exact_graph(ds: &Dataset, k: usize) -> KnnGraph {
+        let sim = SimilarityData::build(SimilarityBackend::Raw, ds);
+        let ctx = BuildContext { dataset: ds, sim: &sim, k, threads: 2, seed: 1 };
+        cnc_baselines::BruteForce.build(&ctx)
+    }
+
+    #[test]
+    fn produces_high_quality_graph() {
+        let ds = test_dataset();
+        let result = ClusterAndConquer::new(small_config()).build(&ds);
+        let exact = exact_graph(&ds, 10);
+        let q = quality(&result.graph, &exact, &ds);
+        assert!(q > 0.8, "C2 quality {q:.3} too low");
+    }
+
+    #[test]
+    fn uses_fewer_comparisons_than_brute_force() {
+        let ds = test_dataset();
+        let n = ds.num_users() as u64;
+        let result = ClusterAndConquer::new(small_config()).build(&ds);
+        assert!(
+            result.stats.comparisons < n * (n - 1) / 2,
+            "{} comparisons ≥ brute force",
+            result.stats.comparisons
+        );
+        assert!(result.stats.comparisons > 0);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let ds = test_dataset();
+        let result = ClusterAndConquer::new(small_config()).build(&ds);
+        assert!(result.stats.num_clusters >= 4, "at least one cluster per function");
+        assert_eq!(result.stats.cluster_sizes_desc.len(), result.stats.num_clusters);
+        assert!(result.stats.timings.total >= result.stats.timings.local_knn);
+    }
+
+    #[test]
+    fn single_thread_run_is_deterministic() {
+        let ds = test_dataset();
+        let config = C2Config { threads: 1, ..small_config() };
+        let a = ClusterAndConquer::new(config).build(&ds);
+        let b = ClusterAndConquer::new(config).build(&ds);
+        for u in ds.users() {
+            assert_eq!(
+                a.graph.neighbors(u).sorted(),
+                b.graph.neighbors(u).sorted(),
+                "non-deterministic neighbourhood for user {u}"
+            );
+        }
+        assert_eq!(a.stats.comparisons, b.stats.comparisons);
+    }
+
+    #[test]
+    fn minhash_scheme_also_builds_a_graph() {
+        let ds = test_dataset();
+        let config = C2Config { scheme: ClusteringScheme::MinHash, ..small_config() };
+        let result = ClusterAndConquer::new(config).build(&ds);
+        assert_eq!(result.stats.splits, 0);
+        let exact = exact_graph(&ds, 10);
+        let q = quality(&result.graph, &exact, &ds);
+        assert!(q > 0.5, "C2/MinHash quality {q:.3} surprisingly low");
+    }
+
+    #[test]
+    fn more_hash_functions_do_not_reduce_quality() {
+        let ds = test_dataset();
+        let exact = exact_graph(&ds, 10);
+        let q1 = {
+            let config = C2Config { t: 1, ..small_config() };
+            let r = ClusterAndConquer::new(config).build(&ds);
+            quality(&r.graph, &exact, &ds)
+        };
+        let q8 = {
+            let config = C2Config { t: 8, ..small_config() };
+            let r = ClusterAndConquer::new(config).build(&ds);
+            quality(&r.graph, &exact, &ds)
+        };
+        assert!(q8 >= q1 - 0.02, "t=8 quality {q8:.3} below t=1 quality {q1:.3}");
+    }
+
+    #[test]
+    fn goldfinger_backend_works_end_to_end() {
+        let ds = test_dataset();
+        let config = C2Config {
+            backend: SimilarityBackend::GoldFinger { bits: 1024, seed: 3 },
+            ..small_config()
+        };
+        let result = ClusterAndConquer::new(config).build(&ds);
+        let exact = exact_graph(&ds, 10);
+        let q = quality(&result.graph, &exact, &ds);
+        assert!(q > 0.7, "GoldFinger-backed C2 quality {q:.3} too low");
+    }
+
+    #[test]
+    fn trait_entry_point_honours_context() {
+        let ds = test_dataset();
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let ctx = BuildContext { dataset: &ds, sim: &sim, k: 7, threads: 1, seed: 12 };
+        let algo = ClusterAndConquer::new(small_config());
+        let graph = KnnAlgorithm::build(&algo, &ctx);
+        assert_eq!(graph.k(), 7);
+        assert_eq!(KnnAlgorithm::name(&algo), "C2");
+    }
+
+    #[test]
+    fn empty_dataset_is_handled() {
+        let ds = Dataset::from_profiles(vec![], 0);
+        let result = ClusterAndConquer::new(small_config()).build(&ds);
+        assert_eq!(result.graph.num_users(), 0);
+        assert_eq!(result.stats.num_clusters, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid C2Config")]
+    fn invalid_config_panics_at_construction() {
+        ClusterAndConquer::new(C2Config { k: 0, ..C2Config::default() });
+    }
+}

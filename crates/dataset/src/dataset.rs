@@ -1,0 +1,309 @@
+//! CSR storage of user profiles.
+//!
+//! A [`Dataset`] stores every user profile contiguously: `items` holds the
+//! concatenated, per-user-sorted item ids, and `offsets[u]..offsets[u + 1]`
+//! delimits user `u`'s profile. Sorted profiles make the exact Jaccard
+//! similarity a linear merge and give deterministic iteration order.
+
+use std::fmt;
+
+/// Identifier of a user, dense in `0..num_users`.
+pub type UserId = u32;
+
+/// Identifier of an item, dense in `0..num_items`.
+pub type ItemId = u32;
+
+/// An immutable users × items dataset in CSR form.
+///
+/// Invariants (enforced by [`DatasetBuilder`] and checked in debug builds):
+/// * `offsets` has length `num_users + 1`, is non-decreasing, starts at 0 and
+///   ends at `items.len()`;
+/// * each profile slice is strictly increasing (sorted, no duplicates);
+/// * every item id is `< num_items`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Dataset {
+    offsets: Vec<usize>,
+    items: Vec<ItemId>,
+    num_items: u32,
+}
+
+impl Dataset {
+    /// Builds a dataset directly from per-user profiles.
+    ///
+    /// Profiles are sorted and deduplicated; `num_items` is taken as one past
+    /// the largest item id (or the provided floor, whichever is larger), so
+    /// that item-indexed arrays can always be allocated densely.
+    pub fn from_profiles(profiles: Vec<Vec<ItemId>>, min_num_items: u32) -> Self {
+        let mut builder = DatasetBuilder::with_capacity(profiles.len());
+        for profile in profiles {
+            builder.push_profile(profile);
+        }
+        builder.build_with_min_items(min_num_items)
+    }
+
+    /// Number of users `|U|`.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of items `|I|` (the dimensionality of the dataset).
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.num_items as usize
+    }
+
+    /// Total number of (binarized) ratings, i.e. `Σ_u |P_u|`.
+    #[inline]
+    pub fn num_ratings(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The profile `P_u` of user `u`: a strictly increasing slice of item ids.
+    #[inline]
+    pub fn profile(&self, user: UserId) -> &[ItemId] {
+        let u = user as usize;
+        &self.items[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Size of user `u`'s profile, `|P_u|`.
+    #[inline]
+    pub fn profile_len(&self, user: UserId) -> usize {
+        let u = user as usize;
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Iterates over `(user, profile)` pairs in user-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, &[ItemId])> + '_ {
+        (0..self.num_users() as u32).map(move |u| (u, self.profile(u)))
+    }
+
+    /// All user ids, `0..num_users`.
+    pub fn users(&self) -> std::ops::Range<UserId> {
+        0..self.num_users() as UserId
+    }
+
+    /// Counts, for every item, in how many profiles it appears (its degree).
+    ///
+    /// The average of this vector is the `|P_i|` column of the paper's
+    /// Table I; its skew is what FastRandomHash's recursive splitting exists
+    /// to absorb.
+    pub fn item_frequencies(&self) -> Vec<u32> {
+        let mut freq = vec![0u32; self.num_items()];
+        for &item in &self.items {
+            freq[item as usize] += 1;
+        }
+        freq
+    }
+
+    /// Density of the user × item matrix: `num_ratings / (|U| · |I|)`.
+    pub fn density(&self) -> f64 {
+        if self.num_users() == 0 || self.num_items() == 0 {
+            return 0.0;
+        }
+        self.num_ratings() as f64 / (self.num_users() as f64 * self.num_items() as f64)
+    }
+
+    /// Returns a new dataset containing only users with at least
+    /// `min_profile` items, re-numbering users densely but keeping item ids.
+    ///
+    /// This is the paper's cold-start filter ("we only consider users with at
+    /// least 20 ratings: the others are removed from the user set but not
+    /// from the item set").
+    pub fn filter_min_profile(&self, min_profile: usize) -> Dataset {
+        let mut builder = DatasetBuilder::with_capacity(self.num_users());
+        for (_, profile) in self.iter() {
+            if profile.len() >= min_profile {
+                builder.push_sorted_profile(profile);
+            }
+        }
+        builder.build_with_min_items(self.num_items)
+    }
+
+    /// Checks the CSR invariants; used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.first() != Some(&0) {
+            return Err("offsets must start at 0".into());
+        }
+        if self.offsets.last() != Some(&self.items.len()) {
+            return Err("offsets must end at items.len()".into());
+        }
+        for w in self.offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err("offsets must be non-decreasing".into());
+            }
+        }
+        for (u, profile) in self.iter() {
+            for pair in profile.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(format!("profile of user {u} is not strictly increasing"));
+                }
+            }
+            if let Some(&last) = profile.last() {
+                if last >= self.num_items {
+                    return Err(format!("user {u} references item {last} >= num_items"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Dataset")
+            .field("users", &self.num_users())
+            .field("items", &self.num_items())
+            .field("ratings", &self.num_ratings())
+            .finish()
+    }
+}
+
+/// Incremental builder for [`Dataset`].
+#[derive(Default)]
+pub struct DatasetBuilder {
+    offsets: Vec<usize>,
+    items: Vec<ItemId>,
+    max_item: Option<ItemId>,
+}
+
+impl DatasetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates a builder pre-sized for `users` profiles.
+    pub fn with_capacity(users: usize) -> Self {
+        let mut offsets = Vec::with_capacity(users + 1);
+        offsets.push(0);
+        DatasetBuilder { offsets, items: Vec::new(), max_item: None }
+    }
+
+    /// Appends one user's profile, sorting and deduplicating it.
+    pub fn push_profile(&mut self, mut profile: Vec<ItemId>) {
+        profile.sort_unstable();
+        profile.dedup();
+        self.push_sorted_profile(&profile);
+    }
+
+    /// Appends a profile already known to be strictly increasing.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the slice is not strictly increasing.
+    pub fn push_sorted_profile(&mut self, profile: &[ItemId]) {
+        debug_assert!(profile.windows(2).all(|w| w[0] < w[1]), "profile must be strictly increasing");
+        if let Some(&last) = profile.last() {
+            self.max_item = Some(self.max_item.map_or(last, |m| m.max(last)));
+        }
+        self.items.extend_from_slice(profile);
+        self.offsets.push(self.items.len());
+    }
+
+    /// Number of profiles pushed so far.
+    pub fn num_users(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Finalizes the dataset; `num_items` is one past the largest item seen.
+    pub fn build(self) -> Dataset {
+        self.build_with_min_items(0)
+    }
+
+    /// Finalizes with a floor on `num_items` (useful when the item universe
+    /// is known to be larger than what the sampled profiles reference).
+    pub fn build_with_min_items(self, min_num_items: u32) -> Dataset {
+        let num_items = self
+            .max_item
+            .map(|m| m + 1)
+            .unwrap_or(0)
+            .max(min_num_items);
+        let ds = Dataset { offsets: self.offsets, items: self.items, num_items };
+        debug_assert!(ds.validate().is_ok());
+        ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_profiles(
+            vec![vec![0, 1, 2], vec![2, 3, 4], vec![], vec![4]],
+            0,
+        )
+    }
+
+    #[test]
+    fn csr_layout_and_accessors() {
+        let ds = toy();
+        assert_eq!(ds.num_users(), 4);
+        assert_eq!(ds.num_items(), 5);
+        assert_eq!(ds.num_ratings(), 7);
+        assert_eq!(ds.profile(0), &[0, 1, 2]);
+        assert_eq!(ds.profile(1), &[2, 3, 4]);
+        assert_eq!(ds.profile(2), &[] as &[ItemId]);
+        assert_eq!(ds.profile(3), &[4]);
+        assert_eq!(ds.profile_len(1), 3);
+        ds.validate().unwrap();
+    }
+
+    #[test]
+    fn profiles_are_sorted_and_deduplicated() {
+        let ds = Dataset::from_profiles(vec![vec![5, 1, 3, 1, 5]], 0);
+        assert_eq!(ds.profile(0), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn item_frequencies_count_degrees() {
+        let ds = toy();
+        assert_eq!(ds.item_frequencies(), vec![1, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn density_matches_definition() {
+        let ds = toy();
+        let expected = 7.0 / (4.0 * 5.0);
+        assert!((ds.density() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_is_consistent() {
+        let ds = Dataset::from_profiles(vec![], 0);
+        assert_eq!(ds.num_users(), 0);
+        assert_eq!(ds.num_items(), 0);
+        assert_eq!(ds.density(), 0.0);
+        ds.validate().unwrap();
+    }
+
+    #[test]
+    fn min_items_floor_is_respected() {
+        let ds = Dataset::from_profiles(vec![vec![1]], 100);
+        assert_eq!(ds.num_items(), 100);
+    }
+
+    #[test]
+    fn filter_min_profile_drops_small_users_but_keeps_items() {
+        let ds = toy();
+        let filtered = ds.filter_min_profile(3);
+        assert_eq!(filtered.num_users(), 2);
+        assert_eq!(filtered.num_items(), 5);
+        assert_eq!(filtered.profile(0), &[0, 1, 2]);
+        assert_eq!(filtered.profile(1), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn iter_visits_users_in_order() {
+        let ds = toy();
+        let collected: Vec<u32> = ds.iter().map(|(u, _)| u).collect();
+        assert_eq!(collected, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_offsets() {
+        let mut ds = toy();
+        ds.offsets[1] = 100;
+        assert!(ds.validate().is_err());
+    }
+}

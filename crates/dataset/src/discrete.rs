@@ -1,0 +1,166 @@
+//! O(1) sampling from arbitrary discrete distributions (Vose alias method).
+//!
+//! The synthetic dataset generators draw millions of items from heavily
+//! skewed popularity distributions; the alias method makes each draw two
+//! array reads and one comparison, independent of the support size.
+//! Implemented here because `rand_distr` is outside the allowed crate set.
+
+use rand::{Rng, RngExt};
+
+/// A discrete distribution over `0..n` supporting O(1) sampling.
+///
+/// Built in O(n) from non-negative weights using Vose's numerically stable
+/// variant of Walker's alias method.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    /// Probability of keeping the column's own index (scaled to [0, 1]).
+    prob: Vec<f64>,
+    /// Fallback index when the coin flip rejects the column's own index.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from weights. Zero weights are allowed; at least one
+    /// weight must be positive.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite value,
+    /// or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        // Scale weights so the average column is exactly 1.
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+
+        // Partition columns into under- and over-full stacks.
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            // Donate the missing mass of `s` from `l`.
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: both stacks should hold columns of mass ~1.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+
+        AliasTable { prob, alias }
+    }
+
+    /// Size of the support, `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the support is empty (never: construction forbids it).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index in `0..n` with probability proportional to its weight.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let n = self.prob.len();
+        let column = rng.random_range(0..n);
+        let coin: f64 = rng.random();
+        if coin < self.prob[column] {
+            column as u32
+        } else {
+            self.alias[column]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let table = AliasTable::new(weights);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let freqs = empirical(&[1.0; 8], 80_000, 1);
+        for f in freqs {
+            assert!((f - 0.125).abs() < 0.01, "frequency {f} too far from 1/8");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_proportions() {
+        let weights = [8.0, 4.0, 2.0, 1.0, 1.0];
+        let total: f64 = weights.iter().sum();
+        let freqs = empirical(&weights, 160_000, 2);
+        for (f, w) in freqs.iter().zip(weights.iter()) {
+            assert!((f - w / total).abs() < 0.01, "frequency {f} vs expected {}", w / total);
+        }
+    }
+
+    #[test]
+    fn zero_weight_entries_are_never_drawn() {
+        let freqs = empirical(&[1.0, 0.0, 1.0, 0.0], 40_000, 3);
+        assert_eq!(freqs[1], 0.0);
+        assert_eq!(freqs[3], 0.0);
+    }
+
+    #[test]
+    fn singleton_support_always_returns_zero() {
+        let table = AliasTable::new(&[42.0]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_weights_panic() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn all_zero_weights_panic() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_weight_panics() {
+        AliasTable::new(&[1.0, -1.0]);
+    }
+}

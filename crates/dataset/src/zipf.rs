@@ -1,0 +1,114 @@
+//! Zipf-distributed item popularity.
+//!
+//! Real recommendation datasets have heavy-tailed item degrees (a handful of
+//! blockbusters, a long tail of niche items). The paper's recursive-splitting
+//! mechanism exists precisely because popular items drag many users into the
+//! low-index FastRandomHash clusters; reproducing that behaviour requires a
+//! popularity law with a controllable tail, which Zipf provides:
+//! `P(rank r) ∝ 1 / r^s`.
+
+use crate::discrete::AliasTable;
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s ≥ 0`.
+///
+/// `s = 0` degenerates to uniform; `s ≈ 1` matches typical rating datasets;
+/// larger `s` concentrates mass on the head. Sampling is O(1) via an
+/// [`AliasTable`] built once in O(n).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    table: AliasTable,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Builds a Zipf distribution over `n` ranks with the given exponent.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `exponent` is negative or non-finite.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(exponent.is_finite() && exponent >= 0.0, "exponent must be finite and >= 0");
+        let weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-exponent)).collect();
+        Zipf { table: AliasTable::new(&weights), exponent }
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Support size `n`.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True if the support is empty (never holds after construction).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Draws a rank in `0..n`; rank 0 is the most popular.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        self.table.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        for c in counts {
+            let f = c as f64 / draws as f64;
+            assert!((f - 0.1).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn head_dominates_with_large_exponent() {
+        let zipf = Zipf::new(1000, 2.0);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let draws = 50_000;
+        let head = (0..draws).filter(|_| zipf.sample(&mut rng) < 10).count();
+        // With s = 2, ranks 1..=10 hold ~93% of the mass.
+        assert!(head as f64 / draws as f64 > 0.85, "head mass too small: {head}");
+    }
+
+    #[test]
+    fn rank_frequencies_follow_power_law() {
+        let zipf = Zipf::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let draws = 400_000;
+        let mut counts = vec![0usize; 100];
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        // f(rank 1) / f(rank 2) should be ~2 for s = 1.
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((ratio - 2.0).abs() < 0.15, "ratio {ratio} too far from 2.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty support")]
+    fn empty_support_panics() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 0")]
+    fn negative_exponent_panics() {
+        Zipf::new(10, -1.0);
+    }
+}

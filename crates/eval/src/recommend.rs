@@ -1,0 +1,191 @@
+//! User-based collaborative filtering on top of a KNN graph (paper §V-B).
+//!
+//! "We use a simple collaborative filtering procedure": each candidate item
+//! is scored by the summed similarity of the user's KNN neighbours who have
+//! it in their (training) profile; the top-`n` unseen items are
+//! recommended. Recall measures how many held-out test items the
+//! recommender recovers.
+
+use cnc_dataset::{Dataset, ItemId, UserId};
+use cnc_graph::KnnGraph;
+use std::collections::HashMap;
+
+/// A KNN-graph-backed recommender over a training dataset.
+pub struct Recommender<'a> {
+    train: &'a Dataset,
+    graph: &'a KnnGraph,
+}
+
+impl<'a> Recommender<'a> {
+    /// Binds a training dataset and the KNN graph built on it.
+    ///
+    /// # Panics
+    /// Panics if the graph and dataset disagree on the user count.
+    pub fn new(train: &'a Dataset, graph: &'a KnnGraph) -> Self {
+        assert_eq!(
+            train.num_users(),
+            graph.num_users(),
+            "graph must be built on the training dataset"
+        );
+        Recommender { train, graph }
+    }
+
+    /// Scores every item seen in `user`'s neighbourhood but absent from her
+    /// own training profile: `score(i) = Σ_{v ∈ knn(u), i ∈ P_v} sim(u, v)`.
+    pub fn scores(&self, user: UserId) -> HashMap<ItemId, f64> {
+        let own = self.train.profile(user);
+        let mut scores: HashMap<ItemId, f64> = HashMap::new();
+        for neighbor in self.graph.neighbors(user).iter() {
+            let weight = neighbor.sim.max(0.0) as f64;
+            if weight == 0.0 {
+                continue; // a zero-similarity neighbour carries no signal
+            }
+            for &item in self.train.profile(neighbor.user) {
+                if own.binary_search(&item).is_err() {
+                    *scores.entry(item).or_insert(0.0) += weight;
+                }
+            }
+        }
+        scores
+    }
+
+    /// Recommends the `n` best-scored unseen items (score desc, item id asc
+    /// for determinism).
+    pub fn recommend(&self, user: UserId, n: usize) -> Vec<ItemId> {
+        let mut ranked: Vec<(ItemId, f64)> = self.scores(user).into_iter().collect();
+        ranked.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0))
+        });
+        ranked.truncate(n);
+        ranked.into_iter().map(|(item, _)| item).collect()
+    }
+
+    /// Micro-averaged recall@`n` over all users: total recovered test items
+    /// divided by total test items. `test[u]` holds user `u`'s held-out
+    /// items (sorted).
+    pub fn recall(&self, test: &[Vec<ItemId>], n: usize) -> f64 {
+        assert_eq!(test.len(), self.train.num_users(), "one test set per user");
+        let (mut hit, mut total) = (0usize, 0usize);
+        for u in self.train.users() {
+            let held_out = &test[u as usize];
+            if held_out.is_empty() {
+                continue;
+            }
+            total += held_out.len();
+            for item in self.recommend(u, n) {
+                if held_out.binary_search(&item).is_ok() {
+                    hit += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hit as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// u0 and u1 are near-twins; u1 additionally has items 8 and 9.
+    /// u2 is unrelated.
+    fn setup() -> (Dataset, KnnGraph) {
+        let train = Dataset::from_profiles(
+            vec![vec![0, 1, 2], vec![0, 1, 2, 8, 9], vec![20, 21]],
+            0,
+        );
+        let mut graph = KnnGraph::new(3, 2);
+        graph.insert(0, 1, 0.6);
+        graph.insert(0, 2, 0.0);
+        graph.insert(1, 0, 0.6);
+        graph.insert(2, 0, 0.0);
+        (train, graph)
+    }
+
+    #[test]
+    fn recommends_neighbor_items_not_already_owned() {
+        let (train, graph) = setup();
+        let rec = Recommender::new(&train, &graph);
+        assert_eq!(rec.recommend(0, 5), vec![8, 9]);
+    }
+
+    #[test]
+    fn own_items_are_never_recommended() {
+        let (train, graph) = setup();
+        let rec = Recommender::new(&train, &graph);
+        for item in rec.recommend(0, 10) {
+            assert!(train.profile(0).binary_search(&item).is_err());
+        }
+    }
+
+    #[test]
+    fn zero_similarity_neighbors_contribute_nothing() {
+        let (train, graph) = setup();
+        let rec = Recommender::new(&train, &graph);
+        // u2's only neighbour has sim 0 → no recommendations.
+        assert!(rec.recommend(2, 5).is_empty());
+    }
+
+    #[test]
+    fn scores_sum_neighbor_similarities() {
+        let train = Dataset::from_profiles(
+            vec![vec![0], vec![5, 6], vec![5]],
+            0,
+        );
+        let mut graph = KnnGraph::new(3, 2);
+        graph.insert(0, 1, 0.5);
+        graph.insert(0, 2, 0.25);
+        let rec = Recommender::new(&train, &graph);
+        let scores = rec.scores(0);
+        assert!((scores[&5] - 0.75).abs() < 1e-9, "item 5 backed by both neighbours");
+        assert!((scores[&6] - 0.5).abs() < 1e-9);
+        // Item 5 outranks item 6.
+        assert_eq!(rec.recommend(0, 1), vec![5]);
+    }
+
+    #[test]
+    fn truncates_to_n() {
+        let (train, graph) = setup();
+        let rec = Recommender::new(&train, &graph);
+        assert_eq!(rec.recommend(0, 1).len(), 1);
+    }
+
+    #[test]
+    fn recall_counts_recovered_test_items() {
+        let (train, graph) = setup();
+        let rec = Recommender::new(&train, &graph);
+        // u0's held-out items: 8 (recoverable) and 30 (not in any profile).
+        let test = vec![vec![8, 30], vec![], vec![]];
+        let recall = rec.recall(&test, 5);
+        assert!((recall - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recall_is_zero_with_no_test_items() {
+        let (train, graph) = setup();
+        let rec = Recommender::new(&train, &graph);
+        assert_eq!(rec.recall(&[vec![], vec![], vec![]], 5), 0.0);
+    }
+
+    #[test]
+    fn perfect_recall_when_twins_hold_the_items() {
+        let train = Dataset::from_profiles(vec![vec![0, 1], vec![0, 1, 2, 3]], 0);
+        let mut graph = KnnGraph::new(2, 1);
+        graph.insert(0, 1, 1.0);
+        graph.insert(1, 0, 1.0);
+        let rec = Recommender::new(&train, &graph);
+        let test = vec![vec![2, 3], vec![]];
+        assert_eq!(rec.recall(&test, 2), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "graph must be built on the training dataset")]
+    fn mismatched_graph_panics() {
+        let train = Dataset::from_profiles(vec![vec![0]], 0);
+        let graph = KnnGraph::new(2, 1);
+        Recommender::new(&train, &graph);
+    }
+}

@@ -1,0 +1,245 @@
+//! The KNN-graph container.
+
+use crate::neighbors::{Neighbor, NeighborList};
+use cnc_dataset::UserId;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// An approximate (or exact) KNN graph: one bounded [`NeighborList`] per
+/// user.
+#[derive(Clone, Debug)]
+pub struct KnnGraph {
+    lists: Vec<NeighborList>,
+    k: usize,
+}
+
+impl KnnGraph {
+    /// Creates an empty graph over `n` users with neighbourhood bound `k`.
+    pub fn new(n: usize, k: usize) -> Self {
+        KnnGraph { lists: vec![NeighborList::new(k); n], k }
+    }
+
+    /// The neighbourhood bound `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of users.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// The neighbour list of `user`.
+    #[inline]
+    pub fn neighbors(&self, user: UserId) -> &NeighborList {
+        &self.lists[user as usize]
+    }
+
+    /// Mutable access to the neighbour list of `user`.
+    #[inline]
+    pub fn neighbors_mut(&mut self, user: UserId) -> &mut NeighborList {
+        &mut self.lists[user as usize]
+    }
+
+    /// Offers the directed edge `user → neighbor`; returns `true` on change.
+    #[inline]
+    pub fn insert(&mut self, user: UserId, neighbor: UserId, sim: f32) -> bool {
+        debug_assert_ne!(user, neighbor, "self-loops are not KNN edges");
+        self.lists[user as usize].insert(neighbor, sim)
+    }
+
+    /// Total number of directed edges currently stored (≤ `k·n`).
+    pub fn num_edges(&self) -> usize {
+        self.lists.iter().map(NeighborList::len).sum()
+    }
+
+    /// Average of the *stored* similarities over `k·n` slots — Eq. (1) with
+    /// missing edges contributing 0. For the paper's quality ratio the
+    /// similarities are recomputed exactly; see [`crate::metrics`].
+    pub fn avg_stored_similarity(&self) -> f64 {
+        if self.lists.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self.lists.iter().map(NeighborList::sim_sum).sum();
+        total / (self.k as f64 * self.lists.len() as f64)
+    }
+
+    /// Initializes every user with `k` distinct random non-self neighbours,
+    /// scoring each edge with `sim` — the "initial random k-degree graph"
+    /// every greedy competitor starts from (§I).
+    ///
+    /// The `sim` closure is the instrumented oracle, so the initial
+    /// similarity computations count toward the algorithm's cost, as in the
+    /// paper's implementation.
+    pub fn random_init<F: FnMut(UserId, UserId) -> f32>(
+        n: usize,
+        k: usize,
+        seed: u64,
+        mut sim: F,
+    ) -> Self {
+        let mut graph = KnnGraph::new(n, k);
+        if n <= 1 {
+            return graph;
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let degree = k.min(n - 1);
+        for u in 0..n as u32 {
+            while graph.lists[u as usize].len() < degree {
+                let v = rng.random_range(0..n as u32);
+                if v != u && !graph.lists[u as usize].contains(v) {
+                    let s = sim(u, v);
+                    graph.lists[u as usize].insert(v, s);
+                }
+            }
+        }
+        graph
+    }
+
+    /// Merges another graph into this one user-by-user (Algorithm 3 over
+    /// whole graphs); returns the number of list updates.
+    pub fn merge(&mut self, other: &KnnGraph) -> usize {
+        assert_eq!(self.num_users(), other.num_users(), "graphs must cover the same users");
+        self.lists
+            .iter_mut()
+            .zip(other.lists.iter())
+            .map(|(mine, theirs)| mine.merge(theirs))
+            .sum()
+    }
+
+    /// Reverse adjacency: for every user, who points *to* them. NNDescent
+    /// explores both directions of the neighbour relation.
+    pub fn reverse(&self) -> Vec<Vec<UserId>> {
+        let mut rev: Vec<Vec<UserId>> = vec![Vec::new(); self.lists.len()];
+        for (u, list) in self.lists.iter().enumerate() {
+            for n in list.iter() {
+                rev[n.user as usize].push(u as UserId);
+            }
+        }
+        rev
+    }
+
+    /// Iterates `(user, &list)` in user order.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, &NeighborList)> + '_ {
+        self.lists.iter().enumerate().map(|(u, l)| (u as UserId, l))
+    }
+
+    /// Appends a new user with an empty neighbourhood; returns her id.
+    /// Supports online growth (see `cnc-query::DynamicIndex`).
+    pub fn add_user(&mut self) -> UserId {
+        self.lists.push(NeighborList::new(self.k));
+        (self.lists.len() - 1) as UserId
+    }
+
+    /// The best (most similar) neighbour of `user`, if any.
+    pub fn best_neighbor(&self, user: UserId) -> Option<Neighbor> {
+        self.lists[user as usize]
+            .iter()
+            .copied()
+            .max_by(|a, b| a.sim.partial_cmp(&b.sim).unwrap().then(b.user.cmp(&a.user)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = KnnGraph::new(5, 3);
+        assert_eq!(g.num_users(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.avg_stored_similarity(), 0.0);
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut g = KnnGraph::new(3, 2);
+        assert!(g.insert(0, 1, 0.5));
+        assert!(g.insert(0, 2, 0.7));
+        assert!(!g.insert(0, 1, 0.5));
+        assert_eq!(g.neighbors(0).len(), 2);
+        assert_eq!(g.best_neighbor(0).unwrap().user, 2);
+    }
+
+    #[test]
+    fn random_init_gives_k_distinct_non_self_neighbors() {
+        let g = KnnGraph::random_init(50, 5, 7, |_, _| 0.0);
+        for (u, list) in g.iter() {
+            assert_eq!(list.len(), 5);
+            assert!(!list.contains(u), "self loop at {u}");
+            let mut ids: Vec<u32> = list.iter().map(|n| n.user).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 5, "duplicate neighbours at {u}");
+        }
+    }
+
+    #[test]
+    fn random_init_caps_degree_for_tiny_populations() {
+        let g = KnnGraph::random_init(3, 10, 1, |_, _| 0.0);
+        for (_, list) in g.iter() {
+            assert_eq!(list.len(), 2);
+        }
+    }
+
+    #[test]
+    fn random_init_counts_similarity_calls() {
+        let mut calls = 0u32;
+        let _ = KnnGraph::random_init(20, 4, 3, |_, _| {
+            calls += 1;
+            0.0
+        });
+        assert!(calls >= 80, "each retained edge needs one similarity call");
+    }
+
+    #[test]
+    fn random_init_is_deterministic() {
+        let a = KnnGraph::random_init(30, 4, 11, |u, v| (u + v) as f32);
+        let b = KnnGraph::random_init(30, 4, 11, |u, v| (u + v) as f32);
+        for u in 0..30u32 {
+            assert_eq!(a.neighbors(u).sorted(), b.neighbors(u).sorted());
+        }
+    }
+
+    #[test]
+    fn merge_unions_neighborhoods() {
+        let mut a = KnnGraph::new(2, 2);
+        a.insert(0, 1, 0.3);
+        let mut b = KnnGraph::new(2, 2);
+        b.insert(0, 1, 0.3);
+        b.insert(1, 0, 0.9);
+        let updates = a.merge(&b);
+        assert_eq!(updates, 1);
+        assert_eq!(a.num_edges(), 2);
+    }
+
+    #[test]
+    fn reverse_adjacency_inverts_edges() {
+        let mut g = KnnGraph::new(3, 2);
+        g.insert(0, 1, 0.5);
+        g.insert(2, 1, 0.4);
+        g.insert(1, 0, 0.5);
+        let rev = g.reverse();
+        assert_eq!(rev[1], vec![0, 2]);
+        assert_eq!(rev[0], vec![1]);
+        assert!(rev[2].is_empty());
+    }
+
+    #[test]
+    fn avg_stored_similarity_divides_by_k_times_n() {
+        let mut g = KnnGraph::new(2, 2);
+        g.insert(0, 1, 1.0);
+        // One edge of sim 1.0 over k·n = 4 slots.
+        assert!((g.avg_stored_similarity() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same users")]
+    fn merging_mismatched_graphs_panics() {
+        let mut a = KnnGraph::new(2, 2);
+        let b = KnnGraph::new(3, 2);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,19 @@
+//! KNN-graph substrate: bounded neighbour lists, the graph container, and
+//! the paper's quality metrics.
+//!
+//! A KNN graph connects each user `u` to `knn(u)`, the `k` most similar
+//! users (§II-A). Every algorithm in the workspace — Brute Force, Hyrec,
+//! NNDescent, LSH and Cluster-and-Conquer — produces a [`KnnGraph`]; the
+//! approximation quality is measured by the average-similarity ratio of
+//! Eq. (1)–(2), implemented in [`metrics`].
+
+pub mod metrics;
+pub mod neighbors;
+pub mod shared;
+
+mod knn_graph;
+
+pub use knn_graph::KnnGraph;
+pub use metrics::{avg_exact_similarity, quality};
+pub use neighbors::{Neighbor, NeighborList};
+pub use shared::SharedKnnGraph;

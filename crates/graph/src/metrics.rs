@@ -1,0 +1,133 @@
+//! The paper's quality metrics (Eq. (1) and (2), §II-A).
+//!
+//! `avg_sim(Ĝ)` averages the **exact** Jaccard similarity over all `k·n`
+//! edge slots of the graph; `quality(Ĝ) = avg_sim(Ĝ) / avg_sim(G_exact)`.
+//! The exact similarity is always recomputed from raw profiles here, even
+//! when the graph was *built* with GoldFinger estimates — quality measures
+//! how good the selected neighbours truly are, not how good the estimator
+//! believed them to be.
+
+use crate::knn_graph::KnnGraph;
+use cnc_dataset::Dataset;
+use cnc_similarity::Jaccard;
+
+/// Eq. (1): the average exact similarity of a graph's edges over `k·n`
+/// slots (missing edges count as similarity 0).
+pub fn avg_exact_similarity(graph: &KnnGraph, dataset: &Dataset) -> f64 {
+    let n = graph.num_users();
+    if n == 0 {
+        return 0.0;
+    }
+    assert_eq!(n, dataset.num_users(), "graph and dataset must cover the same users");
+    let total: f64 = graph
+        .iter()
+        .map(|(u, list)| {
+            list.iter()
+                .map(|nb| Jaccard::similarity(dataset.profile(u), dataset.profile(nb.user)))
+                .sum::<f64>()
+        })
+        .sum();
+    total / (graph.k() as f64 * n as f64)
+}
+
+/// Eq. (2): the quality ratio of an approximate graph against an exact one.
+///
+/// A value close to 1 means the approximation can replace the exact graph;
+/// values slightly above 1 are possible when `k·n` slots are not all filled
+/// in the exact graph, or through ties.
+pub fn quality(approx: &KnnGraph, exact: &KnnGraph, dataset: &Dataset) -> f64 {
+    let exact_avg = avg_exact_similarity(exact, dataset);
+    if exact_avg == 0.0 {
+        return if avg_exact_similarity(approx, dataset) == 0.0 { 1.0 } else { f64::INFINITY };
+    }
+    avg_exact_similarity(approx, dataset) / exact_avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        Dataset::from_profiles(
+            vec![
+                vec![0, 1, 2, 3], // u0
+                vec![0, 1, 2, 4], // u1: J(0,1) = 3/5
+                vec![10, 11],     // u2: unrelated
+                vec![10, 11],     // u3: twin of u2
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn avg_similarity_of_perfect_graph() {
+        let ds = dataset();
+        let mut g = KnnGraph::new(4, 1);
+        g.insert(0, 1, 0.0); // stored sims are ignored by the metric
+        g.insert(1, 0, 0.0);
+        g.insert(2, 3, 0.0);
+        g.insert(3, 2, 0.0);
+        let expected = (0.6 + 0.6 + 1.0 + 1.0) / 4.0;
+        assert!((avg_exact_similarity(&g, &ds) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_edges_count_as_zero() {
+        let ds = dataset();
+        let mut g = KnnGraph::new(4, 2);
+        g.insert(0, 1, 0.0);
+        // One edge with J = 0.6 over k·n = 8 slots.
+        assert!((avg_exact_similarity(&g, &ds) - 0.6 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_of_exact_graph_is_one() {
+        let ds = dataset();
+        let mut exact = KnnGraph::new(4, 1);
+        exact.insert(0, 1, 0.6);
+        exact.insert(1, 0, 0.6);
+        exact.insert(2, 3, 1.0);
+        exact.insert(3, 2, 1.0);
+        assert!((quality(&exact, &exact, &ds) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worse_graph_has_lower_quality() {
+        let ds = dataset();
+        let mut exact = KnnGraph::new(4, 1);
+        exact.insert(0, 1, 0.6);
+        exact.insert(1, 0, 0.6);
+        exact.insert(2, 3, 1.0);
+        exact.insert(3, 2, 1.0);
+        let mut bad = KnnGraph::new(4, 1);
+        bad.insert(0, 2, 0.0); // J(u0, u2) = 0
+        bad.insert(1, 3, 0.0);
+        bad.insert(2, 0, 0.0);
+        bad.insert(3, 1, 0.0);
+        assert_eq!(quality(&bad, &exact, &ds), 0.0);
+        let mut half = KnnGraph::new(4, 1);
+        half.insert(0, 1, 0.0);
+        half.insert(1, 0, 0.0);
+        half.insert(2, 0, 0.0);
+        half.insert(3, 1, 0.0);
+        let q = quality(&half, &exact, &ds);
+        assert!(q > 0.0 && q < 1.0);
+    }
+
+    #[test]
+    fn degenerate_zero_similarity_reference() {
+        let ds = Dataset::from_profiles(vec![vec![0], vec![1]], 0);
+        let mut exact = KnnGraph::new(2, 1);
+        exact.insert(0, 1, 0.0);
+        exact.insert(1, 0, 0.0);
+        let approx = exact.clone();
+        assert_eq!(quality(&approx, &exact, &ds), 1.0);
+    }
+
+    #[test]
+    fn empty_graph_metric_is_zero() {
+        let ds = Dataset::from_profiles(vec![], 0);
+        let g = KnnGraph::new(0, 3);
+        assert_eq!(avg_exact_similarity(&g, &ds), 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Online maintenance: absorbing new users without rebuilding the graph.
+//!
+//! The paper's motivating scenario is freshness ("online news recommenders,
+//! in which the use of fresh data is of utmost importance", §I): between two
+//! full C² rebuilds, newly arrived users still need neighbourhoods *now*.
+//! [`DynamicIndex`] owns the built graph and answers that need:
+//!
+//! * [`DynamicIndex::add_user`] beam-searches the current graph for the
+//!   newcomer's approximate KNN, installs it, and offers the newcomer as a
+//!   reverse neighbour to every user it visited — so existing
+//!   neighbourhoods keep improving too;
+//! * the amortized cost per insertion is a few hundred similarities,
+//!   versus `n` for a linear scan and a full rebuild for batch algorithms.
+//!
+//! A production deployment would alternate: C² rebuild every epoch,
+//! [`DynamicIndex`] absorbing the stream in between.
+
+use crate::beam::{BeamSearchConfig, VisitedSet};
+use cnc_dataset::{Dataset, ItemId, UserId};
+use cnc_graph::{KnnGraph, Neighbor, NeighborList};
+use cnc_similarity::Jaccard;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Clone, Copy, PartialEq)]
+struct Candidate {
+    sim: f32,
+    user: UserId,
+}
+
+impl Eq for Candidate {}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sim.partial_cmp(&other.sim).unwrap().then_with(|| other.user.cmp(&self.user))
+    }
+}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A growable KNN index: a snapshot graph plus online insertions.
+pub struct DynamicIndex {
+    profiles: Vec<Vec<ItemId>>,
+    graph: KnnGraph,
+    config: BeamSearchConfig,
+    base_users: usize,
+}
+
+impl DynamicIndex {
+    /// Takes ownership of a built graph and copies the profiles it was
+    /// built on.
+    ///
+    /// # Panics
+    /// Panics if the graph and dataset disagree on the user count, or the
+    /// beam configuration is invalid for the graph's `k`.
+    pub fn new(dataset: &Dataset, graph: KnnGraph, config: BeamSearchConfig) -> Self {
+        assert_eq!(dataset.num_users(), graph.num_users(), "graph/dataset user mismatch");
+        if let Err(msg) = config.validate(graph.k()) {
+            panic!("invalid beam search config: {msg}");
+        }
+        DynamicIndex {
+            profiles: dataset.iter().map(|(_, p)| p.to_vec()).collect(),
+            base_users: dataset.num_users(),
+            graph,
+            config,
+        }
+    }
+
+    /// Current number of users (base + inserted).
+    pub fn num_users(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Users inserted since the snapshot.
+    pub fn inserted_users(&self) -> usize {
+        self.profiles.len() - self.base_users
+    }
+
+    /// The profile of `user`.
+    pub fn profile(&self, user: UserId) -> &[ItemId] {
+        &self.profiles[user as usize]
+    }
+
+    /// The current neighbourhood of `user` (best first).
+    pub fn knn(&self, user: UserId) -> Vec<Neighbor> {
+        self.graph.neighbors(user).sorted()
+    }
+
+    /// The underlying graph (e.g. to hand to a recommender).
+    pub fn graph(&self) -> &KnnGraph {
+        &self.graph
+    }
+
+    /// Inserts a new user with the given profile; returns her id and the
+    /// number of similarity computations spent.
+    ///
+    /// The newcomer's KNN comes from a beam search over the current graph;
+    /// every user *visited* by the search is also offered the newcomer as a
+    /// candidate neighbour (the symmetric update that keeps the graph fresh
+    /// for existing users).
+    pub fn add_user(&mut self, mut profile: Vec<ItemId>, seed: u64) -> (UserId, usize) {
+        profile.sort_unstable();
+        profile.dedup();
+        let new_id = self.profiles.len() as UserId;
+
+        // Beam search against current members (the newcomer is not yet in
+        // the graph, so the search space is exactly the existing users).
+        let n = self.profiles.len();
+        let mut comparisons = 0usize;
+        let mut beam = NeighborList::new(self.config.beam_width);
+        if n > 0 {
+            let mut visited = VisitedSet::new(n);
+            visited.clear();
+            let mut frontier: BinaryHeap<Candidate> = BinaryHeap::new();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let entries = self.config.entry_points.min(n);
+            while frontier.len() < entries {
+                let user = rng.random_range(0..n as u32);
+                if visited.insert(user) {
+                    let sim = Jaccard::similarity(&profile, &self.profiles[user as usize]) as f32;
+                    comparisons += 1;
+                    beam.insert(user, sim);
+                    frontier.push(Candidate { sim, user });
+                }
+            }
+            while let Some(best) = frontier.pop() {
+                if beam.is_full() && best.sim < beam.worst_sim() {
+                    break;
+                }
+                for edge in self.graph.neighbors(best.user).iter() {
+                    if !visited.insert(edge.user) {
+                        continue;
+                    }
+                    let sim =
+                        Jaccard::similarity(&profile, &self.profiles[edge.user as usize]) as f32;
+                    comparisons += 1;
+                    if beam.insert(edge.user, sim) {
+                        frontier.push(Candidate { sim, user: edge.user });
+                    }
+                }
+            }
+        }
+
+        // Install the newcomer.
+        self.profiles.push(profile);
+        self.graph.add_user();
+        for nb in beam.sorted() {
+            self.graph.insert(new_id, nb.user, nb.sim);
+            // Symmetric update: the newcomer may be a better neighbour for
+            // users the search touched.
+            self.graph.insert(nb.user, new_id, nb.sim);
+        }
+        (new_id, comparisons)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_baselines::{BruteForce, BuildContext, KnnAlgorithm};
+    use cnc_dataset::SyntheticConfig;
+    use cnc_similarity::{SimilarityBackend, SimilarityData};
+
+    fn base() -> (Dataset, KnnGraph) {
+        let mut cfg = SyntheticConfig::small(909);
+        cfg.num_users = 400;
+        cfg.num_items = 300;
+        cfg.communities = 8;
+        cfg.mean_profile = 20.0;
+        cfg.min_profile = 8;
+        let ds = cfg.generate();
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let ctx = BuildContext { dataset: &ds, sim: &sim, k: 10, threads: 0, seed: 2 };
+        (ds.clone(), BruteForce.build(&ctx))
+    }
+
+    fn config() -> BeamSearchConfig {
+        BeamSearchConfig { beam_width: 32, entry_points: 6, max_comparisons: 0 }
+    }
+
+    #[test]
+    fn inserted_user_gets_meaningful_neighbors() {
+        let (ds, graph) = base();
+        let mut index = DynamicIndex::new(&ds, graph, config());
+        // Insert a twin of user 0.
+        let twin = ds.profile(0).to_vec();
+        let (id, comparisons) = index.add_user(twin, 5);
+        assert_eq!(id as usize, ds.num_users());
+        assert!(comparisons < ds.num_users(), "insertion cost {comparisons} ≥ linear scan");
+        let knn = index.knn(id);
+        assert!(!knn.is_empty());
+        assert_eq!(knn[0].user, 0, "the twin's best neighbour must be user 0");
+        assert_eq!(knn[0].sim, 1.0);
+    }
+
+    #[test]
+    fn symmetric_update_reaches_existing_users() {
+        let (ds, graph) = base();
+        let mut index = DynamicIndex::new(&ds, graph, config());
+        let twin = ds.profile(7).to_vec();
+        let (id, _) = index.add_user(twin, 9);
+        // User 7 now has a similarity-1.0 neighbour available: the twin.
+        let knn7 = index.knn(7);
+        assert!(
+            knn7.iter().any(|n| n.user == id && n.sim == 1.0),
+            "user 7 did not receive the newcomer as a neighbour: {knn7:?}"
+        );
+    }
+
+    #[test]
+    fn many_insertions_keep_costs_sublinear() {
+        let (ds, graph) = base();
+        let mut index = DynamicIndex::new(&ds, graph, config());
+        let mut total = 0usize;
+        for i in 0..50u32 {
+            let donor = (i * 7) % 400;
+            let mut profile = ds.profile(donor).to_vec();
+            profile.push(290 + i % 10); // slight perturbation
+            let (_, c) = index.add_user(profile, i as u64);
+            total += c;
+        }
+        assert_eq!(index.inserted_users(), 50);
+        assert_eq!(index.num_users(), 450);
+        let avg = total / 50;
+        assert!(avg < 300, "avg insertion cost {avg} too close to a full scan");
+    }
+
+    #[test]
+    fn insertion_into_empty_index_works() {
+        let ds = Dataset::from_profiles(vec![], 0);
+        let graph = KnnGraph::new(0, 5);
+        let mut index = DynamicIndex::new(&ds, graph, config());
+        let (first, c0) = index.add_user(vec![1, 2, 3], 1);
+        assert_eq!(first, 0);
+        assert_eq!(c0, 0);
+        assert!(index.knn(first).is_empty(), "first user has nobody to connect to");
+        let (second, _) = index.add_user(vec![1, 2, 3, 4], 2);
+        assert_eq!(index.knn(second)[0].user, first);
+        assert!(index.knn(first).iter().any(|n| n.user == second));
+    }
+
+    #[test]
+    fn duplicate_items_in_new_profile_are_deduplicated() {
+        let (ds, graph) = base();
+        let mut index = DynamicIndex::new(&ds, graph, config());
+        let (id, _) = index.add_user(vec![5, 5, 3, 3, 1], 1);
+        assert_eq!(index.profile(id), &[1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid beam search config")]
+    fn invalid_config_rejected() {
+        let (ds, graph) = base();
+        let bad = BeamSearchConfig { beam_width: 1, ..config() };
+        DynamicIndex::new(&ds, graph, bad);
+    }
+}

@@ -1,0 +1,307 @@
+//! The query index: greedy beam search for out-of-sample KNN queries.
+
+use crate::beam::{BeamSearchConfig, VisitedSet};
+use cnc_dataset::{Dataset, ItemId, UserId};
+use cnc_graph::{KnnGraph, Neighbor, NeighborList};
+use cnc_similarity::Jaccard;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A candidate in the expansion frontier, max-ordered by similarity
+/// (ties on the smaller user id, for determinism).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Candidate {
+    sim: f32,
+    user: UserId,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Jaccard similarities are never NaN.
+        self.sim
+            .partial_cmp(&other.sim)
+            .unwrap()
+            .then_with(|| other.user.cmp(&self.user))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The answer to one query.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The (approximate) k nearest users, best first.
+    pub neighbors: Vec<Neighbor>,
+    /// Similarity computations spent on this query.
+    pub comparisons: usize,
+}
+
+/// Reusable per-thread scratch state (visited marks survive across queries
+/// as epochs, so repeated queries allocate nothing).
+pub struct Searcher {
+    visited: VisitedSet,
+}
+
+/// An immutable KNN-query index over a dataset and its KNN graph.
+pub struct QueryIndex<'a> {
+    dataset: &'a Dataset,
+    graph: &'a KnnGraph,
+}
+
+impl<'a> QueryIndex<'a> {
+    /// Binds a dataset and a graph built on it (by C² or any baseline).
+    ///
+    /// # Panics
+    /// Panics if the graph and dataset disagree on the user count.
+    pub fn new(dataset: &'a Dataset, graph: &'a KnnGraph) -> Self {
+        assert_eq!(
+            dataset.num_users(),
+            graph.num_users(),
+            "index requires the graph built on this dataset"
+        );
+        QueryIndex { dataset, graph }
+    }
+
+    /// Allocates reusable scratch for this index.
+    pub fn searcher(&self) -> Searcher {
+        Searcher { visited: VisitedSet::new(self.dataset.num_users()) }
+    }
+
+    /// Convenience one-shot search (allocates scratch internally).
+    pub fn search(
+        &self,
+        query: &[ItemId],
+        k: usize,
+        config: &BeamSearchConfig,
+        seed: u64,
+    ) -> QueryResult {
+        let mut searcher = self.searcher();
+        self.search_with(&mut searcher, query, k, config, seed)
+    }
+
+    /// Beam search: returns the approximate k most similar users to the
+    /// (sorted) `query` profile.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid for this `k` (see
+    /// [`BeamSearchConfig::validate`]) or the query profile is unsorted.
+    pub fn search_with(
+        &self,
+        searcher: &mut Searcher,
+        query: &[ItemId],
+        k: usize,
+        config: &BeamSearchConfig,
+        seed: u64,
+    ) -> QueryResult {
+        if let Err(msg) = config.validate(k) {
+            panic!("invalid beam search config: {msg}");
+        }
+        debug_assert!(query.windows(2).all(|w| w[0] < w[1]), "query profile must be sorted");
+        let n = self.dataset.num_users();
+        let mut comparisons = 0usize;
+        if n == 0 {
+            return QueryResult { neighbors: Vec::new(), comparisons };
+        }
+
+        let visited = &mut searcher.visited;
+        visited.clear();
+        // `beam` keeps the best `beam_width` users seen so far; `frontier`
+        // orders the not-yet-expanded ones by similarity.
+        let mut beam = NeighborList::new(config.beam_width);
+        let mut frontier: BinaryHeap<Candidate> = BinaryHeap::new();
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let entries = config.entry_points.min(n);
+        while frontier.len() < entries {
+            let user = rng.random_range(0..n as u32);
+            if visited.insert(user) {
+                let sim = Jaccard::similarity(query, self.dataset.profile(user)) as f32;
+                comparisons += 1;
+                beam.insert(user, sim);
+                frontier.push(Candidate { sim, user });
+            }
+        }
+
+        while let Some(best) = frontier.pop() {
+            // Greedy termination: the best unexpanded candidate cannot
+            // improve a full beam.
+            if beam.is_full() && best.sim < beam.worst_sim() {
+                break;
+            }
+            for edge in self.graph.neighbors(best.user).iter() {
+                if !visited.insert(edge.user) {
+                    continue;
+                }
+                if config.max_comparisons > 0 && comparisons >= config.max_comparisons {
+                    frontier.clear();
+                    break;
+                }
+                let sim = Jaccard::similarity(query, self.dataset.profile(edge.user)) as f32;
+                comparisons += 1;
+                if beam.insert(edge.user, sim) {
+                    frontier.push(Candidate { sim, user: edge.user });
+                }
+            }
+        }
+
+        let mut neighbors = beam.sorted();
+        neighbors.truncate(k);
+        QueryResult { neighbors, comparisons }
+    }
+
+    /// Exact reference answer by scanning every user (for recall checks).
+    pub fn exact_search(&self, query: &[ItemId], k: usize) -> QueryResult {
+        let mut list = NeighborList::new(k.max(1));
+        for (u, profile) in self.dataset.iter() {
+            list.insert(u, Jaccard::similarity(query, profile) as f32);
+        }
+        QueryResult { neighbors: list.sorted(), comparisons: self.dataset.num_users() }
+    }
+
+    /// Recall of an approximate answer against the exact one
+    /// (|approx ∩ exact| / |exact|).
+    pub fn recall(approx: &QueryResult, exact: &QueryResult) -> f64 {
+        if exact.neighbors.is_empty() {
+            return 1.0;
+        }
+        let exact_ids: Vec<UserId> = exact.neighbors.iter().map(|n| n.user).collect();
+        let hit = approx
+            .neighbors
+            .iter()
+            .filter(|n| exact_ids.contains(&n.user))
+            .count();
+        hit as f64 / exact_ids.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_baselines::{BruteForce, BuildContext, KnnAlgorithm};
+    use cnc_dataset::SyntheticConfig;
+    use cnc_similarity::{SimilarityBackend, SimilarityData};
+
+    fn setup() -> (Dataset, KnnGraph) {
+        let mut cfg = SyntheticConfig::small(808);
+        cfg.num_users = 500;
+        cfg.num_items = 400;
+        cfg.communities = 10;
+        cfg.mean_profile = 25.0;
+        cfg.min_profile = 10;
+        let ds = cfg.generate();
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let ctx = BuildContext { dataset: &ds, sim: &sim, k: 12, threads: 0, seed: 1 };
+        let graph = BruteForce.build(&ctx);
+        (ds, graph)
+    }
+
+    #[test]
+    fn beam_search_reaches_high_recall_at_a_fraction_of_the_cost() {
+        let (ds, graph) = setup();
+        let index = QueryIndex::new(&ds, &graph);
+        let config = BeamSearchConfig { beam_width: 48, entry_points: 8, max_comparisons: 0 };
+        let mut total_recall = 0.0;
+        let mut total_comparisons = 0usize;
+        let queries = 20;
+        for q in 0..queries {
+            // Use existing users' profiles as out-of-sample queries.
+            let query: Vec<u32> = ds.profile(q * 17).to_vec();
+            let approx = index.search(&query, 10, &config, q as u64);
+            let exact = index.exact_search(&query, 10);
+            total_recall += QueryIndex::recall(&approx, &exact);
+            total_comparisons += approx.comparisons;
+        }
+        let recall = total_recall / queries as f64;
+        let avg_cost = total_comparisons / queries as usize;
+        assert!(recall > 0.7, "beam search recall {recall:.3} too low");
+        assert!(
+            avg_cost < ds.num_users() / 2,
+            "avg {avg_cost} comparisons ≥ half a linear scan"
+        );
+    }
+
+    #[test]
+    fn exact_search_returns_true_top_k() {
+        let (ds, graph) = setup();
+        let index = QueryIndex::new(&ds, &graph);
+        let query: Vec<u32> = ds.profile(0).to_vec();
+        let exact = index.exact_search(&query, 5);
+        // The query IS user 0's profile, so user 0 is its own best match.
+        assert_eq!(exact.neighbors[0].user, 0);
+        assert_eq!(exact.neighbors[0].sim, 1.0);
+        assert_eq!(exact.comparisons, ds.num_users());
+    }
+
+    #[test]
+    fn search_is_deterministic_given_seed() {
+        let (ds, graph) = setup();
+        let index = QueryIndex::new(&ds, &graph);
+        let query: Vec<u32> = ds.profile(42).to_vec();
+        let config = BeamSearchConfig::default();
+        let a = index.search(&query, 8, &config, 9);
+        let b = index.search(&query, 8, &config, 9);
+        assert_eq!(a.neighbors, b.neighbors);
+        assert_eq!(a.comparisons, b.comparisons);
+    }
+
+    #[test]
+    fn max_comparisons_caps_the_work() {
+        let (ds, graph) = setup();
+        let index = QueryIndex::new(&ds, &graph);
+        let query: Vec<u32> = ds.profile(3).to_vec();
+        let config = BeamSearchConfig { beam_width: 32, entry_points: 4, max_comparisons: 50 };
+        let result = index.search(&query, 10, &config, 5);
+        assert!(result.comparisons <= 50 + 4, "cap exceeded: {}", result.comparisons);
+        assert!(!result.neighbors.is_empty());
+    }
+
+    #[test]
+    fn searcher_scratch_is_reusable() {
+        let (ds, graph) = setup();
+        let index = QueryIndex::new(&ds, &graph);
+        let mut searcher = index.searcher();
+        let config = BeamSearchConfig::default();
+        let q1: Vec<u32> = ds.profile(1).to_vec();
+        let q2: Vec<u32> = ds.profile(2).to_vec();
+        let a = index.search_with(&mut searcher, &q1, 5, &config, 1);
+        let b = index.search_with(&mut searcher, &q2, 5, &config, 1);
+        // Both answers must match fresh-scratch searches (epoch isolation).
+        assert_eq!(a.neighbors, index.search(&q1, 5, &config, 1).neighbors);
+        assert_eq!(b.neighbors, index.search(&q2, 5, &config, 1).neighbors);
+    }
+
+    #[test]
+    fn empty_dataset_returns_empty_answer() {
+        let ds = Dataset::from_profiles(vec![], 0);
+        let graph = KnnGraph::new(0, 3);
+        let index = QueryIndex::new(&ds, &graph);
+        let result = index.search(&[1, 2], 3, &BeamSearchConfig::default(), 0);
+        assert!(result.neighbors.is_empty());
+    }
+
+    #[test]
+    fn recall_of_identical_answers_is_one() {
+        let (ds, graph) = setup();
+        let index = QueryIndex::new(&ds, &graph);
+        let query: Vec<u32> = ds.profile(7).to_vec();
+        let exact = index.exact_search(&query, 5);
+        assert_eq!(QueryIndex::recall(&exact, &exact), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid beam search config")]
+    fn invalid_config_panics() {
+        let (ds, graph) = setup();
+        let index = QueryIndex::new(&ds, &graph);
+        let config = BeamSearchConfig { beam_width: 2, ..Default::default() };
+        index.search(&[1], 10, &config, 0);
+    }
+}

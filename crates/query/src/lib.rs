@@ -1,0 +1,23 @@
+//! KNN **query** layer over a constructed KNN graph.
+//!
+//! The paper (footnote 1) distinguishes building a complete KNN *graph*
+//! from answering a sequence of KNN *queries*. In practice the two
+//! compose: once C² has built the graph, it doubles as a navigable index
+//! for out-of-sample queries (a new user's profile, a cold-start visitor)
+//! via greedy **beam search** — the standard graph-based ANN technique the
+//! KNN graph enables ("KNN graphs are the first step of more advanced
+//! machine-learning techniques", §I).
+//!
+//! [`QueryIndex`] wraps a dataset + graph and answers
+//! "which k users are most similar to this arbitrary profile?" by walking
+//! neighbour links from seeded entry points, expanding the best unvisited
+//! candidate until the beam stabilizes — touching a tiny fraction of the
+//! users a brute-force scan would.
+
+pub mod beam;
+pub mod dynamic;
+pub mod index;
+
+pub use beam::BeamSearchConfig;
+pub use dynamic::DynamicIndex;
+pub use index::{QueryIndex, QueryResult};

@@ -1,0 +1,158 @@
+//! The instrumented similarity oracle consumed by every KNN algorithm.
+//!
+//! [`SimilarityData`] binds a dataset to a similarity implementation (exact
+//! Jaccard on raw profiles, or the GoldFinger estimator — §II-F) and counts
+//! every comparison with a relaxed atomic. The comparison count is the
+//! paper's primary cost metric and drives the Brute-Force-vs-Hyrec switch
+//! inside C²'s local solver.
+
+use crate::goldfinger::GoldFinger;
+use crate::jaccard::Jaccard;
+use cnc_dataset::{Dataset, UserId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which similarity implementation to use (paper §IV-C: all main experiments
+/// run on 1024-bit GoldFinger; Table V ablates raw data).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimilarityBackend {
+    /// Exact Jaccard over the raw sorted profiles.
+    Raw,
+    /// GoldFinger fingerprints of the given width (bits, multiple of 64).
+    GoldFinger { bits: usize, seed: u64 },
+}
+
+impl Default for SimilarityBackend {
+    /// The paper's default: 1024-bit GoldFinger.
+    fn default() -> Self {
+        SimilarityBackend::GoldFinger { bits: GoldFinger::DEFAULT_BITS, seed: 0xC0FFEE }
+    }
+}
+
+enum Kind<'a> {
+    Raw(&'a Dataset),
+    GoldFinger(GoldFinger),
+}
+
+/// A similarity oracle over one dataset, with comparison counting.
+///
+/// Shared immutably across worker threads; the counter uses relaxed atomics
+/// (only the final total is observed).
+pub struct SimilarityData<'a> {
+    kind: Kind<'a>,
+    comparisons: AtomicU64,
+}
+
+impl<'a> SimilarityData<'a> {
+    /// Materializes the backend for `dataset` (builds fingerprints when the
+    /// backend is GoldFinger).
+    pub fn build(backend: SimilarityBackend, dataset: &'a Dataset) -> Self {
+        let kind = match backend {
+            SimilarityBackend::Raw => Kind::Raw(dataset),
+            SimilarityBackend::GoldFinger { bits, seed } => {
+                Kind::GoldFinger(GoldFinger::build(dataset, bits, seed))
+            }
+        };
+        SimilarityData { kind, comparisons: AtomicU64::new(0) }
+    }
+
+    /// The similarity of users `u` and `v` in `[0, 1]`, counted as one
+    /// comparison.
+    #[inline]
+    pub fn sim(&self, u: UserId, v: UserId) -> f32 {
+        self.comparisons.fetch_add(1, Ordering::Relaxed);
+        match &self.kind {
+            Kind::Raw(ds) => Jaccard::similarity(ds.profile(u), ds.profile(v)) as f32,
+            Kind::GoldFinger(gf) => gf.estimate(u, v) as f32,
+        }
+    }
+
+    /// Total comparisons performed so far.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons.load(Ordering::Relaxed)
+    }
+
+    /// Resets the comparison counter (used between experiment phases).
+    pub fn reset_comparisons(&self) {
+        self.comparisons.store(0, Ordering::Relaxed);
+    }
+
+    /// The GoldFinger fingerprints, if this backend uses them.
+    pub fn goldfinger(&self) -> Option<&GoldFinger> {
+        match &self.kind {
+            Kind::GoldFinger(gf) => Some(gf),
+            Kind::Raw(_) => None,
+        }
+    }
+
+    /// True if this oracle computes exact Jaccard.
+    pub fn is_exact(&self) -> bool {
+        matches!(self.kind, Kind::Raw(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_profiles(vec![vec![1, 2, 3], vec![3, 4, 5], vec![1, 2, 3]], 0)
+    }
+
+    #[test]
+    fn raw_backend_is_exact() {
+        let ds = toy();
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        assert!(sim.is_exact());
+        assert!((sim.sim(0, 1) - 0.2).abs() < 1e-6);
+        assert_eq!(sim.sim(0, 2), 1.0);
+    }
+
+    #[test]
+    fn goldfinger_backend_estimates() {
+        let ds = toy();
+        let sim = SimilarityData::build(
+            SimilarityBackend::GoldFinger { bits: 4096, seed: 1 },
+            &ds,
+        );
+        assert!(!sim.is_exact());
+        assert!(sim.goldfinger().is_some());
+        // With 5 items in 4096 bits the estimate is exact w.h.p.
+        assert!((sim.sim(0, 1) - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn comparisons_are_counted_and_resettable() {
+        let ds = toy();
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        assert_eq!(sim.comparisons(), 0);
+        sim.sim(0, 1);
+        sim.sim(1, 2);
+        assert_eq!(sim.comparisons(), 2);
+        sim.reset_comparisons();
+        assert_eq!(sim.comparisons(), 0);
+    }
+
+    #[test]
+    fn counting_is_thread_safe() {
+        let ds = toy();
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        sim.sim(0, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(sim.comparisons(), 4000);
+    }
+
+    #[test]
+    fn default_backend_is_paper_goldfinger() {
+        match SimilarityBackend::default() {
+            SimilarityBackend::GoldFinger { bits, .. } => assert_eq!(bits, 1024),
+            other => panic!("unexpected default {other:?}"),
+        }
+    }
+}

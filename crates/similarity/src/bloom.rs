@@ -1,0 +1,202 @@
+//! Bloom-filter profile summaries (Bloom'70 [37]; used for KNN similarity
+//! by Gorai et al. [1] and BLIP [38] in the paper's related work).
+//!
+//! A Bloom filter generalizes GoldFinger's single-hash fingerprint to `h`
+//! hash functions per item. With `h = 1` it degenerates to GoldFinger's SHF
+//! exactly; with more functions the filter answers membership more
+//! accurately but the intersection-based Jaccard estimate degrades faster
+//! under saturation — the trade-off that made the GoldFinger authors pick
+//! `h = 1`. Provided as an extension estimator with an inclusion–exclusion
+//! Jaccard approximation.
+
+use crate::hash::SeededHash;
+use cnc_dataset::ItemId;
+
+/// A Bloom filter over item ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BloomFilter {
+    words: Vec<u64>,
+    bits: usize,
+    hashes: u32,
+    root: SeededHash,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter of `bits` (multiple of 64) with `hashes`
+    /// hash functions derived from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `bits` is zero or not a multiple of 64, or `hashes == 0`.
+    pub fn new(bits: usize, hashes: u32, seed: u64) -> Self {
+        assert!(bits > 0 && bits.is_multiple_of(64), "bits must be a positive multiple of 64");
+        assert!(hashes > 0, "at least one hash function is required");
+        BloomFilter { words: vec![0u64; bits / 64], bits, hashes, root: SeededHash::new(seed) }
+    }
+
+    /// Builds a filter containing every item of `profile`.
+    pub fn from_profile(profile: &[ItemId], bits: usize, hashes: u32, seed: u64) -> Self {
+        let mut filter = BloomFilter::new(bits, hashes, seed);
+        for &item in profile {
+            filter.insert(item);
+        }
+        filter
+    }
+
+    #[inline]
+    fn probe(&self, item: ItemId, probe_index: u32) -> usize {
+        // Kirsch–Mitzenmacher double hashing: h1 + i·h2 over the bit range.
+        let h = self.root.hash_u64(item as u64);
+        let h1 = h as u32 as u64;
+        let h2 = (h >> 32) | 1; // odd step
+        ((h1.wrapping_add(probe_index as u64 * h2)) % self.bits as u64) as usize
+    }
+
+    /// Inserts one item.
+    pub fn insert(&mut self, item: ItemId) {
+        for i in 0..self.hashes {
+            let bit = self.probe(item, i);
+            self.words[bit / 64] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// Membership query (no false negatives; false-positive rate grows with
+    /// saturation).
+    pub fn contains(&self, item: ItemId) -> bool {
+        (0..self.hashes).all(|i| {
+            let bit = self.probe(item, i);
+            self.words[bit / 64] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Number of set bits.
+    pub fn popcount(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Filter width in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Estimates the cardinality of the represented set from the fill rate:
+    /// `n̂ = −(m/h)·ln(1 − X/m)` where `X` is the popcount.
+    pub fn estimate_cardinality(&self) -> f64 {
+        let m = self.bits as f64;
+        let x = self.popcount() as f64;
+        if x >= m {
+            return f64::INFINITY;
+        }
+        -(m / self.hashes as f64) * (1.0 - x / m).ln()
+    }
+
+    /// Estimates the Jaccard similarity of two profiles from their filters
+    /// via estimated cardinalities of each set and of the union
+    /// (the union filter is the bitwise OR):
+    /// `Ĵ = (n̂_a + n̂_b − n̂_∪) / n̂_∪`, clamped to `[0, 1]`.
+    pub fn estimate_jaccard(&self, other: &BloomFilter) -> f64 {
+        assert_eq!(self.bits, other.bits, "filters must have equal width");
+        assert_eq!(self.hashes, other.hashes, "filters must use the same h");
+        let union = BloomFilter {
+            words: self
+                .words
+                .iter()
+                .zip(other.words.iter())
+                .map(|(a, b)| a | b)
+                .collect(),
+            bits: self.bits,
+            hashes: self.hashes,
+            root: self.root,
+        };
+        let na = self.estimate_cardinality();
+        let nb = other.estimate_cardinality();
+        let nu = union.estimate_cardinality();
+        if !nu.is_finite() || nu <= 0.0 {
+            return 0.0;
+        }
+        ((na + nb - nu) / nu).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaccard::Jaccard;
+
+    fn build(profile: &[u32]) -> BloomFilter {
+        BloomFilter::from_profile(profile, 1024, 3, 5)
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let profile: Vec<u32> = (0..100).map(|i| i * 7).collect();
+        let filter = build(&profile);
+        for &item in &profile {
+            assert!(filter.contains(item), "false negative for {item}");
+        }
+    }
+
+    #[test]
+    fn low_false_positive_rate_when_unsaturated() {
+        let profile: Vec<u32> = (0..50).collect();
+        let filter = build(&profile);
+        let fps = (1000u32..3000).filter(|&i| filter.contains(i)).count();
+        // 50 items × 3 hashes in 1024 bits → fp rate ≈ (150/1024)^3 ≈ 0.3%.
+        assert!(fps < 40, "{fps} false positives out of 2000 probes");
+    }
+
+    #[test]
+    fn cardinality_estimate_is_accurate() {
+        let profile: Vec<u32> = (0..80).collect();
+        let filter = build(&profile);
+        let est = filter.estimate_cardinality();
+        assert!((est - 80.0).abs() < 8.0, "cardinality estimate {est:.1} vs 80");
+    }
+
+    #[test]
+    fn jaccard_estimate_tracks_exact() {
+        let a: Vec<u32> = (0..60).collect();
+        let b: Vec<u32> = (30..90).collect(); // J = 30/90 = 1/3
+        let fa = build(&a);
+        let fb = build(&b);
+        let est = fa.estimate_jaccard(&fb);
+        let j = Jaccard::similarity(&a, &b);
+        assert!((est - j).abs() < 0.08, "estimate {est:.3} vs J={j:.3}");
+    }
+
+    #[test]
+    fn identical_profiles_estimate_one() {
+        let a: Vec<u32> = (0..40).collect();
+        let fa = build(&a);
+        assert!((fa.estimate_jaccard(&fa) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_profiles_estimate_near_zero() {
+        let fa = build(&(0..40).collect::<Vec<u32>>());
+        let fb = build(&(5000..5040).collect::<Vec<u32>>());
+        assert!(fa.estimate_jaccard(&fb) < 0.08);
+    }
+
+    #[test]
+    fn h1_bloom_matches_goldfinger_fill_behaviour() {
+        // With one hash function a Bloom filter is a single-hash
+        // fingerprint; popcount must be bounded by the profile size.
+        let profile: Vec<u32> = (0..30).collect();
+        let filter = BloomFilter::from_profile(&profile, 1024, 1, 7);
+        assert!(filter.popcount() <= 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn bad_width_panics() {
+        BloomFilter::new(100, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal width")]
+    fn mismatched_widths_panic() {
+        let a = BloomFilter::from_profile(&[1], 64, 2, 1);
+        let b = BloomFilter::from_profile(&[1], 128, 2, 1);
+        a.estimate_jaccard(&b);
+    }
+}

@@ -1,0 +1,99 @@
+//! Set cosine similarity.
+//!
+//! The paper's framework accepts "any similarity function over sets that is
+//! positively correlated with the number of common items … such as cosine or
+//! the Jaccard similarity" (§II-A); the evaluation uses Jaccard. We provide
+//! the binary-vector cosine as well so downstream users (and the tests that
+//! check the fsim requirements) can swap metrics:
+//! `cos(P_u, P_v) = |P_u ∩ P_v| / √(|P_u| · |P_v|)`.
+
+use crate::jaccard::Jaccard;
+use cnc_dataset::ItemId;
+
+/// Namespace struct for the set-cosine functions.
+pub struct Cosine;
+
+impl Cosine {
+    /// Cosine similarity of two strictly increasing slices, in `[0, 1]`.
+    #[inline]
+    pub fn similarity(a: &[ItemId], b: &[ItemId]) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let inter = Jaccard::intersection(a, b) as f64;
+        inter / ((a.len() as f64) * (b.len() as f64)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_have_cosine_one() {
+        let a = [2, 4, 6];
+        assert!((Cosine::similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_sets_have_cosine_zero() {
+        assert_eq!(Cosine::similarity(&[1], &[2]), 0.0);
+    }
+
+    #[test]
+    fn empty_sets_are_zero() {
+        assert_eq!(Cosine::similarity(&[], &[]), 0.0);
+        assert_eq!(Cosine::similarity(&[1], &[]), 0.0);
+    }
+
+    #[test]
+    fn known_value() {
+        // |∩| = 1, sizes 2 and 2 → 1/2.
+        assert!((Cosine::similarity(&[1, 2], &[2, 3]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_dominates_jaccard() {
+        // For non-empty sets, cosine ≥ Jaccard (AM–GM on the denominator).
+        let a = [1, 2, 3, 8];
+        let b = [2, 3, 9];
+        assert!(Cosine::similarity(&a, &b) >= Jaccard::similarity(&a, &b));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sorted_set() -> impl Strategy<Value = Vec<ItemId>> {
+        proptest::collection::btree_set(0u32..300, 0..40)
+            .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+    }
+
+    proptest! {
+        #[test]
+        fn cosine_in_unit_interval(a in sorted_set(), b in sorted_set()) {
+            let s = Cosine::similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn cosine_is_symmetric(a in sorted_set(), b in sorted_set()) {
+            prop_assert_eq!(Cosine::similarity(&a, &b), Cosine::similarity(&b, &a));
+        }
+
+        #[test]
+        fn fsim_requirements_positive_correlation_with_overlap(
+            base in sorted_set(), extra in 300u32..400
+        ) {
+            // Adding a shared item never decreases cosine similarity
+            // (the paper's fsim requirement, §II-A).
+            prop_assume!(!base.is_empty());
+            let b: Vec<u32> = base.iter().copied().chain([extra]).collect();
+            let before = Cosine::similarity(&base, &base);
+            let after = Cosine::similarity(&b, &b);
+            prop_assert!(after >= before - 1e-12);
+        }
+    }
+}

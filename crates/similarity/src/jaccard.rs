@@ -1,0 +1,151 @@
+//! Exact Jaccard similarity over sorted profiles.
+//!
+//! `J(P_u, P_v) = |P_u ∩ P_v| / |P_u ∪ P_v|` — the similarity function used
+//! throughout the paper (§II-A). Profiles are strictly increasing slices
+//! (the [`cnc_dataset::Dataset`] invariant), so the intersection is a linear
+//! merge with no hashing and no allocation.
+
+use cnc_dataset::ItemId;
+
+/// Namespace struct for the exact Jaccard functions.
+///
+/// All methods are associated functions so call sites read
+/// `Jaccard::similarity(a, b)`.
+pub struct Jaccard;
+
+impl Jaccard {
+    /// Size of the intersection of two strictly increasing slices.
+    #[inline]
+    pub fn intersection(a: &[ItemId], b: &[ItemId]) -> usize {
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            let (x, y) = (a[i], b[j]);
+            count += usize::from(x == y);
+            // Branch-light merge: advance the smaller side (both on equal).
+            i += usize::from(x <= y);
+            j += usize::from(y <= x);
+        }
+        count
+    }
+
+    /// Size of the union, `|a| + |b| - |a ∩ b|`.
+    #[inline]
+    pub fn union(a: &[ItemId], b: &[ItemId]) -> usize {
+        a.len() + b.len() - Self::intersection(a, b)
+    }
+
+    /// Exact Jaccard similarity in `[0, 1]`. Two empty sets have similarity 0
+    /// (the convention the paper's datasets make unreachable via the
+    /// 20-rating filter, but which keeps the function total).
+    #[inline]
+    pub fn similarity(a: &[ItemId], b: &[ItemId]) -> f64 {
+        let inter = Self::intersection(a, b);
+        let union = a.len() + b.len() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_have_similarity_one() {
+        let a = [1, 5, 9, 12];
+        assert_eq!(Jaccard::similarity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_similarity_zero() {
+        assert_eq!(Jaccard::similarity(&[1, 3], &[2, 4]), 0.0);
+    }
+
+    #[test]
+    fn paper_example_section_2a() {
+        // P_u = {i1, i2, i3}, P_v = {i3, i4, i5}: J = 1/5.
+        let pu = [1, 2, 3];
+        let pv = [3, 4, 5];
+        assert!((Jaccard::similarity(&pu, &pv) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets() {
+        assert_eq!(Jaccard::similarity(&[], &[]), 0.0);
+        assert_eq!(Jaccard::similarity(&[1], &[]), 0.0);
+        assert_eq!(Jaccard::intersection(&[], &[1, 2]), 0);
+    }
+
+    #[test]
+    fn intersection_counts_common_elements() {
+        assert_eq!(Jaccard::intersection(&[1, 2, 3, 7, 9], &[2, 3, 4, 9]), 3);
+    }
+
+    #[test]
+    fn union_matches_inclusion_exclusion() {
+        let a = [1, 2, 3];
+        let b = [3, 4];
+        assert_eq!(Jaccard::union(&a, &b), 4);
+    }
+
+    #[test]
+    fn subset_similarity() {
+        let a = [1, 2, 3, 4];
+        let b = [2, 3];
+        assert!((Jaccard::similarity(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry_on_random_like_inputs() {
+        let a = [0, 4, 8, 15, 16, 23, 42];
+        let b = [4, 15, 21, 42, 99];
+        assert_eq!(Jaccard::similarity(&a, &b), Jaccard::similarity(&b, &a));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sorted_set() -> impl Strategy<Value = Vec<ItemId>> {
+        proptest::collection::btree_set(0u32..500, 0..60)
+            .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+    }
+
+    proptest! {
+        #[test]
+        fn similarity_is_in_unit_interval(a in sorted_set(), b in sorted_set()) {
+            let s = Jaccard::similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn similarity_is_symmetric(a in sorted_set(), b in sorted_set()) {
+            prop_assert_eq!(Jaccard::similarity(&a, &b), Jaccard::similarity(&b, &a));
+        }
+
+        #[test]
+        fn intersection_matches_naive(a in sorted_set(), b in sorted_set()) {
+            let naive = a.iter().filter(|x| b.contains(x)).count();
+            prop_assert_eq!(Jaccard::intersection(&a, &b), naive);
+        }
+
+        #[test]
+        fn self_similarity_is_one_for_nonempty(a in sorted_set()) {
+            prop_assume!(!a.is_empty());
+            prop_assert_eq!(Jaccard::similarity(&a, &a), 1.0);
+        }
+
+        #[test]
+        fn union_plus_intersection_equals_size_sum(a in sorted_set(), b in sorted_set()) {
+            prop_assert_eq!(
+                Jaccard::union(&a, &b) + Jaccard::intersection(&a, &b),
+                a.len() + b.len()
+            );
+        }
+    }
+}

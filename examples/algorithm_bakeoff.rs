@@ -1,0 +1,51 @@
+//! Run all four KNN-graph algorithms on one dataset and print
+//! Table-II-style rows (time, similarity computations, quality).
+//!
+//! ```text
+//! cargo run --release --example algorithm_bakeoff [-- <scale>]
+//! ```
+
+use cluster_and_conquer::prelude::*;
+use cnc_similarity::SimilarityData;
+use std::time::Instant;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let k = 30;
+    let seed = 11;
+
+    let dataset = DatasetProfile::AmazonMovies.generate(scale, seed);
+    println!("AmazonMovies calibration at scale {scale}: {}", DatasetStats::compute(&dataset));
+
+    // Exact reference (raw Jaccard) for the quality column.
+    println!("building exact reference graph…");
+    let raw = SimilarityData::build(SimilarityBackend::Raw, &dataset);
+    let ctx = BuildContext { dataset: &dataset, sim: &raw, k, threads: 0, seed };
+    let exact = BruteForce.build(&ctx);
+
+    println!("\n{:<12} {:>9} {:>14} {:>8}", "algorithm", "time (s)", "similarities", "quality");
+    let hyrec = Hyrec::default();
+    let nndescent = NnDescent::default();
+    let lsh = Lsh::default();
+    let c2 = ClusterAndConquer::new(C2Config { seed, ..C2Config::default() });
+    let algos: [&dyn KnnAlgorithm; 4] = [&hyrec, &nndescent, &lsh, &c2];
+    for algo in algos {
+        // Every competitor runs on the paper's 1024-bit GoldFinger backend.
+        let start = Instant::now();
+        let sim = SimilarityData::build(SimilarityBackend::default(), &dataset);
+        let ctx = BuildContext { dataset: &dataset, sim: &sim, k, threads: 0, seed };
+        let graph = algo.build(&ctx);
+        let elapsed = start.elapsed().as_secs_f64();
+        let q = quality(&graph, &exact, &dataset);
+        println!(
+            "{:<12} {:>9.3} {:>14} {:>8.3}",
+            algo.name(),
+            elapsed,
+            sim.comparisons(),
+            q
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Quantifies the paper's Figure 1 intuition: **initial graph locality**.
+//!
+//! Greedy algorithms start from a random k-degree graph whose neighbours
+//! are "unrelated" (average edge similarity ≈ the dataset's background
+//! similarity). C²'s clustering instead starts every user among
+//! FastRandomHash co-members, whose similarity is provably biased upward
+//! (Theorem 1). This example measures both starting configurations on a
+//! real-shaped dataset:
+//!
+//! * random start: average exact similarity of `k` random neighbours;
+//! * C² start: average exact similarity of `k` co-cluster members.
+//!
+//! ```text
+//! cargo run --release --example graph_locality
+//! ```
+
+use cluster_and_conquer::prelude::*;
+use cnc_core::{cluster_dataset, FastRandomHash};
+use cnc_graph::avg_exact_similarity;
+
+fn main() {
+    let k = 10;
+    let dataset = DatasetProfile::MovieLens10M.generate(0.04, 9);
+    println!("dataset: {}", DatasetStats::compute(&dataset));
+
+    // --- (a) Traditional greedy start: k random neighbours ----------------
+    let random = KnnGraph::random_init(dataset.num_users(), k, 9, |_, _| 0.0);
+    let random_locality = avg_exact_similarity(&random, &dataset);
+
+    // --- (b) C² start: k co-cluster members -------------------------------
+    // Build the paper's clustering and, for each user, take the first k
+    // users sharing one of her clusters (round-robin over her t clusters).
+    let functions = FastRandomHash::family(9, 8, 4096);
+    let clustering = cluster_dataset(&dataset, &functions, 2000);
+    let mut graph = KnnGraph::new(dataset.num_users(), k);
+    for cluster in &clustering.clusters {
+        for (i, &u) in cluster.iter().enumerate() {
+            for offset in 1..=k {
+                let v = cluster[(i + offset) % cluster.len()];
+                if v != u {
+                    graph.insert(u, v, 0.0);
+                }
+                if graph.neighbors(u).len() >= k {
+                    break;
+                }
+            }
+        }
+    }
+    let c2_locality = avg_exact_similarity(&graph, &dataset);
+
+    // --- (c) The ceiling: the exact KNN graph -----------------------------
+    let raw = cnc_similarity::SimilarityData::build(SimilarityBackend::Raw, &dataset);
+    let ctx = BuildContext { dataset: &dataset, sim: &raw, k, threads: 0, seed: 9 };
+    let exact = BruteForce.build(&ctx);
+    let exact_locality = avg_exact_similarity(&exact, &dataset);
+
+    println!("\naverage similarity of a user's k = {k} starting neighbours:");
+    println!("  (a) random k-degree graph (greedy start) : {random_locality:.4}");
+    println!("  (b) FastRandomHash co-cluster members     : {c2_locality:.4}");
+    println!("  (c) exact KNN graph (the ceiling)         : {exact_locality:.4}");
+    println!(
+        "\nC²'s starting configuration is ×{:.1} closer to the ceiling than the random start,",
+        c2_locality / random_locality.max(1e-9)
+    );
+    println!("which is why its local search needs far fewer similarity computations (Fig 1).");
+}

@@ -1,0 +1,64 @@
+//! Parameter-sensitivity sweep (the paper's §VI, Figs 6–7 at small scale):
+//! how `t` (hash functions), `b` (clusters per function) and `N` (max
+//! cluster size) trade computation time against KNN quality.
+//!
+//! ```text
+//! cargo run --release --example sensitivity
+//! ```
+
+use cluster_and_conquer::prelude::*;
+use cnc_similarity::SimilarityData;
+use std::time::Instant;
+
+fn run_once(dataset: &cnc_dataset::Dataset, exact: &KnnGraph, config: C2Config) -> (f64, f64) {
+    let start = Instant::now();
+    let result = ClusterAndConquer::new(config).build(dataset);
+    let secs = start.elapsed().as_secs_f64();
+    (secs, quality(&result.graph, exact, dataset))
+}
+
+fn main() {
+    let k = 10;
+    let dataset = DatasetProfile::MovieLens10M.generate(0.04, 5);
+    println!("dataset: {}", DatasetStats::compute(&dataset));
+
+    println!("building exact reference graph…");
+    let raw = SimilarityData::build(SimilarityBackend::Raw, &dataset);
+    let ctx = BuildContext { dataset: &dataset, sim: &raw, k, threads: 0, seed: 5 };
+    let exact = BruteForce.build(&ctx);
+
+    let base = C2Config { k, seed: 5, ..C2Config::default() };
+
+    println!("\n-- effect of t (b = 2048, N = 250) ------------- (Fig 6)");
+    println!("{:>3} {:>9} {:>8}", "t", "time (s)", "quality");
+    for t in [1, 2, 4, 8, 10] {
+        let (secs, q) = run_once(
+            &dataset,
+            &exact,
+            C2Config { t, b: 2048, max_cluster_size: 250, ..base },
+        );
+        println!("{t:>3} {secs:>9.3} {q:>8.3}");
+    }
+
+    println!("\n-- effect of b (t = 4, N = 250) ---------------- (Fig 6)");
+    println!("{:>5} {:>9} {:>8}", "b", "time (s)", "quality");
+    for b in [512, 2048, 8192] {
+        let (secs, q) = run_once(
+            &dataset,
+            &exact,
+            C2Config { t: 4, b, max_cluster_size: 250, ..base },
+        );
+        println!("{b:>5} {secs:>9.3} {q:>8.3}");
+    }
+
+    println!("\n-- effect of N (t = 4, b = 2048) --------------- (Fig 7)");
+    println!("{:>6} {:>9} {:>8}", "N", "time (s)", "quality");
+    for n in [50, 100, 250, 500, 1000] {
+        let (secs, q) = run_once(
+            &dataset,
+            &exact,
+            C2Config { t: 4, b: 2048, max_cluster_size: n, ..base },
+        );
+        println!("{n:>6} {secs:>9.3} {q:>8.3}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Workspace-level property tests tying the theory to the implementation.
+
+use cluster_and_conquer::prelude::*;
+use cnc_core::frh::FastRandomHash;
+use cnc_core::theory::collisions;
+use cnc_similarity::SimilarityData;
+use proptest::prelude::*;
+
+fn profile_strategy() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::btree_set(0u32..2000, 1..80)
+        .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1's exact sandwich (Eq. 9) holds for the *conditional*
+    /// probability identity (Eq. 6): over many seeds the empirical
+    /// frequency stays within the averaged bounds.
+    #[test]
+    fn frh_collision_probability_is_sandwiched(
+        p1 in profile_strategy(),
+        p2 in profile_strategy(),
+    ) {
+        let b = 512u32;
+        let trials = 400u64;
+        let mut equal = 0u64;
+        let (mut lower, mut upper) = (0.0f64, 0.0f64);
+        let j = Jaccard::similarity(&p1, &p2);
+        let mut union: Vec<u32> = p1.iter().chain(p2.iter()).copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        let ell = union.len() as f64;
+        for seed in 0..trials {
+            let frh = FastRandomHash::new(seed, b);
+            if frh.user_hash(&p1) == frh.user_hash(&p2) {
+                equal += 1;
+            }
+            let kappa = collisions(&frh, &p1, &p2) as f64;
+            let density = kappa / ell;
+            if density < 1.0 {
+                lower += (j - density) / (1.0 - density);
+                upper += (j + density) / (1.0 - density);
+            } else {
+                upper += 1.0;
+            }
+        }
+        let p = equal as f64 / trials as f64;
+        // 5σ statistical slack for 400 Bernoulli trials ≈ 0.125.
+        prop_assert!(p >= lower / trials as f64 - 0.13,
+            "P={p:.3} below lower bound {:.3}", lower / trials as f64);
+        prop_assert!(p <= upper / trials as f64 + 0.13,
+            "P={p:.3} above upper bound {:.3}", upper / trials as f64);
+    }
+
+    /// The clustering step is a partition per hash function, whatever the
+    /// dataset and parameters.
+    #[test]
+    fn clustering_is_a_partition(
+        seed in 0u64..1000,
+        b in 2u32..64,
+        t in 1usize..5,
+        n_max in 5usize..100,
+    ) {
+        let mut cfg = SyntheticConfig::small(seed);
+        cfg.num_users = 150;
+        cfg.num_items = 120;
+        cfg.mean_profile = 12.0;
+        cfg.min_profile = 3;
+        let ds = cfg.generate();
+        let functions = FastRandomHash::family(seed, t, b);
+        let clustering = cnc_core::cluster_dataset(&ds, &functions, n_max.max(2));
+        let mut counts = vec![0usize; ds.num_users()];
+        for cluster in &clustering.clusters {
+            prop_assert!(!cluster.is_empty(), "empty cluster emitted");
+            for &u in cluster {
+                counts[u as usize] += 1;
+            }
+        }
+        prop_assert!(counts.iter().all(|&c| c == t), "not a t-cover: {counts:?}");
+    }
+
+    /// The full pipeline returns, for every user, neighbours that actually
+    /// exist and are never the user herself, with sims in [0, 1].
+    #[test]
+    fn c2_graph_is_well_formed(seed in 0u64..50) {
+        let mut cfg = SyntheticConfig::small(seed);
+        cfg.num_users = 120;
+        cfg.num_items = 100;
+        cfg.mean_profile = 10.0;
+        cfg.min_profile = 3;
+        let ds = cfg.generate();
+        let config = C2Config {
+            k: 5,
+            b: 32,
+            t: 3,
+            max_cluster_size: 60,
+            backend: SimilarityBackend::Raw,
+            seed,
+            threads: 1,
+            ..C2Config::default()
+        };
+        let result = ClusterAndConquer::new(config).build(&ds);
+        for (u, list) in result.graph.iter() {
+            prop_assert!(list.len() <= 5);
+            for nb in list.iter() {
+                prop_assert!(nb.user != u, "self loop at {u}");
+                prop_assert!((nb.user as usize) < ds.num_users());
+                prop_assert!((0.0..=1.0).contains(&nb.sim), "sim {} out of range", nb.sim);
+            }
+        }
+    }
+
+    /// Comparison counting is exact for brute force regardless of threads.
+    #[test]
+    fn brute_force_comparison_count_is_invariant(threads in 1usize..5) {
+        let mut cfg = SyntheticConfig::small(7);
+        cfg.num_users = 80;
+        cfg.num_items = 60;
+        cfg.mean_profile = 8.0;
+        cfg.min_profile = 2;
+        let ds = cfg.generate();
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let ctx = BuildContext { dataset: &ds, sim: &sim, k: 4, threads, seed: 1 };
+        BruteForce.build(&ctx);
+        prop_assert_eq!(sim.comparisons(), 80 * 79 / 2);
+    }
+}

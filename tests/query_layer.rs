@@ -1,0 +1,100 @@
+//! Integration: the query layer on top of a C²-built graph — the full
+//! production loop (build with C², serve out-of-sample queries, absorb new
+//! users online).
+
+use cluster_and_conquer::prelude::*;
+use cnc_query::DynamicIndex;
+
+fn dataset() -> Dataset {
+    let mut cfg = SyntheticConfig::small(31337);
+    cfg.num_users = 700;
+    cfg.num_items = 600;
+    cfg.communities = 10;
+    cfg.mean_profile = 30.0;
+    cfg.min_profile = 12;
+    cfg.generate()
+}
+
+fn c2_graph(ds: &Dataset, k: usize) -> KnnGraph {
+    ClusterAndConquer::new(C2Config {
+        k,
+        b: 128,
+        t: 6,
+        max_cluster_size: 180,
+        backend: SimilarityBackend::Raw,
+        seed: 5,
+        ..C2Config::default()
+    })
+    .build(ds)
+    .graph
+}
+
+#[test]
+fn beam_search_over_a_c2_graph_answers_out_of_sample_queries() {
+    let ds = dataset();
+    let graph = c2_graph(&ds, 12);
+    let index = QueryIndex::new(&ds, &graph);
+    let config = BeamSearchConfig { beam_width: 48, entry_points: 8, max_comparisons: 0 };
+
+    let mut total_recall = 0.0;
+    let queries = 15;
+    for q in 0..queries {
+        // Perturbed copies of existing profiles play the out-of-sample user.
+        let mut query: Vec<u32> = ds.profile(q * 31).to_vec();
+        query.retain(|&i| i % 7 != 0); // drop ~1/7 of the items
+        let approx = index.search(&query, 10, &config, q as u64);
+        let exact = index.exact_search(&query, 10);
+        total_recall += QueryIndex::recall(&approx, &exact);
+        assert!(
+            approx.comparisons < ds.num_users(),
+            "query {q} cost {} ≥ a linear scan",
+            approx.comparisons
+        );
+    }
+    let recall = total_recall / queries as f64;
+    assert!(recall > 0.65, "beam-search recall {recall:.3} over C² graph too low");
+}
+
+#[test]
+fn dynamic_index_absorbs_a_stream_of_new_users() {
+    let ds = dataset();
+    let graph = c2_graph(&ds, 10);
+    let config = BeamSearchConfig { beam_width: 40, entry_points: 8, max_comparisons: 0 };
+    let mut index = DynamicIndex::new(&ds, graph, config);
+
+    // Stream in twins of existing users; each must find its donor.
+    let mut found = 0;
+    for i in 0..30u32 {
+        let donor = i * 23 % ds.num_users() as u32;
+        let (id, cost) = index.add_user(ds.profile(donor).to_vec(), i as u64);
+        assert!(cost < ds.num_users(), "insertion cost {cost} ≥ linear scan");
+        let knn = index.knn(id);
+        if knn.first().map(|n| n.sim) == Some(1.0) {
+            found += 1;
+        }
+    }
+    assert!(
+        found >= 25,
+        "only {found}/30 streamed twins located their donor at sim 1.0"
+    );
+    assert_eq!(index.inserted_users(), 30);
+}
+
+#[test]
+fn recommender_works_on_a_dynamically_grown_graph() {
+    // The graph handed to the recommender can be the dynamic one — the
+    // base users' neighbourhoods remain intact or improved.
+    let ds = dataset();
+    let graph = c2_graph(&ds, 10);
+    let before_edges = graph.num_edges();
+    let config = BeamSearchConfig { beam_width: 40, entry_points: 8, max_comparisons: 0 };
+    let mut index = DynamicIndex::new(&ds, graph, config);
+    for i in 0..10u32 {
+        index.add_user(ds.profile(i).to_vec(), 1000 + i as u64);
+    }
+    assert!(index.graph().num_edges() >= before_edges, "insertions must not lose edges");
+    // Base users still have full neighbourhoods.
+    for u in 0..20u32 {
+        assert!(!index.knn(u).is_empty());
+    }
+}

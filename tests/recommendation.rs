@@ -1,0 +1,70 @@
+//! Integration test of the Table III protocol: recommendation recall with
+//! C² graphs must stay close to exact-graph recall.
+
+use cluster_and_conquer::prelude::*;
+use cnc_eval::evaluate_recall;
+use cnc_similarity::SimilarityData;
+
+fn dataset() -> Dataset {
+    let mut cfg = SyntheticConfig::small(555);
+    cfg.num_users = 500;
+    cfg.num_items = 500;
+    cfg.communities = 10;
+    cfg.mean_profile = 30.0;
+    cfg.min_profile = 15;
+    cfg.affinity = 0.85;
+    cfg.generate()
+}
+
+fn exact_graph(train: &Dataset, k: usize) -> KnnGraph {
+    let sim = SimilarityData::build(SimilarityBackend::Raw, train);
+    let ctx = BuildContext { dataset: train, sim: &sim, k, threads: 0, seed: 2 };
+    BruteForce.build(&ctx)
+}
+
+#[test]
+fn c2_recall_tracks_exact_recall_under_cross_validation() {
+    let ds = dataset();
+    let k = 10;
+    let brute = evaluate_recall(&ds, 5, 20, 77, |train| exact_graph(train, k));
+    let c2 = ClusterAndConquer::new(C2Config {
+        k,
+        b: 128,
+        t: 6,
+        max_cluster_size: 200,
+        backend: SimilarityBackend::Raw,
+        seed: 77,
+        ..C2Config::default()
+    });
+    let approx = evaluate_recall(&ds, 5, 20, 77, |train| c2.build(train).graph);
+
+    assert!(brute.mean > 0.05, "exact recall {:.3} too low to be meaningful", brute.mean);
+    // Table III's claim: small average loss (paper: 2.05%; we allow more
+    // slack at this scale).
+    let relative_loss = (brute.mean - approx.mean) / brute.mean;
+    assert!(
+        relative_loss < 0.20,
+        "C2 recall {:.3} lost {:.0}% vs exact {:.3}",
+        approx.mean,
+        relative_loss * 100.0,
+        brute.mean
+    );
+}
+
+#[test]
+fn recall_improves_with_more_recommendations() {
+    let ds = dataset();
+    let r5 = evaluate_recall(&ds, 3, 5, 78, |train| exact_graph(train, 10));
+    let r30 = evaluate_recall(&ds, 3, 30, 78, |train| exact_graph(train, 10));
+    assert!(r30.mean >= r5.mean, "recall@30 {:.3} < recall@5 {:.3}", r30.mean, r5.mean);
+}
+
+#[test]
+fn per_fold_recalls_are_consistent() {
+    let ds = dataset();
+    let result = evaluate_recall(&ds, 5, 20, 79, |train| exact_graph(train, 10));
+    let max = result.per_fold.iter().cloned().fold(0.0f64, f64::max);
+    let min = result.per_fold.iter().cloned().fold(1.0f64, f64::min);
+    // Folds are exchangeable; a huge spread would indicate a protocol bug.
+    assert!(max - min < 0.2, "fold spread too large: {:?}", result.per_fold);
+}
