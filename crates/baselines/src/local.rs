@@ -12,18 +12,22 @@ use cnc_graph::{KnnGraph, NeighborList, SharedKnnGraph};
 use cnc_similarity::SimilarityData;
 
 /// Exhaustive pairwise KNN restricted to `users` (|C|·(|C|−1)/2
-/// similarities), merged into `out`.
+/// similarities), returning one bounded list per user (positionally
+/// aligned with `users`).
 ///
-/// Used when `|C| < ρ·k²` (Algorithm 2's cheap branch) and by the LSH
-/// baseline inside each bucket.
-pub fn brute_force(users: &[UserId], sim: &SimilarityData<'_>, out: &SharedKnnGraph) {
-    let k = out.k();
-    if users.len() < 2 {
-        return;
-    }
-    // Work on local lists so the shared graph is locked once per user, not
-    // once per pair.
+/// This is the *map-stage* form of Algorithm 2's cheap branch: the caller
+/// decides where the partial lists go — merged into a [`SharedKnnGraph`]
+/// in-process (see [`brute_force`]) or shipped to a reduce stage
+/// (`cnc-runtime`).
+pub fn brute_force_partial(
+    users: &[UserId],
+    sim: &SimilarityData<'_>,
+    k: usize,
+) -> Vec<NeighborList> {
     let mut lists: Vec<NeighborList> = (0..users.len()).map(|_| NeighborList::new(k)).collect();
+    if users.len() < 2 {
+        return lists;
+    }
     for i in 0..users.len() {
         for j in (i + 1)..users.len() {
             let s = sim.sim(users[i], users[j]);
@@ -31,43 +35,53 @@ pub fn brute_force(users: &[UserId], sim: &SimilarityData<'_>, out: &SharedKnnGr
             lists[j].insert(users[i], s);
         }
     }
+    lists
+}
+
+/// Exhaustive pairwise KNN restricted to `users`, merged into `out`.
+///
+/// Used when `|C| < ρ·k²` (Algorithm 2's cheap branch) and by the LSH
+/// baseline inside each bucket.
+pub fn brute_force(users: &[UserId], sim: &SimilarityData<'_>, out: &SharedKnnGraph) {
+    if users.len() < 2 {
+        return;
+    }
+    // Work on local lists so the shared graph is locked once per user, not
+    // once per pair.
+    let lists = brute_force_partial(users, sim, out.k());
     for (i, &u) in users.iter().enumerate() {
         out.merge_into(u, &lists[i]);
     }
 }
 
-/// Greedy Hyrec restricted to `users`, merged into `out` (Algorithm 2's
-/// expensive branch, bounded by `ρ·k²·|C|/2` similarities).
+/// Greedy Hyrec restricted to `users`, returning one bounded list per user
+/// (positionally aligned with `users`) — the *map-stage* form of
+/// Algorithm 2's expensive branch, bounded by `ρ·k²·|C|/2` similarities.
 ///
 /// Runs the standard Hyrec loop on a *local* graph over the cluster: random
 /// k-degree init, then up to `rho` iterations comparing every user with its
 /// neighbours-of-neighbours, stopping early when an iteration produces fewer
 /// than `delta·k·|C|` updates.
-pub fn hyrec(
+pub fn hyrec_partial(
     users: &[UserId],
     sim: &SimilarityData<'_>,
-    out: &SharedKnnGraph,
+    k: usize,
     rho: usize,
     delta: f64,
     seed: u64,
-) {
-    let k = out.k();
+) -> Vec<NeighborList> {
     let n = users.len();
-    if n < 2 {
-        return;
-    }
     // Tiny clusters degenerate to brute force (cheaper and exact).
     if n <= k + 1 {
-        brute_force(users, sim, out);
-        return;
+        return brute_force_partial(users, sim, k);
     }
     // Local graph over local indices 0..n.
-    let mut graph = KnnGraph::random_init(n, k, seed, |a, b| sim.sim(users[a as usize], users[b as usize]));
+    let mut graph =
+        KnnGraph::random_init(n, k, seed, |a, b| sim.sim(users[a as usize], users[b as usize]));
     let mut candidates: Vec<u32> = Vec::new();
     for _ in 0..rho {
-        let ids: Vec<Vec<u32>> = (0..n as u32).map(|u| {
-            graph.neighbors(u).iter().map(|nb| nb.user).collect()
-        }).collect();
+        let ids: Vec<Vec<u32>> =
+            (0..n as u32).map(|u| graph.neighbors(u).iter().map(|nb| nb.user).collect()).collect();
         let mut updates = 0usize;
         for u in 0..n as u32 {
             candidates.clear();
@@ -93,13 +107,36 @@ pub fn hyrec(
             break;
         }
     }
-    // Translate local indices back to global user ids and merge.
-    for (local, &u) in users.iter().enumerate() {
-        let mut translated = NeighborList::new(k);
-        for nb in graph.neighbors(local as u32).iter() {
-            translated.insert(users[nb.user as usize], nb.sim);
-        }
-        out.merge_into(u, &translated);
+    // Translate local indices back to global user ids.
+    users
+        .iter()
+        .enumerate()
+        .map(|(local, _)| {
+            let mut translated = NeighborList::new(k);
+            for nb in graph.neighbors(local as u32).iter() {
+                translated.insert(users[nb.user as usize], nb.sim);
+            }
+            translated
+        })
+        .collect()
+}
+
+/// Greedy Hyrec restricted to `users`, merged into `out` (Algorithm 2's
+/// expensive branch; see [`hyrec_partial`]).
+pub fn hyrec(
+    users: &[UserId],
+    sim: &SimilarityData<'_>,
+    out: &SharedKnnGraph,
+    rho: usize,
+    delta: f64,
+    seed: u64,
+) {
+    if users.len() < 2 {
+        return;
+    }
+    let lists = hyrec_partial(users, sim, out.k(), rho, delta, seed);
+    for (i, &u) in users.iter().enumerate() {
+        out.merge_into(u, &lists[i]);
     }
 }
 
@@ -197,6 +234,54 @@ mod tests {
             "hyrec used {} comparisons, no better than brute force",
             sim_hyrec.comparisons()
         );
+    }
+
+    #[test]
+    fn partial_lists_align_with_users_and_stay_in_cluster() {
+        let ds = twins_dataset();
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let users: Vec<u32> = (10..20).collect();
+        let lists = brute_force_partial(&users, &sim, 3);
+        assert_eq!(lists.len(), users.len());
+        for (i, list) in lists.iter().enumerate() {
+            assert_eq!(list.len(), 3);
+            for nb in list.iter() {
+                assert!(users.contains(&nb.user), "edge to outside the cluster");
+                assert_ne!(nb.user, users[i], "self loop");
+            }
+        }
+        // Size-1 and size-0 clusters produce aligned (empty) lists.
+        assert_eq!(brute_force_partial(&[5], &sim, 3).len(), 1);
+        assert!(brute_force_partial(&[5], &sim, 3)[0].is_empty());
+        assert!(brute_force_partial(&[], &sim, 3).is_empty());
+    }
+
+    #[test]
+    fn partial_solvers_match_the_merging_entry_points() {
+        let ds = twins_dataset();
+        let users: Vec<u32> = (0..40).collect();
+        let k = 5;
+        for greedy in [false, true] {
+            let sim_a = SimilarityData::build(SimilarityBackend::Raw, &ds);
+            let out = SharedKnnGraph::new(ds.num_users(), k);
+            let sim_b = SimilarityData::build(SimilarityBackend::Raw, &ds);
+            let lists = if greedy {
+                hyrec(&users, &sim_a, &out, 5, 0.001, 3);
+                hyrec_partial(&users, &sim_b, k, 5, 0.001, 3)
+            } else {
+                brute_force(&users, &sim_a, &out);
+                brute_force_partial(&users, &sim_b, k)
+            };
+            let merged = out.into_graph();
+            assert_eq!(sim_a.comparisons(), sim_b.comparisons(), "greedy={greedy}");
+            for (i, &u) in users.iter().enumerate() {
+                assert_eq!(
+                    lists[i].sorted(),
+                    merged.neighbors(u).sorted(),
+                    "greedy={greedy}: user {u} differs"
+                );
+            }
+        }
     }
 
     #[test]

@@ -34,10 +34,7 @@ impl Lsh {
     /// Buckets every user by the argmin item under each MinHash function.
     /// Returns one bucket map per function; singleton buckets are dropped
     /// (no pair to compare).
-    pub fn build_buckets(
-        &self,
-        ctx: &BuildContext<'_>,
-    ) -> Vec<Vec<Vec<UserId>>> {
+    pub fn build_buckets(&self, ctx: &BuildContext<'_>) -> Vec<Vec<Vec<UserId>>> {
         let hashers = MinHasher::family(ctx.seed, self.hash_functions);
         hashers
             .iter()

@@ -5,12 +5,12 @@
 //! * largest-first scheduling vs submission-order scheduling on a skewed
 //!   cluster-size distribution (the paper's Step 2 heuristic).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cnc_baselines::local;
 use cnc_dataset::{Dataset, SyntheticConfig};
 use cnc_graph::SharedKnnGraph;
 use cnc_similarity::{SimilarityBackend, SimilarityData};
 use cnc_threadpool::PriorityPool;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn dataset(users: usize) -> Dataset {

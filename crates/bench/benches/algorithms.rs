@@ -2,11 +2,11 @@
 //! the criterion-tracked counterpart of Table II (one group per algorithm,
 //! same backend, same k).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cnc_baselines::{BruteForce, BuildContext, Hyrec, KnnAlgorithm, Lsh, NnDescent};
 use cnc_core::{C2Config, ClusterAndConquer};
 use cnc_dataset::{Dataset, DatasetProfile};
 use cnc_similarity::{SimilarityBackend, SimilarityData};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 const K: usize = 30;

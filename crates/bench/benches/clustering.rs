@@ -2,9 +2,9 @@
 //! recursive splitting, against the MinHash variant — the cost side of
 //! Table IV and the time axis of Figs 7/8.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cnc_core::{cluster_dataset, minhash_variant::cluster_minhash, FastRandomHash};
 use cnc_dataset::{Dataset, DatasetProfile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn dataset() -> Dataset {

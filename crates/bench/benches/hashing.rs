@@ -2,9 +2,9 @@
 //! FastRandomHash user hashing (Eq. 3), the splitting hash `H\η`, and the
 //! MinHash bucket — the per-user costs of C²'s Step 1 vs LSH's bucketing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cnc_core::FastRandomHash;
 use cnc_similarity::{MinHasher, SeededHash};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_seeded_hash(c: &mut Criterion) {

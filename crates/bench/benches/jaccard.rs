@@ -3,11 +3,11 @@
 //! (64–8192 bits). This is the "why" of Table V: a GoldFinger comparison is
 //! a few word-wise popcounts regardless of profile size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cnc_dataset::{Dataset, SyntheticConfig};
 use cnc_similarity::bbit::BBitSignature;
 use cnc_similarity::bloom::BloomFilter;
 use cnc_similarity::{GoldFinger, Jaccard, MinHasher};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn profile_pair(len: usize) -> (Vec<u32>, Vec<u32>) {

@@ -2,9 +2,9 @@
 //! sift-heap with linear dedup at the paper's k = 30, plus the merge path
 //! of Algorithm 3.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cnc_graph::NeighborList;
 use cnc_similarity::SeededHash;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 /// A deterministic stream of (user, sim) candidates.

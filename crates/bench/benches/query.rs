@@ -1,12 +1,12 @@
 //! Query-layer benchmarks: beam-search latency vs a linear scan, and the
 //! online-insertion cost of the dynamic index.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cnc_baselines::{BruteForce, BuildContext, KnnAlgorithm};
 use cnc_dataset::{Dataset, SyntheticConfig};
 use cnc_graph::KnnGraph;
 use cnc_query::{BeamSearchConfig, DynamicIndex, QueryIndex};
 use cnc_similarity::{SimilarityBackend, SimilarityData};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn setup() -> (Dataset, KnnGraph) {

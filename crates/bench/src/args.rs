@@ -27,12 +27,7 @@ pub struct HarnessArgs {
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs {
-            scale: 0.125,
-            threads: 0,
-            seed: 42,
-            datasets: DatasetProfile::ALL.to_vec(),
-        }
+        HarnessArgs { scale: 0.125, threads: 0, seed: 42, datasets: DatasetProfile::ALL.to_vec() }
     }
 }
 
@@ -45,28 +40,22 @@ impl HarnessArgs {
         let mut args = HarnessArgs::default();
         let mut it = tokens.into_iter();
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| {
-                it.next().ok_or_else(|| format!("{name} requires a value"))
-            };
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
             match flag.as_str() {
                 "--scale" => {
-                    let v: f64 = value("--scale")?
-                        .parse()
-                        .map_err(|e| format!("--scale: {e}"))?;
+                    let v: f64 = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
                     if !(v > 0.0 && v <= 1.0) {
                         return Err("--scale must be in (0, 1]".into());
                     }
                     args.scale = v;
                 }
                 "--threads" => {
-                    args.threads = value("--threads")?
-                        .parse()
-                        .map_err(|e| format!("--threads: {e}"))?;
+                    args.threads =
+                        value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
                 }
                 "--seed" => {
-                    args.seed = value("--seed")?
-                        .parse()
-                        .map_err(|e| format!("--seed: {e}"))?;
+                    args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
                 }
                 "--datasets" => {
                     let list = value("--datasets")?;

@@ -1,0 +1,7 @@
+//! Predicted vs. measured map-reduce scaling (see
+//! `cnc_bench::experiments::scaling`).
+
+fn main() {
+    let args = cnc_bench::HarnessArgs::from_env();
+    print!("{}", cnc_bench::experiments::scaling::run(&args));
+}

@@ -27,10 +27,7 @@ pub struct SweepPoint {
 }
 
 /// Sweeps `t × b` for one dataset.
-pub fn sweep(
-    profile: cnc_dataset::DatasetProfile,
-    args: &HarnessArgs,
-) -> Vec<SweepPoint> {
+pub fn sweep(profile: cnc_dataset::DatasetProfile, args: &HarnessArgs) -> Vec<SweepPoint> {
     let ds = generate(profile, args);
     let threads = cnc_threadpool::effective_threads(args.threads);
     let exact = exact_graph(&ds, K, threads);
@@ -59,10 +56,7 @@ pub fn run(args: &HarnessArgs) -> String {
         out.push_str(&format!("### {}\n\n", profile.name()));
         out.push_str("| b | t | Time (s) | Quality |\n|---:|---:|---:|---:|\n");
         for p in sweep(profile, args) {
-            out.push_str(&format!(
-                "| {} | {} | {:.2} | {:.3} |\n",
-                p.b, p.t, p.seconds, p.quality
-            ));
+            out.push_str(&format!("| {} | {} | {:.2} | {:.3} |\n", p.b, p.t, p.seconds, p.quality));
         }
         out.push('\n');
     }

@@ -92,10 +92,7 @@ mod tests {
         let ds = generate(DatasetProfile::MovieLens10M, &args);
         let base = paper_c2_config(DatasetProfile::MovieLens10M, &args);
         let splits_at = |n: usize| {
-            ClusterAndConquer::new(C2Config { max_cluster_size: n, ..base })
-                .build(&ds)
-                .stats
-                .splits
+            ClusterAndConquer::new(C2Config { max_cluster_size: n, ..base }).build(&ds).stats.splits
         };
         let tight = splits_at(50);
         let loose = splits_at(100_000);

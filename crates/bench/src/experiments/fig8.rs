@@ -34,7 +34,9 @@ pub fn run(args: &HarnessArgs) -> String {
     let mut out = section("Figure 8 — the 100 biggest clusters per N", args);
     for profile in sensitivity_datasets(args) {
         out.push_str(&format!("### {}\n\n", profile.name()));
-        out.push_str("| N (paper scale) | Top cluster sizes (rank 1, 5, 10, 25, 50, 100) |\n|---:|---|\n");
+        out.push_str(
+            "| N (paper scale) | Top cluster sizes (rank 1, 5, 10, 25, 50, 100) |\n|---:|---|\n",
+        );
         for &n_full in &N_VALUES {
             eprintln!("[fig8] {} N={n_full}", profile.name());
             let sizes = biggest_clusters(profile, args, n_full, 100);
@@ -70,10 +72,7 @@ mod tests {
         };
         let tight = biggest_clusters(DatasetProfile::MovieLens10M, &args, 500, 1)[0];
         let loose = biggest_clusters(DatasetProfile::MovieLens10M, &args, 10_000, 1)[0];
-        assert!(
-            tight <= loose,
-            "N=500 biggest cluster {tight} exceeds N=10000 biggest {loose}"
-        );
+        assert!(tight <= loose, "N=500 biggest cluster {tight} exceeds N=10000 biggest {loose}");
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! §VIII executed: predicted vs. measured map-reduce scaling.
+//!
+//! For `W ∈ {1, 2, 4, 8, 16}` this experiment runs the same C² build on
+//! `cnc-runtime`'s sharded engine and puts the `DeploymentPlan`'s
+//! *predicted* figures (Algorithm 2 cost model) next to the engine's
+//! *measured* ones — the validation loop the simulation alone could not
+//! close. Speed-up here is the map phase's `Σ busy / makespan` (the
+//! scheduling speed-up; on a machine with fewer cores than `W` the wall
+//! clock obviously cannot follow it).
+
+use crate::args::HarnessArgs;
+use cnc_core::C2Config;
+use cnc_dataset::SyntheticConfig;
+use cnc_runtime::{Runtime, RuntimeConfig, StealPolicy};
+use cnc_similarity::SimilarityBackend;
+
+/// Worker counts swept by the experiment.
+pub const WORKER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Runs the sweep and renders the markdown section.
+pub fn run(args: &HarnessArgs) -> String {
+    let mut cfg = SyntheticConfig::small(args.seed);
+    cfg.num_users = (8000.0 * args.scale.max(0.05)) as usize;
+    cfg.num_items = (4000.0 * args.scale.max(0.05)) as usize;
+    cfg.communities = 16;
+    cfg.mean_profile = 25.0;
+    cfg.min_profile = 8;
+    let dataset = cfg.generate();
+
+    let c2 = C2Config {
+        k: 10,
+        b: 256,
+        t: 4,
+        max_cluster_size: 400,
+        backend: SimilarityBackend::Raw,
+        seed: args.seed,
+        ..C2Config::default()
+    };
+
+    let mut num_clusters = 0;
+    let mut rows = String::new();
+    for workers in WORKER_COUNTS {
+        let runtime = Runtime::new(RuntimeConfig {
+            workers,
+            steal: StealPolicy::MostLoaded,
+            ..RuntimeConfig::default()
+        });
+        let result = runtime.execute(&dataset, &c2);
+        let report = &result.report;
+        num_clusters = report.num_clusters;
+        rows.push_str(&format!(
+            "| {workers} | {:.2} | {:.2} | {:.3} | {:.3} | {} | {} | {:.1} ms |\n",
+            report.plan.speedup(),
+            report.measured_speedup(),
+            report.plan.imbalance(),
+            report.measured_imbalance(),
+            report.stolen_clusters(),
+            report.shuffle_entries,
+            report.map_reduce_wall.as_secs_f64() * 1e3,
+        ));
+    }
+    format!(
+        "## Sharded runtime — predicted vs. measured scaling\n\n\
+         *{} users, {num_clusters} clusters per run; LPT plan + work stealing; \
+         speed-up = Σ busy / makespan*\n\n\
+         | W | predicted speed-up | measured speed-up | predicted imbalance | \
+         measured imbalance | stolen | shuffle entries | map+reduce wall |\n\
+         |---:|---:|---:|---:|---:|---:|---:|---:|\n{rows}\n",
+        dataset.num_users(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_all_worker_counts() {
+        let args = HarnessArgs { scale: 0.05, ..HarnessArgs::default() };
+        let report = run(&args);
+        for workers in WORKER_COUNTS {
+            assert!(report.contains(&format!("| {workers} |")), "missing row for W={workers}");
+        }
+    }
+}

@@ -43,11 +43,7 @@ impl DatasetOutcome {
 pub fn run_dataset(profile: DatasetProfile, args: &HarnessArgs) -> DatasetOutcome {
     eprintln!("[table2] {}: generating dataset", profile.name());
     let ds = generate(profile, args);
-    eprintln!(
-        "[table2] {}: exact graph ({} users)",
-        profile.name(),
-        ds.num_users()
-    );
+    eprintln!("[table2] {}: exact graph ({} users)", profile.name(), ds.num_users());
     let exact = exact_graph(&ds, K, cnc_threadpool::effective_threads(args.threads));
     let backend = goldfinger_backend(args);
 

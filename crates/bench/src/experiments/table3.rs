@@ -20,9 +20,7 @@ pub const FOLDS: usize = 5;
 /// Runs the experiment and renders the markdown section.
 pub fn run(args: &HarnessArgs) -> String {
     let mut out = section("Table III — recommendation recall (30 items, 5-fold CV)", args);
-    out.push_str(
-        "| Dataset | Brute force | C² | Δ |\n|---|---:|---:|---:|\n",
-    );
+    out.push_str("| Dataset | Brute force | C² | Δ |\n|---|---:|---:|---:|\n");
     let threads = cnc_threadpool::effective_threads(args.threads);
     for profile in &args.datasets {
         eprintln!("[table3] {}", profile.name());
@@ -31,9 +29,8 @@ pub fn run(args: &HarnessArgs) -> String {
             exact_graph(train, K, threads)
         });
         let c2 = ClusterAndConquer::new(paper_c2_config(*profile, args));
-        let approx = evaluate_recall(&ds, FOLDS, RECOMMENDATIONS, args.seed, |train| {
-            c2.build(train).graph
-        });
+        let approx =
+            evaluate_recall(&ds, FOLDS, RECOMMENDATIONS, args.seed, |train| c2.build(train).graph);
         out.push_str(&format!(
             "| {} | {:.3} | {:.3} | {:+.3} |\n",
             profile.name(),

@@ -19,9 +19,7 @@ pub fn sensitivity_datasets(args: &HarnessArgs) -> Vec<DatasetProfile> {
     args.datasets
         .iter()
         .copied()
-        .filter(|p| {
-            matches!(p, DatasetProfile::MovieLens10M | DatasetProfile::AmazonMovies)
-        })
+        .filter(|p| matches!(p, DatasetProfile::MovieLens10M | DatasetProfile::AmazonMovies))
         .collect()
 }
 
@@ -41,10 +39,8 @@ pub fn run(args: &HarnessArgs) -> String {
         let base_config = paper_c2_config(profile, args);
 
         let frh = ClusterAndConquer::new(base_config);
-        let minhash = ClusterAndConquer::new(C2Config {
-            scheme: ClusteringScheme::MinHash,
-            ..base_config
-        });
+        let minhash =
+            ClusterAndConquer::new(C2Config { scheme: ClusteringScheme::MinHash, ..base_config });
         let frh_run = measure(&frh, &ds, backend, K, args.threads, args.seed, Some(&exact));
         let mh_run = measure(&minhash, &ds, backend, K, args.threads, args.seed, Some(&exact));
 
@@ -88,11 +84,8 @@ mod tests {
         let ds = generate(DatasetProfile::AmazonMovies, &args);
         let config = paper_c2_config(DatasetProfile::AmazonMovies, &args);
         let frh = ClusterAndConquer::new(config).build(&ds);
-        let mh = ClusterAndConquer::new(C2Config {
-            scheme: ClusteringScheme::MinHash,
-            ..config
-        })
-        .build(&ds);
+        let mh = ClusterAndConquer::new(C2Config { scheme: ClusteringScheme::MinHash, ..config })
+            .build(&ds);
         assert!(
             frh.stats.num_clusters < mh.stats.num_clusters,
             "FRH ({}) should produce fewer clusters than MinHash ({}) on sparse data",

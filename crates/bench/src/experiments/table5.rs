@@ -6,8 +6,8 @@
 //! further ×1.8–×4 speed-up at a small quality delta.
 
 use crate::args::HarnessArgs;
-use crate::experiments::{generate, goldfinger_backend, paper_c2_config, section, K};
 use crate::experiments::table4::sensitivity_datasets;
+use crate::experiments::{generate, goldfinger_backend, paper_c2_config, section, K};
 use crate::harness::{exact_graph, measure};
 use cnc_core::ClusterAndConquer;
 use cnc_similarity::SimilarityBackend;
@@ -27,24 +27,10 @@ pub fn run(args: &HarnessArgs) -> String {
         let config = paper_c2_config(profile, args);
         let algo = ClusterAndConquer::new(config);
 
-        let raw = measure(
-            &algo,
-            &ds,
-            SimilarityBackend::Raw,
-            K,
-            args.threads,
-            args.seed,
-            Some(&exact),
-        );
-        let gf = measure(
-            &algo,
-            &ds,
-            goldfinger_backend(args),
-            K,
-            args.threads,
-            args.seed,
-            Some(&exact),
-        );
+        let raw =
+            measure(&algo, &ds, SimilarityBackend::Raw, K, args.threads, args.seed, Some(&exact));
+        let gf =
+            measure(&algo, &ds, goldfinger_backend(args), K, args.threads, args.seed, Some(&exact));
         out.push_str(&format!(
             "| {} | Raw data | {:.2} | ×1.00 | {:.2} |\n",
             profile.name(),
@@ -81,10 +67,8 @@ mod tests {
         };
         let ds = generate(DatasetProfile::MovieLens10M, &args);
         let exact = exact_graph(&ds, 10, 2);
-        let config = cnc_core::C2Config {
-            k: 10,
-            ..paper_c2_config(DatasetProfile::MovieLens10M, &args)
-        };
+        let config =
+            cnc_core::C2Config { k: 10, ..paper_c2_config(DatasetProfile::MovieLens10M, &args) };
         let algo = ClusterAndConquer::new(config);
         let raw = measure(&algo, &ds, SimilarityBackend::Raw, 10, 2, args.seed, Some(&exact));
         let gf = measure(

@@ -29,7 +29,11 @@ pub fn run(args: &HarnessArgs) -> String {
         let exp = collision_experiment(&p1, &p2, 4096, args.seed..args.seed + SAMPLES);
         out.push_str(&format!(
             "| {:.3} | {:.3} | {:.3} | {:.3} | {:.4} |\n",
-            exp.jaccard, exp.empirical, exp.lower_bound, exp.upper_bound, exp.mean_collision_density
+            exp.jaccard,
+            exp.empirical,
+            exp.lower_bound,
+            exp.upper_bound,
+            exp.mean_collision_density
         ));
     }
 
@@ -43,9 +47,7 @@ pub fn run(args: &HarnessArgs) -> String {
     for d in [0.5, 1.0, 1.5] {
         let (empirical, bound, threshold) =
             theorem2_experiment(&p1, &p2, 4096, d, args.seed..args.seed + SAMPLES);
-        out.push_str(&format!(
-            "| {d:.1} | {threshold:.4} | {empirical:.4} | {bound:.4} |\n"
-        ));
+        out.push_str(&format!("| {d:.1} | {threshold:.4} | {empirical:.4} | {bound:.4} |\n"));
     }
     out.push_str(
         "\nThe paper's §III example quotes margins 0.078 / 0.234 with probability 0.998;\n\

@@ -73,15 +73,7 @@ mod tests {
         cfg.mean_profile = 15.0;
         let ds = cfg.generate();
         let exact = exact_graph(&ds, 5, 2);
-        let run = measure(
-            &Hyrec::default(),
-            &ds,
-            SimilarityBackend::Raw,
-            5,
-            2,
-            3,
-            Some(&exact),
-        );
+        let run = measure(&Hyrec::default(), &ds, SimilarityBackend::Raw, 5, 2, 3, Some(&exact));
         assert_eq!(run.name, "Hyrec");
         assert!(run.seconds > 0.0);
         assert!(run.comparisons > 0);

@@ -66,11 +66,7 @@ impl FastRandomHash {
     /// cluster, §II-D).
     #[inline]
     pub fn user_hash_excluding(&self, profile: &[ItemId], eta: u32) -> Option<u32> {
-        profile
-            .iter()
-            .map(|&i| self.item_hash(i))
-            .filter(|&h| h > eta)
-            .min()
+        profile.iter().map(|&i| self.item_hash(i)).filter(|&h| h > eta).min()
     }
 }
 

@@ -27,7 +27,7 @@ pub mod pipeline;
 pub mod theory;
 
 pub use clustering::{cluster_dataset, Clustering};
-pub use distributed::{plan_deployment, DeploymentPlan};
 pub use config::{C2Config, ClusteringScheme};
+pub use distributed::{plan_deployment, DeploymentPlan};
 pub use frh::FastRandomHash;
 pub use pipeline::{C2Result, C2Stats, ClusterAndConquer, PhaseTimings};

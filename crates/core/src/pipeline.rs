@@ -90,6 +90,29 @@ impl ClusterAndConquer {
         self.run(&self.config, dataset, sim, Instant::now())
     }
 
+    /// Runs Step 1 (clustering) alone and returns the raw [`Clustering`].
+    ///
+    /// This is the entry point for external execution engines that schedule
+    /// Steps 2 + 3 themselves — in particular `cnc-runtime`'s sharded
+    /// map-reduce engine, whose `ShardedBuild::build_sharded` extension
+    /// method (re-exported in the facade prelude) runs the resulting
+    /// clusters on `W` worker shards and merges their partial neighbour
+    /// lists in a concurrent reduce stage. (`build_sharded` lives in
+    /// `cnc-runtime` rather than here because the runtime crate depends on
+    /// this one; the trait keeps the call-site syntax
+    /// `ClusterAndConquer::build_sharded(..)`.)
+    pub fn cluster_step(&self, dataset: &Dataset) -> Clustering {
+        Self::cluster(&self.config, dataset)
+    }
+
+    /// Per-cluster deterministic seeds for the greedy local solver, derived
+    /// from the run seed exactly as [`ClusterAndConquer::build`] derives
+    /// them — external engines reuse this so a sharded run solves every
+    /// cluster identically to the single-process pipeline.
+    pub fn job_seed(config: &C2Config, cluster_index: usize) -> u64 {
+        SeededHash::new(config.seed ^ 0x5EED).hash_u64(cluster_index as u64)
+    }
+
     /// Step 1 dispatcher.
     fn cluster(config: &C2Config, dataset: &Dataset) -> Clustering {
         match config.scheme {
@@ -120,7 +143,6 @@ impl ClusterAndConquer {
         let local_start = Instant::now();
         let shared = SharedKnnGraph::new(n, config.k);
         let threshold = config.brute_force_threshold();
-        let job_seed = SeededHash::new(config.seed ^ 0x5EED);
         let cluster_sizes_desc = clustering.sizes_desc();
         let num_clusters = clustering.clusters.len();
         let splits = clustering.splits;
@@ -131,7 +153,7 @@ impl ClusterAndConquer {
             .enumerate()
             .map(|(index, users)| {
                 // Deterministic per-cluster seed for the greedy solver.
-                (users.len() as u64, (job_seed.hash_u64(index as u64), users))
+                (users.len() as u64, (Self::job_seed(config, index), users))
             })
             .collect();
         PriorityPool::run(threads, jobs, |(seed, cluster)| {
@@ -174,12 +196,7 @@ impl KnnAlgorithm for ClusterAndConquer {
     /// the corresponding config fields, so harnesses drive all algorithms
     /// uniformly.
     fn build(&self, ctx: &BuildContext<'_>) -> KnnGraph {
-        let config = C2Config {
-            k: ctx.k,
-            threads: ctx.threads,
-            seed: ctx.seed,
-            ..self.config
-        };
+        let config = C2Config { k: ctx.k, threads: ctx.threads, seed: ctx.seed, ..self.config };
         self.run(&config, ctx.dataset, ctx.sim, Instant::now()).graph
     }
 }

@@ -192,7 +192,10 @@ impl DatasetBuilder {
     /// # Panics
     /// In debug builds, panics if the slice is not strictly increasing.
     pub fn push_sorted_profile(&mut self, profile: &[ItemId]) {
-        debug_assert!(profile.windows(2).all(|w| w[0] < w[1]), "profile must be strictly increasing");
+        debug_assert!(
+            profile.windows(2).all(|w| w[0] < w[1]),
+            "profile must be strictly increasing"
+        );
         if let Some(&last) = profile.last() {
             self.max_item = Some(self.max_item.map_or(last, |m| m.max(last)));
         }
@@ -213,11 +216,7 @@ impl DatasetBuilder {
     /// Finalizes with a floor on `num_items` (useful when the item universe
     /// is known to be larger than what the sampled profiles reference).
     pub fn build_with_min_items(self, min_num_items: u32) -> Dataset {
-        let num_items = self
-            .max_item
-            .map(|m| m + 1)
-            .unwrap_or(0)
-            .max(min_num_items);
+        let num_items = self.max_item.map(|m| m + 1).unwrap_or(0).max(min_num_items);
         let ds = Dataset { offsets: self.offsets, items: self.items, num_items };
         debug_assert!(ds.validate().is_ok());
         ds
@@ -229,10 +228,7 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        Dataset::from_profiles(
-            vec![vec![0, 1, 2], vec![2, 3, 4], vec![], vec![4]],
-            0,
-        )
+        Dataset::from_profiles(vec![vec![0, 1, 2], vec![2, 3, 4], vec![], vec![4]], 0)
     }
 
     #[test]

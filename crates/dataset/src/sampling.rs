@@ -77,20 +77,15 @@ mod tests {
 
     fn toy() -> Dataset {
         // Item 0 is in every profile (most popular); items 10+u are personal.
-        Dataset::from_profiles(
-            vec![
-                vec![0, 1, 10, 11],
-                vec![0, 1, 12, 13],
-                vec![0, 14],
-            ],
-            0,
-        )
+        Dataset::from_profiles(vec![vec![0, 1, 10, 11], vec![0, 1, 12, 13], vec![0, 14]], 0)
     }
 
     #[test]
     fn profiles_are_capped() {
         let ds = toy();
-        for policy in [SamplingPolicy::Random, SamplingPolicy::LeastPopular, SamplingPolicy::MostPopular] {
+        for policy in
+            [SamplingPolicy::Random, SamplingPolicy::LeastPopular, SamplingPolicy::MostPopular]
+        {
             let sampled = sample_profiles(&ds, 2, policy, 1);
             for (_, p) in sampled.iter() {
                 assert!(p.len() <= 2);

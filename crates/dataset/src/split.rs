@@ -118,15 +118,7 @@ mod tests {
     use crate::synthetic::SyntheticConfig;
 
     fn toy() -> Dataset {
-        Dataset::from_profiles(
-            vec![
-                (0..25).collect(),
-                (10..40).collect(),
-                vec![1, 2],
-                vec![7],
-            ],
-            0,
-        )
+        Dataset::from_profiles(vec![(0..25).collect(), (10..40).collect(), vec![1, 2], vec![7]], 0)
     }
 
     #[test]

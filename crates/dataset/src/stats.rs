@@ -4,7 +4,7 @@ use crate::dataset::Dataset;
 use std::fmt;
 
 /// Summary statistics of a dataset, matching the columns of Table I.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DatasetStats {
     /// Number of users `|U|`.
     pub users: usize,

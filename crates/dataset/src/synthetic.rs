@@ -29,7 +29,7 @@ use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
 
 /// Parameters of the latent-community generator.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SyntheticConfig {
     /// Number of users `|U|`.
     pub num_users: usize,
@@ -89,10 +89,8 @@ impl SyntheticConfig {
         // ids, so popularity is independent of the id ordering.
         let mut ranks: Vec<u32> = (0..self.num_items as u32).collect();
         ranks.shuffle(&mut rng);
-        let weights: Vec<f64> = ranks
-            .iter()
-            .map(|&r| ((r + 1) as f64).powf(-self.zipf_exponent))
-            .collect();
+        let weights: Vec<f64> =
+            ranks.iter().map(|&r| ((r + 1) as f64).powf(-self.zipf_exponent)).collect();
         let global = AliasTable::new(&weights);
 
         // Assign items to communities round-robin over a shuffled order, so

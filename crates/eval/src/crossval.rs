@@ -101,9 +101,7 @@ mod tests {
     fn knn_graph_beats_empty_graph() {
         let ds = community_dataset();
         let good = evaluate_recall(&ds, 3, 10, 10, |train| brute_graph(train, 10));
-        let empty = evaluate_recall(&ds, 3, 10, 10, |train| {
-            KnnGraph::new(train.num_users(), 10)
-        });
+        let empty = evaluate_recall(&ds, 3, 10, 10, |train| KnnGraph::new(train.num_users(), 10));
         assert_eq!(empty.mean, 0.0);
         assert!(good.mean > 0.0);
     }

@@ -10,7 +10,7 @@ pub mod classify;
 pub mod crossval;
 pub mod recommend;
 
-pub use cnc_graph::metrics::{avg_exact_similarity, quality};
 pub use classify::KnnClassifier;
+pub use cnc_graph::metrics::{avg_exact_similarity, quality};
 pub use crossval::{evaluate_recall, CrossValResult};
 pub use recommend::Recommender;

@@ -53,9 +53,7 @@ impl<'a> Recommender<'a> {
     /// for determinism).
     pub fn recommend(&self, user: UserId, n: usize) -> Vec<ItemId> {
         let mut ranked: Vec<(ItemId, f64)> = self.scores(user).into_iter().collect();
-        ranked.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0))
-        });
+        ranked.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
         ranked.truncate(n);
         ranked.into_iter().map(|(item, _)| item).collect()
     }
@@ -93,10 +91,8 @@ mod tests {
     /// u0 and u1 are near-twins; u1 additionally has items 8 and 9.
     /// u2 is unrelated.
     fn setup() -> (Dataset, KnnGraph) {
-        let train = Dataset::from_profiles(
-            vec![vec![0, 1, 2], vec![0, 1, 2, 8, 9], vec![20, 21]],
-            0,
-        );
+        let train =
+            Dataset::from_profiles(vec![vec![0, 1, 2], vec![0, 1, 2, 8, 9], vec![20, 21]], 0);
         let mut graph = KnnGraph::new(3, 2);
         graph.insert(0, 1, 0.6);
         graph.insert(0, 2, 0.0);
@@ -131,10 +127,7 @@ mod tests {
 
     #[test]
     fn scores_sum_neighbor_similarities() {
-        let train = Dataset::from_profiles(
-            vec![vec![0], vec![5, 6], vec![5]],
-            0,
-        );
+        let train = Dataset::from_profiles(vec![vec![0], vec![5, 6], vec![5]], 0);
         let mut graph = KnnGraph::new(3, 2);
         graph.insert(0, 1, 0.5);
         graph.insert(0, 2, 0.25);

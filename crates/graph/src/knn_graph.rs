@@ -101,11 +101,7 @@ impl KnnGraph {
     /// whole graphs); returns the number of list updates.
     pub fn merge(&mut self, other: &KnnGraph) -> usize {
         assert_eq!(self.num_users(), other.num_users(), "graphs must cover the same users");
-        self.lists
-            .iter_mut()
-            .zip(other.lists.iter())
-            .map(|(mine, theirs)| mine.merge(theirs))
-            .sum()
+        self.lists.iter_mut().zip(other.lists.iter()).map(|(mine, theirs)| mine.merge(theirs)).sum()
     }
 
     /// Reverse adjacency: for every user, who points *to* them. NNDescent

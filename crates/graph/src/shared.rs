@@ -23,10 +23,7 @@ pub struct SharedKnnGraph {
 impl SharedKnnGraph {
     /// Creates an empty shared graph over `n` users with bound `k`.
     pub fn new(n: usize, k: usize) -> Self {
-        SharedKnnGraph {
-            lists: (0..n).map(|_| Mutex::new(NeighborList::new(k))).collect(),
-            k,
-        }
+        SharedKnnGraph { lists: (0..n).map(|_| Mutex::new(NeighborList::new(k))).collect(), k }
     }
 
     /// Wraps an existing graph for concurrent updates.
@@ -72,10 +69,7 @@ impl SharedKnnGraph {
     /// Snapshots the neighbour ids of every user (cheap read phase of the
     /// greedy algorithms).
     pub fn snapshot_ids(&self) -> Vec<Vec<UserId>> {
-        self.lists
-            .iter()
-            .map(|l| l.lock().iter().map(|n| n.user).collect())
-            .collect()
+        self.lists.iter().map(|l| l.lock().iter().map(|n| n.user).collect()).collect()
     }
 
     /// Unwraps into a plain [`KnnGraph`].

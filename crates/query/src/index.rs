@@ -22,10 +22,7 @@ impl Eq for Candidate {}
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
         // Jaccard similarities are never NaN.
-        self.sim
-            .partial_cmp(&other.sim)
-            .unwrap()
-            .then_with(|| other.user.cmp(&self.user))
+        self.sim.partial_cmp(&other.sim).unwrap().then_with(|| other.user.cmp(&self.user))
     }
 }
 
@@ -173,11 +170,7 @@ impl<'a> QueryIndex<'a> {
             return 1.0;
         }
         let exact_ids: Vec<UserId> = exact.neighbors.iter().map(|n| n.user).collect();
-        let hit = approx
-            .neighbors
-            .iter()
-            .filter(|n| exact_ids.contains(&n.user))
-            .count();
+        let hit = approx.neighbors.iter().filter(|n| exact_ids.contains(&n.user)).count();
         hit as f64 / exact_ids.len() as f64
     }
 }
@@ -222,10 +215,7 @@ mod tests {
         let recall = total_recall / queries as f64;
         let avg_cost = total_comparisons / queries as usize;
         assert!(recall > 0.7, "beam search recall {recall:.3} too low");
-        assert!(
-            avg_cost < ds.num_users() / 2,
-            "avg {avg_cost} comparisons ≥ half a linear scan"
-        );
+        assert!(avg_cost < ds.num_users() / 2, "avg {avg_cost} comparisons ≥ half a linear scan");
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Configuration of the sharded execution engine.
+
+use cnc_threadpool::effective_threads;
+
+/// What an idle worker does when its own queue runs dry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StealPolicy {
+    /// Never steal: execute exactly the static LPT assignment. Measured
+    /// per-worker cluster sets then match the [`DeploymentPlan`] one-to-one,
+    /// which is what the plan-validation experiments use.
+    ///
+    /// [`DeploymentPlan`]: cnc_core::DeploymentPlan
+    Disabled,
+    /// Steal the *smallest* queued cluster from the peer with the most
+    /// predicted work remaining — absorbs stragglers the static plan cannot
+    /// anticipate (the default).
+    #[default]
+    MostLoaded,
+}
+
+/// All knobs of a [`Runtime`](crate::Runtime).
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Number of worker shards `W`; 0 = all available hardware threads.
+    pub workers: usize,
+    /// Bound of the map→reduce channel, in messages (one message per
+    /// solved cluster). Small bounds apply back-pressure to the map stage;
+    /// large bounds decouple the stages at the cost of buffered memory.
+    pub channel_capacity: usize,
+    /// Work-stealing policy for straggler clusters.
+    pub steal: StealPolicy,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig { workers: 0, channel_capacity: 64, steal: StealPolicy::default() }
+    }
+}
+
+impl RuntimeConfig {
+    /// A configuration with `workers` shards and defaults elsewhere.
+    pub fn with_workers(workers: usize) -> Self {
+        RuntimeConfig { workers, ..RuntimeConfig::default() }
+    }
+
+    /// The resolved worker count (0 = available parallelism).
+    pub fn effective_workers(&self) -> usize {
+        effective_threads(self.workers)
+    }
+
+    /// Checks parameter sanity; called by the runtime before running.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channel_capacity == 0 {
+            return Err("channel_capacity must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_steals() {
+        let c = RuntimeConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.steal, StealPolicy::MostLoaded);
+        assert!(c.effective_workers() >= 1);
+    }
+
+    #[test]
+    fn with_workers_pins_the_shard_count() {
+        assert_eq!(RuntimeConfig::with_workers(4).effective_workers(), 4);
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        let c = RuntimeConfig { channel_capacity: 0, ..RuntimeConfig::default() };
+        assert!(c.validate().is_err());
+    }
+}

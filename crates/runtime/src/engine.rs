@@ -1,0 +1,454 @@
+//! The sharded map-reduce engine.
+//!
+//! Execution model (one in-process shard per would-be map worker):
+//!
+//! ```text
+//!            ┌────────────┐   bounded channel    ┌─────────────┐
+//!  cluster → │ worker 0   │ ─────────────────┐   │             │
+//!  queues    │ worker 1   │ ─────────────────┼──▶│  reducer    │→ KnnGraph
+//!  (LPT)     │   ...      │ ─────────────────┘   │ (Algorithm 3)│
+//!            │ worker W-1 │    PartialChunk      └─────────────┘
+//!            └────────────┘
+//! ```
+//!
+//! Workers drain their own LPT queue largest-first (the distributed
+//! generalization of Step 2's priority queue); when a queue runs dry the
+//! worker steals the smallest queued cluster from the most-loaded peer.
+//! Every solved cluster is shipped as one [`PartialChunk`] through a
+//! bounded channel; the reducer merges chunks into per-user bounded heaps
+//! (Algorithm 3) *while the map phase is still running*.
+//!
+//! Because [`NeighborList`] keeps the top-k under a strict total order on
+//! `(similarity, user)`, the merge is order-independent: a sharded build
+//! produces byte-for-byte the same graph as the single-process pipeline on
+//! the same configuration and seed (asserted by `tests/sharded.rs`).
+
+use crate::config::{RuntimeConfig, StealPolicy};
+use crate::report::{RuntimeReport, WorkerStats};
+use cnc_baselines::local;
+use cnc_core::distributed::cluster_cost;
+use cnc_core::{plan_deployment, C2Config, ClusterAndConquer, DeploymentPlan};
+use cnc_dataset::{Dataset, UserId};
+use cnc_graph::{KnnGraph, NeighborList};
+use cnc_similarity::SimilarityData;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::time::Instant;
+
+/// One solved cluster's partial neighbourhoods, en route to the reducer.
+struct PartialChunk {
+    /// Pairs `(user, partial list)`; empty lists are dropped at the source.
+    entries: Vec<(UserId, NeighborList)>,
+}
+
+/// A built graph plus the measured execution record.
+#[derive(Debug)]
+pub struct ShardedResult {
+    /// The approximate KNN graph (identical to the single-process build's).
+    pub graph: KnnGraph,
+    /// Measured per-worker and reduce-stage figures, with the plan inside.
+    pub report: RuntimeReport,
+}
+
+/// The per-worker cluster queues plus the bookkeeping stealing needs.
+struct JobQueues {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Predicted cost still queued per worker (stale reads are fine — it
+    /// only ranks steal victims).
+    remaining: Vec<AtomicU64>,
+    costs: Vec<u64>,
+    policy: StealPolicy,
+}
+
+impl JobQueues {
+    fn new(plan: &DeploymentPlan, costs: Vec<u64>, policy: StealPolicy) -> Self {
+        // Each worker's LPT assignment is already in decreasing-cost order
+        // (clusters are assigned globally largest-first), so popping from
+        // the front preserves Step 2's largest-first schedule per shard.
+        let queues: Vec<Mutex<VecDeque<usize>>> = plan
+            .assignments
+            .iter()
+            .map(|clusters| Mutex::new(clusters.iter().copied().collect()))
+            .collect();
+        // Sum `remaining` from the same `costs` vector the pops subtract,
+        // not from `plan.worker_costs`: steal()'s termination needs the
+        // counters to reach exactly 0 once the queues drain, which a
+        // second, independently computed cost model could silently break.
+        let remaining = plan
+            .assignments
+            .iter()
+            .map(|clusters| AtomicU64::new(clusters.iter().map(|&c| costs[c]).sum()))
+            .collect();
+        JobQueues { queues, remaining, costs, policy }
+    }
+
+    /// Next cluster from the worker's own queue (largest first).
+    fn pop_own(&self, worker: usize) -> Option<usize> {
+        let cluster = self.queues[worker].lock().pop_front()?;
+        self.remaining[worker].fetch_sub(self.costs[cluster], Ordering::Relaxed);
+        Some(cluster)
+    }
+
+    /// Steals the *smallest* queued cluster from the most-loaded peer.
+    fn steal(&self, thief: usize) -> Option<usize> {
+        if self.policy == StealPolicy::Disabled {
+            return None;
+        }
+        loop {
+            // Rank victims by predicted work remaining, best first.
+            let mut victims: Vec<(u64, usize)> = self
+                .remaining
+                .iter()
+                .enumerate()
+                .filter(|&(w, _)| w != thief)
+                .map(|(w, r)| (r.load(Ordering::Relaxed), w))
+                .filter(|&(r, _)| r > 0)
+                .collect();
+            if victims.is_empty() {
+                return None;
+            }
+            victims.sort_unstable_by(|a, b| b.cmp(a));
+            for (_, victim) in victims {
+                let stolen = self.queues[victim].lock().pop_back();
+                if let Some(cluster) = stolen {
+                    self.remaining[victim].fetch_sub(self.costs[cluster], Ordering::Relaxed);
+                    return Some(cluster);
+                }
+            }
+            // Every candidate's queue emptied between the load and the
+            // lock; the owners' pending `fetch_sub`s will zero the stale
+            // counters, so looping re-reads them until none remain.
+        }
+    }
+}
+
+/// The sharded map-reduce execution engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Runtime {
+    config: RuntimeConfig,
+}
+
+impl Runtime {
+    /// Creates an engine from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`RuntimeConfig::validate`]).
+    pub fn new(config: RuntimeConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid RuntimeConfig: {msg}");
+        }
+        Runtime { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Builds the KNN graph of `dataset` under `c2` on `W` worker shards,
+    /// materializing the similarity backend declared in the configuration.
+    ///
+    /// # Panics
+    /// Panics if `c2` is invalid.
+    pub fn execute(&self, dataset: &Dataset, c2: &C2Config) -> ShardedResult {
+        let start = Instant::now();
+        let sim = SimilarityData::build(c2.backend, dataset);
+        self.execute_with(dataset, &sim, c2, start)
+    }
+
+    /// Builds the graph against an externally-provided similarity oracle
+    /// (shares fingerprints across runs, as the bench harness does).
+    pub fn execute_with(
+        &self,
+        dataset: &Dataset,
+        sim: &SimilarityData<'_>,
+        c2: &C2Config,
+        start: Instant,
+    ) -> ShardedResult {
+        let comparisons_before = sim.comparisons();
+        let workers = self.config.effective_workers();
+        let n = dataset.num_users();
+
+        // --- Step 1: clustering (identical to the in-process pipeline) ---
+        let clustering = ClusterAndConquer::new(*c2).cluster_step(dataset);
+        let clustering_wall = start.elapsed();
+        let splits = clustering.splits;
+
+        // --- Plan: the §VIII LPT simulation becomes the real schedule ----
+        let plan = plan_deployment(&clustering, workers, c2.k, c2.rho);
+        let clusters = clustering.clusters;
+        let costs: Vec<u64> =
+            clusters.iter().map(|c| cluster_cost(c.len(), c2.k, c2.rho)).collect();
+        let queues = JobQueues::new(&plan, costs, self.config.steal);
+
+        // --- Map + reduce, overlapped ------------------------------------
+        let map_reduce_start = Instant::now();
+        let threshold = c2.brute_force_threshold();
+        let (sender, receiver) =
+            std::sync::mpsc::sync_channel::<PartialChunk>(self.config.channel_capacity);
+
+        let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
+        let mut graph_and_shuffle: Option<(KnnGraph, u64)> = None;
+        std::thread::scope(|scope| {
+            let reducer = scope.spawn(|| reduce_stage(receiver, n, c2.k));
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let sender = sender.clone();
+                    let queues = &queues;
+                    let clusters = &clusters;
+                    scope.spawn(move || map_worker(w, queues, clusters, sim, c2, threshold, sender))
+                })
+                .collect();
+            // The reducer finishes when every sender hangs up; drop the
+            // original handle so only live workers keep the channel open.
+            drop(sender);
+            for handle in handles {
+                worker_stats.push(handle.join().expect("map worker panicked"));
+            }
+            graph_and_shuffle = Some(reducer.join().expect("reducer panicked"));
+        });
+        let (graph, shuffle_entries) = graph_and_shuffle.expect("reduce stage did not run");
+        let map_reduce_wall = map_reduce_start.elapsed();
+
+        ShardedResult {
+            graph,
+            report: RuntimeReport {
+                num_clusters: clusters.len(),
+                plan,
+                workers: worker_stats,
+                shuffle_entries,
+                splits,
+                comparisons: sim.comparisons() - comparisons_before,
+                clustering_wall,
+                map_reduce_wall,
+                total_wall: start.elapsed(),
+            },
+        }
+    }
+}
+
+/// One map shard: drain own queue largest-first, then steal, then hang up.
+fn map_worker(
+    worker: usize,
+    queues: &JobQueues,
+    clusters: &[Vec<UserId>],
+    sim: &SimilarityData<'_>,
+    c2: &C2Config,
+    threshold: usize,
+    sender: SyncSender<PartialChunk>,
+) -> WorkerStats {
+    let mut stats = WorkerStats {
+        worker,
+        clusters: Vec::new(),
+        busy: std::time::Duration::ZERO,
+        solved_cost: 0,
+        shuffle_entries: 0,
+        stolen: 0,
+    };
+    loop {
+        let (cluster, stolen) = match queues.pop_own(worker) {
+            Some(c) => (c, false),
+            None => match queues.steal(worker) {
+                Some(c) => (c, true),
+                None => break,
+            },
+        };
+        let busy_start = Instant::now();
+        let users = &clusters[cluster];
+        // Algorithm 2: brute force for small clusters, Hyrec above the
+        // ρ·k² crossover — exactly the single-process dispatch.
+        let lists = if users.len() < threshold {
+            local::brute_force_partial(users, sim, c2.k)
+        } else {
+            local::hyrec_partial(
+                users,
+                sim,
+                c2.k,
+                c2.rho,
+                c2.delta,
+                ClusterAndConquer::job_seed(c2, cluster),
+            )
+        };
+        let entries: Vec<(UserId, NeighborList)> =
+            users.iter().copied().zip(lists).filter(|(_, list)| !list.is_empty()).collect();
+        stats.shuffle_entries += entries.iter().map(|(_, l)| l.len() as u64).sum::<u64>();
+        stats.clusters.push(cluster);
+        stats.solved_cost += queues.costs[cluster];
+        stats.stolen += usize::from(stolen);
+        // Stop the busy clock before shipping: blocking on a full channel
+        // is reducer back-pressure, not map work, and must not inflate
+        // `measured_speedup`.
+        stats.busy += busy_start.elapsed();
+        if !entries.is_empty() {
+            sender.send(PartialChunk { entries }).expect("reducer hung up early");
+        }
+    }
+    stats
+}
+
+/// The reduce stage: Algorithm 3's bounded-heap merge, running concurrently
+/// with the map phase. Returns the graph and the received entry count.
+fn reduce_stage(receiver: Receiver<PartialChunk>, n: usize, k: usize) -> (KnnGraph, u64) {
+    let mut graph = KnnGraph::new(n, k);
+    let mut shuffle_entries = 0u64;
+    for chunk in receiver {
+        for (user, partial) in &chunk.entries {
+            shuffle_entries += partial.len() as u64;
+            graph.neighbors_mut(*user).merge(partial);
+        }
+    }
+    (graph, shuffle_entries)
+}
+
+/// Sharded construction as a method on [`ClusterAndConquer`].
+///
+/// Lives here (not in `cnc-core`) because the runtime depends on the core
+/// crate; importing this trait — or the facade prelude, which re-exports
+/// it — makes `builder.build_sharded(&dataset, &runtime_config)` available.
+pub trait ShardedBuild {
+    /// Builds the KNN graph on `runtime.workers` map-reduce shards.
+    fn build_sharded(&self, dataset: &Dataset, runtime: &RuntimeConfig) -> ShardedResult;
+}
+
+impl ShardedBuild for ClusterAndConquer {
+    fn build_sharded(&self, dataset: &Dataset, runtime: &RuntimeConfig) -> ShardedResult {
+        Runtime::new(*runtime).execute(dataset, self.config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_dataset::SyntheticConfig;
+    use cnc_similarity::SimilarityBackend;
+
+    fn test_dataset() -> Dataset {
+        let mut cfg = SyntheticConfig::small(77);
+        cfg.num_users = 500;
+        cfg.num_items = 400;
+        cfg.communities = 8;
+        cfg.mean_profile = 25.0;
+        cfg.min_profile = 8;
+        cfg.generate()
+    }
+
+    fn test_config() -> C2Config {
+        C2Config {
+            k: 8,
+            b: 64,
+            t: 3,
+            max_cluster_size: 120,
+            backend: SimilarityBackend::Raw,
+            seed: 41,
+            threads: 1,
+            ..C2Config::default()
+        }
+    }
+
+    #[test]
+    fn sharded_graph_equals_single_process_graph() {
+        let ds = test_dataset();
+        let single = ClusterAndConquer::new(test_config()).build(&ds);
+        for workers in [1usize, 3] {
+            let sharded =
+                Runtime::new(RuntimeConfig::with_workers(workers)).execute(&ds, &test_config());
+            for u in ds.users() {
+                assert_eq!(
+                    sharded.graph.neighbors(u).sorted(),
+                    single.graph.neighbors(u).sorted(),
+                    "user {u} differs with {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_cluster_is_executed_exactly_once() {
+        let ds = test_dataset();
+        let result = Runtime::new(RuntimeConfig::with_workers(4)).execute(&ds, &test_config());
+        let mut executed: Vec<usize> =
+            result.report.workers.iter().flat_map(|w| w.clusters.iter().copied()).collect();
+        executed.sort_unstable();
+        let expected: Vec<usize> = (0..result.report.num_clusters).collect();
+        assert_eq!(executed, expected);
+    }
+
+    #[test]
+    fn disabled_stealing_executes_the_plan_verbatim() {
+        let ds = test_dataset();
+        let config =
+            RuntimeConfig { workers: 4, steal: StealPolicy::Disabled, ..RuntimeConfig::default() };
+        let result = Runtime::new(config).execute(&ds, &test_config());
+        assert_eq!(result.report.stolen_clusters(), 0);
+        let executed = result.report.executed_assignments();
+        for (w, planned) in result.report.plan.assignments.iter().enumerate() {
+            let mut planned = planned.clone();
+            planned.sort_unstable();
+            assert_eq!(executed[w], planned, "worker {w} deviated from the plan");
+        }
+    }
+
+    #[test]
+    fn measured_shuffle_matches_predicted_merge_traffic() {
+        let ds = test_dataset();
+        let result = Runtime::new(RuntimeConfig::with_workers(3)).execute(&ds, &test_config());
+        assert_eq!(result.report.shuffle_entries, result.report.plan.merge_traffic);
+        let sent: u64 = result.report.workers.iter().map(|w| w.shuffle_entries).sum();
+        assert_eq!(sent, result.report.shuffle_entries, "sent and received entries differ");
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let ds = test_dataset();
+        let result = Runtime::new(RuntimeConfig::with_workers(2)).execute(&ds, &test_config());
+        let report = &result.report;
+        assert!(report.comparisons > 0);
+        assert!(report.total_wall >= report.map_reduce_wall);
+        assert!(report.measured_speedup() >= 1.0 - 1e-9);
+        assert!(report.measured_imbalance() >= 1.0 - 1e-9);
+        let solved: u64 = report.workers.iter().map(|w| w.solved_cost).sum();
+        assert_eq!(solved, report.plan.total_cost());
+    }
+
+    #[test]
+    fn tiny_channel_capacity_still_completes() {
+        let ds = test_dataset();
+        let config = RuntimeConfig { workers: 3, channel_capacity: 1, ..RuntimeConfig::default() };
+        let single = ClusterAndConquer::new(test_config()).build(&ds);
+        let sharded = Runtime::new(config).execute(&ds, &test_config());
+        for u in ds.users() {
+            assert_eq!(sharded.graph.neighbors(u).sorted(), single.graph.neighbors(u).sorted());
+        }
+    }
+
+    #[test]
+    fn empty_dataset_is_handled() {
+        let ds = Dataset::from_profiles(vec![], 0);
+        let result = Runtime::new(RuntimeConfig::with_workers(2)).execute(&ds, &test_config());
+        assert_eq!(result.graph.num_users(), 0);
+        assert_eq!(result.report.shuffle_entries, 0);
+        assert_eq!(result.report.num_clusters, 0);
+    }
+
+    #[test]
+    fn build_sharded_extension_matches_runtime_execute() {
+        let ds = test_dataset();
+        let builder = ClusterAndConquer::new(test_config());
+        let via_trait = builder.build_sharded(&ds, &RuntimeConfig::with_workers(2));
+        let via_engine = Runtime::new(RuntimeConfig::with_workers(2)).execute(&ds, &test_config());
+        for u in ds.users() {
+            assert_eq!(
+                via_trait.graph.neighbors(u).sorted(),
+                via_engine.graph.neighbors(u).sorted()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RuntimeConfig")]
+    fn invalid_runtime_config_panics() {
+        Runtime::new(RuntimeConfig { channel_capacity: 0, ..RuntimeConfig::default() });
+    }
+}

@@ -1,0 +1,36 @@
+//! `cnc-runtime`: a sharded map-reduce execution engine for C².
+//!
+//! The paper's §VIII observes that Cluster-and-Conquer is "particularly
+//! amenable to large-scale distributed deployments, in particular within a
+//! map-reduce infrastructure". `cnc_core::distributed` *simulates* such a
+//! deployment — it computes an LPT [`DeploymentPlan`] and predicts makespan
+//! and shuffle volume from Algorithm 2's cost model. This crate **executes**
+//! that plan:
+//!
+//! * a [`Runtime`] spawns `W` worker shards (map stage);
+//! * clusters are partitioned across workers exactly as `plan_deployment`
+//!   assigns them, each worker draining its own queue largest-first;
+//! * each worker solves its clusters locally — brute force below the
+//!   `ρ·k²` crossover, greedy Hyrec above, reusing
+//!   [`cnc_baselines::local`]'s partial solvers;
+//! * partial per-user neighbour lists stream through **bounded channels**
+//!   to a reduce stage that merges them into the final
+//!   [`cnc_graph::KnnGraph`] *concurrently* with the map phase;
+//! * idle workers **steal** queued clusters from the most-loaded peer
+//!   (configurable via [`StealPolicy`]), absorbing stragglers the static
+//!   LPT plan cannot predict.
+//!
+//! The run produces a [`RuntimeReport`] with *measured* per-worker busy
+//! time, makespan, imbalance and shuffle entries, so the bench layer can
+//! plot predicted-vs-measured speed-up from the cost model
+//! (`cargo run -p cnc-bench --release --bin scaling`).
+//!
+//! [`DeploymentPlan`]: cnc_core::DeploymentPlan
+
+pub mod config;
+pub mod engine;
+pub mod report;
+
+pub use config::{RuntimeConfig, StealPolicy};
+pub use engine::{Runtime, ShardedBuild, ShardedResult};
+pub use report::{RuntimeReport, WorkerStats};

@@ -1,0 +1,106 @@
+//! Measured execution reports — the counterpart of the *predicted*
+//! [`DeploymentPlan`](cnc_core::DeploymentPlan).
+
+use cnc_core::DeploymentPlan;
+use std::time::Duration;
+
+/// What one worker shard actually did.
+#[derive(Clone, Debug)]
+pub struct WorkerStats {
+    /// The worker's index in `0..W`.
+    pub worker: usize,
+    /// Cluster indices solved by this worker, in execution order.
+    pub clusters: Vec<usize>,
+    /// Wall-clock time this worker spent solving and shipping clusters.
+    pub busy: Duration,
+    /// Predicted cost (Algorithm 2 similarity estimates) of the clusters
+    /// this worker solved.
+    pub solved_cost: u64,
+    /// Reduce-phase entries `(user, neighbour, sim)` this worker shipped.
+    pub shuffle_entries: u64,
+    /// How many of `clusters` were stolen from another worker's queue.
+    pub stolen: usize,
+}
+
+/// The measured record of one sharded build, paired with the plan that
+/// drove it so predicted and measured figures can be compared directly.
+#[derive(Clone, Debug)]
+pub struct RuntimeReport {
+    /// The static LPT plan the run started from (predicted makespan,
+    /// per-worker costs and shuffle volume live here).
+    pub plan: DeploymentPlan,
+    /// Per-worker measurements.
+    pub workers: Vec<WorkerStats>,
+    /// Entries `(user, neighbour, sim)` received by the reduce stage.
+    pub shuffle_entries: u64,
+    /// Number of clusters executed (across all workers).
+    pub num_clusters: usize,
+    /// Recursive splits performed during clustering.
+    pub splits: usize,
+    /// Similarity computations performed during the run.
+    pub comparisons: u64,
+    /// Wall-clock of Step 1 (clustering + fingerprint building).
+    pub clustering_wall: Duration,
+    /// Wall-clock of the overlapped map + reduce stages.
+    pub map_reduce_wall: Duration,
+    /// End-to-end wall-clock.
+    pub total_wall: Duration,
+}
+
+impl RuntimeReport {
+    /// The measured map-phase makespan: the busiest worker's busy time.
+    pub fn measured_makespan(&self) -> Duration {
+        self.workers.iter().map(|w| w.busy).max().unwrap_or(Duration::ZERO)
+    }
+
+    /// Total busy time across all workers (the work a single worker would
+    /// have had to serialize).
+    pub fn total_busy(&self) -> Duration {
+        self.workers.iter().map(|w| w.busy).sum()
+    }
+
+    /// Measured parallel speed-up of the map phase over a single worker
+    /// (`total busy / makespan`, the measured analogue of
+    /// [`DeploymentPlan::speedup`]; ≤ the worker count).
+    pub fn measured_speedup(&self) -> f64 {
+        let makespan = self.measured_makespan().as_secs_f64();
+        if makespan == 0.0 {
+            return 1.0;
+        }
+        self.total_busy().as_secs_f64() / makespan
+    }
+
+    /// Measured load imbalance: makespan over the ideal per-worker share
+    /// (1.0 = perfectly balanced; the measured analogue of
+    /// [`DeploymentPlan::imbalance`]).
+    pub fn measured_imbalance(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 1.0;
+        }
+        let ideal = self.total_busy().as_secs_f64() / self.workers.len() as f64;
+        if ideal == 0.0 {
+            return 1.0;
+        }
+        self.measured_makespan().as_secs_f64() / ideal
+    }
+
+    /// Total clusters stolen across workers (0 under
+    /// [`StealPolicy::Disabled`](crate::StealPolicy::Disabled)).
+    pub fn stolen_clusters(&self) -> usize {
+        self.workers.iter().map(|w| w.stolen).sum()
+    }
+
+    /// The executed assignment as sorted cluster-index lists per worker —
+    /// directly comparable with [`DeploymentPlan::assignments`] (which the
+    /// engine also keeps sorted-insertion-free; sort before comparing).
+    pub fn executed_assignments(&self) -> Vec<Vec<usize>> {
+        self.workers
+            .iter()
+            .map(|w| {
+                let mut c = w.clusters.clone();
+                c.sort_unstable();
+                c
+            })
+            .collect()
+    }
+}

@@ -110,10 +110,7 @@ mod tests {
     #[test]
     fn goldfinger_backend_estimates() {
         let ds = toy();
-        let sim = SimilarityData::build(
-            SimilarityBackend::GoldFinger { bits: 4096, seed: 1 },
-            &ds,
-        );
+        let sim = SimilarityData::build(SimilarityBackend::GoldFinger { bits: 4096, seed: 1 }, &ds);
         assert!(!sim.is_exact());
         assert!(sim.goldfinger().is_some());
         // With 5 items in 4096 bits the estimate is exact w.h.p.

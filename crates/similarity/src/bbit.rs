@@ -98,17 +98,9 @@ mod tests {
     use super::*;
     use crate::jaccard::Jaccard;
 
-    fn signatures(
-        a: &[u32],
-        b: &[u32],
-        t: usize,
-        bits: u32,
-    ) -> (BBitSignature, BBitSignature) {
+    fn signatures(a: &[u32], b: &[u32], t: usize, bits: u32) -> (BBitSignature, BBitSignature) {
         let bank = MinHasher::family(17, t);
-        (
-            BBitSignature::compute(&bank, a, bits),
-            BBitSignature::compute(&bank, b, bits),
-        )
+        (BBitSignature::compute(&bank, a, bits), BBitSignature::compute(&bank, b, bits))
     }
 
     #[test]
@@ -136,10 +128,7 @@ mod tests {
         for bits in [1u32, 2, 4, 8, 16] {
             let (sa, sb) = signatures(&a, &b, 2048, bits);
             let est = sa.estimate(&sb);
-            assert!(
-                (est - j).abs() < 0.06,
-                "b={bits}: estimate {est:.3} too far from J={j:.3}"
-            );
+            assert!((est - j).abs() < 0.06, "b={bits}: estimate {est:.3} too far from J={j:.3}");
         }
     }
 

@@ -97,12 +97,7 @@ impl BloomFilter {
         assert_eq!(self.bits, other.bits, "filters must have equal width");
         assert_eq!(self.hashes, other.hashes, "filters must use the same h");
         let union = BloomFilter {
-            words: self
-                .words
-                .iter()
-                .zip(other.words.iter())
-                .map(|(a, b)| a | b)
-                .collect(),
+            words: self.words.iter().zip(other.words.iter()).map(|(a, b)| a | b).collect(),
             bits: self.bits,
             hashes: self.hashes,
             root: self.root,

@@ -47,10 +47,7 @@ impl MinHasher {
     /// the paper's description of MinHash creating "one cluster per item".
     #[inline]
     pub fn bucket(&self, profile: &[ItemId]) -> Option<ItemId> {
-        profile
-            .iter()
-            .copied()
-            .min_by_key(|&i| self.hash.hash_u32(i))
+        profile.iter().copied().min_by_key(|&i| self.hash.hash_u32(i))
     }
 }
 

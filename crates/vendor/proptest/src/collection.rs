@@ -1,0 +1,69 @@
+//! Collection strategies (`vec`, `btree_set`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngExt;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Generates `Vec`s of `element` values with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `BTreeSet`s of `element` values with a size drawn from `size`.
+///
+/// Like real proptest, the target size is best-effort: when the element
+/// domain is too small to reach it, a smaller set is produced.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// The strategy returned by [`btree_set`].
+#[derive(Clone, Debug)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = rng.random_range(self.size.clone());
+        let mut set = BTreeSet::new();
+        // Duplicates don't grow the set; bound the attempts so tiny element
+        // domains terminate with a smaller-than-target set.
+        let max_attempts = 10 * target + 16;
+        let mut attempts = 0;
+        while set.len() < target && attempts < max_attempts {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate vendors
+//! exactly the API surface the workspace uses:
+//!
+//! * [`rngs::SmallRng`] — a small, fast, seedable PRNG (SplitMix64);
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`Rng`] — the core generator trait;
+//! * [`RngExt`] — `random::<T>()` and `random_range(lo..hi)`;
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates.
+//!
+//! Determinism matters more than statistical strength here (every caller
+//! seeds explicitly), but SplitMix64 passes the workspace's statistical
+//! tests (Zipf frequencies, uniformity of alias-table sampling) comfortably.
+
+pub mod rngs {
+    pub use crate::small::SmallRng;
+}
+pub mod seq;
+mod small;
+
+/// A source of random 64-bit words.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`Rng::next_u64`]).
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Samples a value of `T` from its standard distribution
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers uniform over the domain).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    /// Samples uniformly from a half-open range `lo..hi`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Standard-distribution sampling (the `random::<T>()` entry point).
+pub trait Standard {
+    /// Draws one value from `rng`.
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled uniformly (the `random_range` entry point).
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one value from `rng`.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Draws uniformly from `0..span` (`span > 0`) with negligible modulo bias
+/// (span ≪ 2⁶⁴ everywhere in this workspace).
+#[inline]
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    rng.next_u64() % span
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u32, u64, usize, i32, i64);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + f64::random_from(rng) * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn random_f64_is_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn random_range_respects_bounds_and_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.random_range(0..10usize)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 / 100_000.0 - 0.1).abs() < 0.01, "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn random_range_works_through_unsized_bounds() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+            rng.random_range(5..6u32)
+        }
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(draw(&mut rng), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        rng.random_range(3..3u32);
+    }
+}

@@ -1,0 +1,29 @@
+//! SplitMix64 — the `SmallRng` stand-in.
+
+use crate::{Rng, SeedableRng};
+
+/// A small, fast, seedable PRNG (SplitMix64; Steele, Lea & Flood 2014).
+///
+/// Period 2⁶⁴, equidistributed over 64-bit outputs, and strong enough for
+/// every statistical check in this workspace. Not cryptographic.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+}
+
+impl Rng for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}

@@ -10,10 +10,7 @@ use cnc_similarity::SimilarityData;
 use std::time::Instant;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.05);
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
     let k = 30;
     let seed = 11;
 
@@ -40,12 +37,6 @@ fn main() {
         let graph = algo.build(&ctx);
         let elapsed = start.elapsed().as_secs_f64();
         let q = quality(&graph, &exact, &dataset);
-        println!(
-            "{:<12} {:>9.3} {:>14} {:>8.3}",
-            algo.name(),
-            elapsed,
-            sim.comparisons(),
-            q
-        );
+        println!("{:<12} {:>9.3} {:>14} {:>8.3}", algo.name(), elapsed, sim.comparisons(), q);
     }
 }

@@ -45,11 +45,7 @@ fn main() {
         Recommender::new(&split.train, &result.graph).recall(&split.test, recommendations);
 
     println!("\n                 build time   recall@{recommendations}");
-    println!(
-        "exact KNN graph   {:>8.3}s   {:.3}",
-        exact_time.as_secs_f64(),
-        exact_recall
-    );
+    println!("exact KNN graph   {:>8.3}s   {:.3}", exact_time.as_secs_f64(), exact_recall);
     println!(
         "C² (ours)         {:>8.3}s   {:.3}   (×{:.1} faster, Δrecall {:+.3})",
         c2_time.as_secs_f64(),

@@ -32,33 +32,24 @@ fn main() {
     println!("\n-- effect of t (b = 2048, N = 250) ------------- (Fig 6)");
     println!("{:>3} {:>9} {:>8}", "t", "time (s)", "quality");
     for t in [1, 2, 4, 8, 10] {
-        let (secs, q) = run_once(
-            &dataset,
-            &exact,
-            C2Config { t, b: 2048, max_cluster_size: 250, ..base },
-        );
+        let (secs, q) =
+            run_once(&dataset, &exact, C2Config { t, b: 2048, max_cluster_size: 250, ..base });
         println!("{t:>3} {secs:>9.3} {q:>8.3}");
     }
 
     println!("\n-- effect of b (t = 4, N = 250) ---------------- (Fig 6)");
     println!("{:>5} {:>9} {:>8}", "b", "time (s)", "quality");
     for b in [512, 2048, 8192] {
-        let (secs, q) = run_once(
-            &dataset,
-            &exact,
-            C2Config { t: 4, b, max_cluster_size: 250, ..base },
-        );
+        let (secs, q) =
+            run_once(&dataset, &exact, C2Config { t: 4, b, max_cluster_size: 250, ..base });
         println!("{b:>5} {secs:>9.3} {q:>8.3}");
     }
 
     println!("\n-- effect of N (t = 4, b = 2048) --------------- (Fig 7)");
     println!("{:>6} {:>9} {:>8}", "N", "time (s)", "quality");
     for n in [50, 100, 250, 500, 1000] {
-        let (secs, q) = run_once(
-            &dataset,
-            &exact,
-            C2Config { t: 4, b: 2048, max_cluster_size: n, ..base },
-        );
+        let (secs, q) =
+            run_once(&dataset, &exact, C2Config { t: 4, b: 2048, max_cluster_size: n, ..base });
         println!("{n:>6} {secs:>9.3} {q:>8.3}");
     }
 }

@@ -35,10 +35,8 @@ fn main() {
 
     // Label 30% of users with their ground-truth segment, classify the rest.
     let truth: Vec<u32> = dataset.users().map(|u| cfg.community_of(u)).collect();
-    let labels: Vec<Option<u32>> = dataset
-        .users()
-        .map(|u| if u % 10 < 3 { Some(truth[u as usize]) } else { None })
-        .collect();
+    let labels: Vec<Option<u32>> =
+        dataset.users().map(|u| if u % 10 < 3 { Some(truth[u as usize]) } else { None }).collect();
     let classifier = KnnClassifier::new(&result.graph, &labels);
     let accuracy = classifier.accuracy(&truth);
     println!(

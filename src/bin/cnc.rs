@@ -64,7 +64,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--raw" => opts.raw = true,
             "--out" => opts.out = Some(value("--out")?.clone()),
             "--binarize" => {
-                opts.binarize = value("--binarize")?.parse().map_err(|e| format!("--binarize: {e}"))?
+                opts.binarize =
+                    value("--binarize")?.parse().map_err(|e| format!("--binarize: {e}"))?
             }
             "--min-profile" => {
                 opts.min_profile =
@@ -99,13 +100,8 @@ fn backend(opts: &Options) -> SimilarityBackend {
 fn build_graph(ds: &Dataset, opts: &Options) -> (KnnGraph, u64, f64) {
     let start = std::time::Instant::now();
     let sim = SimilarityData::build(backend(opts), ds);
-    let ctx = BuildContext {
-        dataset: ds,
-        sim: &sim,
-        k: opts.k,
-        threads: opts.threads,
-        seed: opts.seed,
-    };
+    let ctx =
+        BuildContext { dataset: ds, sim: &sim, k: opts.k, threads: opts.threads, seed: opts.seed };
     let c2 = ClusterAndConquer::new(C2Config { seed: opts.seed, ..C2Config::default() });
     let hyrec = Hyrec::default();
     let nnd = NnDescent::default();
@@ -142,17 +138,14 @@ fn cmd_build(opts: &Options) {
     let ds = load(path, opts);
     eprintln!("loaded: {}", DatasetStats::compute(&ds));
     let (graph, comparisons, seconds) = build_graph(&ds, opts);
-    eprintln!(
-        "built {} graph in {seconds:.2}s ({comparisons} similarity computations)",
-        opts.algo
-    );
+    eprintln!("built {} graph in {seconds:.2}s ({comparisons} similarity computations)", opts.algo);
     let mut out: Box<dyn Write> = match &opts.out {
-        Some(path) => Box::new(std::io::BufWriter::new(
-            std::fs::File::create(path).unwrap_or_else(|e| {
+        Some(path) => {
+            Box::new(std::io::BufWriter::new(std::fs::File::create(path).unwrap_or_else(|e| {
                 eprintln!("cnc: cannot create {path}: {e}");
                 exit(1);
-            }),
-        )),
+            })))
+        }
         None => Box::new(std::io::stdout().lock()),
     };
     for (u, list) in graph.iter() {
@@ -181,10 +174,8 @@ fn cmd_query(opts: &Options) {
     profile.dedup();
     let (graph, _, _) = build_graph(&ds, opts);
     let index = QueryIndex::new(&ds, &graph);
-    let config = BeamSearchConfig {
-        beam_width: (2 * opts.k).max(32),
-        ..BeamSearchConfig::default()
-    };
+    let config =
+        BeamSearchConfig { beam_width: (2 * opts.k).max(32), ..BeamSearchConfig::default() };
     let result = index.search(&profile, opts.k, &config, opts.seed);
     println!("# {} comparisons", result.comparisons);
     for nb in result.neighbors {

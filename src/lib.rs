@@ -22,6 +22,7 @@ pub use cnc_dataset as dataset;
 pub use cnc_eval as eval;
 pub use cnc_graph as graph;
 pub use cnc_query as query;
+pub use cnc_runtime as runtime;
 pub use cnc_similarity as similarity;
 pub use cnc_threadpool as threadpool;
 
@@ -29,9 +30,12 @@ pub use cnc_threadpool as threadpool;
 pub mod prelude {
     pub use cnc_baselines::{BruteForce, BuildContext, Hyrec, KnnAlgorithm, Lsh, NnDescent};
     pub use cnc_core::{C2Config, ClusterAndConquer};
-    pub use cnc_dataset::{CrossValidation, Dataset, DatasetProfile, DatasetStats, SyntheticConfig};
+    pub use cnc_dataset::{
+        CrossValidation, Dataset, DatasetProfile, DatasetStats, SyntheticConfig,
+    };
     pub use cnc_eval::{quality, KnnClassifier, Recommender};
     pub use cnc_graph::KnnGraph;
     pub use cnc_query::{BeamSearchConfig, QueryIndex};
+    pub use cnc_runtime::{Runtime, RuntimeConfig, ShardedBuild, StealPolicy};
     pub use cnc_similarity::{GoldFinger, Jaccard, SimilarityBackend};
 }

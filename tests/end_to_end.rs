@@ -25,7 +25,7 @@ fn c2_config(k: usize) -> C2Config {
         k,
         b: 128,
         t: 6,
-        max_cluster_size: 200,
+        max_cluster_size: 150,
         backend: SimilarityBackend::Raw,
         seed: 99,
         ..C2Config::default()

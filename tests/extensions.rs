@@ -92,10 +92,8 @@ fn classifier_on_c2_graph_beats_chance_by_a_wide_margin() {
     let ds = cfg.generate();
     let result = c2(10).build(&ds);
     let truth: Vec<u32> = ds.users().map(|u| cfg.community_of(u)).collect();
-    let labels: Vec<Option<u32>> = ds
-        .users()
-        .map(|u| if u % 3 == 0 { Some(truth[u as usize]) } else { None })
-        .collect();
+    let labels: Vec<Option<u32>> =
+        ds.users().map(|u| if u % 3 == 0 { Some(truth[u as usize]) } else { None }).collect();
     let clf = KnnClassifier::new(&result.graph, &labels);
     let accuracy = clf.accuracy(&truth);
     let chance = 1.0 / cfg.communities as f64;

@@ -59,7 +59,7 @@ fn beam_search_over_a_c2_graph_answers_out_of_sample_queries() {
 fn dynamic_index_absorbs_a_stream_of_new_users() {
     let ds = dataset();
     let graph = c2_graph(&ds, 10);
-    let config = BeamSearchConfig { beam_width: 40, entry_points: 8, max_comparisons: 0 };
+    let config = BeamSearchConfig { beam_width: 40, entry_points: 12, max_comparisons: 0 };
     let mut index = DynamicIndex::new(&ds, graph, config);
 
     // Stream in twins of existing users; each must find its donor.
@@ -73,10 +73,7 @@ fn dynamic_index_absorbs_a_stream_of_new_users() {
             found += 1;
         }
     }
-    assert!(
-        found >= 25,
-        "only {found}/30 streamed twins located their donor at sim 1.0"
-    );
+    assert!(found >= 25, "only {found}/30 streamed twins located their donor at sim 1.0");
     assert_eq!(index.inserted_users(), 30);
 }
 
