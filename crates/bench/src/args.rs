@@ -4,10 +4,12 @@
 //! binary accepts the same flags:
 //!
 //! ```text
-//! --scale <f64>    dataset scale factor in (0, 1]   (default 0.125)
-//! --threads <n>    worker threads, 0 = all cores    (default 0)
-//! --seed <u64>     experiment seed                  (default 42)
-//! --datasets a,b   restrict to named presets        (default: all six)
+//! --scale <f64>        dataset scale factor in (0, 1]            (default 0.125)
+//! --threads <n>        worker threads, 0 = all cores             (default 0)
+//! --seed <u64>         experiment seed                           (default 42)
+//! --datasets a,b       restrict to named presets                 (default: all six)
+//! --workers <n>        pin the runtime sweep's map worker count  (default: sweep)
+//! --reduce-shards <n>  pin the runtime sweep's reduce shards     (default: sweep)
 //! ```
 
 use cnc_dataset::DatasetProfile;
@@ -23,11 +25,24 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Selected dataset presets.
     pub datasets: Vec<DatasetProfile>,
+    /// Pins the `scaling` experiment to one map worker count
+    /// (`None` = sweep the default ladder).
+    pub workers: Option<usize>,
+    /// Pins the `scaling` experiment to one reduce-shard count
+    /// (`None` = sweep the default ladder).
+    pub reduce_shards: Option<usize>,
 }
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs { scale: 0.125, threads: 0, seed: 42, datasets: DatasetProfile::ALL.to_vec() }
+        HarnessArgs {
+            scale: 0.125,
+            threads: 0,
+            seed: 42,
+            datasets: DatasetProfile::ALL.to_vec(),
+            workers: None,
+            reduce_shards: None,
+        }
     }
 }
 
@@ -56,6 +71,17 @@ impl HarnessArgs {
                 }
                 "--seed" => {
                     args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--workers" => {
+                    args.workers =
+                        Some(value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?);
+                }
+                "--reduce-shards" => {
+                    args.reduce_shards = Some(
+                        value("--reduce-shards")?
+                            .parse()
+                            .map_err(|e| format!("--reduce-shards: {e}"))?,
+                    );
                 }
                 "--datasets" => {
                     let list = value("--datasets")?;
@@ -92,7 +118,8 @@ impl HarnessArgs {
 
     /// The usage string.
     pub fn usage() -> &'static str {
-        "usage: [--scale F] [--threads N] [--seed S] [--datasets ml1M,ml10M,ml20M,AM,DBLP,GW]"
+        "usage: [--scale F] [--threads N] [--seed S] [--workers W] [--reduce-shards R] \
+         [--datasets ml1M,ml10M,ml20M,AM,DBLP,GW]"
     }
 }
 
@@ -111,6 +138,17 @@ mod tests {
         assert_eq!(args.threads, 0);
         assert_eq!(args.seed, 42);
         assert_eq!(args.datasets.len(), 6);
+        assert_eq!(args.workers, None);
+        assert_eq!(args.reduce_shards, None);
+    }
+
+    #[test]
+    fn parses_runtime_sweep_pins() {
+        let args = parse(&["--workers", "2", "--reduce-shards", "3"]).unwrap();
+        assert_eq!(args.workers, Some(2));
+        assert_eq!(args.reduce_shards, Some(3));
+        assert!(parse(&["--workers"]).is_err());
+        assert!(parse(&["--reduce-shards", "two"]).is_err());
     }
 
     #[test]

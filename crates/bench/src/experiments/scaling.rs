@@ -1,23 +1,38 @@
 //! §VIII executed: predicted vs. measured map-reduce scaling.
 //!
-//! For `W ∈ {1, 2, 4, 8, 16}` this experiment runs the same C² build on
-//! `cnc-runtime`'s sharded engine and puts the `DeploymentPlan`'s
-//! *predicted* figures (Algorithm 2 cost model) next to the engine's
-//! *measured* ones — the validation loop the simulation alone could not
-//! close. Speed-up here is the map phase's `Σ busy / makespan` (the
-//! scheduling speed-up; on a machine with fewer cores than `W` the wall
-//! clock obviously cannot follow it).
+//! Two sweeps over the same C² build on `cnc-runtime`'s sharded engine:
+//!
+//! 1. **Map stage** — for `W ∈ {1, 2, 4, 8, 16}` (one reduce shard, no
+//!    spill), the `DeploymentPlan`'s *predicted* figures (Algorithm 2 cost
+//!    model) next to the engine's *measured* ones — the validation loop
+//!    the simulation alone could not close.
+//! 2. **Reduce stage** — for `R ∈ {1, 2, 4}` × spill `{Off, Always}` at a
+//!    fixed worker count, the reduce-stage speed-up the single reducer of
+//!    PR 1 pinned at 1.0, plus shuffle skew and spill traffic.
+//!
+//! Speed-ups here are `Σ busy / makespan` per stage (the scheduling
+//! speed-up; on a machine with fewer cores than shards the wall clock
+//! obviously cannot follow it). `--workers` / `--reduce-shards` pin the
+//! sweeps to one point — CI's smoke run uses
+//! `--workers 2 --reduce-shards 2` on a tiny dataset.
 
 use crate::args::HarnessArgs;
 use cnc_core::C2Config;
 use cnc_dataset::SyntheticConfig;
-use cnc_runtime::{Runtime, RuntimeConfig, StealPolicy};
+use cnc_runtime::{Runtime, RuntimeConfig, SpillMode, StealPolicy};
 use cnc_similarity::SimilarityBackend;
 
-/// Worker counts swept by the experiment.
+/// Worker counts swept by the map-stage table.
 pub const WORKER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
 
-/// Runs the sweep and renders the markdown section.
+/// Reduce-shard counts swept by the shuffle table.
+pub const REDUCE_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// The fixed map worker count of the shuffle table (unless `--workers`
+/// pins one).
+pub const SHUFFLE_WORKERS: usize = 4;
+
+/// Runs both sweeps and renders the markdown section.
 pub fn run(args: &HarnessArgs) -> String {
     let mut cfg = SyntheticConfig::small(args.seed);
     cfg.num_users = (8000.0 * args.scale.max(0.05)) as usize;
@@ -37,18 +52,23 @@ pub fn run(args: &HarnessArgs) -> String {
         ..C2Config::default()
     };
 
+    // --- Map-stage sweep (single reducer isolates the map phase) --------
+    let worker_counts: Vec<usize> =
+        args.workers.map_or_else(|| WORKER_COUNTS.to_vec(), |w| vec![w]);
     let mut num_clusters = 0;
-    let mut rows = String::new();
-    for workers in WORKER_COUNTS {
+    let mut map_rows = String::new();
+    for &workers in &worker_counts {
         let runtime = Runtime::new(RuntimeConfig {
             workers,
+            reduce_shards: 1,
             steal: StealPolicy::MostLoaded,
             ..RuntimeConfig::default()
         });
         let result = runtime.execute(&dataset, &c2);
         let report = &result.report;
+        report.check_invariants().expect("runtime report accounting violated");
         num_clusters = report.num_clusters;
-        rows.push_str(&format!(
+        map_rows.push_str(&format!(
             "| {workers} | {:.2} | {:.2} | {:.3} | {:.3} | {} | {} | {:.1} ms |\n",
             report.plan.speedup(),
             report.measured_speedup(),
@@ -59,13 +79,46 @@ pub fn run(args: &HarnessArgs) -> String {
             report.map_reduce_wall.as_secs_f64() * 1e3,
         ));
     }
+
+    // --- Reduce-stage sweep: shards × spill modes -----------------------
+    let shuffle_workers = args.workers.unwrap_or(SHUFFLE_WORKERS);
+    let reduce_counts: Vec<usize> =
+        args.reduce_shards.map_or_else(|| REDUCE_COUNTS.to_vec(), |r| vec![r]);
+    let mut shuffle_rows = String::new();
+    for &reduce_shards in &reduce_counts {
+        for spill in [SpillMode::Off, SpillMode::Always] {
+            let runtime = Runtime::new(RuntimeConfig {
+                workers: shuffle_workers,
+                reduce_shards,
+                spill,
+                steal: StealPolicy::MostLoaded,
+                ..RuntimeConfig::default()
+            });
+            let result = runtime.execute(&dataset, &c2);
+            let report = &result.report;
+            report.check_invariants().expect("runtime report accounting violated");
+            shuffle_rows.push_str(&format!(
+                "| {reduce_shards} | {spill:?} | {:.2} | {:.3} | {} | {} | {:.1} ms |\n",
+                report.reduce_speedup(),
+                report.shuffle_skew(),
+                report.total_spill_entries(),
+                report.total_spill_bytes(),
+                report.reduce_makespan().as_secs_f64() * 1e3,
+            ));
+        }
+    }
+
     format!(
         "## Sharded runtime — predicted vs. measured scaling\n\n\
          *{} users, {num_clusters} clusters per run; LPT plan + work stealing; \
          speed-up = Σ busy / makespan*\n\n\
          | W | predicted speed-up | measured speed-up | predicted imbalance | \
          measured imbalance | stolen | shuffle entries | map+reduce wall |\n\
-         |---:|---:|---:|---:|---:|---:|---:|---:|\n{rows}\n",
+         |---:|---:|---:|---:|---:|---:|---:|---:|\n{map_rows}\n\
+         ### Reduce shards & spillable shuffle ({shuffle_workers} map workers)\n\n\
+         | R | spill | reduce speed-up | shuffle skew | spilled entries | \
+         spilled bytes | reduce makespan |\n\
+         |---:|:---|---:|---:|---:|---:|---:|\n{shuffle_rows}\n",
         dataset.num_users(),
     )
 }
@@ -80,6 +133,32 @@ mod tests {
         let report = run(&args);
         for workers in WORKER_COUNTS {
             assert!(report.contains(&format!("| {workers} |")), "missing row for W={workers}");
+        }
+        for reduce_shards in REDUCE_COUNTS {
+            for spill in ["Off", "Always"] {
+                let row = format!("| {reduce_shards} | {spill} |");
+                assert!(report.contains(&row), "missing shuffle row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_flags_restrict_both_sweeps() {
+        let args = HarnessArgs {
+            scale: 0.05,
+            workers: Some(2),
+            reduce_shards: Some(2),
+            ..HarnessArgs::default()
+        };
+        let report = run(&args);
+        assert!(report.contains("| 2 | Off |"));
+        assert!(report.contains("| 2 | Always |"));
+        assert!(report.contains("(2 map workers)"));
+        for absent in [16, 8, 4, 1] {
+            assert!(
+                !report.lines().any(|l| l.starts_with(&format!("| {absent} |"))),
+                "W={absent} row must be absent when --workers pins the sweep"
+            );
         }
     }
 }

@@ -18,22 +18,57 @@ pub enum StealPolicy {
     MostLoaded,
 }
 
+/// Whether the map→reduce stream goes through memory or local spill files.
+///
+/// In every mode the decision is taken independently per
+/// `(map worker, reduce shard)` stream, and the merged graph is identical —
+/// the spill codec is lossless and Algorithm 3's merge is
+/// order-independent (asserted by `tests/shuffle.rs`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpillMode {
+    /// Everything flows through the bounded in-memory channels (the
+    /// default, and the only mode of the PR-1 engine).
+    #[default]
+    Off,
+    /// A stream switches to its spill file once it has shipped more than
+    /// this many encoded bytes; `Auto(0)` spills everything,
+    /// `Auto(u64::MAX)` effectively never spills.
+    Auto(u64),
+    /// Every partial list is spilled; the channels carry only the replay
+    /// handles. Models a shuffle with no memory budget at all.
+    Always,
+}
+
 /// All knobs of a [`Runtime`](crate::Runtime).
 #[derive(Clone, Copy, Debug)]
 pub struct RuntimeConfig {
     /// Number of worker shards `W`; 0 = all available hardware threads.
     pub workers: usize,
-    /// Bound of the map→reduce channel, in messages (one message per
-    /// solved cluster). Small bounds apply back-pressure to the map stage;
-    /// large bounds decouple the stages at the cost of buffered memory.
+    /// Number of reduce shards `R`; 0 = match the effective worker count.
+    /// Users are hash-partitioned across reducers with
+    /// [`partition_of`](crate::shuffle::partition_of), and each reducer
+    /// merges its partition independently (Algorithm 3 per shard).
+    pub reduce_shards: usize,
+    /// Bound of each map→reduce channel, in messages (one message per
+    /// solved cluster per reduce shard). Small bounds apply back-pressure
+    /// to the map stage; large bounds decouple the stages at the cost of
+    /// buffered memory.
     pub channel_capacity: usize,
     /// Work-stealing policy for straggler clusters.
     pub steal: StealPolicy,
+    /// Spill policy for the map→reduce shuffle.
+    pub spill: SpillMode,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        RuntimeConfig { workers: 0, channel_capacity: 64, steal: StealPolicy::default() }
+        RuntimeConfig {
+            workers: 0,
+            reduce_shards: 0,
+            channel_capacity: 64,
+            steal: StealPolicy::default(),
+            spill: SpillMode::default(),
+        }
     }
 }
 
@@ -46,6 +81,15 @@ impl RuntimeConfig {
     /// The resolved worker count (0 = available parallelism).
     pub fn effective_workers(&self) -> usize {
         effective_threads(self.workers)
+    }
+
+    /// The resolved reduce-shard count (0 = one reducer per worker).
+    pub fn effective_reduce_shards(&self) -> usize {
+        if self.reduce_shards == 0 {
+            self.effective_workers()
+        } else {
+            self.reduce_shards
+        }
     }
 
     /// Checks parameter sanity; called by the runtime before running.
@@ -66,12 +110,21 @@ mod tests {
         let c = RuntimeConfig::default();
         c.validate().unwrap();
         assert_eq!(c.steal, StealPolicy::MostLoaded);
+        assert_eq!(c.spill, SpillMode::Off);
         assert!(c.effective_workers() >= 1);
     }
 
     #[test]
     fn with_workers_pins_the_shard_count() {
         assert_eq!(RuntimeConfig::with_workers(4).effective_workers(), 4);
+    }
+
+    #[test]
+    fn zero_reduce_shards_matches_workers() {
+        let c = RuntimeConfig::with_workers(3);
+        assert_eq!(c.effective_reduce_shards(), 3);
+        let pinned = RuntimeConfig { reduce_shards: 2, ..c };
+        assert_eq!(pinned.effective_reduce_shards(), 2);
     }
 
     #[test]

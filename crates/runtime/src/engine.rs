@@ -1,30 +1,42 @@
 //! The sharded map-reduce engine.
 //!
-//! Execution model (one in-process shard per would-be map worker):
+//! Execution model (one in-process shard per would-be map worker or
+//! reducer):
 //!
 //! ```text
-//!            ┌────────────┐   bounded channel    ┌─────────────┐
-//!  cluster → │ worker 0   │ ─────────────────┐   │             │
-//!  queues    │ worker 1   │ ─────────────────┼──▶│  reducer    │→ KnnGraph
-//!  (LPT)     │   ...      │ ─────────────────┘   │ (Algorithm 3)│
-//!            │ worker W-1 │    PartialChunk      └─────────────┘
-//!            └────────────┘
+//!            ┌────────────┐  R bounded channels  ┌─────────────┐
+//!  cluster → │ worker 0   │ ──┬───────────────┬─▶│ reducer 0   │─┐
+//!  queues    │ worker 1   │ ──┼───┐    ┌──────┼─▶│ reducer 1   │ ├→ KnnGraph
+//!  (LPT)     │   ...      │ ──┘   │    │      │  │   ...       │ │ (partition
+//!            │ worker W-1 │ ──────┴────┴──────┴─▶│ reducer R-1 │─┘  concat)
+//!            └────────────┘      Chunk | Spill   └─────────────┘
+//!                  │                                    ▲
+//!                  └── spill files (one per stream) ────┘
 //! ```
 //!
 //! Workers drain their own LPT queue largest-first (the distributed
 //! generalization of Step 2's priority queue); when a queue runs dry the
 //! worker steals the smallest queued cluster from the most-loaded peer.
-//! Every solved cluster is shipped as one [`PartialChunk`] through a
-//! bounded channel; the reducer merges chunks into per-user bounded heaps
-//! (Algorithm 3) *while the map phase is still running*.
+//! Every solved cluster's partial lists are hash-partitioned by user
+//! ([`partition_of`]) and shipped per reduce shard — through that shard's
+//! bounded channel, or (above the [`SpillMode`] threshold) appended to the
+//! stream's spill file, whose replay handle is delivered after the map
+//! phase. Each reducer merges its user partition into per-user bounded
+//! heaps (Algorithm 3) *while the map phase is still running*; the final
+//! graph is assembled by concatenating the partitions.
 //!
 //! Because [`NeighborList`] keeps the top-k under a strict total order on
-//! `(similarity, user)`, the merge is order-independent: a sharded build
-//! produces byte-for-byte the same graph as the single-process pipeline on
-//! the same configuration and seed (asserted by `tests/sharded.rs`).
+//! `(similarity, user)` and the spill codec is lossless, the merge is
+//! order- and route-independent: every `(workers, reduce_shards, spill)`
+//! combination produces byte-for-byte the same graph as the
+//! single-process pipeline on the same configuration and seed (asserted
+//! by `tests/shuffle.rs`).
 
-use crate::config::{RuntimeConfig, StealPolicy};
-use crate::report::{RuntimeReport, WorkerStats};
+use crate::config::{RuntimeConfig, SpillMode, StealPolicy};
+use crate::report::{ReduceStats, RuntimeReport, WorkerStats};
+use crate::shuffle::{
+    encoded_len, partition_of, read_record, FinishedSpill, SpillDir, SpillWriter,
+};
 use cnc_baselines::local;
 use cnc_core::distributed::cluster_cost;
 use cnc_core::{plan_deployment, C2Config, ClusterAndConquer, DeploymentPlan};
@@ -33,14 +45,20 @@ use cnc_graph::{KnnGraph, NeighborList};
 use cnc_similarity::SimilarityData;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// One solved cluster's partial neighbourhoods, en route to the reducer.
-struct PartialChunk {
-    /// Pairs `(user, partial list)`; empty lists are dropped at the source.
-    entries: Vec<(UserId, NeighborList)>,
+/// One message on a reduce shard's channel.
+enum ShuffleMessage {
+    /// Partial lists routed in memory: pairs `(user, partial list)`, all
+    /// owned by the receiving shard; empty lists are dropped at the source.
+    Chunk(Vec<(UserId, NeighborList)>),
+    /// A sealed spill file to replay; sent once the map phase is over.
+    Spill(PathBuf),
 }
 
 /// A built graph plus the measured execution record.
@@ -48,7 +66,7 @@ struct PartialChunk {
 pub struct ShardedResult {
     /// The approximate KNN graph (identical to the single-process build's).
     pub graph: KnnGraph,
-    /// Measured per-worker and reduce-stage figures, with the plan inside.
+    /// Measured per-worker and per-reducer figures, with the plan inside.
     pub report: RuntimeReport,
 }
 
@@ -124,6 +142,18 @@ impl JobQueues {
     }
 }
 
+/// Everything a map worker needs, bundled so the thread spawn stays tidy.
+struct MapContext<'a> {
+    queues: &'a JobQueues,
+    clusters: &'a [Vec<UserId>],
+    sim: &'a SimilarityData<'a>,
+    c2: &'a C2Config,
+    threshold: usize,
+    reduce_shards: usize,
+    spill: SpillMode,
+    spill_dir: Option<&'a SpillDir>,
+}
+
 /// The sharded map-reduce execution engine.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Runtime {
@@ -169,6 +199,7 @@ impl Runtime {
     ) -> ShardedResult {
         let comparisons_before = sim.comparisons();
         let workers = self.config.effective_workers();
+        let reduce_shards = self.config.effective_reduce_shards();
         let n = dataset.num_users();
 
         // --- Step 1: clustering (identical to the in-process pipeline) ---
@@ -183,123 +214,267 @@ impl Runtime {
             clusters.iter().map(|c| cluster_cost(c.len(), c2.k, c2.rho)).collect();
         let queues = JobQueues::new(&plan, costs, self.config.steal);
 
+        // --- Reduce partitioning: a total disjoint cover of the users ----
+        // `owned[r]` lists shard r's users in increasing order and
+        // `local_index[u]` is u's slot within its shard, so concatenating
+        // the per-shard outputs reassembles the graph without a merge.
+        let mut owned: Vec<Vec<UserId>> = vec![Vec::new(); reduce_shards];
+        let mut local_index: Vec<u32> = vec![0; n];
+        for u in 0..n as u32 {
+            let shard = partition_of(u, reduce_shards);
+            local_index[u as usize] = owned[shard].len() as u32;
+            owned[shard].push(u);
+        }
+
+        // The cleanup-on-drop guard lives on this stack frame: a panicking
+        // worker unwinds through the thread scope and still removes the
+        // spill dir and everything in it.
+        let spill_dir = match self.config.spill {
+            SpillMode::Off => None,
+            _ => Some(SpillDir::create().expect("failed to create spill dir")),
+        };
+        let spill_dir_path = spill_dir.as_ref().map(|d| d.path().to_path_buf());
+
         // --- Map + reduce, overlapped ------------------------------------
         let map_reduce_start = Instant::now();
-        let threshold = c2.brute_force_threshold();
-        let (sender, receiver) =
-            std::sync::mpsc::sync_channel::<PartialChunk>(self.config.channel_capacity);
+        let ctx = MapContext {
+            queues: &queues,
+            clusters: &clusters,
+            sim,
+            c2,
+            threshold: c2.brute_force_threshold(),
+            reduce_shards,
+            spill: self.config.spill,
+            spill_dir: spill_dir.as_ref(),
+        };
 
         let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
-        let mut graph_and_shuffle: Option<(KnnGraph, u64)> = None;
+        let mut reduce_outputs: Vec<(Vec<NeighborList>, ReduceStats)> =
+            Vec::with_capacity(reduce_shards);
         std::thread::scope(|scope| {
-            let reducer = scope.spawn(|| reduce_stage(receiver, n, c2.k));
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let sender = sender.clone();
-                    let queues = &queues;
-                    let clusters = &clusters;
-                    scope.spawn(move || map_worker(w, queues, clusters, sim, c2, threshold, sender))
+            let (senders, receivers): (Vec<SyncSender<ShuffleMessage>>, Vec<_>) = (0
+                ..reduce_shards)
+                .map(|_| std::sync::mpsc::sync_channel(self.config.channel_capacity))
+                .unzip();
+            let reducer_handles: Vec<_> = receivers
+                .into_iter()
+                .enumerate()
+                .map(|(r, receiver)| {
+                    let owned_users = &owned[r][..];
+                    let local_index = &local_index[..];
+                    scope.spawn(move || reduce_shard(r, receiver, owned_users, local_index, c2.k))
                 })
                 .collect();
-            // The reducer finishes when every sender hangs up; drop the
-            // original handle so only live workers keep the channel open.
-            drop(sender);
-            for handle in handles {
-                worker_stats.push(handle.join().expect("map worker panicked"));
+            let worker_handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let senders = senders.clone();
+                    let ctx = &ctx;
+                    scope.spawn(move || map_worker(w, ctx, senders))
+                })
+                .collect();
+            // Once a worker is done its spill streams are sealed; hand the
+            // replay handles to the owning reducers, then hang up so the
+            // channels close and the reducers can finish.
+            for handle in worker_handles {
+                let (stats, spill_files) = handle.join().expect("map worker panicked");
+                worker_stats.push(stats);
+                for (shard, file) in spill_files.into_iter().enumerate() {
+                    if let Some(file) = file {
+                        senders[shard]
+                            .send(ShuffleMessage::Spill(file.path))
+                            .expect("reducer hung up early");
+                    }
+                }
             }
-            graph_and_shuffle = Some(reducer.join().expect("reducer panicked"));
+            drop(senders);
+            for handle in reducer_handles {
+                reduce_outputs.push(handle.join().expect("reducer panicked"));
+            }
         });
-        let (graph, shuffle_entries) = graph_and_shuffle.expect("reduce stage did not run");
+        drop(spill_dir); // all spill files removed before the build returns
+
+        // --- Assembly: concatenate the reduce partitions -----------------
+        let mut graph = KnnGraph::new(n, c2.k);
+        let mut shuffle_entries = 0u64;
+        let mut reducer_stats: Vec<ReduceStats> = Vec::with_capacity(reduce_shards);
+        for (r, (lists, stats)) in reduce_outputs.into_iter().enumerate() {
+            shuffle_entries += stats.entries;
+            for (&user, list) in owned[r].iter().zip(lists) {
+                *graph.neighbors_mut(user) = list;
+            }
+            reducer_stats.push(stats);
+        }
         let map_reduce_wall = map_reduce_start.elapsed();
 
-        ShardedResult {
-            graph,
-            report: RuntimeReport {
-                num_clusters: clusters.len(),
-                plan,
-                workers: worker_stats,
-                shuffle_entries,
-                splits,
-                comparisons: sim.comparisons() - comparisons_before,
-                clustering_wall,
-                map_reduce_wall,
-                total_wall: start.elapsed(),
-            },
+        let report = RuntimeReport {
+            num_clusters: clusters.len(),
+            num_users: n,
+            plan,
+            workers: worker_stats,
+            reducers: reducer_stats,
+            shuffle_entries,
+            spill: self.config.spill,
+            spill_dir: spill_dir_path,
+            splits,
+            comparisons: sim.comparisons() - comparisons_before,
+            clustering_wall,
+            map_reduce_wall,
+            total_wall: start.elapsed(),
+        };
+        if cfg!(debug_assertions) {
+            report.check_invariants().expect("runtime report accounting violated");
         }
+        ShardedResult { graph, report }
     }
 }
 
 /// One map shard: drain own queue largest-first, then steal, then hang up.
+/// Returns the worker's stats and its sealed spill streams (one slot per
+/// reduce shard).
 fn map_worker(
     worker: usize,
-    queues: &JobQueues,
-    clusters: &[Vec<UserId>],
-    sim: &SimilarityData<'_>,
-    c2: &C2Config,
-    threshold: usize,
-    sender: SyncSender<PartialChunk>,
-) -> WorkerStats {
+    ctx: &MapContext<'_>,
+    senders: Vec<SyncSender<ShuffleMessage>>,
+) -> (WorkerStats, Vec<Option<FinishedSpill>>) {
     let mut stats = WorkerStats {
         worker,
         clusters: Vec::new(),
-        busy: std::time::Duration::ZERO,
+        busy: Duration::ZERO,
         solved_cost: 0,
         shuffle_entries: 0,
+        spilled_entries: 0,
+        spilled_bytes: 0,
         stolen: 0,
     };
+    // Per reduce shard: encoded bytes shipped so far (drives `Auto`) and
+    // the lazily-created spill stream.
+    let mut shipped_bytes: Vec<u64> = vec![0; ctx.reduce_shards];
+    let mut spills: Vec<Option<SpillWriter>> = (0..ctx.reduce_shards).map(|_| None).collect();
     loop {
-        let (cluster, stolen) = match queues.pop_own(worker) {
+        let (cluster, stolen) = match ctx.queues.pop_own(worker) {
             Some(c) => (c, false),
-            None => match queues.steal(worker) {
+            None => match ctx.queues.steal(worker) {
                 Some(c) => (c, true),
                 None => break,
             },
         };
         let busy_start = Instant::now();
-        let users = &clusters[cluster];
+        let users = &ctx.clusters[cluster];
         // Algorithm 2: brute force for small clusters, Hyrec above the
         // ρ·k² crossover — exactly the single-process dispatch.
-        let lists = if users.len() < threshold {
-            local::brute_force_partial(users, sim, c2.k)
+        let lists = if users.len() < ctx.threshold {
+            local::brute_force_partial(users, ctx.sim, ctx.c2.k)
         } else {
             local::hyrec_partial(
                 users,
-                sim,
-                c2.k,
-                c2.rho,
-                c2.delta,
-                ClusterAndConquer::job_seed(c2, cluster),
+                ctx.sim,
+                ctx.c2.k,
+                ctx.c2.rho,
+                ctx.c2.delta,
+                ClusterAndConquer::job_seed(ctx.c2, cluster),
             )
         };
-        let entries: Vec<(UserId, NeighborList)> =
-            users.iter().copied().zip(lists).filter(|(_, list)| !list.is_empty()).collect();
-        stats.shuffle_entries += entries.iter().map(|(_, l)| l.len() as u64).sum::<u64>();
+        // Hash-partition the cluster's output by owning reduce shard.
+        let mut routed: Vec<Vec<(UserId, NeighborList)>> = vec![Vec::new(); ctx.reduce_shards];
+        for (&user, list) in users.iter().zip(lists) {
+            if !list.is_empty() {
+                routed[partition_of(user, ctx.reduce_shards)].push((user, list));
+            }
+        }
         stats.clusters.push(cluster);
-        stats.solved_cost += queues.costs[cluster];
+        stats.solved_cost += ctx.queues.costs[cluster];
         stats.stolen += usize::from(stolen);
-        // Stop the busy clock before shipping: blocking on a full channel
-        // is reducer back-pressure, not map work, and must not inflate
-        // `measured_speedup`.
+        // Route each shard's batch: spill (map work, on the busy clock) or
+        // channel. Channel sends happen after the clock stops — blocking
+        // on a full channel is reducer back-pressure, not map work, and
+        // must not inflate `measured_speedup`.
+        let mut to_send: Vec<(usize, Vec<(UserId, NeighborList)>)> = Vec::new();
+        for (shard, batch) in routed.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let batch_entries: u64 = batch.iter().map(|(_, l)| l.len() as u64).sum();
+            let batch_bytes: u64 = batch.iter().map(|(_, l)| encoded_len(l)).sum();
+            stats.shuffle_entries += batch_entries;
+            let spill_now = match ctx.spill {
+                SpillMode::Off => false,
+                SpillMode::Always => true,
+                SpillMode::Auto(threshold) => shipped_bytes[shard] + batch_bytes > threshold,
+            };
+            shipped_bytes[shard] += batch_bytes;
+            if spill_now {
+                let dir = ctx.spill_dir.expect("spill requested without a spill dir");
+                let writer = spills[shard].get_or_insert_with(|| {
+                    SpillWriter::create(dir.file_path(worker, shard))
+                        .expect("failed to create spill file")
+                });
+                for (user, list) in &batch {
+                    writer.push(*user, list).expect("failed to write spill record");
+                }
+                stats.spilled_entries += batch_entries;
+                stats.spilled_bytes += batch_bytes;
+            } else {
+                to_send.push((shard, batch));
+            }
+        }
         stats.busy += busy_start.elapsed();
-        if !entries.is_empty() {
-            sender.send(PartialChunk { entries }).expect("reducer hung up early");
+        for (shard, batch) in to_send {
+            senders[shard].send(ShuffleMessage::Chunk(batch)).expect("reducer hung up early");
         }
     }
-    stats
+    let finished: Vec<Option<FinishedSpill>> = spills
+        .into_iter()
+        .map(|w| w.map(|w| w.finish().expect("failed to seal spill file")))
+        .collect();
+    (stats, finished)
 }
 
-/// The reduce stage: Algorithm 3's bounded-heap merge, running concurrently
-/// with the map phase. Returns the graph and the received entry count.
-fn reduce_stage(receiver: Receiver<PartialChunk>, n: usize, k: usize) -> (KnnGraph, u64) {
-    let mut graph = KnnGraph::new(n, k);
-    let mut shuffle_entries = 0u64;
-    for chunk in receiver {
-        for (user, partial) in &chunk.entries {
-            shuffle_entries += partial.len() as u64;
-            graph.neighbors_mut(*user).merge(partial);
+/// One reduce shard: Algorithm 3's bounded-heap merge over the shard's
+/// user partition, running concurrently with the map phase. Channel chunks
+/// arrive while mapping; spill replay handles arrive once the map phase is
+/// over. Returns the partition's lists (in `owned` order) and the shard's
+/// stats.
+fn reduce_shard(
+    shard: usize,
+    receiver: Receiver<ShuffleMessage>,
+    owned: &[UserId],
+    local_index: &[u32],
+    k: usize,
+) -> (Vec<NeighborList>, ReduceStats) {
+    let mut lists: Vec<NeighborList> = vec![NeighborList::new(k); owned.len()];
+    let mut stats = ReduceStats {
+        shard,
+        users: owned.len(),
+        entries: 0,
+        spilled_entries: 0,
+        spilled_bytes: 0,
+        busy: Duration::ZERO,
+    };
+    for message in receiver {
+        let busy_start = Instant::now();
+        match message {
+            ShuffleMessage::Chunk(entries) => {
+                for (user, partial) in &entries {
+                    stats.entries += partial.len() as u64;
+                    lists[local_index[*user as usize] as usize].merge(partial);
+                }
+            }
+            ShuffleMessage::Spill(path) => {
+                let mut reader =
+                    BufReader::new(File::open(&path).expect("failed to open spill file"));
+                while let Some((user, partial)) =
+                    read_record(&mut reader, k).expect("corrupt spill file")
+                {
+                    stats.entries += partial.len() as u64;
+                    stats.spilled_entries += partial.len() as u64;
+                    stats.spilled_bytes += encoded_len(&partial);
+                    lists[local_index[user as usize] as usize].merge(&partial);
+                }
+            }
         }
+        stats.busy += busy_start.elapsed();
     }
-    (graph, shuffle_entries)
+    (lists, stats)
 }
 
 /// Sharded construction as a method on [`ClusterAndConquer`].
@@ -404,6 +579,7 @@ mod tests {
         let ds = test_dataset();
         let result = Runtime::new(RuntimeConfig::with_workers(2)).execute(&ds, &test_config());
         let report = &result.report;
+        report.check_invariants().unwrap();
         assert!(report.comparisons > 0);
         assert!(report.total_wall >= report.map_reduce_wall);
         assert!(report.measured_speedup() >= 1.0 - 1e-9);
@@ -430,6 +606,7 @@ mod tests {
         assert_eq!(result.graph.num_users(), 0);
         assert_eq!(result.report.shuffle_entries, 0);
         assert_eq!(result.report.num_clusters, 0);
+        result.report.check_invariants().unwrap();
     }
 
     #[test]
@@ -444,6 +621,88 @@ mod tests {
                 via_engine.graph.neighbors(u).sorted()
             );
         }
+    }
+
+    #[test]
+    fn reduce_partition_covers_every_user_once() {
+        let ds = test_dataset();
+        let config = RuntimeConfig { workers: 2, reduce_shards: 3, ..RuntimeConfig::default() };
+        let result = Runtime::new(config).execute(&ds, &test_config());
+        assert_eq!(result.report.reducers.len(), 3);
+        let covered: usize = result.report.reducers.iter().map(|r| r.users).sum();
+        assert_eq!(covered, ds.num_users());
+        result.report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn always_spill_routes_all_traffic_through_files() {
+        let ds = test_dataset();
+        let config = RuntimeConfig {
+            workers: 2,
+            reduce_shards: 2,
+            spill: SpillMode::Always,
+            ..RuntimeConfig::default()
+        };
+        let single = ClusterAndConquer::new(test_config()).build(&ds);
+        let result = Runtime::new(config).execute(&ds, &test_config());
+        let report = &result.report;
+        report.check_invariants().unwrap();
+        assert_eq!(report.total_spill_entries(), report.shuffle_entries);
+        assert!(report.total_spill_bytes() > 0);
+        for u in ds.users() {
+            assert_eq!(result.graph.neighbors(u).sorted(), single.graph.neighbors(u).sorted());
+        }
+    }
+
+    #[test]
+    fn auto_spill_threshold_splits_the_stream() {
+        let ds = test_dataset();
+        let base = RuntimeConfig { workers: 2, reduce_shards: 2, ..RuntimeConfig::default() };
+
+        // A zero-byte budget spills everything…
+        let all = Runtime::new(RuntimeConfig { spill: SpillMode::Auto(0), ..base })
+            .execute(&ds, &test_config());
+        assert_eq!(all.report.total_spill_entries(), all.report.shuffle_entries);
+
+        // …an unlimited budget spills nothing…
+        let none = Runtime::new(RuntimeConfig { spill: SpillMode::Auto(u64::MAX), ..base })
+            .execute(&ds, &test_config());
+        assert_eq!(none.report.total_spill_entries(), 0);
+        assert_eq!(none.report.total_spill_bytes(), 0);
+
+        // …and a mid-range budget sends the head in memory, the tail to
+        // disk. Small clusters keep each batch well under the budget, so
+        // the switch happens mid-stream rather than on the first batch.
+        let c2 = C2Config { max_cluster_size: 40, ..test_config() };
+        let mid =
+            Runtime::new(RuntimeConfig { spill: SpillMode::Auto(2_048), ..base }).execute(&ds, &c2);
+        let spilled = mid.report.total_spill_entries();
+        assert!(spilled > 0, "2 KiB per stream must overflow on this workload");
+        assert!(mid.report.total_spill_bytes() > 0);
+        assert!(spilled < mid.report.shuffle_entries, "some head entries must stay in memory");
+        mid.report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn spill_dir_is_gone_after_the_build() {
+        let ds = test_dataset();
+        let config = RuntimeConfig {
+            workers: 2,
+            reduce_shards: 2,
+            spill: SpillMode::Always,
+            ..RuntimeConfig::default()
+        };
+        let result = Runtime::new(config).execute(&ds, &test_config());
+        let dir = result.report.spill_dir.as_ref().expect("spilling build must record its dir");
+        assert!(
+            !dir.exists(),
+            "spill dir {} must be removed before the build returns",
+            dir.display()
+        );
+
+        // A non-spilling build never creates one.
+        let off = Runtime::new(RuntimeConfig::with_workers(2)).execute(&ds, &test_config());
+        assert!(off.report.spill_dir.is_none());
     }
 
     #[test]

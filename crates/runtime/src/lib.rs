@@ -7,30 +7,44 @@
 //! and shuffle volume from Algorithm 2's cost model. This crate **executes**
 //! that plan:
 //!
-//! * a [`Runtime`] spawns `W` worker shards (map stage);
+//! * a [`Runtime`] spawns `W` worker shards (map stage) and `R` reduce
+//!   shards;
 //! * clusters are partitioned across workers exactly as `plan_deployment`
 //!   assigns them, each worker draining its own queue largest-first;
 //! * each worker solves its clusters locally — brute force below the
 //!   `ρ·k²` crossover, greedy Hyrec above, reusing
 //!   [`cnc_baselines::local`]'s partial solvers;
-//! * partial per-user neighbour lists stream through **bounded channels**
-//!   to a reduce stage that merges them into the final
-//!   [`cnc_graph::KnnGraph`] *concurrently* with the map phase;
+//! * partial per-user neighbour lists are **hash-partitioned by user**
+//!   ([`shuffle::partition_of`]) and flow to the owning reduce shard
+//!   through a bounded channel — or, above the configured [`SpillMode`]
+//!   threshold, through per-`(worker, shard)` **spill files** in a
+//!   length-prefixed binary format, replayed by the reducers once the map
+//!   phase ends (a real MapReduce shuffle, in miniature);
+//! * each reducer merges its user partition independently (Algorithm 3)
+//!   *concurrently* with the map phase, and the final
+//!   [`cnc_graph::KnnGraph`] is assembled by concatenating the partitions;
 //! * idle workers **steal** queued clusters from the most-loaded peer
 //!   (configurable via [`StealPolicy`]), absorbing stragglers the static
 //!   LPT plan cannot predict.
 //!
 //! The run produces a [`RuntimeReport`] with *measured* per-worker busy
-//! time, makespan, imbalance and shuffle entries, so the bench layer can
-//! plot predicted-vs-measured speed-up from the cost model
+//! time, makespan, imbalance, per-reduce-shard busy time, shuffle skew and
+//! spill traffic, so the bench layer can plot predicted-vs-measured
+//! speed-up from the cost model
 //! (`cargo run -p cnc-bench --release --bin scaling`).
+//!
+//! Every `(workers, reduce_shards, spill)` combination produces exactly
+//! the single-process pipeline's graph — `tests/shuffle.rs` asserts the
+//! full matrix.
 //!
 //! [`DeploymentPlan`]: cnc_core::DeploymentPlan
 
 pub mod config;
 pub mod engine;
 pub mod report;
+pub mod shuffle;
 
-pub use config::{RuntimeConfig, StealPolicy};
+pub use config::{RuntimeConfig, SpillMode, StealPolicy};
 pub use engine::{Runtime, ShardedBuild, ShardedResult};
-pub use report::{RuntimeReport, WorkerStats};
+pub use report::{ReduceStats, RuntimeReport, WorkerStats};
+pub use shuffle::partition_of;

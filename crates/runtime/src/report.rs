@@ -1,7 +1,9 @@
 //! Measured execution reports — the counterpart of the *predicted*
 //! [`DeploymentPlan`](cnc_core::DeploymentPlan).
 
+use crate::config::SpillMode;
 use cnc_core::DeploymentPlan;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// What one worker shard actually did.
@@ -11,15 +13,39 @@ pub struct WorkerStats {
     pub worker: usize,
     /// Cluster indices solved by this worker, in execution order.
     pub clusters: Vec<usize>,
-    /// Wall-clock time this worker spent solving and shipping clusters.
+    /// Wall-clock time this worker spent solving clusters and writing
+    /// spill files (channel back-pressure excluded).
     pub busy: Duration,
     /// Predicted cost (Algorithm 2 similarity estimates) of the clusters
     /// this worker solved.
     pub solved_cost: u64,
-    /// Reduce-phase entries `(user, neighbour, sim)` this worker shipped.
+    /// Reduce-phase entries `(user, neighbour, sim)` this worker shipped,
+    /// through channels and spill files combined.
     pub shuffle_entries: u64,
+    /// Of `shuffle_entries`, how many went through spill files.
+    pub spilled_entries: u64,
+    /// Encoded bytes this worker wrote to spill files.
+    pub spilled_bytes: u64,
     /// How many of `clusters` were stolen from another worker's queue.
     pub stolen: usize,
+}
+
+/// What one reduce shard actually did.
+#[derive(Clone, Debug)]
+pub struct ReduceStats {
+    /// The shard's index in `0..R`.
+    pub shard: usize,
+    /// Users this shard owns (its partition size).
+    pub users: usize,
+    /// Entries `(user, neighbour, sim)` merged, from channels and spill
+    /// files combined.
+    pub entries: u64,
+    /// Of `entries`, how many were replayed from spill files.
+    pub spilled_entries: u64,
+    /// Encoded spill bytes this shard replayed.
+    pub spilled_bytes: u64,
+    /// Wall-clock time spent decoding and merging (idle receive excluded).
+    pub busy: Duration,
 }
 
 /// The measured record of one sharded build, paired with the plan that
@@ -31,10 +57,21 @@ pub struct RuntimeReport {
     pub plan: DeploymentPlan,
     /// Per-worker measurements.
     pub workers: Vec<WorkerStats>,
+    /// Per-reduce-shard measurements.
+    pub reducers: Vec<ReduceStats>,
     /// Entries `(user, neighbour, sim)` received by the reduce stage.
     pub shuffle_entries: u64,
+    /// The spill policy the run executed under.
+    pub spill: SpillMode,
+    /// The unique temp dir spill files were written to (`None` when the
+    /// spill mode is [`SpillMode::Off`]). The dir is removed before the
+    /// build returns, so this path records *where* the shuffle spilled,
+    /// not a live location.
+    pub spill_dir: Option<PathBuf>,
     /// Number of clusters executed (across all workers).
     pub num_clusters: usize,
+    /// Number of users in the dataset (the partition total).
+    pub num_users: usize,
     /// Recursive splits performed during clustering.
     pub splits: usize,
     /// Similarity computations performed during the run.
@@ -102,5 +139,243 @@ impl RuntimeReport {
                 c
             })
             .collect()
+    }
+
+    /// The reduce-phase makespan: the busiest reducer's busy time.
+    pub fn reduce_makespan(&self) -> Duration {
+        self.reducers.iter().map(|r| r.busy).max().unwrap_or(Duration::ZERO)
+    }
+
+    /// Total busy time across all reduce shards.
+    pub fn total_reduce_busy(&self) -> Duration {
+        self.reducers.iter().map(|r| r.busy).sum()
+    }
+
+    /// Parallel speed-up of the reduce stage over one reducer
+    /// (`Σ reduce busy / reduce makespan`; ≤ the shard count). The figure
+    /// PR 1's single reducer pinned at 1.0.
+    pub fn reduce_speedup(&self) -> f64 {
+        let makespan = self.reduce_makespan().as_secs_f64();
+        if makespan == 0.0 {
+            return 1.0;
+        }
+        self.total_reduce_busy().as_secs_f64() / makespan
+    }
+
+    /// Shuffle skew: the busiest shard's entry count over the ideal
+    /// per-shard share (1.0 = perfectly even partitioning).
+    pub fn shuffle_skew(&self) -> f64 {
+        if self.reducers.is_empty() || self.shuffle_entries == 0 {
+            return 1.0;
+        }
+        let ideal = self.shuffle_entries as f64 / self.reducers.len() as f64;
+        let max = self.reducers.iter().map(|r| r.entries).max().unwrap_or(0);
+        max as f64 / ideal
+    }
+
+    /// Encoded bytes that went through spill files (0 when the spill mode
+    /// is [`SpillMode::Off`]).
+    pub fn total_spill_bytes(&self) -> u64 {
+        self.reducers.iter().map(|r| r.spilled_bytes).sum()
+    }
+
+    /// Entries that went through spill files.
+    pub fn total_spill_entries(&self) -> u64 {
+        self.reducers.iter().map(|r| r.spilled_entries).sum()
+    }
+
+    /// Cross-checks the report's own accounting. The engine asserts this
+    /// in debug builds; the test suites assert it on every configuration.
+    ///
+    /// Invariants:
+    /// * entries received by reducers = `shuffle_entries` = entries sent
+    ///   by workers (nothing lost or duplicated in the shuffle);
+    /// * per-shard user counts sum to `num_users` (the partition is a
+    ///   total, disjoint cover);
+    /// * spilled entries/bytes agree between the write side (workers) and
+    ///   the replay side (reducers);
+    /// * [`SpillMode::Off`] implies zero spill traffic.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let received: u64 = self.reducers.iter().map(|r| r.entries).sum();
+        if received != self.shuffle_entries {
+            return Err(format!(
+                "reducers merged {received} entries, report says {}",
+                self.shuffle_entries
+            ));
+        }
+        let sent: u64 = self.workers.iter().map(|w| w.shuffle_entries).sum();
+        if sent != self.shuffle_entries {
+            return Err(format!(
+                "workers shipped {sent} entries, reducers merged {}",
+                self.shuffle_entries
+            ));
+        }
+        let users: usize = self.reducers.iter().map(|r| r.users).sum();
+        if users != self.num_users {
+            return Err(format!(
+                "reduce partitions cover {users} users, dataset has {}",
+                self.num_users
+            ));
+        }
+        let written: (u64, u64) = self
+            .workers
+            .iter()
+            .fold((0, 0), |(e, b), w| (e + w.spilled_entries, b + w.spilled_bytes));
+        let replayed: (u64, u64) = self
+            .reducers
+            .iter()
+            .fold((0, 0), |(e, b), r| (e + r.spilled_entries, b + r.spilled_bytes));
+        if written != replayed {
+            return Err(format!(
+                "workers spilled {written:?} (entries, bytes), reducers replayed {replayed:?}"
+            ));
+        }
+        if self.spill == SpillMode::Off && replayed != (0, 0) {
+            return Err(format!("spill is Off but {replayed:?} (entries, bytes) were spilled"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal self-consistent report: 2 workers, 2 reduce shards,
+    /// 10 users, 12 shuffled entries of which 5 (40 bytes) spilled.
+    fn consistent_report() -> RuntimeReport {
+        let worker = |worker, entries, spilled_entries, spilled_bytes| WorkerStats {
+            worker,
+            clusters: vec![worker],
+            busy: Duration::from_millis(5),
+            solved_cost: 10,
+            shuffle_entries: entries,
+            spilled_entries,
+            spilled_bytes,
+            stolen: 0,
+        };
+        let reducer = |shard, users, entries, spilled_entries, spilled_bytes| ReduceStats {
+            shard,
+            users,
+            entries,
+            spilled_entries,
+            spilled_bytes,
+            busy: Duration::from_millis(3),
+        };
+        RuntimeReport {
+            plan: DeploymentPlan {
+                assignments: vec![vec![0], vec![1]],
+                worker_costs: vec![10, 10],
+                merge_traffic: 12,
+            },
+            workers: vec![worker(0, 7, 5, 40), worker(1, 5, 0, 0)],
+            reducers: vec![reducer(0, 6, 8, 5, 40), reducer(1, 4, 4, 0, 0)],
+            shuffle_entries: 12,
+            spill: SpillMode::Always,
+            spill_dir: Some(PathBuf::from("/tmp/cnc-spill-test")),
+            num_clusters: 2,
+            num_users: 10,
+            splits: 0,
+            comparisons: 100,
+            clustering_wall: Duration::from_millis(1),
+            map_reduce_wall: Duration::from_millis(8),
+            total_wall: Duration::from_millis(9),
+        }
+    }
+
+    #[test]
+    fn consistent_report_passes_invariants() {
+        consistent_report().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reducer_entry_sum_must_equal_shuffle_entries() {
+        let mut report = consistent_report();
+        report.reducers[1].entries += 1;
+        let err = report.check_invariants().unwrap_err();
+        assert!(err.contains("reducers merged"), "{err}");
+    }
+
+    #[test]
+    fn worker_sent_sum_must_equal_shuffle_entries() {
+        let mut report = consistent_report();
+        report.workers[0].shuffle_entries -= 1;
+        let err = report.check_invariants().unwrap_err();
+        assert!(err.contains("workers shipped"), "{err}");
+    }
+
+    #[test]
+    fn per_shard_user_counts_must_sum_to_n() {
+        let mut report = consistent_report();
+        report.reducers[0].users += 1;
+        let err = report.check_invariants().unwrap_err();
+        assert!(err.contains("cover"), "{err}");
+    }
+
+    #[test]
+    fn spill_accounting_must_agree_between_sides() {
+        let mut report = consistent_report();
+        report.reducers[0].spilled_bytes += 8;
+        assert!(report.check_invariants().is_err());
+    }
+
+    #[test]
+    fn spill_off_forbids_spill_traffic() {
+        let mut report = consistent_report();
+        report.spill = SpillMode::Off;
+        let err = report.check_invariants().unwrap_err();
+        assert!(err.contains("spill is Off"), "{err}");
+        // Clearing the spill figures on both sides makes Off legal again.
+        for w in &mut report.workers {
+            w.spilled_entries = 0;
+            w.spilled_bytes = 0;
+        }
+        for r in &mut report.reducers {
+            r.spilled_entries = 0;
+            r.spilled_bytes = 0;
+        }
+        report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn spill_totals_sum_over_shards() {
+        let report = consistent_report();
+        assert_eq!(report.total_spill_entries(), 5);
+        assert_eq!(report.total_spill_bytes(), 40);
+    }
+
+    #[test]
+    fn reduce_speedup_is_total_busy_over_makespan() {
+        let mut report = consistent_report();
+        report.reducers[0].busy = Duration::from_millis(6);
+        report.reducers[1].busy = Duration::from_millis(3);
+        assert!((report.reduce_speedup() - 1.5).abs() < 1e-9);
+        assert_eq!(report.reduce_makespan(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn reduce_speedup_of_an_idle_stage_is_one() {
+        let mut report = consistent_report();
+        for r in &mut report.reducers {
+            r.busy = Duration::ZERO;
+        }
+        assert_eq!(report.reduce_speedup(), 1.0);
+    }
+
+    #[test]
+    fn shuffle_skew_is_max_over_ideal() {
+        let report = consistent_report();
+        // Shares are 8 and 4 of 12 over 2 shards: ideal 6, max 8.
+        assert!((report.shuffle_skew() - 8.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shuffle_skew_of_an_empty_shuffle_is_one() {
+        let mut report = consistent_report();
+        report.shuffle_entries = 0;
+        for side in &mut report.reducers {
+            side.entries = 0;
+        }
+        assert_eq!(report.shuffle_skew(), 1.0);
     }
 }

@@ -1,0 +1,343 @@
+//! The shuffle layer: user→reduce-shard partitioning and the spill-file
+//! format.
+//!
+//! A real MapReduce deployment cannot keep the whole map→reduce stream in
+//! memory: each map task *spills* its output, partitioned by reducer, to
+//! local files that the reducers later pull. This module provides the two
+//! pieces the engine needs to model that:
+//!
+//! * [`partition_of`] — the deterministic hash partitioner that assigns
+//!   every user to exactly one of `R` reduce shards (a total, disjoint
+//!   cover of the user space, property-tested in `tests/shuffle.rs`);
+//! * a length-prefixed binary codec ([`write_record`] / [`read_record`])
+//!   for partial neighbour lists, plus [`SpillWriter`] and the
+//!   cleanup-on-drop [`SpillDir`] temp-directory guard.
+//!
+//! The codec is lossless: similarities travel as raw `f32` bits, so a
+//! spilled build merges *exactly* the same values as an in-memory one and
+//! the final graph stays bit-identical.
+
+use cnc_dataset::UserId;
+use cnc_graph::NeighborList;
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The reduce shard owning `user`, in `0..reduce_shards`.
+///
+/// A multiplicative (Fibonacci) hash rather than `user % R`: consecutive
+/// user ids scatter across shards the way an opaque key hash would in a
+/// real shuffle, so skew figures are representative.
+///
+/// # Panics
+/// Panics if `reduce_shards == 0`.
+#[inline]
+pub fn partition_of(user: UserId, reduce_shards: usize) -> usize {
+    assert!(reduce_shards > 0, "at least one reduce shard is required");
+    let h = (user as u64).wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    ((h >> 32) as usize) % reduce_shards
+}
+
+/// Encoded size of one spill record, in bytes: an 8-byte header
+/// (`user: u32 LE`, `len: u32 LE`) plus 8 bytes (`neighbour: u32 LE`,
+/// `sim: f32 bits LE`) per retained neighbour.
+#[inline]
+pub fn encoded_len(list: &NeighborList) -> u64 {
+    8 + 8 * list.len() as u64
+}
+
+/// Writes one `(user, partial list)` record; returns its encoded size.
+pub fn write_record<W: Write>(out: &mut W, user: UserId, list: &NeighborList) -> io::Result<u64> {
+    out.write_all(&user.to_le_bytes())?;
+    out.write_all(&(list.len() as u32).to_le_bytes())?;
+    for n in list.iter() {
+        out.write_all(&n.user.to_le_bytes())?;
+        out.write_all(&n.sim.to_bits().to_le_bytes())?;
+    }
+    Ok(encoded_len(list))
+}
+
+/// Reads the next record, reconstructing the partial list with bound `k`.
+///
+/// Returns `Ok(None)` at a clean end of stream; a stream that ends inside
+/// a record, or a record longer than `k`, is an `InvalidData`/
+/// `UnexpectedEof` error.
+pub fn read_record<R: Read>(input: &mut R, k: usize) -> io::Result<Option<(UserId, NeighborList)>> {
+    let mut header = [0u8; 8];
+    if !read_exact_or_eof(input, &mut header)? {
+        return Ok(None);
+    }
+    let user = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    if len > k {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("spill record for user {user} holds {len} neighbours, bound is {k}"),
+        ));
+    }
+    let mut list = NeighborList::new(k);
+    let mut entry = [0u8; 8];
+    for _ in 0..len {
+        input.read_exact(&mut entry)?;
+        let neighbor = u32::from_le_bytes(entry[0..4].try_into().unwrap());
+        let sim = f32::from_bits(u32::from_le_bytes(entry[4..8].try_into().unwrap()));
+        // Encoded lists hold ≤ k distinct users, so every insert lands and
+        // the decoded list equals the encoded one entry-for-entry.
+        list.insert(neighbor, sim);
+    }
+    Ok(Some((user, list)))
+}
+
+/// Fills `buf` completely, or reports a clean EOF *before the first byte*
+/// as `Ok(false)`. EOF mid-buffer is an `UnexpectedEof` error.
+fn read_exact_or_eof<R: Read>(input: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match input.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "spill stream truncated mid-record",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Distinguishes spill dirs of concurrent builds within one process.
+static SPILL_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A unique temporary directory for one build's spill files, removed —
+/// with everything inside it — when the guard drops.
+///
+/// The engine holds the guard on the orchestrating thread's stack, outside
+/// the worker scope: a panicking worker unwinds through the scope and
+/// drops the guard, so spill files never outlive the build that wrote
+/// them (asserted by `spill_dir_is_removed_when_a_panic_unwinds` below).
+#[derive(Debug)]
+pub struct SpillDir {
+    path: PathBuf,
+}
+
+impl SpillDir {
+    /// Creates a fresh directory under the system temp dir.
+    pub fn create() -> io::Result<SpillDir> {
+        let base = std::env::temp_dir();
+        loop {
+            let id = SPILL_DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = base.join(format!("cnc-spill-{}-{id}", std::process::id()));
+            match fs::create_dir(&path) {
+                Ok(()) => return Ok(SpillDir { path }),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The canonical spill-file path for one `(map worker, reduce shard)`
+    /// stream.
+    pub fn file_path(&self, worker: usize, shard: usize) -> PathBuf {
+        self.path.join(format!("map{worker}-reduce{shard}.spill"))
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        // Best effort: a failed removal must not turn a successful build
+        // (or an already-unwinding panic) into an abort.
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Buffered writer for one `(map worker, reduce shard)` spill stream.
+pub struct SpillWriter {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    bytes: u64,
+    entries: u64,
+}
+
+impl SpillWriter {
+    /// Creates the stream's file.
+    pub fn create(path: PathBuf) -> io::Result<SpillWriter> {
+        let writer = BufWriter::new(File::create(&path)?);
+        Ok(SpillWriter { writer, path, bytes: 0, entries: 0 })
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, user: UserId, list: &NeighborList) -> io::Result<()> {
+        self.bytes += write_record(&mut self.writer, user, list)?;
+        self.entries += list.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes and seals the stream, returning its replay handle.
+    pub fn finish(mut self) -> io::Result<FinishedSpill> {
+        self.writer.flush()?;
+        Ok(FinishedSpill { path: self.path, bytes: self.bytes, entries: self.entries })
+    }
+}
+
+/// A sealed spill file, ready to be replayed by its reduce shard.
+#[derive(Clone, Debug)]
+pub struct FinishedSpill {
+    /// Where the stream lives (inside the build's [`SpillDir`]).
+    pub path: PathBuf,
+    /// Encoded bytes written.
+    pub bytes: u64,
+    /// Neighbour entries `(user, neighbour, sim)` written.
+    pub entries: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(k: usize, entries: &[(u32, f32)]) -> NeighborList {
+        let mut l = NeighborList::new(k);
+        for &(user, sim) in entries {
+            l.insert(user, sim);
+        }
+        l
+    }
+
+    #[test]
+    fn partitioner_is_a_function_into_range() {
+        for shards in 1..8 {
+            for user in 0..5_000u32 {
+                let p = partition_of(user, shards);
+                assert!(p < shards);
+                assert_eq!(p, partition_of(user, shards), "partitioner must be deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioner_spreads_users_roughly_evenly() {
+        let shards = 4;
+        let mut counts = vec![0usize; shards];
+        for user in 0..10_000u32 {
+            counts[partition_of(user, shards)] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!((1_500..=3_500).contains(&c), "shard {shard} owns {c} of 10000 users");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reduce shard")]
+    fn zero_shards_panics() {
+        partition_of(0, 0);
+    }
+
+    #[test]
+    fn record_round_trip_is_exact() {
+        let original = list(4, &[(9, 0.75), (2, -0.5), (11, 0.75), (3, 0.0)]);
+        let mut buf = Vec::new();
+        let written = write_record(&mut buf, 42, &original).unwrap();
+        assert_eq!(written, encoded_len(&original));
+        assert_eq!(written as usize, buf.len());
+        let (user, decoded) = read_record(&mut buf.as_slice(), 4).unwrap().unwrap();
+        assert_eq!(user, 42);
+        assert_eq!(decoded.sorted(), original.sorted());
+        assert!(read_record(&mut io::empty(), 4).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_list_round_trips() {
+        let original = list(3, &[]);
+        let mut buf = Vec::new();
+        write_record(&mut buf, 7, &original).unwrap();
+        let (user, decoded) = read_record(&mut buf.as_slice(), 3).unwrap().unwrap();
+        assert_eq!(user, 7);
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn stream_of_records_decodes_in_order() {
+        let lists = [list(2, &[(1, 0.9)]), list(2, &[]), list(2, &[(5, 0.1), (6, 0.2)])];
+        let mut buf = Vec::new();
+        for (i, l) in lists.iter().enumerate() {
+            write_record(&mut buf, i as u32, l).unwrap();
+        }
+        let mut reader = buf.as_slice();
+        for (i, l) in lists.iter().enumerate() {
+            let (user, decoded) = read_record(&mut reader, 2).unwrap().unwrap();
+            assert_eq!(user, i as u32);
+            assert_eq!(decoded.sorted(), l.sorted());
+        }
+        assert!(read_record(&mut reader, 2).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, 1, &list(2, &[(3, 0.5)])).unwrap();
+        buf.pop();
+        let mut reader = buf.as_slice();
+        assert!(read_record(&mut reader, 2).is_err());
+    }
+
+    #[test]
+    fn oversized_record_is_rejected() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, 1, &list(5, &[(1, 0.1), (2, 0.2), (3, 0.3)])).unwrap();
+        let err = read_record(&mut buf.as_slice(), 2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn spill_writer_counts_bytes_and_entries() {
+        let dir = SpillDir::create().unwrap();
+        let mut w = SpillWriter::create(dir.file_path(0, 1)).unwrap();
+        let a = list(3, &[(1, 0.5), (2, 0.25)]);
+        let b = list(3, &[(9, 0.125)]);
+        w.push(10, &a).unwrap();
+        w.push(11, &b).unwrap();
+        let finished = w.finish().unwrap();
+        assert_eq!(finished.bytes, encoded_len(&a) + encoded_len(&b));
+        assert_eq!(finished.entries, 3);
+        assert_eq!(fs::metadata(&finished.path).unwrap().len(), finished.bytes);
+    }
+
+    #[test]
+    fn spill_dir_is_removed_on_drop_with_contents() {
+        let dir = SpillDir::create().unwrap();
+        let path = dir.path().to_path_buf();
+        fs::write(dir.file_path(0, 0), b"payload").unwrap();
+        assert!(path.exists());
+        drop(dir);
+        assert!(!path.exists(), "drop must remove the dir and its files");
+    }
+
+    #[test]
+    fn spill_dir_is_removed_when_a_panic_unwinds() {
+        let dir = SpillDir::create().unwrap();
+        let path = dir.path().to_path_buf();
+        fs::write(dir.file_path(3, 1), b"junk").unwrap();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _guard = dir;
+            panic!("worker died mid-spill");
+        }));
+        assert!(outcome.is_err());
+        assert!(!path.exists(), "unwinding past the guard must remove the dir");
+    }
+
+    #[test]
+    fn concurrent_spill_dirs_are_distinct() {
+        let a = SpillDir::create().unwrap();
+        let b = SpillDir::create().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -1,9 +1,10 @@
 //! Sharded map-reduce graph construction (§VIII, executed).
 //!
 //! Builds the same C² KNN graph twice — once with the in-process pipeline,
-//! once on `cnc-runtime`'s sharded engine — then compares the deployment
-//! plan's *predicted* figures with the engine's *measured* ones and checks
-//! the two graphs agree.
+//! once on `cnc-runtime`'s sharded engine with a multi-shard reduce and a
+//! file-backed shuffle — then compares the deployment plan's *predicted*
+//! figures with the engine's *measured* ones and checks the two graphs
+//! agree.
 //!
 //! ```text
 //! cargo run --release --example sharded_build
@@ -42,13 +43,23 @@ fn main() {
         single.stats.timings.total.as_secs_f64() * 1e3,
     );
 
-    // Sharded build on 4 workers with work stealing.
-    let runtime =
-        RuntimeConfig { workers: 4, channel_capacity: 64, steal: StealPolicy::MostLoaded };
+    // Sharded build: 4 map workers, 2 reduce shards, spilling each
+    // map→reduce stream to disk once it exceeds 64 KiB.
+    let runtime = RuntimeConfig {
+        workers: 4,
+        reduce_shards: 2,
+        channel_capacity: 64,
+        steal: StealPolicy::MostLoaded,
+        spill: SpillMode::Auto(64 * 1024),
+    };
     let sharded = builder.build_sharded(&dataset, &runtime);
     let report = &sharded.report;
 
-    println!("\nsharded build over {} workers:", report.workers.len());
+    println!(
+        "\nsharded build over {} workers and {} reduce shards:",
+        report.workers.len(),
+        report.reducers.len()
+    );
     println!("  predicted speed-up (LPT plan):  {:.2}", report.plan.speedup());
     println!("  measured speed-up (Σbusy/max):  {:.2}", report.measured_speedup());
     println!("  predicted imbalance:            {:.3}", report.plan.imbalance());
@@ -56,20 +67,41 @@ fn main() {
     println!("  predicted shuffle entries:      {}", report.plan.merge_traffic);
     println!("  measured shuffle entries:       {}", report.shuffle_entries);
     println!("  clusters stolen by idle shards: {}", report.stolen_clusters());
+    println!("  reduce-stage speed-up:          {:.2}", report.reduce_speedup());
+    println!("  shuffle skew (max/ideal):       {:.3}", report.shuffle_skew());
+    println!(
+        "  spilled to disk:                {} entries, {} bytes",
+        report.total_spill_entries(),
+        report.total_spill_bytes()
+    );
     println!(
         "  map+reduce wall:                {:.1} ms",
         report.map_reduce_wall.as_secs_f64() * 1e3
     );
     for w in &report.workers {
         println!(
-            "    worker {}: {} clusters ({} stolen), busy {:.1} ms, shipped {} entries",
+            "    worker {}: {} clusters ({} stolen), busy {:.1} ms, shipped {} entries \
+             ({} spilled)",
             w.worker,
             w.clusters.len(),
             w.stolen,
             w.busy.as_secs_f64() * 1e3,
             w.shuffle_entries,
+            w.spilled_entries,
         );
     }
+    for r in &report.reducers {
+        println!(
+            "    reducer {}: {} users, merged {} entries ({} from spill files), busy {:.1} ms",
+            r.shard,
+            r.users,
+            r.entries,
+            r.spilled_entries,
+            r.busy.as_secs_f64() * 1e3,
+        );
+    }
+
+    report.check_invariants().expect("shuffle accounting must balance");
 
     // The sharded merge is order-independent, so the graphs must agree.
     let agree = dataset

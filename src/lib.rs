@@ -36,6 +36,6 @@ pub mod prelude {
     pub use cnc_eval::{quality, KnnClassifier, Recommender};
     pub use cnc_graph::KnnGraph;
     pub use cnc_query::{BeamSearchConfig, QueryIndex};
-    pub use cnc_runtime::{Runtime, RuntimeConfig, ShardedBuild, StealPolicy};
+    pub use cnc_runtime::{Runtime, RuntimeConfig, ShardedBuild, SpillMode, StealPolicy};
     pub use cnc_similarity::{GoldFinger, Jaccard, SimilarityBackend};
 }
