@@ -9,11 +9,49 @@
 
 use crate::{BuildContext, KnnAlgorithm};
 use cnc_graph::{KnnGraph, NeighborList, SharedKnnGraph};
+use cnc_similarity::kernel::{SimKernel, SimSolve};
+use cnc_similarity::SimilarityData;
 use cnc_threadpool::parallel_ranges;
 
 /// The exact, exhaustive baseline.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BruteForce;
+
+/// The whole triangular sweep, monomorphized per backend kernel by
+/// [`SimilarityData::solve_global`]; each worker flushes its chunk's
+/// comparison count in one batched add (totals unchanged: row `u` costs
+/// exactly `n − u − 1` comparisons).
+struct BruteGlobal<'a, 'b> {
+    sim: &'a SimilarityData<'b>,
+    shared: &'a SharedKnnGraph,
+    k: usize,
+    threads: usize,
+}
+
+impl SimSolve for BruteGlobal<'_, '_> {
+    type Output = ();
+
+    fn run<K: SimKernel>(self, kernel: &K) {
+        let n = kernel.len();
+        parallel_ranges(self.threads, n, 8, |range| {
+            let mut computed = 0u64;
+            for u in range {
+                let u = u as u32;
+                // Accumulate u's own row locally; push the symmetric edge
+                // into the (striped-locked) shared graph. The batched row
+                // sweep streams the tail fingerprints contiguously.
+                let mut row = NeighborList::new(self.k);
+                kernel.sweep_row(u, |v, s| {
+                    row.insert(v, s);
+                    self.shared.insert(v, u, s);
+                });
+                computed += (n as u64 - u as u64).saturating_sub(1);
+                self.shared.merge_into(u, &row);
+            }
+            self.sim.add_comparisons(computed);
+        });
+    }
+}
 
 impl KnnAlgorithm for BruteForce {
     fn name(&self) -> &'static str {
@@ -23,19 +61,11 @@ impl KnnAlgorithm for BruteForce {
     fn build(&self, ctx: &BuildContext<'_>) -> KnnGraph {
         let n = ctx.dataset.num_users();
         let shared = SharedKnnGraph::new(n, ctx.k);
-        parallel_ranges(ctx.effective_threads(), n, 8, |range| {
-            for u in range {
-                let u = u as u32;
-                // Accumulate u's own row locally; push the symmetric edge
-                // into the (striped-locked) shared graph.
-                let mut row = NeighborList::new(ctx.k);
-                for v in (u + 1)..n as u32 {
-                    let s = ctx.sim.sim(u, v);
-                    row.insert(v, s);
-                    shared.insert(v, u, s);
-                }
-                shared.merge_into(u, &row);
-            }
+        ctx.sim.solve_global(BruteGlobal {
+            sim: ctx.sim,
+            shared: &shared,
+            k: ctx.k,
+            threads: ctx.effective_threads(),
         });
         shared.into_graph()
     }

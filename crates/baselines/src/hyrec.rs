@@ -9,6 +9,8 @@
 
 use crate::{BuildContext, KnnAlgorithm};
 use cnc_graph::{KnnGraph, SharedKnnGraph};
+use cnc_similarity::kernel::{SimKernel, SimSolve};
+use cnc_similarity::SimilarityData;
 use cnc_threadpool::parallel_ranges;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -27,27 +29,38 @@ impl Default for Hyrec {
     }
 }
 
-impl KnnAlgorithm for Hyrec {
-    fn name(&self) -> &'static str {
-        "Hyrec"
-    }
+/// The whole greedy loop, monomorphized per backend kernel. Each worker
+/// counts its similarities locally and flushes one batched add per chunk;
+/// the totals are identical to the per-pair accounting of the scalar path.
+struct HyrecGlobal<'a, 'b> {
+    algo: Hyrec,
+    sim: &'a SimilarityData<'b>,
+    k: usize,
+    threads: usize,
+    seed: u64,
+}
 
-    fn build(&self, ctx: &BuildContext<'_>) -> KnnGraph {
-        let n = ctx.dataset.num_users();
-        if n == 0 {
-            return KnnGraph::new(0, ctx.k);
-        }
-        let threads = ctx.effective_threads();
-        let init = KnnGraph::random_init(n, ctx.k, ctx.seed, |u, v| ctx.sim.sim(u, v));
+impl SimSolve for HyrecGlobal<'_, '_> {
+    type Output = KnnGraph;
+
+    fn run<K: SimKernel>(self, kernel: &K) -> KnnGraph {
+        let n = kernel.len();
+        let mut init_comparisons = 0u64;
+        let init = KnnGraph::random_init(n, self.k, self.seed, |u, v| {
+            init_comparisons += 1;
+            kernel.sim(u, v)
+        });
+        self.sim.add_comparisons(init_comparisons);
         let shared = SharedKnnGraph::from_graph(init);
 
-        for _ in 0..self.max_iterations {
+        for _ in 0..self.algo.max_iterations {
             // Read phase: freeze the adjacency so all threads explore the
             // same neighbours-of-neighbours frontier.
             let ids = shared.snapshot_ids();
             let updates = AtomicU64::new(0);
-            parallel_ranges(threads, n, 32, |range| {
+            parallel_ranges(self.threads, n, 32, |range| {
                 let mut candidates: Vec<u32> = Vec::new();
+                let mut computed = 0u64;
                 for u in range {
                     let u = u as u32;
                     candidates.clear();
@@ -67,18 +80,40 @@ impl KnnAlgorithm for Hyrec {
                         if ids[u as usize].contains(&w) {
                             continue;
                         }
-                        let s = ctx.sim.sim(u, w);
+                        let s = kernel.sim(u, w);
+                        computed += 1;
                         local_updates += u64::from(shared.insert(u, w, s));
                         local_updates += u64::from(shared.insert(w, u, s));
                     }
                     updates.fetch_add(local_updates, Ordering::Relaxed);
                 }
+                self.sim.add_comparisons(computed);
             });
-            if (updates.load(Ordering::Relaxed) as f64) < self.delta * ctx.k as f64 * n as f64 {
+            if (updates.load(Ordering::Relaxed) as f64) < self.algo.delta * self.k as f64 * n as f64
+            {
                 break;
             }
         }
         shared.into_graph()
+    }
+}
+
+impl KnnAlgorithm for Hyrec {
+    fn name(&self) -> &'static str {
+        "Hyrec"
+    }
+
+    fn build(&self, ctx: &BuildContext<'_>) -> KnnGraph {
+        if ctx.dataset.num_users() == 0 {
+            return KnnGraph::new(0, ctx.k);
+        }
+        ctx.sim.solve_global(HyrecGlobal {
+            algo: *self,
+            sim: ctx.sim,
+            k: ctx.k,
+            threads: ctx.effective_threads(),
+            seed: ctx.seed,
+        })
     }
 }
 

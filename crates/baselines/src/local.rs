@@ -8,7 +8,8 @@
 //! a per-user bounded-heap merge.
 
 use cnc_dataset::UserId;
-use cnc_graph::{KnnGraph, NeighborList, SharedKnnGraph};
+use cnc_graph::{pairwise_into, KnnGraph, NeighborList, SharedKnnGraph};
+use cnc_similarity::kernel::{pair_count, SimKernel, SimSolve};
 use cnc_similarity::SimilarityData;
 
 /// Exhaustive pairwise KNN restricted to `users` (|C|·(|C|−1)/2
@@ -19,6 +20,11 @@ use cnc_similarity::SimilarityData;
 /// decides where the partial lists go — merged into a [`SharedKnnGraph`]
 /// in-process (see [`brute_force`]) or shipped to a reduce stage
 /// (`cnc-runtime`).
+///
+/// Runs on the batched kernel layer: one backend dispatch and (for
+/// GoldFinger) one contiguous fingerprint tile per cluster, then a
+/// monomorphized all-pairs sweep, then **one** comparison-count flush for
+/// the whole cluster — the totals are identical to counting per pair.
 pub fn brute_force_partial(
     users: &[UserId],
     sim: &SimilarityData<'_>,
@@ -28,14 +34,24 @@ pub fn brute_force_partial(
     if users.len() < 2 {
         return lists;
     }
-    for i in 0..users.len() {
-        for j in (i + 1)..users.len() {
-            let s = sim.sim(users[i], users[j]);
-            lists[i].insert(users[j], s);
-            lists[j].insert(users[i], s);
-        }
-    }
+    sim.solve_cluster(users, BrutePartial { users, lists: &mut lists });
+    sim.add_comparisons(pair_count(users.len()));
     lists
+}
+
+/// The brute-force cluster solve, written once and monomorphized per
+/// kernel by [`SimilarityData::solve_cluster`].
+struct BrutePartial<'a> {
+    users: &'a [UserId],
+    lists: &'a mut [NeighborList],
+}
+
+impl SimSolve for BrutePartial<'_> {
+    type Output = ();
+
+    fn run<K: SimKernel>(self, kernel: &K) {
+        pairwise_into(kernel, self.users, self.lists);
+    }
 }
 
 /// Exhaustive pairwise KNN restricted to `users`, merged into `out`.
@@ -75,50 +91,96 @@ pub fn hyrec_partial(
     if n <= k + 1 {
         return brute_force_partial(users, sim, k);
     }
-    // Local graph over local indices 0..n.
-    let mut graph =
-        KnnGraph::random_init(n, k, seed, |a, b| sim.sim(users[a as usize], users[b as usize]));
-    let mut candidates: Vec<u32> = Vec::new();
-    for _ in 0..rho {
-        let ids: Vec<Vec<u32>> =
-            (0..n as u32).map(|u| graph.neighbors(u).iter().map(|nb| nb.user).collect()).collect();
-        let mut updates = 0usize;
-        for u in 0..n as u32 {
-            candidates.clear();
-            for &v in &ids[u as usize] {
-                for &w in &ids[v as usize] {
-                    if w != u {
-                        candidates.push(w);
+    let (lists, comparisons) =
+        sim.solve_cluster(users, HyrecPartial { users, k, rho, delta, seed });
+    sim.add_comparisons(comparisons);
+    lists
+}
+
+/// The greedy cluster solve, written once and monomorphized per kernel by
+/// [`SimilarityData::solve_cluster`]. Returns the translated lists plus
+/// the number of similarities computed (flushed by the caller in one
+/// batched add — the counter totals match the per-pair accounting of the
+/// scalar path exactly).
+struct HyrecPartial<'a> {
+    users: &'a [UserId],
+    k: usize,
+    rho: usize,
+    delta: f64,
+    seed: u64,
+}
+
+impl SimSolve for HyrecPartial<'_> {
+    type Output = (Vec<NeighborList>, u64);
+
+    fn run<K: SimKernel>(self, kernel: &K) -> Self::Output {
+        let (users, k) = (self.users, self.k);
+        let n = users.len();
+        let mut comparisons = 0u64;
+        // Local graph over local indices 0..n (= kernel rows).
+        let mut graph = KnnGraph::random_init(n, k, self.seed, |a, b| {
+            comparisons += 1;
+            kernel.sim(a, b)
+        });
+        let mut candidates: Vec<u32> = Vec::new();
+        // Flat per-iteration snapshot of the adjacency (offsets + one id
+        // buffer), reused across iterations instead of reallocating a
+        // Vec<Vec<u32>> every round.
+        let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut ids: Vec<u32> = Vec::with_capacity(n * k);
+        for _ in 0..self.rho {
+            offsets.clear();
+            ids.clear();
+            offsets.push(0);
+            for u in 0..n as u32 {
+                ids.extend(graph.neighbors(u).iter().map(|nb| nb.user));
+                offsets.push(ids.len() as u32);
+            }
+            let row = |u: u32| &ids[offsets[u as usize] as usize..offsets[u as usize + 1] as usize];
+            let mut updates = 0usize;
+            for u in 0..n as u32 {
+                candidates.clear();
+                for &v in row(u) {
+                    for &w in row(v) {
+                        if w != u {
+                            candidates.push(w);
+                        }
                     }
                 }
-            }
-            candidates.sort_unstable();
-            candidates.dedup();
-            for &w in &candidates {
-                if graph.neighbors(u).contains(w) {
-                    continue; // already connected; similarity known
+                candidates.sort_unstable();
+                candidates.dedup();
+                for &w in &candidates {
+                    // The live-graph check (not the frozen snapshot) and
+                    // the compute-then-insert interleaving are the seed
+                    // semantics: an insert may evict a later candidate,
+                    // which is then recomputed. Do not batch this loop.
+                    if graph.neighbors(u).contains(w) {
+                        continue; // already connected; similarity known
+                    }
+                    let s = kernel.sim(u, w);
+                    comparisons += 1;
+                    updates += usize::from(graph.insert(u, w, s));
+                    updates += usize::from(graph.insert(w, u, s));
                 }
-                let s = sim.sim(users[u as usize], users[w as usize]);
-                updates += usize::from(graph.insert(u, w, s));
-                updates += usize::from(graph.insert(w, u, s));
+            }
+            if (updates as f64) < self.delta * k as f64 * n as f64 {
+                break;
             }
         }
-        if (updates as f64) < delta * k as f64 * n as f64 {
-            break;
-        }
+        // Translate local indices back to global user ids.
+        let lists = users
+            .iter()
+            .enumerate()
+            .map(|(local, _)| {
+                let mut translated = NeighborList::new(k);
+                for nb in graph.neighbors(local as u32).iter() {
+                    translated.insert(users[nb.user as usize], nb.sim);
+                }
+                translated
+            })
+            .collect();
+        (lists, comparisons)
     }
-    // Translate local indices back to global user ids.
-    users
-        .iter()
-        .enumerate()
-        .map(|(local, _)| {
-            let mut translated = NeighborList::new(k);
-            for nb in graph.neighbors(local as u32).iter() {
-                translated.insert(users[nb.user as usize], nb.sim);
-            }
-            translated
-        })
-        .collect()
 }
 
 /// Greedy Hyrec restricted to `users`, merged into `out` (Algorithm 2's
@@ -280,6 +342,49 @@ mod tests {
                     merged.neighbors(u).sorted(),
                     "greedy={greedy}: user {u} differs"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_accounting_matches_pair_counts_on_goldfinger() {
+        // The batched kernel path must report exactly the per-pair totals
+        // of the seed behavior on both solver branches.
+        let ds = twins_dataset();
+        let backend = SimilarityBackend::GoldFinger { bits: 1024, seed: 13 };
+        let sim = SimilarityData::build(backend, &ds);
+        let users: Vec<u32> = (0..12).collect();
+        brute_force_partial(&users, &sim, 4);
+        assert_eq!(sim.comparisons(), 12 * 11 / 2);
+
+        // Small-cluster Hyrec degenerates to brute force: exact count.
+        let sim = SimilarityData::build(backend, &ds);
+        hyrec_partial(&(0..9u32).collect::<Vec<_>>(), &sim, 10, 5, 0.001, 3);
+        assert_eq!(sim.comparisons(), 9 * 8 / 2);
+
+        // Greedy Hyrec: random init costs exactly n·k, and every further
+        // comparison flows through the same batched counter.
+        let sim = SimilarityData::build(backend, &ds);
+        let users: Vec<u32> = (0..40).collect();
+        hyrec_partial(&users, &sim, 2, 0, 0.001, 11);
+        assert_eq!(sim.comparisons(), 40 * 2, "rho = 0 leaves only the random init");
+        let sim_full = SimilarityData::build(backend, &ds);
+        hyrec_partial(&users, &sim_full, 2, 3, 0.001, 11);
+        assert!(sim_full.comparisons() > 40 * 2);
+        assert!(sim_full.comparisons() < 780);
+    }
+
+    #[test]
+    fn goldfinger_partial_lists_match_estimates_bitwise() {
+        let ds = twins_dataset();
+        let sim = SimilarityData::build(SimilarityBackend::GoldFinger { bits: 256, seed: 7 }, &ds);
+        let gf = sim.goldfinger().unwrap();
+        let users: Vec<u32> = (5..25).collect();
+        let lists = brute_force_partial(&users, &sim, 3);
+        for (i, list) in lists.iter().enumerate() {
+            for nb in list.iter() {
+                let expect = gf.estimate(users[i], nb.user) as f32;
+                assert_eq!(nb.sim.to_bits(), expect.to_bits());
             }
         }
     }

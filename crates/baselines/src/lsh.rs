@@ -150,6 +150,26 @@ mod tests {
     }
 
     #[test]
+    fn bucket_accounting_is_the_sum_of_per_bucket_pair_counts() {
+        // Every bucket runs the batched cluster solver; the counter must
+        // land on exactly Σ |bucket|·(|bucket|−1)/2 — the same total the
+        // seed's per-pair accounting produced.
+        let ds = small_dataset();
+        let backend = SimilarityBackend::GoldFinger { bits: 1024, seed: 17 };
+        let sim = SimilarityData::build(backend, &ds);
+        let ctx = BuildContext { dataset: &ds, sim: &sim, k: 5, threads: 2, seed: 6 };
+        let lsh = Lsh { hash_functions: 4 };
+        let expected: u64 = lsh
+            .build_buckets(&ctx)
+            .iter()
+            .flatten()
+            .map(|bucket| cnc_similarity::kernel::pair_count(bucket.len()))
+            .sum();
+        lsh.build(&ctx);
+        assert_eq!(sim.comparisons(), expected);
+    }
+
+    #[test]
     fn empty_dataset_yields_empty_graph() {
         let ds = Dataset::from_profiles(vec![], 0);
         let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);

@@ -12,6 +12,8 @@
 use crate::{BuildContext, KnnAlgorithm};
 use cnc_dataset::UserId;
 use cnc_graph::{KnnGraph, SharedKnnGraph};
+use cnc_similarity::kernel::{SimKernel, SimSolve};
+use cnc_similarity::SimilarityData;
 use cnc_threadpool::parallel_ranges;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -74,26 +76,37 @@ impl NnDescent {
     }
 }
 
-impl KnnAlgorithm for NnDescent {
-    fn name(&self) -> &'static str {
-        "NNDescent"
-    }
+/// The whole descent loop, monomorphized per backend kernel. Each worker
+/// counts its similarities locally and flushes one batched add per chunk
+/// (totals unchanged vs the scalar per-pair accounting).
+struct NnDescentGlobal<'a, 'b> {
+    algo: NnDescent,
+    sim: &'a SimilarityData<'b>,
+    k: usize,
+    threads: usize,
+    seed: u64,
+}
 
-    fn build(&self, ctx: &BuildContext<'_>) -> KnnGraph {
-        let n = ctx.dataset.num_users();
-        if n == 0 {
-            return KnnGraph::new(0, ctx.k);
-        }
-        let threads = ctx.effective_threads();
-        let init = KnnGraph::random_init(n, ctx.k, ctx.seed, |u, v| ctx.sim.sim(u, v));
+impl SimSolve for NnDescentGlobal<'_, '_> {
+    type Output = KnnGraph;
+
+    fn run<K: SimKernel>(self, kernel: &K) -> KnnGraph {
+        let n = kernel.len();
+        let mut init_comparisons = 0u64;
+        let init = KnnGraph::random_init(n, self.k, self.seed, |u, v| {
+            init_comparisons += 1;
+            kernel.sim(u, v)
+        });
+        self.sim.add_comparisons(init_comparisons);
         let shared = SharedKnnGraph::from_graph(init);
         let mut prev: Vec<Vec<UserId>> = vec![Vec::new(); n];
 
-        for iteration in 0..self.max_iterations {
+        for iteration in 0..self.algo.max_iterations {
             let ids = shared.snapshot_ids();
-            let pools = Self::candidate_pools(&ids, &prev, ctx.k, ctx.seed, iteration);
+            let pools = NnDescent::candidate_pools(&ids, &prev, self.k, self.seed, iteration);
             let updates = AtomicU64::new(0);
-            parallel_ranges(threads, n, 32, |range| {
+            parallel_ranges(self.threads, n, 32, |range| {
+                let mut computed = 0u64;
                 for u in range {
                     let (pool, is_new) = &pools[u];
                     let mut local_updates = 0u64;
@@ -105,20 +118,42 @@ impl KnnAlgorithm for NnDescent {
                                 continue;
                             }
                             let (a, b) = (pool[i], pool[j]);
-                            let s = ctx.sim.sim(a, b);
+                            let s = kernel.sim(a, b);
+                            computed += 1;
                             local_updates += u64::from(shared.insert(a, b, s));
                             local_updates += u64::from(shared.insert(b, a, s));
                         }
                     }
                     updates.fetch_add(local_updates, Ordering::Relaxed);
                 }
+                self.sim.add_comparisons(computed);
             });
             prev = ids;
-            if (updates.load(Ordering::Relaxed) as f64) < self.delta * ctx.k as f64 * n as f64 {
+            if (updates.load(Ordering::Relaxed) as f64) < self.algo.delta * self.k as f64 * n as f64
+            {
                 break;
             }
         }
         shared.into_graph()
+    }
+}
+
+impl KnnAlgorithm for NnDescent {
+    fn name(&self) -> &'static str {
+        "NNDescent"
+    }
+
+    fn build(&self, ctx: &BuildContext<'_>) -> KnnGraph {
+        if ctx.dataset.num_users() == 0 {
+            return KnnGraph::new(0, ctx.k);
+        }
+        ctx.sim.solve_global(NnDescentGlobal {
+            algo: *self,
+            sim: ctx.sim,
+            k: ctx.k,
+            threads: ctx.effective_threads(),
+            seed: ctx.seed,
+        })
     }
 }
 

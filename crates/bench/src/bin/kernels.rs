@@ -1,0 +1,12 @@
+//! Regenerates the similarity-kernel microbenchmark (scalar oracle vs
+//! batched tiles, fingerprint build serial vs parallel) and records
+//! `BENCH_kernels.json` at the workspace root.
+//!
+//! ```text
+//! cargo run -p cnc-bench --release --bin kernels -- --scale 0.125
+//! ```
+
+fn main() {
+    let args = cnc_bench::HarnessArgs::from_env();
+    print!("{}", cnc_bench::experiments::kernels::run(&args));
+}

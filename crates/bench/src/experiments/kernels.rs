@@ -1,0 +1,356 @@
+//! Similarity-kernel microbenchmark: the first recorded point of the
+//! repo's perf trajectory (`BENCH_kernels.json`).
+//!
+//! Two sweeps over one synthetic dataset:
+//!
+//! 1. **Pairwise throughput** (Mcmp/s) of an all-pairs cluster solve for
+//!    every backend — exact Jaccard and GoldFinger at 64/1024/8192 bits —
+//!    through both call shapes:
+//!    * *scalar*: the seed path, one `SimilarityData::sim` per pair (enum
+//!      dispatch + one relaxed `fetch_add` + runtime-width popcount);
+//!    * *tiled*: the batched kernel path (`solve_cluster` → contiguous
+//!      `ClusterTile` → fixed-width monomorphized, register-blocked
+//!      kernel, one comparison flush), timed **including** the tile gather
+//!      and the flush.
+//!
+//!    Both shapes accumulate an order-independent checksum of the raw
+//!    `f32` bit patterns (the blocked sweep visits pairs in a different
+//!    order); the bench asserts the checksums are identical, so the
+//!    speed-up cannot come from computing something else.
+//! 2. **Fingerprint build time** for the paper's 1024-bit width: serial
+//!    `GoldFinger::build` vs `build_parallel` on all cores, plus the cost
+//!    of *reusing* one build through `SimilarityData::from_goldfinger`
+//!    (the ROADMAP "share one fingerprint build" item).
+//!
+//! The markdown section is wired into `repro_all`; the same figures are
+//! also written to `BENCH_kernels.json` at the workspace root.
+
+use crate::args::HarnessArgs;
+use cnc_dataset::{Dataset, UserId};
+use cnc_similarity::kernel::{pair_count, pairwise, SimKernel, SimSolve};
+use cnc_similarity::{GoldFinger, SimilarityBackend, SimilarityData};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// GoldFinger widths swept by the pairwise table (Table V's extremes plus
+/// the paper default).
+pub const GOLDFINGER_BITS: [usize; 3] = [64, 1024, 8192];
+
+/// One measured pairwise row.
+#[derive(Clone, Debug)]
+pub struct PairwiseRow {
+    /// Backend label (`Raw`, `GoldFinger1024`, …).
+    pub kernel: String,
+    /// Scalar (seed-path) throughput in Mcmp/s.
+    pub scalar_mcmp_s: f64,
+    /// Tiled (batched kernel path) throughput in Mcmp/s.
+    pub tiled_mcmp_s: f64,
+    /// `tiled / scalar`.
+    pub speedup: f64,
+}
+
+/// The full bench result (rendered to markdown and JSON).
+#[derive(Clone, Debug)]
+pub struct KernelsReport {
+    /// Users in the dataset.
+    pub num_users: usize,
+    /// Users in the sampled cluster.
+    pub cluster_users: usize,
+    /// Pairs per sweep repetition.
+    pub pairs: u64,
+    /// Sweep repetitions.
+    pub reps: u32,
+    /// One row per backend.
+    pub pairwise: Vec<PairwiseRow>,
+    /// Serial 1024-bit fingerprint build, milliseconds.
+    pub build_serial_ms: f64,
+    /// All-core 1024-bit fingerprint build, milliseconds.
+    pub build_parallel_ms: f64,
+    /// Reusing a shared build via `from_goldfinger`, milliseconds.
+    pub build_shared_ms: f64,
+}
+
+/// Order-independent checksum of all pairwise similarities through the
+/// batched kernel path: a wrapping sum of the raw `f32` bit patterns,
+/// insensitive to the blocked sweep's visit order but sensitive to any
+/// value diverging from the scalar path.
+struct PairwiseChecksum;
+
+impl SimSolve for PairwiseChecksum {
+    type Output = u64;
+
+    fn run<K: SimKernel>(self, kernel: &K) -> u64 {
+        let mut checksum = 0u64;
+        pairwise(kernel, |_, _, s| checksum = checksum.wrapping_add(s.to_bits() as u64));
+        checksum
+    }
+}
+
+/// A spread-out user sample: clusters in production are scattered across
+/// the id space, so striding (rather than taking a prefix) keeps the
+/// scalar path's cache behaviour honest.
+fn sample_cluster(n: usize, want: usize) -> Vec<UserId> {
+    let want = want.min(n);
+    if want == 0 {
+        return Vec::new();
+    }
+    let stride = (n / want).max(1);
+    (0..n).step_by(stride).take(want).map(|u| u as UserId).collect()
+}
+
+fn measure_pairwise(
+    label: &str,
+    backend: SimilarityBackend,
+    dataset: &Dataset,
+    users: &[UserId],
+    reps: u32,
+) -> PairwiseRow {
+    let sim = SimilarityData::build(backend, dataset);
+    let pairs = pair_count(users.len());
+
+    // Best-of-3 trials per shape: on shared/1-core boxes a single timing
+    // is dominated by steal time and frequency noise; the minimum is the
+    // standard microbenchmark estimator of the true cost.
+    const TRIALS: usize = 3;
+
+    // Scalar: the seed hot path, one counted oracle call per pair.
+    let mut scalar_s = f64::INFINITY;
+    let mut scalar_sum = 0u64;
+    for trial in 0..TRIALS {
+        let start = Instant::now();
+        let mut sum = 0u64;
+        for _ in 0..reps {
+            for i in 0..users.len() {
+                for j in (i + 1)..users.len() {
+                    sum = sum.wrapping_add(sim.sim(users[i], users[j]).to_bits() as u64);
+                }
+            }
+        }
+        scalar_s = scalar_s.min(start.elapsed().as_secs_f64());
+        if trial == 0 {
+            scalar_sum = sum;
+        }
+        assert_eq!(sum, scalar_sum, "{label}: scalar sweep is not deterministic");
+    }
+
+    // Tiled: gather + monomorphized sweep + one accounting flush, all
+    // inside the timed region (that's what a cluster solve pays).
+    let mut tiled_s = f64::INFINITY;
+    let mut tiled_sum = 0u64;
+    for trial in 0..TRIALS {
+        let start = Instant::now();
+        let mut sum = 0u64;
+        for _ in 0..reps {
+            sum = sum.wrapping_add(sim.solve_cluster(users, PairwiseChecksum));
+            sim.add_comparisons(pairs);
+        }
+        tiled_s = tiled_s.min(start.elapsed().as_secs_f64());
+        if trial == 0 {
+            tiled_sum = sum;
+        }
+        assert_eq!(sum, tiled_sum, "{label}: tiled sweep is not deterministic");
+    }
+
+    assert_eq!(scalar_sum, tiled_sum, "{label}: tiled sweep diverged from the scalar path");
+    assert_eq!(
+        sim.comparisons(),
+        (2 * TRIALS as u64) * pairs * reps as u64,
+        "{label}: accounting off"
+    );
+
+    let total = (pairs * reps as u64) as f64;
+    let row = PairwiseRow {
+        kernel: label.to_owned(),
+        scalar_mcmp_s: total / scalar_s / 1e6,
+        tiled_mcmp_s: total / tiled_s / 1e6,
+        speedup: scalar_s / tiled_s,
+    };
+    eprintln!(
+        "  {label}: scalar {:.1} Mcmp/s, tiled {:.1} Mcmp/s (x{:.2})",
+        row.scalar_mcmp_s, row.tiled_mcmp_s, row.speedup
+    );
+    row
+}
+
+/// Runs the bench and returns the structured report.
+pub fn bench(args: &HarnessArgs) -> KernelsReport {
+    let mut cfg = cnc_dataset::SyntheticConfig::small(args.seed);
+    cfg.num_users = ((16_000.0 * args.scale) as usize).max(512);
+    cfg.num_items = ((8_000.0 * args.scale) as usize).max(400);
+    cfg.communities = 16;
+    cfg.mean_profile = 25.0;
+    cfg.min_profile = 8;
+    let dataset = cfg.generate();
+    let n = dataset.num_users();
+
+    // A cluster big enough to time, small enough to sweep repeatedly; at
+    // least ~16M pair computations per shape in release builds — fewer
+    // makes the recorded speed-ups noisy on shared/1-core boxes. Debug
+    // builds (unit tests) only check plumbing, so they get a tiny budget.
+    let budget: u64 = if cfg!(debug_assertions) { 200_000 } else { 16_000_000 };
+    let users = sample_cluster(n, ((2_048.0 * (args.scale / 0.125).sqrt()) as usize).max(128));
+    let pairs = pair_count(users.len());
+    let reps = (budget / pairs.max(1)).clamp(1, 256) as u32;
+
+    let mut pairwise_rows = Vec::new();
+    pairwise_rows.push(measure_pairwise("Raw", SimilarityBackend::Raw, &dataset, &users, reps));
+    for bits in GOLDFINGER_BITS {
+        pairwise_rows.push(measure_pairwise(
+            &format!("GoldFinger{bits}"),
+            SimilarityBackend::GoldFinger { bits, seed: args.seed ^ 0x601D },
+            &dataset,
+            &users,
+            reps,
+        ));
+    }
+
+    // Fingerprint build: serial vs parallel vs shared reuse (1024-bit).
+    let build_seed = args.seed ^ 0x601D;
+    let serial_start = Instant::now();
+    let serial = GoldFinger::build(&dataset, 1024, build_seed);
+    let build_serial_ms = serial_start.elapsed().as_secs_f64() * 1e3;
+
+    let parallel_start = Instant::now();
+    let parallel = GoldFinger::build_parallel(&dataset, 1024, build_seed, 0);
+    let build_parallel_ms = parallel_start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(serial.words(), parallel.words(), "parallel build diverged");
+
+    let shared = Arc::new(parallel);
+    let shared_start = Instant::now();
+    let reuse = SimilarityData::from_goldfinger(Arc::clone(&shared));
+    let build_shared_ms = shared_start.elapsed().as_secs_f64() * 1e3;
+    assert!(reuse.goldfinger().is_some());
+
+    KernelsReport {
+        num_users: n,
+        cluster_users: users.len(),
+        pairs,
+        reps,
+        pairwise: pairwise_rows,
+        build_serial_ms,
+        build_parallel_ms,
+        build_shared_ms,
+    }
+}
+
+/// Renders the JSON document recorded at the workspace root.
+pub fn to_json(report: &KernelsReport, args: &HarnessArgs) -> String {
+    let mut rows = String::new();
+    for (i, row) in report.pairwise.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"scalar_mcmp_s\": {:.3}, \
+             \"tiled_mcmp_s\": {:.3}, \"speedup\": {:.3}}}",
+            row.kernel, row.scalar_mcmp_s, row.tiled_mcmp_s, row.speedup
+        ));
+    }
+    let gf1024 =
+        report.pairwise.iter().find(|r| r.kernel == "GoldFinger1024").map_or(0.0, |r| r.speedup);
+    format!(
+        "{{\n  \"experiment\": \"kernels\",\n  \"scale\": {},\n  \"seed\": {},\n  \
+         \"num_users\": {},\n  \"cluster_users\": {},\n  \"pairs\": {},\n  \"reps\": {},\n  \
+         \"pairwise\": [\n{rows}\n  ],\n  \
+         \"gf1024_tiled_speedup_vs_scalar\": {:.3},\n  \
+         \"build_1024\": {{\"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \
+         \"shared_reuse_ms\": {:.6}}}\n}}\n",
+        args.scale,
+        args.seed,
+        report.num_users,
+        report.cluster_users,
+        report.pairs,
+        report.reps,
+        gf1024,
+        report.build_serial_ms,
+        report.build_parallel_ms,
+        report.build_shared_ms,
+    )
+}
+
+/// Runs the bench, writes `BENCH_kernels.json` (best-effort) and renders
+/// the markdown section for `repro_all`.
+pub fn run(args: &HarnessArgs) -> String {
+    let report = bench(args);
+
+    // Recording is skipped under `cfg(test)` so unit tests don't clobber
+    // the checked-in baseline with debug-build numbers.
+    #[cfg(not(test))]
+    {
+        let json = to_json(&report, args);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+        if let Err(err) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path} ({err}); continuing");
+        }
+    }
+
+    let mut rows = String::new();
+    for row in &report.pairwise {
+        rows.push_str(&format!(
+            "| {} | {:.1} | {:.1} | x{:.2} |\n",
+            row.kernel, row.scalar_mcmp_s, row.tiled_mcmp_s, row.speedup
+        ));
+    }
+    format!(
+        "## Similarity kernels — scalar oracle vs batched tiles\n\n\
+         *{} users; all-pairs solve over a {}-user cluster ({} pairs x {} reps, \
+         best of 3 trials); scalar = one counted `sim()` per pair, tiled = \
+         `solve_cluster` with a contiguous fingerprint tile, a fixed-width kernel \
+         and one batched accounting flush (gather + flush inside the timed region)*\n\n\
+         | kernel | scalar Mcmp/s | tiled Mcmp/s | speed-up |\n\
+         |:---|---:|---:|---:|\n{rows}\n\
+         ### 1024-bit fingerprint build\n\n\
+         | build | time |\n|:---|---:|\n\
+         | serial `GoldFinger::build` | {:.1} ms |\n\
+         | parallel `build_parallel(all cores)` | {:.1} ms |\n\
+         | shared reuse (`from_goldfinger`) | {:.4} ms |\n\n\
+         Recorded to `BENCH_kernels.json`.\n\n",
+        report.num_users,
+        report.cluster_users,
+        report.pairs,
+        report.reps,
+        report.build_serial_ms,
+        report.build_parallel_ms,
+        report.build_shared_ms,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_every_kernel_row_and_build_table() {
+        let args = HarnessArgs { scale: 0.02, ..HarnessArgs::default() };
+        let report = run(&args);
+        for label in ["| Raw |", "| GoldFinger64 |", "| GoldFinger1024 |", "| GoldFinger8192 |"] {
+            assert!(report.contains(label), "missing row {label}");
+        }
+        assert!(report.contains("1024-bit fingerprint build"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_grep() {
+        let args = HarnessArgs { scale: 0.02, ..HarnessArgs::default() };
+        let report = bench(&args);
+        let json = to_json(&report, &args);
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\"experiment\": \"kernels\""));
+        assert!(json.contains("\"gf1024_tiled_speedup_vs_scalar\""));
+        assert_eq!(json.matches("\"kernel\":").count(), 4);
+        // Balanced braces/brackets (the writer is hand-rolled: guard it).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn sample_cluster_is_within_bounds_and_spread() {
+        let users = sample_cluster(1000, 100);
+        assert_eq!(users.len(), 100);
+        assert!(users.windows(2).all(|w| w[0] < w[1]));
+        assert!(*users.last().unwrap() >= 900);
+        assert!(sample_cluster(10, 100).len() == 10);
+        assert!(sample_cluster(0, 5).is_empty());
+    }
+}

@@ -20,7 +20,8 @@ use crate::args::HarnessArgs;
 use cnc_core::C2Config;
 use cnc_dataset::SyntheticConfig;
 use cnc_runtime::{Runtime, RuntimeConfig, SpillMode, StealPolicy};
-use cnc_similarity::SimilarityBackend;
+use cnc_similarity::{SimilarityBackend, SimilarityData};
+use std::time::Instant;
 
 /// Worker counts swept by the map-stage table.
 pub const WORKER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
@@ -52,6 +53,10 @@ pub fn run(args: &HarnessArgs) -> String {
         ..C2Config::default()
     };
 
+    // One similarity build shared across every run of both sweeps (the
+    // PR-2 follow-up: don't re-materialize the backend per execution).
+    let sim = SimilarityData::build_parallel(c2.backend, &dataset, 0);
+
     // --- Map-stage sweep (single reducer isolates the map phase) --------
     let worker_counts: Vec<usize> =
         args.workers.map_or_else(|| WORKER_COUNTS.to_vec(), |w| vec![w]);
@@ -64,7 +69,7 @@ pub fn run(args: &HarnessArgs) -> String {
             steal: StealPolicy::MostLoaded,
             ..RuntimeConfig::default()
         });
-        let result = runtime.execute(&dataset, &c2);
+        let result = runtime.execute_with(&dataset, &sim, &c2, Instant::now());
         let report = &result.report;
         report.check_invariants().expect("runtime report accounting violated");
         num_clusters = report.num_clusters;
@@ -94,7 +99,7 @@ pub fn run(args: &HarnessArgs) -> String {
                 steal: StealPolicy::MostLoaded,
                 ..RuntimeConfig::default()
             });
-            let result = runtime.execute(&dataset, &c2);
+            let result = runtime.execute_with(&dataset, &sim, &c2, Instant::now());
             let report = &result.report;
             report.check_invariants().expect("runtime report accounting violated");
             shuffle_rows.push_str(&format!(

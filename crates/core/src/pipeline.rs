@@ -76,10 +76,11 @@ impl ClusterAndConquer {
     ///
     /// Fingerprint construction (for GoldFinger backends) is timed as part
     /// of the clustering phase, mirroring the paper's inclusion of all
-    /// preprocessing in the reported wall-clock times.
+    /// preprocessing in the reported wall-clock times. The build runs on
+    /// the configured worker threads (bit-identical to a serial build).
     pub fn build(&self, dataset: &Dataset) -> C2Result {
         let start = Instant::now();
-        let sim = SimilarityData::build(self.config.backend, dataset);
+        let sim = SimilarityData::build_parallel(self.config.backend, dataset, self.config.threads);
         self.run(&self.config, dataset, &sim, start)
     }
 

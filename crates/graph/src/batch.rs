@@ -1,0 +1,108 @@
+//! Batched kernel → neighbour-list plumbing.
+//!
+//! The similarity crate's [`cnc_similarity::kernel`] layer streams raw
+//! `(i, j, sim)` triples; this module lands them in bounded
+//! [`NeighborList`]s — the piece that cannot live in `cnc-similarity`
+//! because the graph crate sits above it in the dependency order.
+
+use crate::neighbors::NeighborList;
+use cnc_dataset::UserId;
+use cnc_similarity::kernel::{pairwise, SimKernel};
+
+/// Brute-force a cluster through a monomorphized kernel: every unordered
+/// pair of kernel rows is computed once and inserted symmetrically into
+/// the positionally-aligned `lists` (`lists[i]` belongs to `users[i]`,
+/// kernel row `i` is `users[i]`).
+///
+/// Computes exactly `len·(len−1)/2` similarities and counts none of them —
+/// the caller flushes [`cnc_similarity::kernel::pair_count`] in one
+/// `add_comparisons`.
+///
+/// # Panics
+/// Panics (in debug builds) if `users` and `lists` disagree with the
+/// kernel's row count.
+pub fn pairwise_into<K: SimKernel>(kernel: &K, users: &[UserId], lists: &mut [NeighborList]) {
+    debug_assert_eq!(kernel.len(), users.len());
+    debug_assert_eq!(kernel.len(), lists.len());
+    pairwise(kernel, |i, j, s| {
+        lists[i as usize].insert(users[j as usize], s);
+        lists[j as usize].insert(users[i as usize], s);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_dataset::Dataset;
+    use cnc_similarity::kernel::{ClusterTile, RawKernel, Remap};
+    use cnc_similarity::{GoldFinger, Jaccard};
+
+    fn dataset() -> Dataset {
+        Dataset::from_profiles(
+            vec![
+                vec![0, 1, 2, 3],
+                vec![0, 1, 2, 4],
+                vec![0, 1, 5, 6],
+                vec![7, 8, 9],
+                vec![7, 8, 9, 10],
+                vec![2, 3, 7],
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn matches_per_pair_inserts_on_raw_kernel() {
+        let ds = dataset();
+        let users: Vec<UserId> = vec![5, 0, 3, 1];
+        let kernel = Remap::new(&users, RawKernel::new(&ds));
+        let mut batched: Vec<NeighborList> =
+            (0..users.len()).map(|_| NeighborList::new(2)).collect();
+        pairwise_into(&kernel, &users, &mut batched);
+
+        let mut reference: Vec<NeighborList> =
+            (0..users.len()).map(|_| NeighborList::new(2)).collect();
+        for i in 0..users.len() {
+            for j in (i + 1)..users.len() {
+                let s = Jaccard::similarity(ds.profile(users[i]), ds.profile(users[j])) as f32;
+                reference[i].insert(users[j], s);
+                reference[j].insert(users[i], s);
+            }
+        }
+        for (b, r) in batched.iter().zip(&reference) {
+            assert_eq!(b.sorted(), r.sorted());
+        }
+    }
+
+    #[test]
+    fn works_over_a_gathered_tile() {
+        let ds = dataset();
+        let gf = GoldFinger::build(&ds, 1024, 3);
+        let users: Vec<UserId> = vec![0, 1, 2, 4];
+        let tile = ClusterTile::gather(&gf, &users);
+        let mut lists: Vec<NeighborList> = (0..users.len()).map(|_| NeighborList::new(3)).collect();
+        pairwise_into(&tile.kernel::<16>(), &users, &mut lists);
+        for (i, list) in lists.iter().enumerate() {
+            assert_eq!(list.len(), 3);
+            for nb in list.iter() {
+                assert!(users.contains(&nb.user));
+                assert_ne!(nb.user, users[i]);
+                let expect = gf.estimate(users[i], nb.user) as f32;
+                assert_eq!(nb.sim.to_bits(), expect.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_clusters_are_no_ops() {
+        let ds = dataset();
+        let users: Vec<UserId> = vec![2];
+        let kernel = Remap::new(&users, RawKernel::new(&ds));
+        let mut lists = vec![NeighborList::new(2)];
+        pairwise_into(&kernel, &users, &mut lists);
+        assert!(lists[0].is_empty());
+        let empty: Vec<UserId> = Vec::new();
+        let kernel = Remap::new(&empty, RawKernel::new(&ds));
+        pairwise_into(&kernel, &empty, &mut []);
+    }
+}

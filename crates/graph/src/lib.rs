@@ -7,12 +7,14 @@
 //! approximation quality is measured by the average-similarity ratio of
 //! Eq. (1)–(2), implemented in [`metrics`].
 
+pub mod batch;
 pub mod metrics;
 pub mod neighbors;
 pub mod shared;
 
 mod knn_graph;
 
+pub use batch::pairwise_into;
 pub use knn_graph::KnnGraph;
 pub use metrics::{avg_exact_similarity, quality};
 pub use neighbors::{Neighbor, NeighborList};

@@ -42,7 +42,7 @@ use cnc_core::distributed::cluster_cost;
 use cnc_core::{plan_deployment, C2Config, ClusterAndConquer, DeploymentPlan};
 use cnc_dataset::{Dataset, UserId};
 use cnc_graph::{KnnGraph, NeighborList};
-use cnc_similarity::SimilarityData;
+use cnc_similarity::{GoldFinger, SimilarityData};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fs::File;
@@ -50,6 +50,7 @@ use std::io::BufReader;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One message on a reduce shard's channel.
@@ -178,13 +179,51 @@ impl Runtime {
     }
 
     /// Builds the KNN graph of `dataset` under `c2` on `W` worker shards,
-    /// materializing the similarity backend declared in the configuration.
+    /// materializing the similarity backend declared in the configuration
+    /// (GoldFinger fingerprints are built in parallel on the map workers).
     ///
     /// # Panics
     /// Panics if `c2` is invalid.
     pub fn execute(&self, dataset: &Dataset, c2: &C2Config) -> ShardedResult {
         let start = Instant::now();
-        let sim = SimilarityData::build(c2.backend, dataset);
+        let sim =
+            SimilarityData::build_parallel(c2.backend, dataset, self.config.effective_workers());
+        self.execute_with(dataset, &sim, c2, start)
+    }
+
+    /// Builds the graph against a pre-built, shared fingerprint set — one
+    /// `GoldFinger::build` amortized across runs and bench repetitions
+    /// instead of re-hashing the full dataset per execution (ROADMAP:
+    /// "share one `SimilarityData` fingerprint build across workers").
+    ///
+    /// # Panics
+    /// Panics if the fingerprints don't cover `dataset`'s users, or if
+    /// `c2.backend` is not the GoldFinger configuration the shared build
+    /// was made with — a silent mismatch would produce a graph
+    /// inconsistent with the configuration the plan and report claim.
+    pub fn execute_shared(
+        &self,
+        dataset: &Dataset,
+        c2: &C2Config,
+        goldfinger: Arc<GoldFinger>,
+    ) -> ShardedResult {
+        assert_eq!(
+            goldfinger.num_users(),
+            dataset.num_users(),
+            "shared fingerprints must cover the dataset"
+        );
+        match c2.backend {
+            cnc_similarity::SimilarityBackend::GoldFinger { bits, seed } => assert_eq!(
+                (bits, seed),
+                (goldfinger.bits(), goldfinger.seed()),
+                "shared fingerprints must match the configured backend"
+            ),
+            cnc_similarity::SimilarityBackend::Raw => {
+                panic!("execute_shared requires a GoldFinger backend, config says Raw")
+            }
+        }
+        let start = Instant::now();
+        let sim = SimilarityData::from_goldfinger(goldfinger);
         self.execute_with(dataset, &sim, c2, start)
     }
 
@@ -703,6 +742,68 @@ mod tests {
         // A non-spilling build never creates one.
         let off = Runtime::new(RuntimeConfig::with_workers(2)).execute(&ds, &test_config());
         assert!(off.report.spill_dir.is_none());
+    }
+
+    #[test]
+    fn shared_fingerprints_produce_the_identical_graph() {
+        let ds = test_dataset();
+        let c2 = C2Config {
+            backend: SimilarityBackend::GoldFinger { bits: 1024, seed: 77 },
+            ..test_config()
+        };
+        let rebuilt = Runtime::new(RuntimeConfig::with_workers(2)).execute(&ds, &c2);
+        // One fingerprint build, shared across two further runs.
+        let gf = Arc::new(GoldFinger::build(&ds, 1024, 77));
+        for workers in [1usize, 2] {
+            let shared = Runtime::new(RuntimeConfig::with_workers(workers)).execute_shared(
+                &ds,
+                &c2,
+                Arc::clone(&gf),
+            );
+            assert_eq!(shared.report.comparisons, rebuilt.report.comparisons);
+            for u in ds.users() {
+                assert_eq!(
+                    shared.graph.neighbors(u).sorted(),
+                    rebuilt.graph.neighbors(u).sorted(),
+                    "user {u} differs with shared fingerprints ({workers} workers)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover the dataset")]
+    fn mismatched_shared_fingerprints_panic() {
+        let ds = test_dataset();
+        let c2 = C2Config {
+            backend: SimilarityBackend::GoldFinger { bits: 64, seed: 1 },
+            ..test_config()
+        };
+        let tiny = Dataset::from_profiles(vec![vec![1, 2]], 0);
+        let gf = Arc::new(GoldFinger::build(&tiny, 64, 1));
+        Runtime::new(RuntimeConfig::with_workers(1)).execute_shared(&ds, &c2, gf);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the configured backend")]
+    fn wrong_seed_shared_fingerprints_panic() {
+        let ds = test_dataset();
+        let c2 = C2Config {
+            backend: SimilarityBackend::GoldFinger { bits: 1024, seed: 1 },
+            ..test_config()
+        };
+        // Same dataset and width, different hash seed: silently wrong
+        // similarities unless the engine refuses.
+        let gf = Arc::new(GoldFinger::build(&ds, 1024, 2));
+        Runtime::new(RuntimeConfig::with_workers(1)).execute_shared(&ds, &c2, gf);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a GoldFinger backend")]
+    fn raw_backend_shared_fingerprints_panic() {
+        let ds = test_dataset();
+        let gf = Arc::new(GoldFinger::build(&ds, 64, 1));
+        Runtime::new(RuntimeConfig::with_workers(1)).execute_shared(&ds, &test_config(), gf);
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub struct GoldFinger {
     words: Vec<u64>,
     words_per_user: usize,
     bits: usize,
+    seed: u64,
     num_users: usize,
 }
 
@@ -36,18 +37,56 @@ impl GoldFinger {
     /// # Panics
     /// Panics if `bits` is zero or not a multiple of 64.
     pub fn build(dataset: &Dataset, bits: usize, seed: u64) -> Self {
+        Self::build_parallel(dataset, bits, seed, 1)
+    }
+
+    /// Builds fingerprints on `threads` workers (0 = all available cores).
+    ///
+    /// Each user's fingerprint depends only on that user's profile, so the
+    /// user range is split into contiguous chunks and every worker fills a
+    /// disjoint slice of the word array — the result is bit-identical to
+    /// the serial [`GoldFinger::build`] whatever the thread count.
+    ///
+    /// # Panics
+    /// Panics if `bits` is zero or not a multiple of 64.
+    pub fn build_parallel(dataset: &Dataset, bits: usize, seed: u64, threads: usize) -> Self {
         assert!(bits > 0 && bits.is_multiple_of(64), "bits must be a positive multiple of 64");
         let words_per_user = bits / 64;
         let hash = SeededHash::new(seed);
-        let mut words = vec![0u64; dataset.num_users() * words_per_user];
-        for (u, profile) in dataset.iter() {
-            let base = u as usize * words_per_user;
-            for &item in profile {
-                let bit = Self::bit_of(hash, item, bits);
-                words[base + bit / 64] |= 1u64 << (bit % 64);
+        let n = dataset.num_users();
+        let mut words = vec![0u64; n * words_per_user];
+        let threads = cnc_threadpool::effective_threads(threads);
+        if threads <= 1 || n < 2 * threads {
+            for (u, profile) in dataset.iter() {
+                let base = u as usize * words_per_user;
+                Self::fill_user(&mut words[base..base + words_per_user], profile, hash, bits);
             }
+        } else {
+            // A few chunks per worker so a skewed profile-length
+            // distribution cannot serialize the build on one straggler.
+            let chunk_users = n.div_ceil(threads * 4).max(1);
+            let jobs: Vec<(u64, (usize, &mut [u64]))> = words
+                .chunks_mut(chunk_users * words_per_user)
+                .enumerate()
+                .map(|(chunk, slice)| (0, (chunk, slice)))
+                .collect();
+            cnc_threadpool::PriorityPool::run(threads, jobs, |(chunk, slice)| {
+                let first = chunk * chunk_users;
+                for (offset, rows) in slice.chunks_mut(words_per_user).enumerate() {
+                    Self::fill_user(rows, dataset.profile((first + offset) as UserId), hash, bits);
+                }
+            });
         }
-        GoldFinger { words, words_per_user, bits, num_users: dataset.num_users() }
+        GoldFinger { words, words_per_user, bits, seed, num_users: n }
+    }
+
+    /// Sets the fingerprint bits of one user's profile into its word row.
+    #[inline]
+    fn fill_user(row: &mut [u64], profile: &[ItemId], hash: SeededHash, bits: usize) {
+        for &item in profile {
+            let bit = Self::bit_of(hash, item, bits);
+            row[bit / 64] |= 1u64 << (bit % 64);
+        }
     }
 
     #[inline(always)]
@@ -67,6 +106,28 @@ impl GoldFinger {
     #[inline]
     pub fn num_users(&self) -> usize {
         self.num_users
+    }
+
+    /// Words per fingerprint (`bits / 64`).
+    #[inline]
+    pub fn words_per_user(&self) -> usize {
+        self.words_per_user
+    }
+
+    /// The hash seed the fingerprints were built with (lets consumers of a
+    /// shared build check it matches their configured backend).
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The full word array: user `u`'s fingerprint occupies words
+    /// `u·words_per_user .. (u+1)·words_per_user`. This is the contiguous
+    /// layout the [`crate::kernel`] layer builds its tiles and fixed-width
+    /// kernels over.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// The raw fingerprint words of `user`.
@@ -193,6 +254,37 @@ mod tests {
     fn non_word_width_panics() {
         let ds = tiny(vec![vec![1]]);
         GoldFinger::build(&ds, 100, 8);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        let ds = SyntheticConfig::small(53).generate();
+        let serial = GoldFinger::build(&ds, 1024, 9);
+        for threads in [0, 2, 3, 7] {
+            let parallel = GoldFinger::build_parallel(&ds, 1024, 9, threads);
+            assert_eq!(serial.words(), parallel.words(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_handles_tiny_datasets() {
+        for profiles in [vec![], vec![vec![1, 2]], vec![vec![1], vec![2], vec![3]]] {
+            let ds = tiny(profiles);
+            let serial = GoldFinger::build(&ds, 128, 3);
+            let parallel = GoldFinger::build_parallel(&ds, 128, 3, 4);
+            assert_eq!(serial.words(), parallel.words());
+        }
+    }
+
+    #[test]
+    fn words_layout_matches_fingerprints() {
+        let ds = SyntheticConfig::small(59).generate();
+        let gf = GoldFinger::build(&ds, 256, 4);
+        let w = gf.words_per_user();
+        assert_eq!(w, 4);
+        for u in ds.users().take(50) {
+            assert_eq!(&gf.words()[u as usize * w..(u as usize + 1) * w], gf.fingerprint(u));
+        }
     }
 }
 

@@ -1,0 +1,888 @@
+//! Batched, monomorphized similarity kernels — the §II-F hot path.
+//!
+//! Every KNN algorithm in this reproduction funnels through
+//! [`crate::SimilarityData::sim`], which pays three per-pair costs that have
+//! nothing to do with the algorithms themselves:
+//!
+//! 1. an **enum match** on the backend (raw Jaccard vs GoldFinger),
+//! 2. a **contended relaxed `fetch_add`** on the shared comparison counter,
+//! 3. a **bounds-checked, runtime-width popcount loop** over two scattered
+//!    per-user slices.
+//!
+//! The paper's pitch is that GoldFinger reduces similarity to "a handful of
+//! word-wise AND/OR/popcount operations"; at that scale the dispatch and
+//! accounting overheads dominate. This module removes all three for the
+//! cluster-solve hot path:
+//!
+//! * [`SimKernel`] is a plain trait over *row indices*; solvers are written
+//!   once, generic over the kernel, and [`crate::SimilarityData`]'s
+//!   `solve_cluster`/`solve_global` dispatch on the backend **once per
+//!   cluster** (via the [`SimSolve`] visitor), so the whole solve
+//!   monomorphizes and per-pair calls inline with no branch;
+//! * [`GoldFingerKernel`]`<const W: usize>` fixes the fingerprint width at
+//!   compile time (64-bit/1-word, 1024-bit/16-word, 4096-bit/64-word and
+//!   8192-bit/128-word specializations; [`GoldFingerDynKernel`] is the
+//!   fallback for other widths), letting the compiler fully unroll the
+//!   AND/OR/popcount loop;
+//! * [`ClusterTile`] gathers a cluster's fingerprints into one contiguous,
+//!   cache-friendly block **once per cluster**, so the all-pairs loop
+//!   streams over dense rows instead of striding through the full dataset's
+//!   word array;
+//! * comparison accounting is the *caller's* job: kernels never touch the
+//!   shared atomic. Solvers count locally and flush one
+//!   [`crate::SimilarityData::add_comparisons`] per cluster or iteration,
+//!   with totals provably unchanged.
+//!
+//! Every kernel is **bit-identical** to the scalar oracle: the similarity
+//! is computed with exactly the same `f64` arithmetic and cast as
+//! `SimilarityData::sim`, asserted by the proptests below.
+
+use crate::goldfinger::GoldFinger;
+use crate::jaccard::Jaccard;
+use cnc_dataset::{Dataset, UserId};
+
+/// A monomorphized similarity oracle over row indices `0..len()`.
+///
+/// Rows are whatever the constructor bound them to: global user ids
+/// ([`RawKernel`], [`GoldFingerKernel::over`]) or cluster-local indices
+/// ([`ClusterTile`] rows, [`Remap`]). `sim` performs **no** comparison
+/// accounting — batched callers count locally and flush once.
+pub trait SimKernel: Sync {
+    /// Number of rows this kernel spans.
+    fn len(&self) -> usize;
+
+    /// True if the kernel spans no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Similarity of rows `i` and `j`, bit-identical to
+    /// [`crate::SimilarityData::sim`] on the corresponding users.
+    fn sim(&self, i: u32, j: u32) -> f32;
+
+    /// Streams `sim(i, j)` for every `j` in `i+1 .. len()`, in order — one
+    /// row of the all-pairs triangle. The default calls [`SimKernel::sim`]
+    /// per pair; kernels with contiguous rows override it to load row `i`
+    /// once and stream the tail rows with no per-pair index arithmetic.
+    #[inline]
+    fn sweep_row(&self, i: u32, mut sink: impl FnMut(u32, f32))
+    where
+        Self: Sized,
+    {
+        for j in (i + 1)..self.len() as u32 {
+            sink(j, self.sim(i, j));
+        }
+    }
+
+    /// Streams every unordered pair `i < j` exactly once. The visit
+    /// *order* is kernel-specific (fingerprint kernels block the sweep for
+    /// cache reuse); callers must not depend on it — bounded
+    /// neighbour-list contents are insertion-order independent, which is
+    /// all the solvers need.
+    #[inline]
+    fn sweep_pairs(&self, mut sink: impl FnMut(u32, u32, f32))
+    where
+        Self: Sized,
+    {
+        for i in 0..self.len() as u32 {
+            self.sweep_row(i, |j, s| sink(i, j, s));
+        }
+    }
+}
+
+/// The shared final step: both the raw and the GoldFinger oracles divide in
+/// `f64` and then truncate to `f32`, so the kernels must too — anything
+/// else (e.g. a direct `f32` division) double-rounds differently on rare
+/// ratios and would break bit-identity with the scalar path.
+#[inline(always)]
+fn ratio(inter: u32, union: u32) -> f32 {
+    if union == 0 {
+        0.0
+    } else {
+        (inter as f64 / union as f64) as f32
+    }
+}
+
+/// Dynamic-width AND/OR/popcount estimate over two word rows.
+#[inline(always)]
+fn sim_words(a: &[u64], b: &[u64]) -> f32 {
+    let (mut inter, mut union) = (0u32, 0u32);
+    for (x, y) in a.iter().zip(b.iter()) {
+        inter += (x & y).count_ones();
+        union += (x | y).count_ones();
+    }
+    ratio(inter, union)
+}
+
+/// Fixed-width AND/OR/popcount counts, division deferred: `W` is a
+/// compile-time constant, so the loop fully unrolls (and vectorizes —
+/// `vpopcntq` on AVX-512 machines) with no per-word bounds checks.
+#[inline(always)]
+fn counts_fixed<const W: usize>(a: &[u64; W], b: &[u64; W]) -> (u32, u32) {
+    let (mut inter, mut union) = (0u32, 0u32);
+    let mut w = 0;
+    while w < W {
+        inter += (a[w] & b[w]).count_ones();
+        union += (a[w] | b[w]).count_ones();
+        w += 1;
+    }
+    (inter, union)
+}
+
+/// Fixed-width estimate (counts + ratio) for one pair.
+#[inline(always)]
+fn sim_words_fixed<const W: usize>(a: &[u64; W], b: &[u64; W]) -> f32 {
+    let (inter, union) = counts_fixed(a, b);
+    ratio(inter, union)
+}
+
+/// How many pairs the batched sweeps group per block (one streamed row
+/// against LANES cached rows).
+const LANES: usize = 8;
+
+/// Explicit AVX-512 inner loops for word counts that are a multiple of 8
+/// (one `zmm` per 8 words): `vpopcntq` accumulation for a group of LANES
+/// pairs held entirely in vector registers, a transpose-style horizontal
+/// reduction, and **one** `vdivpd` for the group's eight ratios — the
+/// scalar `divsd` + reduce tail is the serial bottleneck once the
+/// popcounts vectorize. Every lane performs the same correctly-rounded
+/// IEEE operations as the scalar path (`u64 → f64` conversion is exact,
+/// division and the `f64 → f32` narrowing round to nearest even), so the
+/// results are bit-identical — asserted by the module's proptests, which
+/// exercise this path on AVX-512 hosts.
+///
+/// Coverage note: CI pins portable `x86-64-v3` (heterogeneous runners +
+/// shared caches), so this module is compiled out there — its tests run
+/// on `target-cpu=native` builds on AVX-512 hardware, like the reference
+/// box that records `BENCH_kernels.json`. Runtime ISA dispatch
+/// (`is_x86_feature_detected!`) is a ROADMAP next step precisely so
+/// portable builds can cover and use this path too.
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx512f",
+    target_feature = "avx512dq",
+    target_feature = "avx512vpopcntdq"
+))]
+mod avx512 {
+    use std::arch::x86_64::*;
+
+    /// Reduces eight 8-lane `u64` vectors to one vector whose lane `r`
+    /// holds the lane-sum of `v[r]` (three unpack/shuffle + add levels).
+    #[inline(always)]
+    unsafe fn hsum8(v: [__m512i; 8]) -> __m512i {
+        let sum2 =
+            |a, b| _mm512_add_epi64(_mm512_unpacklo_epi64(a, b), _mm512_unpackhi_epi64(a, b));
+        let l0 = sum2(v[0], v[1]);
+        let l1 = sum2(v[2], v[3]);
+        let l2 = sum2(v[4], v[5]);
+        let l3 = sum2(v[6], v[7]);
+        let m0 = _mm512_add_epi64(
+            _mm512_shuffle_i64x2::<0x44>(l0, l1),
+            _mm512_shuffle_i64x2::<0xEE>(l0, l1),
+        );
+        let m1 = _mm512_add_epi64(
+            _mm512_shuffle_i64x2::<0x44>(l2, l3),
+            _mm512_shuffle_i64x2::<0xEE>(l2, l3),
+        );
+        _mm512_add_epi64(_mm512_shuffle_i64x2::<0x88>(m0, m1), _mm512_shuffle_i64x2::<0xDD>(m0, m1))
+    }
+
+    /// Intersection/union popcounts of one streamed `W`-word row (`other`)
+    /// against eight contiguous cached rows starting at `rows`, returned
+    /// as two vectors whose lane `r` belongs to cached row `r`.
+    ///
+    /// # Safety
+    /// `rows` must point at `8 * W` readable words; `W` must be a positive
+    /// multiple of 8 (one `zmm` per 8-word chunk).
+    #[inline(always)]
+    pub unsafe fn counts_vs8<const W: usize>(
+        rows: *const u64,
+        other: &[u64; W],
+    ) -> (__m512i, __m512i) {
+        debug_assert!(W > 0 && W.is_multiple_of(8));
+        let mut inter = [_mm512_setzero_si512(); 8];
+        let mut union = [_mm512_setzero_si512(); 8];
+        let mut chunk = 0;
+        while chunk < W {
+            let vo = _mm512_loadu_si512(other.as_ptr().add(chunk) as *const _);
+            let mut r = 0;
+            while r < 8 {
+                let vr = _mm512_loadu_si512(rows.add(r * W + chunk) as *const _);
+                inter[r] =
+                    _mm512_add_epi64(inter[r], _mm512_popcnt_epi64(_mm512_and_si512(vr, vo)));
+                union[r] = _mm512_add_epi64(union[r], _mm512_popcnt_epi64(_mm512_or_si512(vr, vo)));
+                r += 1;
+            }
+            chunk += 8;
+        }
+        (hsum8(inter), hsum8(union))
+    }
+
+    /// Eight lane-wise [`super::ratio`]s in one `vdivpd`, 0/0 lanes masked
+    /// to `+0.0` (the empty-fingerprint convention; the speculative divide
+    /// cannot trap — FP exceptions are masked).
+    ///
+    /// # Safety
+    /// Requires the module's target features (statically enabled).
+    #[inline(always)]
+    pub unsafe fn ratio8(inter: __m512i, union: __m512i) -> [f32; 8] {
+        let fi = _mm512_cvtepu64_pd(inter);
+        let fu = _mm512_cvtepu64_pd(union);
+        let q = _mm512_div_pd(fi, fu);
+        let nonzero = _mm512_cmp_pd_mask::<_CMP_NEQ_OQ>(fu, _mm512_setzero_pd());
+        let q = _mm512_maskz_mov_pd(nonzero, q);
+        let s = _mm512_cvtpd_ps(q);
+        let mut out = [0f32; 8];
+        _mm256_storeu_ps(out.as_mut_ptr(), s);
+        out
+    }
+}
+
+/// Exact-Jaccard kernel over global user ids (the `Raw` backend).
+#[derive(Clone, Copy)]
+pub struct RawKernel<'a> {
+    dataset: &'a Dataset,
+}
+
+impl<'a> RawKernel<'a> {
+    /// A kernel whose rows are the dataset's users.
+    pub fn new(dataset: &'a Dataset) -> Self {
+        RawKernel { dataset }
+    }
+}
+
+impl SimKernel for RawKernel<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.dataset.num_users()
+    }
+
+    #[inline]
+    fn sim(&self, i: u32, j: u32) -> f32 {
+        Jaccard::similarity(self.dataset.profile(i), self.dataset.profile(j)) as f32
+    }
+}
+
+/// Restricts an inner kernel to a cluster: row `i` maps to the inner row
+/// `users[i]`. This is how the raw backend solves clusters (profiles are
+/// variable-length, so there is no tile to gather).
+#[derive(Clone, Copy)]
+pub struct Remap<'a, K> {
+    users: &'a [UserId],
+    inner: K,
+}
+
+impl<'a, K: SimKernel> Remap<'a, K> {
+    /// A cluster view of `inner` over the given rows.
+    pub fn new(users: &'a [UserId], inner: K) -> Self {
+        Remap { users, inner }
+    }
+}
+
+impl<K: SimKernel> SimKernel for Remap<'_, K> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    #[inline]
+    fn sim(&self, i: u32, j: u32) -> f32 {
+        self.inner.sim(self.users[i as usize], self.users[j as usize])
+    }
+}
+
+/// Fixed-width GoldFinger kernel: row `i` is words
+/// `i·W .. (i+1)·W` of a contiguous word slice (the full
+/// [`GoldFinger::words`] array, or a [`ClusterTile`]).
+#[derive(Clone, Copy)]
+pub struct GoldFingerKernel<'a, const W: usize> {
+    words: &'a [u64],
+}
+
+impl<'a, const W: usize> GoldFingerKernel<'a, W> {
+    /// A kernel over a raw word slice (length must be a multiple of `W`).
+    ///
+    /// # Panics
+    /// Panics if `W == 0` or the slice length is not a multiple of `W`.
+    pub fn new(words: &'a [u64]) -> Self {
+        assert!(W > 0, "fingerprint width must be positive");
+        assert!(words.len().is_multiple_of(W), "word slice is not a whole number of {W}-word rows");
+        GoldFingerKernel { words }
+    }
+
+    /// A kernel whose rows are the fingerprinted users of `gf`.
+    ///
+    /// # Panics
+    /// Panics if `gf` was not built with `W` words per user.
+    pub fn over(gf: &'a GoldFinger) -> Self {
+        assert_eq!(gf.words_per_user(), W, "fingerprint width mismatch");
+        Self::new(gf.words())
+    }
+
+    #[inline(always)]
+    fn row(&self, i: u32) -> &[u64; W] {
+        let base = i as usize * W;
+        self.words[base..base + W].try_into().expect("row is exactly W words")
+    }
+}
+
+impl<const W: usize> SimKernel for GoldFingerKernel<'_, W> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.words.len() / W
+    }
+
+    #[inline(always)]
+    fn sim(&self, i: u32, j: u32) -> f32 {
+        sim_words_fixed::<W>(self.row(i), self.row(j))
+    }
+
+    #[inline]
+    fn sweep_row(&self, i: u32, mut sink: impl FnMut(u32, f32)) {
+        let ri: [u64; W] = *self.row(i);
+        let tail = &self.words[(i as usize + 1) * W..];
+        let mut j = i + 1;
+
+        // AVX-512 fast path for zmm-multiple widths: the contiguous tail
+        // is consumed 8 rows at a time, each group's popcounts, reduction
+        // and division staying in vector registers. The `W % 8` test is a
+        // compile-time constant per instantiation — the dead branch
+        // disappears.
+        #[cfg(all(
+            target_arch = "x86_64",
+            target_feature = "avx512f",
+            target_feature = "avx512dq",
+            target_feature = "avx512vpopcntdq"
+        ))]
+        if W.is_multiple_of(8) {
+            let mut groups = tail.chunks_exact(LANES * W);
+            for group in &mut groups {
+                // SAFETY: `group` is exactly `8 * W` contiguous words and
+                // the target features are statically enabled.
+                let sims = unsafe {
+                    let (iv, uv) = avx512::counts_vs8::<W>(group.as_ptr(), &ri);
+                    avx512::ratio8(iv, uv)
+                };
+                for s in sims {
+                    sink(j, s);
+                    j += 1;
+                }
+            }
+            for chunk in groups.remainder().chunks_exact(W) {
+                let rj: &[u64; W] = chunk.try_into().expect("chunks_exact yields W-word rows");
+                sink(j, sim_words_fixed::<W>(&ri, rj));
+                j += 1;
+            }
+            return;
+        }
+
+        // Portable path: row `i` cached on the stack, the tail consumed as
+        // one contiguous stream in exact W-word chunks (no per-pair
+        // slicing or bounds arithmetic).
+        for chunk in tail.chunks_exact(W) {
+            let rj: &[u64; W] = chunk.try_into().expect("chunks_exact yields W-word rows");
+            sink(j, sim_words_fixed::<W>(&ri, rj));
+            j += 1;
+        }
+    }
+
+    fn sweep_pairs(&self, mut sink: impl FnMut(u32, u32, f32)) {
+        // Register-blocked triangle: a full row sweep streams the whole
+        // tile per `i` row, which is memory-bound for wide fingerprints.
+        // Caching a block of LANES `i` rows and comparing each streamed
+        // tail row against all of them divides the traffic by the block
+        // height and gives the CPU LANES independent popcount chains per
+        // loaded row. Pairs are each visited exactly once, in block-major
+        // order (callers must not depend on the order).
+        let n = self.len();
+        let mut start = 0usize;
+        while start < n {
+            let height = LANES.min(n - start);
+            let mut block = [[0u64; W]; LANES];
+            for (r, row) in block[..height].iter_mut().enumerate() {
+                *row = *self.row((start + r) as u32);
+            }
+            for r in 0..height {
+                for c in (r + 1)..height {
+                    let s = sim_words_fixed::<W>(&block[r], &block[c]);
+                    sink((start + r) as u32, (start + c) as u32, s);
+                }
+            }
+            let tail = &self.words[(start + height) * W..];
+
+            #[cfg(all(
+                target_arch = "x86_64",
+                target_feature = "avx512f",
+                target_feature = "avx512dq",
+                target_feature = "avx512vpopcntdq"
+            ))]
+            if W.is_multiple_of(8) && height == LANES {
+                for (offset, chunk) in tail.chunks_exact(W).enumerate() {
+                    let rj: &[u64; W] = chunk.try_into().expect("chunks_exact yields W-word rows");
+                    let j = (start + height + offset) as u32;
+                    // SAFETY: `block` is `8 * W` contiguous words; the
+                    // target features are statically enabled.
+                    let sims = unsafe {
+                        let (iv, uv) = avx512::counts_vs8::<W>(block.as_ptr() as *const u64, rj);
+                        avx512::ratio8(iv, uv)
+                    };
+                    for (r, s) in sims.into_iter().enumerate() {
+                        sink((start + r) as u32, j, s);
+                    }
+                }
+                start += height;
+                continue;
+            }
+
+            for (offset, chunk) in tail.chunks_exact(W).enumerate() {
+                let rj: &[u64; W] = chunk.try_into().expect("chunks_exact yields W-word rows");
+                let j = (start + height + offset) as u32;
+                for (r, ri) in block[..height].iter().enumerate() {
+                    sink((start + r) as u32, j, sim_words_fixed::<W>(ri, rj));
+                }
+            }
+            start += height;
+        }
+    }
+}
+
+/// Dynamic-width GoldFinger fallback for widths without a fixed-`W`
+/// specialization (any positive multiple of 64 bits).
+#[derive(Clone, Copy)]
+pub struct GoldFingerDynKernel<'a> {
+    words: &'a [u64],
+    words_per_user: usize,
+}
+
+impl<'a> GoldFingerDynKernel<'a> {
+    /// A kernel over a raw word slice with `words_per_user` words per row.
+    ///
+    /// # Panics
+    /// Panics if `words_per_user` is zero or does not divide the slice.
+    pub fn new(words: &'a [u64], words_per_user: usize) -> Self {
+        assert!(words_per_user > 0, "fingerprint width must be positive");
+        assert!(
+            words.len().is_multiple_of(words_per_user),
+            "word slice is not a whole number of rows"
+        );
+        GoldFingerDynKernel { words, words_per_user }
+    }
+
+    /// A kernel whose rows are the fingerprinted users of `gf`.
+    pub fn over(gf: &'a GoldFinger) -> Self {
+        Self::new(gf.words(), gf.words_per_user())
+    }
+
+    #[inline]
+    fn row(&self, i: u32) -> &[u64] {
+        let base = i as usize * self.words_per_user;
+        &self.words[base..base + self.words_per_user]
+    }
+}
+
+impl SimKernel for GoldFingerDynKernel<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.words.len() / self.words_per_user
+    }
+
+    #[inline]
+    fn sim(&self, i: u32, j: u32) -> f32 {
+        sim_words(self.row(i), self.row(j))
+    }
+
+    #[inline]
+    fn sweep_row(&self, i: u32, mut sink: impl FnMut(u32, f32)) {
+        let ri = self.row(i);
+        let tail = &self.words[(i as usize + 1) * self.words_per_user..];
+        for (offset, rj) in tail.chunks_exact(self.words_per_user).enumerate() {
+            sink(i + 1 + offset as u32, sim_words(ri, rj));
+        }
+    }
+}
+
+/// A cluster's fingerprints gathered into one contiguous block.
+///
+/// C²'s Step-2 solvers (and LSH's buckets) work on arbitrary user subsets;
+/// reading each pair through [`GoldFinger::fingerprint`] strides across the
+/// full dataset's word array. A tile is gathered **once per cluster** —
+/// `O(|C|·W)` words, amortized over the `O(|C|²)` or `O(ρ·k²·|C|)` pairs
+/// the solver computes — and row `i` is cluster-local user `users[i]`.
+pub struct ClusterTile {
+    words: Vec<u64>,
+    words_per_user: usize,
+    rows: usize,
+}
+
+impl ClusterTile {
+    /// Copies the fingerprints of `users` (in order) into a dense tile.
+    pub fn gather(gf: &GoldFinger, users: &[UserId]) -> Self {
+        let words_per_user = gf.words_per_user();
+        let mut words = Vec::with_capacity(users.len() * words_per_user);
+        for &u in users {
+            words.extend_from_slice(gf.fingerprint(u));
+        }
+        let tile = ClusterTile { words, words_per_user, rows: users.len() };
+        // Guard the gather in debug builds: every tile row must be exactly
+        // the fingerprint it claims to mirror.
+        if cfg!(debug_assertions) {
+            for (i, &u) in users.iter().enumerate() {
+                debug_assert_eq!(
+                    tile.row(i),
+                    gf.fingerprint(u),
+                    "tile row {i} does not match fingerprint of user {u}"
+                );
+            }
+        }
+        tile
+    }
+
+    /// Number of gathered rows (the cluster size).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True if the tile holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Words per row.
+    #[inline]
+    pub fn words_per_user(&self) -> usize {
+        self.words_per_user
+    }
+
+    /// The words of row `i` (the fingerprint of the cluster's `i`-th user).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.words[i * self.words_per_user..(i + 1) * self.words_per_user]
+    }
+
+    /// A fixed-width kernel over the tile's rows.
+    ///
+    /// # Panics
+    /// Panics if the tile's width is not `W`.
+    pub fn kernel<const W: usize>(&self) -> GoldFingerKernel<'_, W> {
+        assert_eq!(self.words_per_user, W, "tile width mismatch");
+        GoldFingerKernel::new(&self.words)
+    }
+
+    /// The dynamic-width kernel over the tile's rows.
+    pub fn dyn_kernel(&self) -> GoldFingerDynKernel<'_> {
+        GoldFingerDynKernel::new(&self.words, self.words_per_user)
+    }
+
+    /// Runs `solver` against the width specialization matching this tile
+    /// (one dispatch per tile, never per pair).
+    pub fn solve<S: SimSolve>(&self, solver: S) -> S::Output {
+        solve_words(&self.words, self.words_per_user, solver)
+    }
+}
+
+/// Runs `solver` against the fixed-width specialization matching
+/// `words_per_user` over a contiguous word slice — the single dispatch
+/// table shared by [`ClusterTile::solve`] and the whole-dataset
+/// `SimilarityData::solve_global`, so the two monomorphization sites
+/// cannot drift. Widths without a specialization fall back to
+/// [`GoldFingerDynKernel`].
+pub fn solve_words<S: SimSolve>(words: &[u64], words_per_user: usize, solver: S) -> S::Output {
+    match words_per_user {
+        1 => solver.run(&GoldFingerKernel::<1>::new(words)),
+        16 => solver.run(&GoldFingerKernel::<16>::new(words)),
+        64 => solver.run(&GoldFingerKernel::<64>::new(words)),
+        128 => solver.run(&GoldFingerKernel::<128>::new(words)),
+        _ => solver.run(&GoldFingerDynKernel::new(words, words_per_user)),
+    }
+}
+
+/// A computation generic over the kernel — the visitor that lets
+/// [`crate::SimilarityData`] pick the monomorphization once per cluster
+/// (closures cannot be generic, so dispatch needs a named trait).
+pub trait SimSolve {
+    /// The solver's result type.
+    type Output;
+
+    /// Runs the solve against one concrete kernel.
+    fn run<K: SimKernel>(self, kernel: &K) -> Self::Output;
+}
+
+/// Streams every unordered pair `i < j` of `kernel`'s rows to `sink` —
+/// the brute-force inner loop. With a tiled GoldFinger kernel the sweep is
+/// register-blocked: tail rows are read as one contiguous,
+/// prefetch-friendly stream and compared against a cached block of rows.
+/// Exactly `len·(len−1)/2` similarities are computed, each pair once (the
+/// visit order is kernel-specific); the caller flushes that count in one
+/// `add_comparisons`.
+pub fn pairwise<K: SimKernel>(kernel: &K, sink: impl FnMut(u32, u32, f32)) {
+    kernel.sweep_pairs(sink);
+}
+
+/// Streams the similarity of row `i` against every row in `others` to
+/// `sink` — the one-vs-many shape of greedy candidate evaluation and of
+/// query-layer lookups. Computes exactly `others.len()` similarities.
+pub fn one_vs_many<K: SimKernel>(
+    kernel: &K,
+    i: u32,
+    others: &[u32],
+    mut sink: impl FnMut(u32, f32),
+) {
+    for &j in others {
+        sink(j, kernel.sim(i, j));
+    }
+}
+
+/// The number of unordered pairs of an `n`-row kernel — the comparison
+/// count a full [`pairwise`] sweep flushes.
+#[inline]
+pub fn pair_count(n: usize) -> u64 {
+    let n = n as u64;
+    n * n.saturating_sub(1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{SimilarityBackend, SimilarityData};
+    use cnc_dataset::SyntheticConfig;
+
+    fn dataset() -> Dataset {
+        let mut cfg = SyntheticConfig::small(91);
+        cfg.num_users = 120;
+        cfg.num_items = 200;
+        cfg.mean_profile = 18.0;
+        cfg.min_profile = 4;
+        cfg.generate()
+    }
+
+    #[test]
+    fn raw_kernel_matches_scalar_oracle() {
+        let ds = dataset();
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let kernel = RawKernel::new(&ds);
+        assert_eq!(kernel.len(), ds.num_users());
+        for u in (0..100u32).step_by(7) {
+            for v in (1..100u32).step_by(13) {
+                assert_eq!(kernel.sim(u, v).to_bits(), sim.sim(u, v).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_width_kernels_match_scalar_oracle() {
+        let ds = dataset();
+        for (bits, w) in [(64usize, 1usize), (1024, 16), (4096, 64), (8192, 128)] {
+            let sim = SimilarityData::build(SimilarityBackend::GoldFinger { bits, seed: 21 }, &ds);
+            let gf = sim.goldfinger().unwrap();
+            assert_eq!(gf.words_per_user(), w);
+            let dynk = GoldFingerDynKernel::over(gf);
+            for u in (0..60u32).step_by(11) {
+                for v in (1..60u32).step_by(7) {
+                    let expect = sim.sim(u, v).to_bits();
+                    assert_eq!(dynk.sim(u, v).to_bits(), expect, "dyn kernel, {bits} bits");
+                    let got = match w {
+                        1 => GoldFingerKernel::<1>::over(gf).sim(u, v),
+                        16 => GoldFingerKernel::<16>::over(gf).sim(u, v),
+                        64 => GoldFingerKernel::<64>::over(gf).sim(u, v),
+                        128 => GoldFingerKernel::<128>::over(gf).sim(u, v),
+                        _ => unreachable!(),
+                    };
+                    assert_eq!(got.to_bits(), expect, "fixed kernel, {bits} bits");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_rows_match_fingerprints_and_kernels_agree() {
+        let ds = dataset();
+        let gf = GoldFinger::build(&ds, 1024, 5);
+        let users: Vec<UserId> = (0..ds.num_users() as u32).step_by(3).collect();
+        let tile = ClusterTile::gather(&gf, &users);
+        assert_eq!(tile.len(), users.len());
+        for (i, &u) in users.iter().enumerate() {
+            assert_eq!(tile.row(i), gf.fingerprint(u));
+        }
+        let fixed = tile.kernel::<16>();
+        let global = GoldFingerKernel::<16>::over(&gf);
+        for i in 0..users.len() as u32 {
+            for j in 0..users.len() as u32 {
+                let expect = global.sim(users[i as usize], users[j as usize]).to_bits();
+                assert_eq!(fixed.sim(i, j).to_bits(), expect);
+                assert_eq!(tile.dyn_kernel().sim(i, j).to_bits(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn tile_solve_picks_a_working_specialization() {
+        struct Sum;
+        impl SimSolve for Sum {
+            type Output = f64;
+            fn run<K: SimKernel>(self, kernel: &K) -> f64 {
+                let mut total = 0.0;
+                pairwise(kernel, |_, _, s| total += s as f64);
+                total
+            }
+        }
+        let ds = dataset();
+        let users: Vec<UserId> = (0..40).collect();
+        // 192 bits = 3 words: no fixed specialization, must hit the
+        // dynamic fallback and still agree with the scalar oracle.
+        for bits in [64usize, 192, 1024] {
+            let gf = GoldFinger::build(&ds, bits, 2);
+            let tile = ClusterTile::gather(&gf, &users);
+            let got = tile.solve(Sum);
+            let mut expect = 0.0;
+            for i in 0..users.len() {
+                for j in (i + 1)..users.len() {
+                    expect += gf.estimate(users[i], users[j]) as f32 as f64;
+                }
+            }
+            assert!((got - expect).abs() < 1e-9, "{bits} bits: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn pairwise_covers_each_pair_exactly_once() {
+        let ds = dataset();
+        let kernel = RawKernel::new(&ds);
+        let users: Vec<UserId> = (0..25).collect();
+        let cluster = Remap::new(&users, kernel);
+        let mut seen = std::collections::BTreeSet::new();
+        pairwise(&cluster, |i, j, _| {
+            assert!(i < j);
+            assert!(seen.insert((i, j)), "pair ({i}, {j}) visited twice");
+        });
+        assert_eq!(seen.len() as u64, pair_count(users.len()));
+    }
+
+    #[test]
+    fn one_vs_many_matches_per_pair_sims() {
+        let ds = dataset();
+        let gf = GoldFinger::build(&ds, 1024, 3);
+        let kernel = GoldFingerKernel::<16>::over(&gf);
+        let others: Vec<u32> = (1..50).step_by(3).collect();
+        let mut got = Vec::new();
+        one_vs_many(&kernel, 0, &others, |j, s| got.push((j, s.to_bits())));
+        let expect: Vec<(u32, u32)> =
+            others.iter().map(|&j| (j, kernel.sim(0, j).to_bits())).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn remap_restricts_to_cluster_rows() {
+        let ds = dataset();
+        let users: Vec<UserId> = vec![5, 17, 2, 40];
+        let cluster = Remap::new(&users, RawKernel::new(&ds));
+        assert_eq!(cluster.len(), 4);
+        let direct = Jaccard::similarity(ds.profile(17), ds.profile(40)) as f32;
+        assert_eq!(cluster.sim(1, 3).to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn empty_and_singleton_tiles_are_fine() {
+        let ds = dataset();
+        let gf = GoldFinger::build(&ds, 128, 1);
+        let empty = ClusterTile::gather(&gf, &[]);
+        assert!(empty.is_empty());
+        let one = ClusterTile::gather(&gf, &[3]);
+        assert_eq!(one.len(), 1);
+        let mut pairs = 0;
+        pairwise(&one.dyn_kernel(), |_, _, _| pairs += 1);
+        assert_eq!(pairs, 0);
+        assert_eq!(pair_count(0), 0);
+        assert_eq!(pair_count(1), 0);
+        assert_eq!(pair_count(5), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_fixed_width_panics() {
+        let ds = dataset();
+        let gf = GoldFinger::build(&ds, 1024, 1);
+        let _ = GoldFingerKernel::<4>::over(&gf);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::backend::{SimilarityBackend, SimilarityData};
+    use proptest::prelude::*;
+
+    fn profiles_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+        proptest::collection::vec(
+            proptest::collection::btree_set(0u32..400, 0..40)
+                .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+            2..12,
+        )
+    }
+
+    proptest! {
+        /// Tiled + specialized kernels are bit-identical to the scalar
+        /// `SimilarityData::sim` path on random profiles and widths.
+        #[test]
+        fn kernels_bit_identical_to_scalar_path(
+            profiles in profiles_strategy(),
+            width_index in 0usize..6,
+            seed in 0u64..40,
+        ) {
+            let bits = [64usize, 192, 1024, 2048, 4096, 8192][width_index];
+            let ds = Dataset::from_profiles(profiles, 0);
+            let sim = SimilarityData::build(
+                SimilarityBackend::GoldFinger { bits, seed }, &ds);
+            let gf = sim.goldfinger().unwrap();
+            let users: Vec<UserId> = (0..ds.num_users() as u32).collect();
+            let tile = ClusterTile::gather(gf, &users);
+            struct Collect;
+            impl SimSolve for Collect {
+                type Output = Vec<(u32, u32, u32)>;
+                fn run<K: SimKernel>(self, kernel: &K) -> Self::Output {
+                    let mut out = Vec::new();
+                    pairwise(kernel, |i, j, s| out.push((i, j, s.to_bits())));
+                    out
+                }
+            }
+            for (i, j, bits_got) in tile.solve(Collect) {
+                let expect = sim.sim(users[i as usize], users[j as usize]);
+                prop_assert_eq!(bits_got, expect.to_bits());
+            }
+        }
+
+        /// The raw kernel is bit-identical to the scalar raw oracle.
+        #[test]
+        fn raw_kernel_bit_identical_to_scalar_path(profiles in profiles_strategy()) {
+            let ds = Dataset::from_profiles(profiles, 0);
+            let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+            let kernel = RawKernel::new(&ds);
+            let n = ds.num_users() as u32;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    prop_assert_eq!(kernel.sim(i, j).to_bits(), sim.sim(i, j).to_bits());
+                }
+            }
+        }
+
+        /// Gathered tiles mirror the fingerprints they were gathered from,
+        /// whatever the (possibly repeating) user subset.
+        #[test]
+        fn tile_gather_mirrors_fingerprints(
+            profiles in profiles_strategy(),
+            picks in proptest::collection::vec(0usize..12, 0..20),
+        ) {
+            let ds = Dataset::from_profiles(profiles, 0);
+            let gf = GoldFinger::build(&ds, 256, 7);
+            let users: Vec<UserId> = picks.into_iter()
+                .map(|p| (p % ds.num_users()) as u32)
+                .collect();
+            let tile = ClusterTile::gather(&gf, &users);
+            prop_assert_eq!(tile.len(), users.len());
+            for (i, &u) in users.iter().enumerate() {
+                prop_assert_eq!(tile.row(i), gf.fingerprint(u));
+            }
+        }
+    }
+}

@@ -15,7 +15,11 @@
 //!   and the C²/MinHash ablation (Table IV);
 //! * [`backend`] — [`SimilarityData`], the instrumented similarity oracle
 //!   every algorithm consumes: it dispatches to raw Jaccard or GoldFinger
-//!   and counts comparisons with a relaxed atomic.
+//!   and counts comparisons with a relaxed atomic;
+//! * [`kernel`] — the batched hot path: monomorphized [`SimKernel`]s
+//!   (fixed fingerprint widths, contiguous [`ClusterTile`]s) dispatched
+//!   once per cluster via [`SimilarityData::solve_cluster`], with
+//!   comparison accounting batched into one flush.
 
 pub mod backend;
 pub mod bbit;
@@ -24,10 +28,12 @@ pub mod cosine;
 pub mod goldfinger;
 pub mod hash;
 pub mod jaccard;
+pub mod kernel;
 pub mod minhash;
 
 pub use backend::{SimilarityBackend, SimilarityData};
 pub use goldfinger::GoldFinger;
 pub use hash::SeededHash;
 pub use jaccard::Jaccard;
+pub use kernel::{ClusterTile, SimKernel, SimSolve};
 pub use minhash::MinHasher;
