@@ -10,6 +10,7 @@
 //! --datasets a,b       restrict to named presets                 (default: all six)
 //! --workers <n>        pin the runtime sweep's map worker count  (default: sweep)
 //! --reduce-shards <n>  pin the runtime sweep's reduce shards     (default: sweep)
+//! --clients <n>        client threads for the serve bench        (default: 4)
 //! ```
 
 use cnc_dataset::DatasetProfile;
@@ -31,6 +32,8 @@ pub struct HarnessArgs {
     /// Pins the `scaling` experiment to one reduce-shard count
     /// (`None` = sweep the default ladder).
     pub reduce_shards: Option<usize>,
+    /// Client threads driving the `serve` bench (`None` = the default 4).
+    pub clients: Option<usize>,
 }
 
 impl Default for HarnessArgs {
@@ -42,6 +45,7 @@ impl Default for HarnessArgs {
             datasets: DatasetProfile::ALL.to_vec(),
             workers: None,
             reduce_shards: None,
+            clients: None,
         }
     }
 }
@@ -75,6 +79,14 @@ impl HarnessArgs {
                 "--workers" => {
                     args.workers =
                         Some(value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?);
+                }
+                "--clients" => {
+                    let n: usize =
+                        value("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?;
+                    if n == 0 {
+                        return Err("--clients must be positive".into());
+                    }
+                    args.clients = Some(n);
                 }
                 "--reduce-shards" => {
                     args.reduce_shards = Some(
@@ -119,7 +131,7 @@ impl HarnessArgs {
     /// The usage string.
     pub fn usage() -> &'static str {
         "usage: [--scale F] [--threads N] [--seed S] [--workers W] [--reduce-shards R] \
-         [--datasets ml1M,ml10M,ml20M,AM,DBLP,GW]"
+         [--clients C] [--datasets ml1M,ml10M,ml20M,AM,DBLP,GW]"
     }
 }
 
@@ -140,6 +152,14 @@ mod tests {
         assert_eq!(args.datasets.len(), 6);
         assert_eq!(args.workers, None);
         assert_eq!(args.reduce_shards, None);
+        assert_eq!(args.clients, None);
+    }
+
+    #[test]
+    fn parses_clients_pin() {
+        assert_eq!(parse(&["--clients", "2"]).unwrap().clients, Some(2));
+        assert!(parse(&["--clients", "0"]).is_err());
+        assert!(parse(&["--clients"]).is_err());
     }
 
     #[test]

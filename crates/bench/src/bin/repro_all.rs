@@ -74,7 +74,7 @@ fn main() {
     );
 
     type Runner = fn(&HarnessArgs) -> String;
-    let sections: [(&str, Runner); 11] = [
+    let sections: [(&str, Runner); 12] = [
         ("table1", experiments::table1::run),
         ("table2", experiments::table2::run),
         ("table3", experiments::table3::run),
@@ -86,6 +86,7 @@ fn main() {
         ("theory", experiments::theory::run),
         ("kernels", experiments::kernels::run),
         ("scaling", experiments::scaling::run),
+        ("serve", experiments::serve::run),
     ];
     for (name, runner) in sections {
         eprintln!("=== {name} ===");

@@ -1,0 +1,12 @@
+//! Regenerates the online-serving benchmark (N client threads of mixed
+//! query/insert traffic against one epoch-swapped engine) and records
+//! `BENCH_serve.json` at the workspace root.
+//!
+//! ```text
+//! cargo run -p cnc-bench --release --bin serve -- --scale 0.125 --clients 4
+//! ```
+
+fn main() {
+    let args = cnc_bench::HarnessArgs::from_env();
+    print!("{}", cnc_bench::experiments::serve::run(&args));
+}

@@ -1,0 +1,311 @@
+//! Online-serving benchmark: the first recorded point of the repo's
+//! serving-throughput trajectory (`BENCH_serve.json`).
+//!
+//! Drives `N` client threads of mixed traffic — 15 queries to 1 streaming
+//! insert — against one shared [`ServingEngine`] built by the sharded C²
+//! runtime on the paper's 1024-bit GoldFinger backend. Inserts are
+//! absorbed by the writer's dynamic index, and every `rebuild_after`
+//! inserts the engine rebuilds and atomically publishes a fresh epoch, so
+//! the run exercises queries, placements *and* epoch swaps under load.
+//! Recorded figures: aggregate QPS, per-operation p50/p99 latency, and
+//! the number of epoch swaps the traffic triggered.
+
+use crate::args::HarnessArgs;
+use cnc_core::C2Config;
+use cnc_query::BeamSearchConfig;
+use cnc_runtime::RuntimeConfig;
+use cnc_serve::{ServingConfig, ServingEngine};
+use cnc_similarity::SimilarityBackend;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Instant;
+
+/// Queries per insert in the mixed workload (news-recommender-ish:
+/// reads dominate, but freshness traffic is constant).
+const QUERIES_PER_INSERT: usize = 15;
+
+/// The full bench result (rendered to markdown and JSON).
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Client threads driving traffic.
+    pub clients: usize,
+    /// Users served by the first epoch.
+    pub num_users_start: usize,
+    /// Users served by the last published epoch.
+    pub num_users_end: usize,
+    /// Initial build wall-clock, milliseconds.
+    pub build_ms: f64,
+    /// Total operations performed (queries + inserts).
+    pub ops: usize,
+    /// Queries answered.
+    pub queries: usize,
+    /// Inserts absorbed.
+    pub inserts: usize,
+    /// Epochs published under load.
+    pub epoch_swaps: u64,
+    /// Aggregate operations per second over the traffic phase.
+    pub qps: f64,
+    /// Query latency percentiles, microseconds.
+    pub query_p50_us: f64,
+    /// 99th-percentile query latency, microseconds.
+    pub query_p99_us: f64,
+    /// Median insert latency, microseconds (epoch-rebuild inserts
+    /// included — that spike is the cost the p99 shows).
+    pub insert_p50_us: f64,
+    /// 99th-percentile insert latency, microseconds.
+    pub insert_p99_us: f64,
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+/// Runs the bench and returns the structured report.
+pub fn bench(args: &HarnessArgs) -> ServeReport {
+    let mut cfg = cnc_dataset::SyntheticConfig::small(args.seed);
+    cfg.num_users = ((16_000.0 * args.scale) as usize).max(512);
+    cfg.num_items = ((8_000.0 * args.scale) as usize).max(400);
+    cfg.communities = 16;
+    cfg.mean_profile = 25.0;
+    cfg.min_profile = 8;
+    let dataset = cfg.generate();
+    let num_users = dataset.num_users();
+    let num_items = dataset.num_items();
+
+    let clients = args.clients.unwrap_or(4);
+    // Debug builds (unit tests) only check plumbing; release runs need
+    // enough operations for stable percentiles and several epoch swaps.
+    let ops_per_client =
+        if cfg!(debug_assertions) { 120 } else { ((40_000.0 * args.scale) as usize).max(1_000) };
+    let total_inserts = clients * ops_per_client / (QUERIES_PER_INSERT + 1);
+    let rebuild_after = (total_inserts / 3).max(8);
+
+    let config = ServingConfig {
+        c2: C2Config {
+            k: 10,
+            backend: SimilarityBackend::GoldFinger { bits: 1024, seed: args.seed ^ 0x5E12 },
+            seed: args.seed,
+            threads: args.threads,
+            ..C2Config::default()
+        },
+        runtime: RuntimeConfig::with_workers(args.threads),
+        beam: BeamSearchConfig { beam_width: 32, entry_points: 6, max_comparisons: 0 },
+        rebuild_after,
+    };
+
+    let build_start = Instant::now();
+    let engine = ServingEngine::build(dataset.clone(), config);
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+
+    // Traffic phase: every client mixes 15 queries per insert, profiles
+    // drawn from the base dataset with a random drift item (fresh users
+    // resemble existing ones, as in the paper's workloads).
+    let traffic_start = Instant::now();
+    let mut per_client: Vec<(Vec<u64>, Vec<u64>)> = Vec::with_capacity(clients);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let engine = &engine;
+                let dataset = &dataset;
+                scope.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(
+                        args.seed.wrapping_add(client as u64 * 0x9E37_79B9),
+                    );
+                    let mut session = engine.session();
+                    let mut query_ns = Vec::with_capacity(ops_per_client);
+                    let mut insert_ns = Vec::with_capacity(ops_per_client / 8);
+                    for op in 0..ops_per_client {
+                        let donor = rng.random_range(0..num_users as u32);
+                        let mut profile = dataset.profile(donor).to_vec();
+                        profile.push(rng.random_range(0..num_items as u32));
+                        let seed = (client * ops_per_client + op) as u64;
+                        let start = Instant::now();
+                        if op % (QUERIES_PER_INSERT + 1) == QUERIES_PER_INSERT {
+                            engine.insert(profile, seed);
+                            insert_ns.push(start.elapsed().as_nanos() as u64);
+                        } else {
+                            engine.query_with(&mut session, &profile, 10, seed);
+                            query_ns.push(start.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    (query_ns, insert_ns)
+                })
+            })
+            .collect();
+        for handle in handles {
+            per_client.push(handle.join().expect("client thread panicked"));
+        }
+    });
+    let traffic_s = traffic_start.elapsed().as_secs_f64();
+
+    let mut query_ns: Vec<u64> = per_client.iter().flat_map(|(q, _)| q.iter().copied()).collect();
+    let mut insert_ns: Vec<u64> = per_client.iter().flat_map(|(_, i)| i.iter().copied()).collect();
+    query_ns.sort_unstable();
+    insert_ns.sort_unstable();
+
+    let stats = engine.stats();
+    assert_eq!(stats.queries as usize, query_ns.len(), "query accounting off");
+    assert_eq!(stats.inserts as usize, insert_ns.len(), "insert accounting off");
+
+    let ops = query_ns.len() + insert_ns.len();
+    let report = ServeReport {
+        clients,
+        num_users_start: num_users,
+        num_users_end: stats.num_users,
+        build_ms,
+        ops,
+        queries: query_ns.len(),
+        inserts: insert_ns.len(),
+        epoch_swaps: stats.epoch_swaps,
+        qps: ops as f64 / traffic_s,
+        query_p50_us: percentile_us(&query_ns, 0.50),
+        query_p99_us: percentile_us(&query_ns, 0.99),
+        insert_p50_us: percentile_us(&insert_ns, 0.50),
+        insert_p99_us: percentile_us(&insert_ns, 0.99),
+    };
+    eprintln!(
+        "  serve: {} clients, {:.0} ops/s, query p50 {:.0} µs / p99 {:.0} µs, \
+         {} epoch swaps ({} → {} users)",
+        report.clients,
+        report.qps,
+        report.query_p50_us,
+        report.query_p99_us,
+        report.epoch_swaps,
+        report.num_users_start,
+        report.num_users_end,
+    );
+    report
+}
+
+/// Renders the JSON document recorded at the workspace root.
+pub fn to_json(report: &ServeReport, args: &HarnessArgs) -> String {
+    format!(
+        "{{\n  \"experiment\": \"serve\",\n  \"scale\": {},\n  \"seed\": {},\n  \
+         \"clients\": {},\n  \"num_users_start\": {},\n  \"num_users_end\": {},\n  \
+         \"build_ms\": {:.3},\n  \"ops\": {},\n  \"queries\": {},\n  \"inserts\": {},\n  \
+         \"epoch_swaps\": {},\n  \"qps\": {:.1},\n  \
+         \"query_latency_us\": {{\"p50\": {:.1}, \"p99\": {:.1}}},\n  \
+         \"insert_latency_us\": {{\"p50\": {:.1}, \"p99\": {:.1}}}\n}}\n",
+        args.scale,
+        args.seed,
+        report.clients,
+        report.num_users_start,
+        report.num_users_end,
+        report.build_ms,
+        report.ops,
+        report.queries,
+        report.inserts,
+        report.epoch_swaps,
+        report.qps,
+        report.query_p50_us,
+        report.query_p99_us,
+        report.insert_p50_us,
+        report.insert_p99_us,
+    )
+}
+
+/// Runs the bench, writes `BENCH_serve.json` (best-effort) and renders
+/// the markdown section for `repro_all`.
+pub fn run(args: &HarnessArgs) -> String {
+    let report = bench(args);
+
+    // Recording is skipped under `cfg(test)` so unit tests don't clobber
+    // the checked-in baseline with debug-build numbers.
+    #[cfg(not(test))]
+    {
+        let json = to_json(&report, args);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+        if let Err(err) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path} ({err}); continuing");
+        }
+    }
+
+    format!(
+        "## Online serving — epoch-swapped engine under mixed traffic\n\n\
+         *{} client threads, {} queries : 1 insert; initial epoch {} users \
+         (C² sharded build {:.0} ms); inserts trigger a full rebuild + atomic \
+         epoch swap every ~third of the insert stream*\n\n\
+         | metric | value |\n|:---|---:|\n\
+         | aggregate throughput | {:.0} ops/s |\n\
+         | query p50 / p99 | {:.0} µs / {:.0} µs |\n\
+         | insert p50 / p99 | {:.0} µs / {:.0} µs |\n\
+         | epoch swaps under load | {} |\n\
+         | users served (start → end) | {} → {} |\n\n\
+         Recorded to `BENCH_serve.json`.\n\n",
+        report.clients,
+        QUERIES_PER_INSERT,
+        report.num_users_start,
+        report.build_ms,
+        report.qps,
+        report.query_p50_us,
+        report.query_p99_us,
+        report.insert_p50_us,
+        report.insert_p99_us,
+        report.epoch_swaps,
+        report.num_users_start,
+        report.num_users_end,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_throughput_latency_and_swaps() {
+        let args = HarnessArgs { scale: 0.02, clients: Some(2), ..HarnessArgs::default() };
+        let report = run(&args);
+        for needle in ["ops/s", "query p50 / p99", "insert p50 / p99", "epoch swaps under load"] {
+            assert!(report.contains(needle), "missing {needle:?} in {report}");
+        }
+    }
+
+    #[test]
+    fn traffic_mix_and_swap_accounting_add_up() {
+        let args = HarnessArgs { scale: 0.02, clients: Some(2), ..HarnessArgs::default() };
+        let report = bench(&args);
+        assert_eq!(report.ops, report.queries + report.inserts);
+        // Mirror the client loop: debug builds run 120 ops per client,
+        // every 16th an insert.
+        let inserts_per_client =
+            (0..120).filter(|op| op % (QUERIES_PER_INSERT + 1) == QUERIES_PER_INSERT).count();
+        assert_eq!(report.inserts, 2 * inserts_per_client);
+        assert_eq!(report.queries, 2 * 120 - report.inserts);
+        assert!(report.epoch_swaps >= 1, "the workload must trigger at least one swap");
+        // Each swap publishes exactly `rebuild_after` absorbed inserts
+        // (same formula as the bench body).
+        let rebuild_after = (2 * 120 / (QUERIES_PER_INSERT + 1) / 3).max(8);
+        assert_eq!(
+            report.num_users_end,
+            report.num_users_start + report.epoch_swaps as usize * rebuild_after
+        );
+        assert!(report.qps > 0.0);
+        assert!(report.query_p99_us >= report.query_p50_us);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_grep() {
+        let args = HarnessArgs { scale: 0.02, clients: Some(2), ..HarnessArgs::default() };
+        let report = bench(&args);
+        let json = to_json(&report, &args);
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\"experiment\": \"serve\""));
+        assert!(json.contains("\"qps\""));
+        assert!(json.contains("\"epoch_swaps\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn percentiles_are_sane() {
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+        assert_eq!(percentile_us(&[1000], 0.99), 1.0);
+        let ns: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        assert!((percentile_us(&ns, 0.5) - 51.0).abs() < 1.5);
+        assert!((percentile_us(&ns, 0.99) - 99.0).abs() < 1.5);
+    }
+}

@@ -41,6 +41,25 @@ impl Dataset {
         builder.build_with_min_items(min_num_items)
     }
 
+    /// Reassembles a dataset from its raw CSR parts — the `cnc-serve`
+    /// snapshot loader's inverse of reading profiles back out. The parts
+    /// come from an untrusted file, so every invariant of the struct-level
+    /// contract is *checked* (via [`Dataset::validate`]) instead of
+    /// debug-asserted; on success the dataset is bit-identical to the one
+    /// the parts were read from.
+    pub fn from_csr(
+        offsets: Vec<usize>,
+        items: Vec<ItemId>,
+        num_items: u32,
+    ) -> Result<Dataset, String> {
+        if offsets.is_empty() {
+            return Err("offsets must hold at least the leading 0".into());
+        }
+        let ds = Dataset { offsets, items, num_items };
+        ds.validate()?;
+        Ok(ds)
+    }
+
     /// Number of users `|U|`.
     #[inline]
     pub fn num_users(&self) -> usize {
@@ -294,6 +313,26 @@ mod tests {
         let ds = toy();
         let collected: Vec<u32> = ds.iter().map(|(u, _)| u).collect();
         assert_eq!(collected, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn from_csr_round_trips_and_validates() {
+        let ds = toy();
+        let offsets: Vec<usize> = std::iter::once(0)
+            .chain(ds.iter().scan(0, |at, (_, p)| {
+                *at += p.len();
+                Some(*at)
+            }))
+            .collect();
+        let items: Vec<ItemId> = ds.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+        let back = Dataset::from_csr(offsets, items, ds.num_items() as u32).unwrap();
+        assert_eq!(back, ds);
+
+        assert!(Dataset::from_csr(vec![], vec![], 0).is_err(), "empty offsets");
+        assert!(Dataset::from_csr(vec![0, 2], vec![5], 10).is_err(), "offsets past items");
+        assert!(Dataset::from_csr(vec![0, 2], vec![5, 5], 10).is_err(), "non-increasing profile");
+        assert!(Dataset::from_csr(vec![0, 1], vec![5], 3).is_err(), "item beyond num_items");
+        assert!(Dataset::from_csr(vec![0, 1], vec![5], 6).is_ok());
     }
 
     #[test]

@@ -121,6 +121,35 @@ impl NeighborList {
         }
     }
 
+    /// Reassembles a list from entries previously read off [`NeighborList::iter`]
+    /// (heap order), restoring the **identical** in-memory layout — the
+    /// `cnc-serve` snapshot loader's inverse of the writer. The entries
+    /// come from an untrusted file, so every invariant is checked instead
+    /// of asserted: the bound, similarity finiteness (the heap's total
+    /// order unwraps `partial_cmp`), user distinctness, and the heap
+    /// invariant itself.
+    pub fn from_heap_order(k: usize, entries: Vec<Neighbor>) -> Result<NeighborList, String> {
+        if k == 0 {
+            return Err("neighbourhood size k must be positive".into());
+        }
+        if entries.len() > k {
+            return Err(format!("{} entries exceed the bound k = {k}", entries.len()));
+        }
+        if let Some(bad) = entries.iter().find(|n| n.sim.is_nan()) {
+            return Err(format!("neighbour {} has a NaN similarity", bad.user));
+        }
+        for (i, a) in entries.iter().enumerate() {
+            if entries[..i].iter().any(|b| b.user == a.user) {
+                return Err(format!("user {} appears twice in one list", a.user));
+            }
+        }
+        let list = NeighborList { entries, k };
+        if !list.check_heap_invariant() {
+            return Err("entries are not in heap order".into());
+        }
+        Ok(list)
+    }
+
     /// Merges `other` into `self` (Algorithm 3's per-user step), keeping the
     /// `k` best of the union.
     pub fn merge(&mut self, other: &NeighborList) -> usize {
@@ -291,6 +320,42 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_panics() {
         NeighborList::new(0);
+    }
+
+    #[test]
+    fn from_heap_order_restores_the_exact_layout() {
+        let mut list = NeighborList::new(4);
+        for (user, sim) in [(1, 0.4), (9, 0.9), (3, 0.1), (7, 0.7), (2, 0.5)] {
+            list.insert(user, sim);
+        }
+        let entries: Vec<Neighbor> = list.iter().copied().collect();
+        let back = NeighborList::from_heap_order(4, entries).unwrap();
+        // Bit-exact: same heap order, not merely the same sorted content.
+        assert_eq!(
+            back.iter().copied().collect::<Vec<_>>(),
+            list.iter().copied().collect::<Vec<_>>()
+        );
+        assert_eq!(back.k(), 4);
+    }
+
+    #[test]
+    fn from_heap_order_rejects_invalid_entries() {
+        let n = |user, sim| Neighbor { user, sim };
+        assert!(NeighborList::from_heap_order(0, vec![]).is_err(), "k = 0");
+        assert!(
+            NeighborList::from_heap_order(1, vec![n(1, 0.5), n(2, 0.9)]).is_err(),
+            "over the bound"
+        );
+        assert!(NeighborList::from_heap_order(3, vec![n(1, f32::NAN)]).is_err(), "NaN similarity");
+        assert!(
+            NeighborList::from_heap_order(3, vec![n(1, 0.2), n(1, 0.3)]).is_err(),
+            "duplicate user"
+        );
+        assert!(
+            NeighborList::from_heap_order(3, vec![n(1, 0.9), n(2, 0.1)]).is_err(),
+            "heap order violated (root must be the worst)"
+        );
+        assert!(NeighborList::from_heap_order(3, vec![]).unwrap().is_empty());
     }
 }
 

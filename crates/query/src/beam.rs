@@ -50,6 +50,16 @@ impl VisitedSet {
         VisitedSet { stamps: vec![0; n], epoch: 0 }
     }
 
+    /// Grows the set to cover `n` users; existing marks are preserved and
+    /// the new slots read as unvisited (slot 0 is never a live epoch — the
+    /// first [`VisitedSet::clear`] bumps it to 1). Lets one searcher
+    /// outlive epoch swaps to larger graphs in `cnc-serve`.
+    pub fn grow(&mut self, n: usize) {
+        if n > self.stamps.len() {
+            self.stamps.resize(n, 0);
+        }
+    }
+
     /// Starts a new query: invalidates all marks in O(1).
     pub fn clear(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);
@@ -111,6 +121,19 @@ mod tests {
         set.clear();
         assert!(!set.contains(3), "clear must invalidate previous marks");
         assert!(set.insert(3));
+    }
+
+    #[test]
+    fn grow_preserves_marks_and_adds_unvisited_slots() {
+        let mut set = VisitedSet::new(2);
+        set.clear();
+        set.insert(1);
+        set.grow(5);
+        assert!(set.contains(1), "existing marks must survive the grow");
+        assert!(!set.contains(4), "new slots must start unvisited");
+        assert!(set.insert(4));
+        set.grow(3); // shrinking requests are no-ops
+        assert!(set.contains(4));
     }
 
     #[test]

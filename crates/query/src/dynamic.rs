@@ -9,38 +9,25 @@
 //!   newcomer's approximate KNN, installs it, and offers the newcomer as a
 //!   reverse neighbour to every user it visited — so existing
 //!   neighbourhoods keep improving too;
+//! * the beam expansion is batched through
+//!   [`cnc_similarity::kernel::one_vs_many`] (see [`crate::search`]), over
+//!   raw profiles or — in [`DynamicIndex::with_goldfinger`] mode — over a
+//!   growable fingerprint set that absorbs each newcomer with
+//!   [`GoldFinger::push_user`];
 //! * the amortized cost per insertion is a few hundred similarities,
 //!   versus `n` for a linear scan and a full rebuild for batch algorithms.
 //!
-//! A production deployment would alternate: C² rebuild every epoch,
-//! [`DynamicIndex`] absorbing the stream in between.
+//! A production deployment alternates: C² rebuild every epoch,
+//! [`DynamicIndex`] absorbing the stream in between — exactly the writer
+//! loop of `cnc-serve`'s `ServingEngine`, which snapshots this index's
+//! state into the next published epoch.
 
 use crate::beam::{BeamSearchConfig, VisitedSet};
-use cnc_dataset::{Dataset, ItemId, UserId};
-use cnc_graph::{KnnGraph, Neighbor, NeighborList};
-use cnc_similarity::Jaccard;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-#[derive(Clone, Copy, PartialEq)]
-struct Candidate {
-    sim: f32,
-    user: UserId,
-}
-
-impl Eq for Candidate {}
-impl Ord for Candidate {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.sim.partial_cmp(&other.sim).unwrap().then_with(|| other.user.cmp(&self.user))
-    }
-}
-impl PartialOrd for Candidate {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
+use crate::search::{batched_beam_search, BeamSolve, ProfilesQueryKernel};
+use cnc_dataset::{Dataset, DatasetBuilder, ItemId, UserId};
+use cnc_graph::{KnnGraph, Neighbor};
+use cnc_similarity::kernel::solve_query_words;
+use cnc_similarity::GoldFinger;
 
 /// A growable KNN index: a snapshot graph plus online insertions.
 pub struct DynamicIndex {
@@ -48,16 +35,52 @@ pub struct DynamicIndex {
     graph: KnnGraph,
     config: BeamSearchConfig,
     base_users: usize,
+    /// Item-universe floor carried from the source dataset, so
+    /// [`DynamicIndex::to_dataset`] reproduces its `num_items` even when
+    /// no stored profile references the last items.
+    min_num_items: u32,
+    /// Growable fingerprints mirroring `profiles` (fingerprint scoring
+    /// mode); `None` scores with exact Jaccard on the raw profiles.
+    fingerprints: Option<GoldFinger>,
 }
 
 impl DynamicIndex {
     /// Takes ownership of a built graph and copies the profiles it was
-    /// built on.
+    /// built on; insertions are scored with exact Jaccard.
     ///
     /// # Panics
     /// Panics if the graph and dataset disagree on the user count, or the
     /// beam configuration is invalid for the graph's `k`.
     pub fn new(dataset: &Dataset, graph: KnnGraph, config: BeamSearchConfig) -> Self {
+        Self::build(dataset, graph, config, None)
+    }
+
+    /// Like [`DynamicIndex::new`], but scores insertions on GoldFinger
+    /// fingerprints (which must cover the dataset); each inserted user's
+    /// fingerprint is appended, keeping the set aligned with the profiles.
+    ///
+    /// # Panics
+    /// Panics additionally if the fingerprints don't cover the dataset.
+    pub fn with_goldfinger(
+        dataset: &Dataset,
+        graph: KnnGraph,
+        config: BeamSearchConfig,
+        fingerprints: GoldFinger,
+    ) -> Self {
+        assert_eq!(
+            fingerprints.num_users(),
+            dataset.num_users(),
+            "fingerprints must cover the dataset"
+        );
+        Self::build(dataset, graph, config, Some(fingerprints))
+    }
+
+    fn build(
+        dataset: &Dataset,
+        graph: KnnGraph,
+        config: BeamSearchConfig,
+        fingerprints: Option<GoldFinger>,
+    ) -> Self {
         assert_eq!(dataset.num_users(), graph.num_users(), "graph/dataset user mismatch");
         if let Err(msg) = config.validate(graph.k()) {
             panic!("invalid beam search config: {msg}");
@@ -65,8 +88,10 @@ impl DynamicIndex {
         DynamicIndex {
             profiles: dataset.iter().map(|(_, p)| p.to_vec()).collect(),
             base_users: dataset.num_users(),
+            min_num_items: dataset.num_items() as u32,
             graph,
             config,
+            fingerprints,
         }
     }
 
@@ -95,13 +120,36 @@ impl DynamicIndex {
         &self.graph
     }
 
+    /// The growable fingerprint set, when scoring on fingerprints.
+    pub fn fingerprints(&self) -> Option<&GoldFinger> {
+        self.fingerprints.as_ref()
+    }
+
+    /// Materializes the current profiles (base + inserted) as an immutable
+    /// CSR dataset — the input of the next epoch's full rebuild in the
+    /// serve loop. Item ids keep the source dataset's universe floor.
+    pub fn to_dataset(&self) -> Dataset {
+        let mut builder = DatasetBuilder::with_capacity(self.profiles.len());
+        for profile in &self.profiles {
+            // Stored profiles are sorted and deduplicated on insertion.
+            builder.push_sorted_profile(profile);
+        }
+        builder.build_with_min_items(self.min_num_items)
+    }
+
     /// Inserts a new user with the given profile; returns her id and the
     /// number of similarity computations spent.
     ///
-    /// The newcomer's KNN comes from a beam search over the current graph;
-    /// every user *visited* by the search is also offered the newcomer as a
-    /// candidate neighbour (the symmetric update that keeps the graph fresh
-    /// for existing users).
+    /// The newcomer's KNN comes from a batched beam search over the
+    /// current graph; every user *visited* by the search is also offered
+    /// the newcomer as a candidate neighbour (the symmetric update that
+    /// keeps the graph fresh for existing users).
+    ///
+    /// `config.max_comparisons` bounds the placement search exactly like
+    /// a query (a change from the original insertion loop, which ignored
+    /// the cap) — insert latency needs the same SLO protection queries
+    /// get, and the semantics are locked by the capped equivalence test
+    /// below.
     pub fn add_user(&mut self, mut profile: Vec<ItemId>, seed: u64) -> (UserId, usize) {
         profile.sort_unstable();
         profile.dedup();
@@ -109,43 +157,38 @@ impl DynamicIndex {
 
         // Beam search against current members (the newcomer is not yet in
         // the graph, so the search space is exactly the existing users).
-        let n = self.profiles.len();
-        let mut comparisons = 0usize;
-        let mut beam = NeighborList::new(self.config.beam_width);
-        if n > 0 {
-            let mut visited = VisitedSet::new(n);
-            visited.clear();
-            let mut frontier: BinaryHeap<Candidate> = BinaryHeap::new();
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let entries = self.config.entry_points.min(n);
-            while frontier.len() < entries {
-                let user = rng.random_range(0..n as u32);
-                if visited.insert(user) {
-                    let sim = Jaccard::similarity(&profile, &self.profiles[user as usize]) as f32;
-                    comparisons += 1;
-                    beam.insert(user, sim);
-                    frontier.push(Candidate { sim, user });
-                }
+        let mut visited = VisitedSet::new(self.profiles.len());
+        let mut batch = Vec::new();
+        let (beam, comparisons) = match &self.fingerprints {
+            None => batched_beam_search(
+                &ProfilesQueryKernel::new(&self.profiles, &profile),
+                &self.graph,
+                &mut visited,
+                &mut batch,
+                &self.config,
+                seed,
+            ),
+            Some(gf) => {
+                let qwords = gf.fingerprint_profile(&profile);
+                solve_query_words(
+                    gf.words(),
+                    gf.words_per_user(),
+                    &qwords,
+                    BeamSolve {
+                        graph: &self.graph,
+                        visited: &mut visited,
+                        batch: &mut batch,
+                        config: &self.config,
+                        seed,
+                    },
+                )
             }
-            while let Some(best) = frontier.pop() {
-                if beam.is_full() && best.sim < beam.worst_sim() {
-                    break;
-                }
-                for edge in self.graph.neighbors(best.user).iter() {
-                    if !visited.insert(edge.user) {
-                        continue;
-                    }
-                    let sim =
-                        Jaccard::similarity(&profile, &self.profiles[edge.user as usize]) as f32;
-                    comparisons += 1;
-                    if beam.insert(edge.user, sim) {
-                        frontier.push(Candidate { sim, user: edge.user });
-                    }
-                }
-            }
-        }
+        };
 
         // Install the newcomer.
+        if let Some(gf) = &mut self.fingerprints {
+            gf.push_user(&profile);
+        }
         self.profiles.push(profile);
         self.graph.add_user();
         for nb in beam.sorted() {
@@ -163,7 +206,11 @@ mod tests {
     use super::*;
     use cnc_baselines::{BruteForce, BuildContext, KnnAlgorithm};
     use cnc_dataset::SyntheticConfig;
-    use cnc_similarity::{SimilarityBackend, SimilarityData};
+    use cnc_graph::NeighborList;
+    use cnc_similarity::{Jaccard, SimilarityBackend, SimilarityData};
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+    use std::collections::BinaryHeap;
 
     fn base() -> (Dataset, KnnGraph) {
         let mut cfg = SyntheticConfig::small(909);
@@ -180,6 +227,153 @@ mod tests {
 
     fn config() -> BeamSearchConfig {
         BeamSearchConfig { beam_width: 32, entry_points: 6, max_comparisons: 0 }
+    }
+
+    /// The seed implementation's scalar insertion loop, kept as the
+    /// reference the batched [`DynamicIndex::add_user`] must reproduce —
+    /// the installed id, the comparison count, and the final graph.
+    fn scalar_add_user(
+        profiles: &[Vec<ItemId>],
+        graph: &mut KnnGraph,
+        config: &BeamSearchConfig,
+        mut profile: Vec<ItemId>,
+        seed: u64,
+    ) -> (UserId, usize) {
+        profile.sort_unstable();
+        profile.dedup();
+        let new_id = profiles.len() as UserId;
+        let n = profiles.len();
+        let mut comparisons = 0usize;
+        let mut beam = NeighborList::new(config.beam_width);
+        if n > 0 {
+            let mut visited = VisitedSet::new(n);
+            visited.clear();
+            let mut frontier: BinaryHeap<crate::search::Candidate> = BinaryHeap::new();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let entries = config.entry_points.min(n);
+            while frontier.len() < entries {
+                let user = rng.random_range(0..n as u32);
+                if visited.insert(user) {
+                    let sim = Jaccard::similarity(&profile, &profiles[user as usize]) as f32;
+                    comparisons += 1;
+                    beam.insert(user, sim);
+                    frontier.push(crate::search::Candidate { sim, user });
+                }
+            }
+            while let Some(best) = frontier.pop() {
+                if beam.is_full() && best.sim < beam.worst_sim() {
+                    break;
+                }
+                for edge in graph.neighbors(best.user).iter() {
+                    if !visited.insert(edge.user) {
+                        continue;
+                    }
+                    // The cap semantics add_user now shares with queries.
+                    if config.max_comparisons > 0 && comparisons >= config.max_comparisons {
+                        frontier.clear();
+                        break;
+                    }
+                    let sim = Jaccard::similarity(&profile, &profiles[edge.user as usize]) as f32;
+                    comparisons += 1;
+                    if beam.insert(edge.user, sim) {
+                        frontier.push(crate::search::Candidate { sim, user: edge.user });
+                    }
+                }
+            }
+        }
+        graph.add_user();
+        for nb in beam.sorted() {
+            graph.insert(new_id, nb.user, nb.sim);
+            graph.insert(nb.user, new_id, nb.sim);
+        }
+        (new_id, comparisons)
+    }
+
+    #[test]
+    fn batched_insertion_is_identical_to_the_scalar_path() {
+        let (ds, graph) = base();
+        let mut index = DynamicIndex::new(&ds, graph.clone(), config());
+        let mut ref_profiles: Vec<Vec<ItemId>> = ds.iter().map(|(_, p)| p.to_vec()).collect();
+        let mut ref_graph = graph;
+        for i in 0..30u32 {
+            let mut profile = ds.profile((i * 13) % 400).to_vec();
+            profile.push(295 + i % 5);
+            let got = index.add_user(profile.clone(), i as u64);
+            let expect = scalar_add_user(
+                &ref_profiles,
+                &mut ref_graph,
+                &config(),
+                profile.clone(),
+                i as u64,
+            );
+            assert_eq!(got, expect, "insertion {i} diverged");
+            profile.sort_unstable();
+            profile.dedup();
+            ref_profiles.push(profile);
+        }
+        for u in 0..index.num_users() as u32 {
+            assert_eq!(index.knn(u), ref_graph.neighbors(u).sorted(), "user {u} lists diverged");
+        }
+    }
+
+    #[test]
+    fn capped_insertions_match_the_capped_scalar_reference() {
+        // max_comparisons now bounds insert placement like a query (a
+        // deliberate change from the seed loop, which ignored the cap on
+        // inserts); the batched path must match a capped scalar loop in
+        // results, counts and the final graph.
+        let (ds, graph) = base();
+        let capped = BeamSearchConfig { max_comparisons: 40, ..config() };
+        let mut index = DynamicIndex::new(&ds, graph.clone(), capped);
+        let mut ref_profiles: Vec<Vec<ItemId>> = ds.iter().map(|(_, p)| p.to_vec()).collect();
+        let mut ref_graph = graph;
+        for i in 0..15u32 {
+            let profile = ds.profile((i * 19) % 400).to_vec();
+            let got = index.add_user(profile.clone(), i as u64);
+            let expect =
+                scalar_add_user(&ref_profiles, &mut ref_graph, &capped, profile.clone(), i as u64);
+            assert_eq!(got, expect, "capped insertion {i} diverged");
+            assert!(got.1 <= 40 + capped.entry_points, "cap ignored: {} comparisons", got.1);
+            ref_profiles.push(profile);
+        }
+        for u in 0..index.num_users() as u32 {
+            assert_eq!(index.knn(u), ref_graph.neighbors(u).sorted(), "user {u} lists diverged");
+        }
+    }
+
+    #[test]
+    fn goldfinger_insertions_track_the_growable_fingerprints() {
+        let (ds, graph) = base();
+        let gf = GoldFinger::build(&ds, 1024, 17);
+        let mut index = DynamicIndex::with_goldfinger(&ds, graph, config(), gf);
+        let mut perfect = 0;
+        for i in 0..10u32 {
+            let twin = ds.profile(i * 3).to_vec();
+            let (id, comparisons) = index.add_user(twin.clone(), i as u64);
+            assert!(comparisons > 0);
+            // The grown set's last row must equal a fresh fingerprint of
+            // the (sorted, deduplicated) inserted profile.
+            let gf = index.fingerprints().unwrap();
+            assert_eq!(gf.num_users(), index.num_users());
+            assert_eq!(gf.fingerprint(id), gf.fingerprint_profile(&twin));
+            // A twin scores 1.0 against its donor on fingerprints; greedy
+            // beam search misses a donor on unlucky seeds (it does on the
+            // raw path too), so require a solid majority rather than all.
+            perfect += usize::from(index.knn(id)[0].sim == 1.0);
+        }
+        assert!(perfect >= 7, "only {perfect}/10 twins navigated to their donors");
+    }
+
+    #[test]
+    fn to_dataset_round_trips_profiles_and_item_universe() {
+        let (ds, graph) = base();
+        let mut index = DynamicIndex::new(&ds, graph, config());
+        assert_eq!(index.to_dataset(), ds, "no insertions: identical dataset");
+        index.add_user(vec![5, 1, 5, 2], 1);
+        let grown = index.to_dataset();
+        assert_eq!(grown.num_users(), ds.num_users() + 1);
+        assert_eq!(grown.num_items(), ds.num_items(), "item universe floor preserved");
+        assert_eq!(grown.profile(ds.num_users() as u32), &[1, 2, 5]);
     }
 
     #[test]
@@ -257,5 +451,14 @@ mod tests {
         let (ds, graph) = base();
         let bad = BeamSearchConfig { beam_width: 1, ..config() };
         DynamicIndex::new(&ds, graph, bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "fingerprints must cover the dataset")]
+    fn mismatched_fingerprints_rejected() {
+        let (ds, graph) = base();
+        let tiny = Dataset::from_profiles(vec![vec![1]], 0);
+        let gf = GoldFinger::build(&tiny, 64, 1);
+        DynamicIndex::with_goldfinger(&ds, graph, config(), gf);
     }
 }

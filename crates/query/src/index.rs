@@ -1,36 +1,21 @@
 //! The query index: greedy beam search for out-of-sample KNN queries.
+//!
+//! Beam expansion is **batched**: each expanded node's unvisited
+//! neighbours are scored through one
+//! [`cnc_similarity::kernel::one_vs_many`] call against a monomorphized
+//! query kernel — exact Jaccard over the dataset's profiles by default
+//! ([`QueryIndex::new`]), or fixed-width GoldFinger fingerprints
+//! ([`QueryIndex::with_goldfinger`], the serving path) with the query
+//! fingerprinted once per search. Both modes return results and
+//! comparison counts identical to a per-candidate scalar loop (locked by
+//! the equivalence tests below).
 
-use crate::beam::{BeamSearchConfig, VisitedSet};
+use crate::beam::BeamSearchConfig;
+use crate::search::{batched_beam_search, BeamSolve};
 use cnc_dataset::{Dataset, ItemId, UserId};
 use cnc_graph::{KnnGraph, Neighbor, NeighborList};
-use cnc_similarity::Jaccard;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-/// A candidate in the expansion frontier, max-ordered by similarity
-/// (ties on the smaller user id, for determinism).
-#[derive(Clone, Copy, Debug, PartialEq)]
-struct Candidate {
-    sim: f32,
-    user: UserId,
-}
-
-impl Eq for Candidate {}
-
-impl Ord for Candidate {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Jaccard similarities are never NaN.
-        self.sim.partial_cmp(&other.sim).unwrap().then_with(|| other.user.cmp(&self.user))
-    }
-}
-
-impl PartialOrd for Candidate {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
+use cnc_similarity::kernel::{solve_query_words, RawQueryKernel};
+use cnc_similarity::{GoldFinger, Jaccard};
 
 /// The answer to one query.
 #[derive(Clone, Debug)]
@@ -42,19 +27,25 @@ pub struct QueryResult {
 }
 
 /// Reusable per-thread scratch state (visited marks survive across queries
-/// as epochs, so repeated queries allocate nothing).
+/// as epochs and the candidate batch keeps its allocation, so repeated
+/// queries allocate almost nothing). A searcher may outlive the index it
+/// was created from: the visited set grows on demand, so `cnc-serve` can
+/// keep one searcher per client across epoch swaps to larger graphs.
 pub struct Searcher {
-    visited: VisitedSet,
+    pub(crate) visited: crate::beam::VisitedSet,
+    pub(crate) batch: Vec<UserId>,
 }
 
 /// An immutable KNN-query index over a dataset and its KNN graph.
 pub struct QueryIndex<'a> {
     dataset: &'a Dataset,
     graph: &'a KnnGraph,
+    goldfinger: Option<&'a GoldFinger>,
 }
 
 impl<'a> QueryIndex<'a> {
-    /// Binds a dataset and a graph built on it (by C² or any baseline).
+    /// Binds a dataset and a graph built on it (by C² or any baseline);
+    /// queries are scored with exact Jaccard over the raw profiles.
     ///
     /// # Panics
     /// Panics if the graph and dataset disagree on the user count.
@@ -64,12 +55,48 @@ impl<'a> QueryIndex<'a> {
             graph.num_users(),
             "index requires the graph built on this dataset"
         );
-        QueryIndex { dataset, graph }
+        QueryIndex { dataset, graph, goldfinger: None }
+    }
+
+    /// Binds a dataset, its graph, and a GoldFinger fingerprint set;
+    /// queries are scored with the fingerprint estimator through the
+    /// fixed-width kernels — the configuration `cnc-serve` serves from
+    /// (the graph was built on the same fingerprints, so query scores are
+    /// consistent with the stored edge similarities).
+    ///
+    /// # Panics
+    /// Panics if the graph, dataset and fingerprints disagree on the user
+    /// count.
+    pub fn with_goldfinger(
+        dataset: &'a Dataset,
+        graph: &'a KnnGraph,
+        goldfinger: &'a GoldFinger,
+    ) -> Self {
+        assert_eq!(
+            dataset.num_users(),
+            graph.num_users(),
+            "index requires the graph built on this dataset"
+        );
+        assert_eq!(
+            goldfinger.num_users(),
+            dataset.num_users(),
+            "fingerprints must cover the dataset"
+        );
+        QueryIndex { dataset, graph, goldfinger: Some(goldfinger) }
+    }
+
+    /// True if queries are scored on fingerprints rather than raw
+    /// profiles.
+    pub fn is_fingerprinted(&self) -> bool {
+        self.goldfinger.is_some()
     }
 
     /// Allocates reusable scratch for this index.
     pub fn searcher(&self) -> Searcher {
-        Searcher { visited: VisitedSet::new(self.dataset.num_users()) }
+        Searcher {
+            visited: crate::beam::VisitedSet::new(self.dataset.num_users()),
+            batch: Vec::new(),
+        }
     }
 
     /// Convenience one-shot search (allocates scratch internally).
@@ -102,59 +129,38 @@ impl<'a> QueryIndex<'a> {
             panic!("invalid beam search config: {msg}");
         }
         debug_assert!(query.windows(2).all(|w| w[0] < w[1]), "query profile must be sorted");
-        let n = self.dataset.num_users();
-        let mut comparisons = 0usize;
-        if n == 0 {
-            return QueryResult { neighbors: Vec::new(), comparisons };
-        }
-
-        let visited = &mut searcher.visited;
-        visited.clear();
-        // `beam` keeps the best `beam_width` users seen so far; `frontier`
-        // orders the not-yet-expanded ones by similarity.
-        let mut beam = NeighborList::new(config.beam_width);
-        let mut frontier: BinaryHeap<Candidate> = BinaryHeap::new();
-
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let entries = config.entry_points.min(n);
-        while frontier.len() < entries {
-            let user = rng.random_range(0..n as u32);
-            if visited.insert(user) {
-                let sim = Jaccard::similarity(query, self.dataset.profile(user)) as f32;
-                comparisons += 1;
-                beam.insert(user, sim);
-                frontier.push(Candidate { sim, user });
+        let (beam, comparisons) = match self.goldfinger {
+            None => batched_beam_search(
+                &RawQueryKernel::new(self.dataset, query),
+                self.graph,
+                &mut searcher.visited,
+                &mut searcher.batch,
+                config,
+                seed,
+            ),
+            Some(gf) => {
+                let qwords = gf.fingerprint_profile(query);
+                solve_query_words(
+                    gf.words(),
+                    gf.words_per_user(),
+                    &qwords,
+                    BeamSolve {
+                        graph: self.graph,
+                        visited: &mut searcher.visited,
+                        batch: &mut searcher.batch,
+                        config,
+                        seed,
+                    },
+                )
             }
-        }
-
-        while let Some(best) = frontier.pop() {
-            // Greedy termination: the best unexpanded candidate cannot
-            // improve a full beam.
-            if beam.is_full() && best.sim < beam.worst_sim() {
-                break;
-            }
-            for edge in self.graph.neighbors(best.user).iter() {
-                if !visited.insert(edge.user) {
-                    continue;
-                }
-                if config.max_comparisons > 0 && comparisons >= config.max_comparisons {
-                    frontier.clear();
-                    break;
-                }
-                let sim = Jaccard::similarity(query, self.dataset.profile(edge.user)) as f32;
-                comparisons += 1;
-                if beam.insert(edge.user, sim) {
-                    frontier.push(Candidate { sim, user: edge.user });
-                }
-            }
-        }
-
+        };
         let mut neighbors = beam.sorted();
         neighbors.truncate(k);
         QueryResult { neighbors, comparisons }
     }
 
-    /// Exact reference answer by scanning every user (for recall checks).
+    /// Exact reference answer by scanning every user with raw Jaccard
+    /// (for recall checks; independent of the scoring mode).
     pub fn exact_search(&self, query: &[ItemId], k: usize) -> QueryResult {
         let mut list = NeighborList::new(k.max(1));
         for (u, profile) in self.dataset.iter() {
@@ -178,9 +184,12 @@ impl<'a> QueryIndex<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::beam::VisitedSet;
     use cnc_baselines::{BruteForce, BuildContext, KnnAlgorithm};
     use cnc_dataset::SyntheticConfig;
     use cnc_similarity::{SimilarityBackend, SimilarityData};
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
 
     fn setup() -> (Dataset, KnnGraph) {
         let mut cfg = SyntheticConfig::small(808);
@@ -194,6 +203,117 @@ mod tests {
         let ctx = BuildContext { dataset: &ds, sim: &sim, k: 12, threads: 0, seed: 1 };
         let graph = BruteForce.build(&ctx);
         (ds, graph)
+    }
+
+    /// The seed implementation's per-candidate scalar loop, kept verbatim
+    /// as the reference the batched path must reproduce exactly —
+    /// neighbours *and* comparison counts. `score` is the per-pair
+    /// oracle: raw Jaccard or the GoldFinger estimate.
+    fn scalar_reference<F: Fn(UserId) -> f32>(
+        graph: &KnnGraph,
+        n: usize,
+        k: usize,
+        config: &BeamSearchConfig,
+        seed: u64,
+        score: F,
+    ) -> QueryResult {
+        let mut comparisons = 0usize;
+        if n == 0 {
+            return QueryResult { neighbors: Vec::new(), comparisons };
+        }
+        let mut visited = VisitedSet::new(n);
+        visited.clear();
+        let mut beam = NeighborList::new(config.beam_width);
+        let mut frontier: std::collections::BinaryHeap<crate::search::Candidate> =
+            std::collections::BinaryHeap::new();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let entries = config.entry_points.min(n);
+        while frontier.len() < entries {
+            let user = rng.random_range(0..n as u32);
+            if visited.insert(user) {
+                let sim = score(user);
+                comparisons += 1;
+                beam.insert(user, sim);
+                frontier.push(crate::search::Candidate { sim, user });
+            }
+        }
+        while let Some(best) = frontier.pop() {
+            if beam.is_full() && best.sim < beam.worst_sim() {
+                break;
+            }
+            for edge in graph.neighbors(best.user).iter() {
+                if !visited.insert(edge.user) {
+                    continue;
+                }
+                if config.max_comparisons > 0 && comparisons >= config.max_comparisons {
+                    frontier.clear();
+                    break;
+                }
+                let sim = score(edge.user);
+                comparisons += 1;
+                if beam.insert(edge.user, sim) {
+                    frontier.push(crate::search::Candidate { sim, user: edge.user });
+                }
+            }
+        }
+        let mut neighbors = beam.sorted();
+        neighbors.truncate(k);
+        QueryResult { neighbors, comparisons }
+    }
+
+    #[test]
+    fn batched_raw_search_is_identical_to_the_scalar_path() {
+        let (ds, graph) = setup();
+        let index = QueryIndex::new(&ds, &graph);
+        for (q, max_comparisons) in [(0usize, 0usize), (17, 0), (42, 120), (99, 30), (7, 1)] {
+            let query: Vec<u32> = ds.profile((q * 5 % 500) as u32).to_vec();
+            let config = BeamSearchConfig { beam_width: 32, entry_points: 6, max_comparisons };
+            let batched = index.search(&query, 10, &config, q as u64);
+            let scalar = scalar_reference(&graph, ds.num_users(), 10, &config, q as u64, |u| {
+                Jaccard::similarity(&query, ds.profile(u)) as f32
+            });
+            assert_eq!(
+                batched.neighbors, scalar.neighbors,
+                "results diverged (cap {max_comparisons})"
+            );
+            assert_eq!(
+                batched.comparisons, scalar.comparisons,
+                "comparison counts diverged (cap {max_comparisons})"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_goldfinger_search_is_identical_to_the_scalar_path() {
+        let (ds, graph) = setup();
+        // 192 bits exercises the dynamic-width fallback; 1024 the paper
+        // default's fixed-width specialization.
+        for bits in [192usize, 1024] {
+            let gf = GoldFinger::build(&ds, bits, 31);
+            let index = QueryIndex::with_goldfinger(&ds, &graph, &gf);
+            assert!(index.is_fingerprinted());
+            for (q, max_comparisons) in [(3usize, 0usize), (55, 90), (8, 1)] {
+                let query: Vec<u32> = ds.profile((q * 11 % 500) as u32).to_vec();
+                let qwords = gf.fingerprint_profile(&query);
+                let config = BeamSearchConfig { beam_width: 24, entry_points: 5, max_comparisons };
+                let batched = index.search(&query, 8, &config, q as u64);
+                let scalar = scalar_reference(&graph, ds.num_users(), 8, &config, q as u64, |u| {
+                    // The estimator the kernels must match bit-for-bit.
+                    let (mut inter, mut union) = (0u32, 0u32);
+                    for (a, b) in qwords.iter().zip(gf.fingerprint(u)) {
+                        inter += (a & b).count_ones();
+                        union += (a | b).count_ones();
+                    }
+                    if union == 0 {
+                        0.0
+                    } else {
+                        (inter as f64 / union as f64) as f32
+                    }
+                });
+                assert_eq!(batched.neighbors, scalar.neighbors, "{bits} bits diverged");
+                assert_eq!(batched.comparisons, scalar.comparisons, "{bits} bits counts diverged");
+            }
+        }
     }
 
     #[test]
@@ -216,6 +336,24 @@ mod tests {
         let avg_cost = total_comparisons / queries as usize;
         assert!(recall > 0.7, "beam search recall {recall:.3} too low");
         assert!(avg_cost < ds.num_users() / 2, "avg {avg_cost} comparisons ≥ half a linear scan");
+    }
+
+    #[test]
+    fn goldfinger_mode_still_recalls_most_of_the_exact_answer() {
+        let (ds, graph) = setup();
+        let gf = GoldFinger::build(&ds, 1024, 9);
+        let index = QueryIndex::with_goldfinger(&ds, &graph, &gf);
+        let config = BeamSearchConfig { beam_width: 48, entry_points: 8, max_comparisons: 0 };
+        let mut total_recall = 0.0;
+        let queries = 10;
+        for q in 0..queries {
+            let query: Vec<u32> = ds.profile(q * 31).to_vec();
+            let approx = index.search(&query, 10, &config, q as u64);
+            let exact = index.exact_search(&query, 10);
+            total_recall += QueryIndex::recall(&approx, &exact);
+        }
+        let recall = total_recall / queries as f64;
+        assert!(recall > 0.6, "fingerprinted recall {recall:.3} too low");
     }
 
     #[test]
@@ -269,6 +407,32 @@ mod tests {
     }
 
     #[test]
+    fn searcher_survives_a_growing_index() {
+        // A searcher created on a small index keeps working after the
+        // "epoch" swaps to a bigger one (the cnc-serve session pattern).
+        let (ds, graph) = setup();
+        let small = Dataset::from_profiles(vec![vec![1, 2], vec![2, 3]], 400);
+        let small_sim = SimilarityData::build(SimilarityBackend::Raw, &small);
+        let small_ctx =
+            BuildContext { dataset: &small, sim: &small_sim, k: 2, threads: 0, seed: 1 };
+        let small_graph = BruteForce.build(&small_ctx);
+        let mut searcher = QueryIndex::new(&small, &small_graph).searcher();
+        let config = BeamSearchConfig::default();
+        let _ = QueryIndex::new(&small, &small_graph).search_with(
+            &mut searcher,
+            &[1, 2],
+            2,
+            &config,
+            3,
+        );
+
+        let index = QueryIndex::new(&ds, &graph);
+        let query: Vec<u32> = ds.profile(9).to_vec();
+        let grown = index.search_with(&mut searcher, &query, 5, &config, 3);
+        assert_eq!(grown.neighbors, index.search(&query, 5, &config, 3).neighbors);
+    }
+
+    #[test]
     fn empty_dataset_returns_empty_answer() {
         let ds = Dataset::from_profiles(vec![], 0);
         let graph = KnnGraph::new(0, 3);
@@ -293,5 +457,14 @@ mod tests {
         let index = QueryIndex::new(&ds, &graph);
         let config = BeamSearchConfig { beam_width: 2, ..Default::default() };
         index.search(&[1], 10, &config, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fingerprints must cover the dataset")]
+    fn mismatched_fingerprints_rejected() {
+        let (ds, graph) = setup();
+        let tiny = Dataset::from_profiles(vec![vec![1]], 0);
+        let gf = GoldFinger::build(&tiny, 64, 1);
+        QueryIndex::with_goldfinger(&ds, &graph, &gf);
     }
 }

@@ -17,7 +17,8 @@
 pub mod beam;
 pub mod dynamic;
 pub mod index;
+mod search;
 
 pub use beam::BeamSearchConfig;
 pub use dynamic::DynamicIndex;
-pub use index::{QueryIndex, QueryResult};
+pub use index::{QueryIndex, QueryResult, Searcher};

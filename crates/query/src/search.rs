@@ -1,0 +1,193 @@
+//! The batched beam-search core shared by [`crate::QueryIndex`] and
+//! [`crate::DynamicIndex`].
+//!
+//! The seed implementation scored every frontier expansion with one scalar
+//! `Jaccard::similarity` call per candidate (the ROADMAP PR-3 follow-up:
+//! "`cnc-query` still calls scalar `Jaccard::similarity` per candidate").
+//! This module rewrites the expansion around
+//! [`cnc_similarity::kernel::one_vs_many`]: the unvisited neighbours of
+//! the expanded node are gathered into one batch and scored through a
+//! monomorphized query kernel — exact Jaccard over profiles, or a
+//! fixed-width GoldFinger kernel with the query fingerprinted once per
+//! search. Results and comparison counts are **identical** to the scalar
+//! path (locked by the equivalence tests in `index.rs` and `dynamic.rs`):
+//! the batch preserves the neighbour-list visit order, so every beam and
+//! frontier mutation happens in the same sequence the scalar loop
+//! produced.
+
+use crate::beam::{BeamSearchConfig, VisitedSet};
+use cnc_dataset::{ItemId, UserId};
+use cnc_graph::{KnnGraph, NeighborList};
+use cnc_similarity::kernel::{one_vs_many, SimKernel, SimSolve};
+use cnc_similarity::Jaccard;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A candidate in the expansion frontier, max-ordered by similarity
+/// (ties on the smaller user id, for determinism).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct Candidate {
+    pub sim: f32,
+    pub user: UserId,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Similarities are never NaN (raw Jaccard and the GoldFinger
+        // estimator are both finite ratios).
+        self.sim.partial_cmp(&other.sim).unwrap().then_with(|| other.user.cmp(&self.user))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One greedy beam search over `graph`, scoring through `kernel`.
+///
+/// The kernel's rows `0..len()-1` are the graph's users and row
+/// `len()-1` is the query (the query-kernel convention of
+/// `cnc_similarity::kernel`). Returns the beam and the number of
+/// similarity computations spent.
+///
+/// Batching contract: every expansion gathers the expanded node's
+/// unvisited neighbours in list order into `batch` and scores them with
+/// one [`one_vs_many`] call. `config.max_comparisons` reproduces the
+/// scalar semantics exactly — candidate `i` of an expansion is scored iff
+/// `comparisons + i < max` — and ends the search whenever a gathered
+/// candidate had to be dropped, as the scalar loop did by clearing the
+/// frontier.
+pub(crate) fn batched_beam_search<K: SimKernel>(
+    kernel: &K,
+    graph: &KnnGraph,
+    visited: &mut VisitedSet,
+    batch: &mut Vec<UserId>,
+    config: &BeamSearchConfig,
+    seed: u64,
+) -> (NeighborList, usize) {
+    let n = kernel.len() - 1;
+    debug_assert_eq!(graph.num_users(), n, "graph must cover the kernel's user rows");
+    let qrow = n as u32;
+    let mut comparisons = 0usize;
+    let mut beam = NeighborList::new(config.beam_width);
+    if n == 0 {
+        return (beam, comparisons);
+    }
+
+    visited.grow(n);
+    visited.clear();
+    let mut frontier: BinaryHeap<Candidate> = BinaryHeap::new();
+
+    // Entry points: distinct random users, scored as one batch. The rng
+    // draw sequence does not depend on scores, so drawing first and
+    // scoring after is step-for-step the scalar sequence.
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let entries = config.entry_points.min(n);
+    batch.clear();
+    while batch.len() < entries {
+        let user = rng.random_range(0..n as u32);
+        if visited.insert(user) {
+            batch.push(user);
+        }
+    }
+    one_vs_many(kernel, qrow, batch, |j, s| {
+        beam.insert(j, s);
+        frontier.push(Candidate { sim: s, user: j });
+    });
+    comparisons += batch.len();
+
+    while let Some(best) = frontier.pop() {
+        // Greedy termination: the best unexpanded candidate cannot
+        // improve a full beam.
+        if beam.is_full() && best.sim < beam.worst_sim() {
+            break;
+        }
+        batch.clear();
+        for edge in graph.neighbors(best.user).iter() {
+            if visited.insert(edge.user) {
+                batch.push(edge.user);
+            }
+        }
+        let mut capped = false;
+        if config.max_comparisons > 0 {
+            let allowed = config.max_comparisons.saturating_sub(comparisons);
+            if batch.len() > allowed {
+                batch.truncate(allowed);
+                capped = true;
+            }
+        }
+        one_vs_many(kernel, qrow, batch, |j, s| {
+            if beam.insert(j, s) {
+                frontier.push(Candidate { sim: s, user: j });
+            }
+        });
+        comparisons += batch.len();
+        if capped {
+            break;
+        }
+    }
+    (beam, comparisons)
+}
+
+/// The beam search as a [`SimSolve`] visitor, so
+/// [`cnc_similarity::kernel::solve_query_words`] can pick the fixed-width
+/// GoldFinger specialization once per query and monomorphize the whole
+/// search against it.
+pub(crate) struct BeamSolve<'a> {
+    pub graph: &'a KnnGraph,
+    pub visited: &'a mut VisitedSet,
+    pub batch: &'a mut Vec<UserId>,
+    pub config: &'a BeamSearchConfig,
+    pub seed: u64,
+}
+
+impl SimSolve for BeamSolve<'_> {
+    type Output = (NeighborList, usize);
+
+    fn run<K: SimKernel>(self, kernel: &K) -> Self::Output {
+        batched_beam_search(kernel, self.graph, self.visited, self.batch, self.config, self.seed)
+    }
+}
+
+/// Exact-Jaccard query kernel over owned profile vectors — the
+/// [`crate::DynamicIndex`] storage, which grows online and therefore has
+/// no immutable CSR `Dataset` to hand to
+/// [`cnc_similarity::kernel::RawQueryKernel`]. Same row convention: rows
+/// `0..n` are the stored users, row `n` is the query.
+pub(crate) struct ProfilesQueryKernel<'a> {
+    profiles: &'a [Vec<ItemId>],
+    query: &'a [ItemId],
+}
+
+impl<'a> ProfilesQueryKernel<'a> {
+    pub fn new(profiles: &'a [Vec<ItemId>], query: &'a [ItemId]) -> Self {
+        ProfilesQueryKernel { profiles, query }
+    }
+
+    #[inline]
+    fn profile(&self, i: u32) -> &[ItemId] {
+        if i as usize == self.profiles.len() {
+            self.query
+        } else {
+            &self.profiles[i as usize]
+        }
+    }
+}
+
+impl SimKernel for ProfilesQueryKernel<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.profiles.len() + 1
+    }
+
+    #[inline]
+    fn sim(&self, i: u32, j: u32) -> f32 {
+        Jaccard::similarity(self.profile(i), self.profile(j)) as f32
+    }
+}

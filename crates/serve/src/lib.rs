@@ -1,0 +1,44 @@
+//! `cnc-serve`: snapshot-backed online KNN serving.
+//!
+//! PR 1–3 built the offline side of the paper's deployment story — a
+//! sharded map-reduce builder with a spillable shuffle and monomorphized
+//! similarity kernels. This crate is the **online** side those builds are
+//! for: keeping a constructed KNN graph alive across processes and
+//! serving it to concurrent clients under streaming freshness pressure
+//! (§I: "online news recommenders, in which the use of fresh data is of
+//! utmost importance").
+//!
+//! * [`snapshot`] — a versioned binary file format persisting a built
+//!   [`KnnGraph`](cnc_graph::KnnGraph) + GoldFinger fingerprints +
+//!   [`Dataset`](cnc_dataset::Dataset) with a magic/version header, a
+//!   section table and per-section checksums. `write → load` round trips
+//!   are bit-exact; corrupt files surface as typed [`SnapshotError`]s,
+//!   never panics.
+//! * [`server`] — a concurrent [`ServingEngine`]: readers query an
+//!   `Arc`-swapped immutable [`ServingEpoch`] through the batched
+//!   one-vs-many beam search, while a single writer absorbs streaming
+//!   inserts into a [`DynamicIndex`](cnc_query::DynamicIndex) and
+//!   periodically rebuilds + atomically publishes fresh epochs on the
+//!   sharded [`Runtime`](cnc_runtime::Runtime).
+//!
+//! ```no_run
+//! use cnc_serve::{ServingConfig, ServingEngine, Snapshot};
+//! # let dataset = cnc_dataset::Dataset::from_profiles(vec![vec![1, 2, 3]; 10], 0);
+//! let engine = ServingEngine::build(dataset, ServingConfig::default());
+//! engine.snapshot().write("graph.snap").unwrap();
+//! // …later, on a serving host…
+//! let engine = ServingEngine::from_snapshot(
+//!     Snapshot::load("graph.snap").unwrap(),
+//!     ServingConfig::default(),
+//! );
+//! let top5 = engine.query(&[1, 2, 3], 5, 42);
+//! # let _ = top5;
+//! ```
+
+pub mod server;
+pub mod snapshot;
+
+pub use server::{
+    InsertOutcome, ServingConfig, ServingEngine, ServingEpoch, ServingSession, ServingStats,
+};
+pub use snapshot::{write_snapshot, write_snapshot_to, Snapshot, SnapshotError};

@@ -1,0 +1,553 @@
+//! The concurrent serving engine: epoch-swapped reads, a single writer.
+//!
+//! The paper's motivating deployment ("online news recommenders, in which
+//! the use of fresh data is of utmost importance", §I) alternates two
+//! activities: serving KNN queries from the freshest built graph, and
+//! absorbing the interaction stream so the next graph is fresher still.
+//! [`ServingEngine`] runs both concurrently:
+//!
+//! * **Readers** load the current [`ServingEpoch`] — an immutable bundle
+//!   of dataset + graph + fingerprints — as one `Arc` clone under a brief
+//!   read lock (two atomic operations; no lock is held while the query
+//!   executes), then answer through the batched beam search of
+//!   `cnc-query`. Any number of threads query in parallel, and a query
+//!   started on epoch `e` finishes on epoch `e` even if a swap happens
+//!   mid-flight.
+//! * **The writer** absorbs streaming inserts into a
+//!   [`DynamicIndex`] (each newcomer gets a neighbourhood *now*, and
+//!   existing users receive it as a reverse neighbour), and every
+//!   [`ServingConfig::rebuild_after`] inserts rebuilds the graph with the
+//!   full C² pipeline on the sharded [`Runtime`] — re-fingerprinting once
+//!   and sharing that build between the construction
+//!   ([`Runtime::execute_shared`]) and the published epoch's query
+//!   kernels — then **atomically publishes** the new epoch.
+//!
+//! Epochs persist: [`ServingEngine::snapshot`] captures the current epoch
+//! in the [`crate::Snapshot`] format and
+//! [`ServingEngine::from_snapshot`] brings a server back up from disk,
+//! answering queries identically to the engine that wrote it (locked by
+//! `tests/serve.rs`).
+
+use crate::snapshot::{write_snapshot, Snapshot, SnapshotError};
+use cnc_core::C2Config;
+use cnc_dataset::{Dataset, ItemId, UserId};
+use cnc_graph::KnnGraph;
+use cnc_query::{BeamSearchConfig, DynamicIndex, QueryIndex, QueryResult, Searcher};
+use cnc_runtime::{Runtime, RuntimeConfig};
+use cnc_similarity::{GoldFinger, SimilarityBackend};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Everything the engine needs to build, serve and rebuild.
+#[derive(Clone, Copy, Debug)]
+pub struct ServingConfig {
+    /// The C² build configuration (backend, k, clustering knobs); used
+    /// for the initial build and every epoch rebuild.
+    pub c2: C2Config,
+    /// The sharded runtime executing (re)builds.
+    pub runtime: RuntimeConfig,
+    /// Beam-search parameters for queries and insert placements.
+    pub beam: BeamSearchConfig,
+    /// Rebuild and publish a new epoch after this many inserts
+    /// (0 = only on explicit [`ServingEngine::publish`] calls).
+    pub rebuild_after: usize,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            c2: C2Config::default(),
+            runtime: RuntimeConfig::default(),
+            beam: BeamSearchConfig::default(),
+            rebuild_after: 1024,
+        }
+    }
+}
+
+/// One immutable published serving state. Readers hold it by `Arc`, so a
+/// swap never invalidates an in-flight query.
+pub struct ServingEpoch {
+    epoch: u64,
+    dataset: Dataset,
+    graph: KnnGraph,
+    fingerprints: Option<Arc<GoldFinger>>,
+}
+
+impl ServingEpoch {
+    /// Bundles an epoch; the parts must agree on the user count.
+    ///
+    /// # Panics
+    /// Panics on a user-count mismatch.
+    pub fn new(
+        epoch: u64,
+        dataset: Dataset,
+        graph: KnnGraph,
+        fingerprints: Option<Arc<GoldFinger>>,
+    ) -> Self {
+        assert_eq!(dataset.num_users(), graph.num_users(), "graph/dataset user mismatch");
+        if let Some(gf) = &fingerprints {
+            assert_eq!(gf.num_users(), dataset.num_users(), "fingerprints must cover the dataset");
+        }
+        ServingEpoch { epoch, dataset, graph, fingerprints }
+    }
+
+    /// The epoch's sequence number (1 for the initial build).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Users served by this epoch.
+    pub fn num_users(&self) -> usize {
+        self.dataset.num_users()
+    }
+
+    /// The epoch's dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The epoch's graph.
+    pub fn graph(&self) -> &KnnGraph {
+        &self.graph
+    }
+
+    /// The epoch's fingerprints, when the backend uses them.
+    pub fn fingerprints(&self) -> Option<&Arc<GoldFinger>> {
+        self.fingerprints.as_ref()
+    }
+
+    /// A query index over this epoch (fingerprint-scored when the epoch
+    /// carries fingerprints, exact Jaccard otherwise).
+    pub fn index(&self) -> QueryIndex<'_> {
+        match &self.fingerprints {
+            Some(gf) => QueryIndex::with_goldfinger(&self.dataset, &self.graph, gf),
+            None => QueryIndex::new(&self.dataset, &self.graph),
+        }
+    }
+}
+
+/// The result of one streaming insert.
+#[derive(Clone, Copy, Debug)]
+pub struct InsertOutcome {
+    /// The id the newcomer will have in the next published epoch.
+    pub user: UserId,
+    /// Similarity computations the placement search spent.
+    pub comparisons: usize,
+    /// `Some(epoch)` when this insert triggered a rebuild and published
+    /// that epoch.
+    pub published: Option<u64>,
+}
+
+/// A point-in-time view of the engine's counters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServingStats {
+    /// Queries answered so far.
+    pub queries: u64,
+    /// Streaming inserts absorbed so far.
+    pub inserts: u64,
+    /// Epochs published after the initial one (i.e. swaps).
+    pub epoch_swaps: u64,
+    /// The current epoch's sequence number.
+    pub epoch: u64,
+    /// Users served by the current epoch.
+    pub num_users: usize,
+    /// Inserts absorbed but not yet published.
+    pub pending_inserts: usize,
+}
+
+/// Per-client scratch (visited marks + batch buffers) reused across
+/// queries and epoch swaps.
+pub struct ServingSession {
+    searcher: Searcher,
+}
+
+/// The writer side: the dynamic index absorbing the stream. The pending
+/// count lives in an engine-level atomic so monitoring never has to take
+/// this lock (a rebuild holds it for the full build).
+struct Writer {
+    dynamic: DynamicIndex,
+}
+
+/// A concurrent KNN serving engine (see the module docs).
+pub struct ServingEngine {
+    config: ServingConfig,
+    current: RwLock<Arc<ServingEpoch>>,
+    writer: Mutex<Writer>,
+    queries: AtomicU64,
+    inserts: AtomicU64,
+    epoch_swaps: AtomicU64,
+    /// Inserts absorbed but not yet published (written under the writer
+    /// lock, read lock-free by [`ServingEngine::stats`]).
+    pending: AtomicUsize,
+}
+
+impl ServingEngine {
+    /// Builds the first epoch from `dataset` with the configured C²
+    /// pipeline on the sharded runtime, fingerprinting once and sharing
+    /// the build between construction and serving.
+    ///
+    /// # Panics
+    /// Panics if the configurations are invalid (see [`Runtime::new`] and
+    /// [`BeamSearchConfig::validate`]).
+    pub fn build(dataset: Dataset, config: ServingConfig) -> Self {
+        let (graph, fingerprints) = build_epoch(&dataset, &config);
+        Self::from_parts(dataset, graph, fingerprints, config)
+    }
+
+    /// Wraps an already-built state (the first epoch) without rebuilding.
+    ///
+    /// # Panics
+    /// Panics if the parts disagree on the user count, the fingerprints'
+    /// presence does not match the configured backend, or the beam
+    /// configuration is invalid for the graph's `k`.
+    pub fn from_parts(
+        dataset: Dataset,
+        graph: KnnGraph,
+        fingerprints: Option<Arc<GoldFinger>>,
+        config: ServingConfig,
+    ) -> Self {
+        match (&config.c2.backend, &fingerprints) {
+            (SimilarityBackend::GoldFinger { bits, seed }, Some(gf)) => assert_eq!(
+                (*bits, *seed),
+                (gf.bits(), gf.seed()),
+                "fingerprints must match the configured backend"
+            ),
+            (SimilarityBackend::GoldFinger { .. }, None) => {
+                panic!("GoldFinger backend requires the epoch's fingerprints")
+            }
+            (SimilarityBackend::Raw, Some(_)) => {
+                panic!("Raw backend must not carry fingerprints")
+            }
+            (SimilarityBackend::Raw, None) => {}
+        }
+        let epoch = Arc::new(ServingEpoch::new(1, dataset, graph, fingerprints));
+        let writer = Writer { dynamic: writer_index(&epoch, &config) };
+        ServingEngine {
+            config,
+            current: RwLock::new(epoch),
+            writer: Mutex::new(writer),
+            queries: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            epoch_swaps: AtomicU64::new(0),
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    /// Brings an engine up from a persisted snapshot; it answers queries
+    /// identically to the engine that wrote the snapshot.
+    ///
+    /// # Panics
+    /// Panics if the snapshot's fingerprints don't match the configured
+    /// backend (a mismatch would serve scores inconsistent with every
+    /// future rebuild).
+    pub fn from_snapshot(snapshot: Snapshot, config: ServingConfig) -> Self {
+        let Snapshot { dataset, graph, goldfinger } = snapshot;
+        Self::from_parts(dataset, graph, goldfinger.map(Arc::new), config)
+    }
+
+    /// Persists the current epoch to `path` **atomically**, streaming
+    /// straight from the epoch's buffers (no clone of the dataset, graph
+    /// or fingerprint words — the footprint matters at serving scale);
+    /// returns the encoded size. Pending (unpublished) inserts are not
+    /// included — publish first if they must survive.
+    pub fn write_snapshot(&self, path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
+        let epoch = self.current_epoch();
+        write_snapshot(&epoch.dataset, &epoch.graph, epoch.fingerprints.as_deref(), path)
+    }
+
+    /// Captures the current epoch as an owned, persistable [`Snapshot`]
+    /// (clones the epoch — prefer [`ServingEngine::write_snapshot`] when
+    /// the goal is just a file). Pending (unpublished) inserts are not
+    /// included — publish first if they must survive.
+    pub fn snapshot(&self) -> Snapshot {
+        let epoch = self.current_epoch();
+        Snapshot::new(
+            epoch.dataset.clone(),
+            epoch.graph.clone(),
+            epoch.fingerprints.as_ref().map(|gf| (**gf).clone()),
+        )
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+
+    /// The currently published epoch (readers may hold it as long as they
+    /// like; swaps never invalidate it).
+    pub fn current_epoch(&self) -> Arc<ServingEpoch> {
+        Arc::clone(&self.current.read().expect("epoch lock poisoned"))
+    }
+
+    /// Allocates per-client scratch, reusable across queries and epoch
+    /// swaps.
+    pub fn session(&self) -> ServingSession {
+        ServingSession { searcher: self.current_epoch().index().searcher() }
+    }
+
+    /// Answers one KNN query (allocating scratch internally; prefer
+    /// [`ServingEngine::query_with`] on hot paths). The profile need not
+    /// be sorted.
+    pub fn query(&self, profile: &[ItemId], k: usize, seed: u64) -> QueryResult {
+        let mut session = self.session();
+        self.query_with(&mut session, profile, k, seed)
+    }
+
+    /// Answers one KNN query with per-client scratch.
+    pub fn query_with(
+        &self,
+        session: &mut ServingSession,
+        profile: &[ItemId],
+        k: usize,
+        seed: u64,
+    ) -> QueryResult {
+        let mut query = profile.to_vec();
+        query.sort_unstable();
+        query.dedup();
+        // Clone the Arc under the read lock, run the query outside it: a
+        // concurrent publish proceeds without waiting for this query.
+        let epoch = self.current_epoch();
+        let result =
+            epoch.index().search_with(&mut session.searcher, &query, k, &self.config.beam, seed);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    /// Absorbs one streaming insert: the newcomer is placed in the
+    /// writer's dynamic index immediately (visible to the *next* epoch),
+    /// and — every [`ServingConfig::rebuild_after`] inserts — the graph
+    /// is rebuilt and the new epoch published atomically.
+    ///
+    /// Single-writer: concurrent inserts serialize on the writer lock;
+    /// queries are never blocked.
+    pub fn insert(&self, profile: Vec<ItemId>, seed: u64) -> InsertOutcome {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let (user, comparisons) = writer.dynamic.add_user(profile, seed);
+        let pending = self.pending.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        let published = if self.config.rebuild_after > 0 && pending >= self.config.rebuild_after {
+            Some(self.rebuild_locked(&mut writer))
+        } else {
+            None
+        };
+        InsertOutcome { user, comparisons, published }
+    }
+
+    /// Rebuilds from the writer's current state and publishes the epoch
+    /// now, regardless of the pending count; returns the new epoch's
+    /// sequence number.
+    pub fn publish(&self) -> u64 {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        self.rebuild_locked(&mut writer)
+    }
+
+    /// The engine's counters, in one consistent-enough view for
+    /// monitoring. Every field is a relaxed atomic or the epoch pointer —
+    /// this never takes the writer lock, so health checks don't stall
+    /// behind an in-progress rebuild.
+    pub fn stats(&self) -> ServingStats {
+        let epoch = self.current_epoch();
+        let pending = self.pending.load(Ordering::Relaxed);
+        ServingStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            epoch_swaps: self.epoch_swaps.load(Ordering::Relaxed),
+            epoch: epoch.epoch(),
+            num_users: epoch.num_users(),
+            pending_inserts: pending,
+        }
+    }
+
+    /// Full rebuild + epoch swap, with the writer lock held (single
+    /// writer). Readers keep serving the old epoch until the single
+    /// pointer store below.
+    fn rebuild_locked(&self, writer: &mut Writer) -> u64 {
+        let dataset = writer.dynamic.to_dataset();
+        let (graph, fingerprints) = build_epoch(&dataset, &self.config);
+        let next = {
+            let current = self.current.read().expect("epoch lock poisoned");
+            current.epoch() + 1
+        };
+        let epoch = Arc::new(ServingEpoch::new(next, dataset, graph, fingerprints));
+        writer.dynamic = writer_index(&epoch, &self.config);
+        self.pending.store(0, Ordering::Relaxed);
+        *self.current.write().expect("epoch lock poisoned") = Arc::clone(&epoch);
+        self.epoch_swaps.fetch_add(1, Ordering::Relaxed);
+        next
+    }
+}
+
+/// One C² build on the sharded runtime: fingerprints built once
+/// (in parallel, on the runtime's worker budget) and shared between the
+/// graph construction and the returned serving state.
+fn build_epoch(dataset: &Dataset, config: &ServingConfig) -> (KnnGraph, Option<Arc<GoldFinger>>) {
+    let runtime = Runtime::new(config.runtime);
+    match config.c2.backend {
+        SimilarityBackend::GoldFinger { bits, seed } => {
+            let gf = Arc::new(GoldFinger::build_parallel(
+                dataset,
+                bits,
+                seed,
+                config.runtime.effective_workers(),
+            ));
+            let result = runtime.execute_shared(dataset, &config.c2, Arc::clone(&gf));
+            (result.graph, Some(gf))
+        }
+        SimilarityBackend::Raw => (runtime.execute(dataset, &config.c2).graph, None),
+    }
+}
+
+/// A fresh writer-side dynamic index over a published epoch (profiles,
+/// graph and — in fingerprint mode — the growable fingerprint copy).
+fn writer_index(epoch: &ServingEpoch, config: &ServingConfig) -> DynamicIndex {
+    match &epoch.fingerprints {
+        Some(gf) => DynamicIndex::with_goldfinger(
+            &epoch.dataset,
+            epoch.graph.clone(),
+            config.beam,
+            (**gf).clone(),
+        ),
+        None => DynamicIndex::new(&epoch.dataset, epoch.graph.clone(), config.beam),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_dataset::SyntheticConfig;
+
+    fn dataset(seed: u64) -> Dataset {
+        let mut cfg = SyntheticConfig::small(seed);
+        cfg.num_users = 300;
+        cfg.num_items = 250;
+        cfg.communities = 6;
+        cfg.mean_profile = 18.0;
+        cfg.min_profile = 6;
+        cfg.generate()
+    }
+
+    fn config(rebuild_after: usize) -> ServingConfig {
+        ServingConfig {
+            c2: C2Config {
+                k: 8,
+                backend: SimilarityBackend::GoldFinger { bits: 1024, seed: 5 },
+                seed: 11,
+                threads: 1,
+                ..C2Config::default()
+            },
+            runtime: RuntimeConfig::with_workers(2),
+            beam: BeamSearchConfig { beam_width: 24, entry_points: 5, max_comparisons: 0 },
+            rebuild_after,
+        }
+    }
+
+    #[test]
+    fn queries_are_deterministic_and_counted() {
+        let ds = dataset(41);
+        let engine = ServingEngine::build(ds.clone(), config(0));
+        let query = ds.profile(10);
+        let a = engine.query(query, 5, 7);
+        let b = engine.query(query, 5, 7);
+        assert_eq!(a.neighbors, b.neighbors);
+        assert!(!a.neighbors.is_empty());
+        assert!(a.comparisons > 0);
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(stats.num_users, ds.num_users());
+    }
+
+    #[test]
+    fn unsorted_query_profiles_are_normalized() {
+        let ds = dataset(43);
+        let engine = ServingEngine::build(ds.clone(), config(0));
+        let sorted = engine.query(&[3, 9, 40], 5, 1);
+        let shuffled = engine.query(&[40, 3, 9, 3], 5, 1);
+        assert_eq!(sorted.neighbors, shuffled.neighbors);
+    }
+
+    #[test]
+    fn inserts_publish_after_the_configured_threshold() {
+        let ds = dataset(47);
+        let n = ds.num_users();
+        let engine = ServingEngine::build(ds.clone(), config(5));
+        for i in 0..4u32 {
+            let outcome = engine.insert(ds.profile(i * 7).to_vec(), i as u64);
+            assert_eq!(outcome.published, None, "insert {i} must not publish yet");
+        }
+        let fifth = engine.insert(ds.profile(50).to_vec(), 99);
+        assert_eq!(fifth.published, Some(2), "fifth insert must publish epoch 2");
+        let stats = engine.stats();
+        assert_eq!(stats.epoch, 2);
+        assert_eq!(stats.epoch_swaps, 1);
+        assert_eq!(stats.num_users, n + 5, "published epoch serves the absorbed users");
+        assert_eq!(stats.pending_inserts, 0);
+    }
+
+    #[test]
+    fn manual_publish_absorbs_pending_inserts() {
+        let ds = dataset(53);
+        let engine = ServingEngine::build(ds.clone(), config(0));
+        engine.insert(ds.profile(1).to_vec(), 1);
+        engine.insert(ds.profile(2).to_vec(), 2);
+        assert_eq!(engine.stats().pending_inserts, 2);
+        assert_eq!(engine.publish(), 2);
+        let stats = engine.stats();
+        assert_eq!(stats.num_users, ds.num_users() + 2);
+        assert_eq!(stats.pending_inserts, 0);
+    }
+
+    #[test]
+    fn readers_keep_their_epoch_across_a_swap() {
+        let ds = dataset(59);
+        let engine = ServingEngine::build(ds.clone(), config(0));
+        let held = engine.current_epoch();
+        engine.insert(ds.profile(0).to_vec(), 3);
+        engine.publish();
+        assert_eq!(held.epoch(), 1, "a held epoch must not change under a swap");
+        assert_eq!(held.num_users(), ds.num_users());
+        assert_eq!(engine.current_epoch().epoch(), 2);
+    }
+
+    #[test]
+    fn raw_backend_serves_without_fingerprints() {
+        let ds = dataset(61);
+        let mut cfg = config(0);
+        cfg.c2.backend = SimilarityBackend::Raw;
+        let engine = ServingEngine::build(ds.clone(), cfg);
+        assert!(engine.current_epoch().fingerprints().is_none());
+        let result = engine.query(ds.profile(5), 5, 2);
+        assert!(!result.neighbors.is_empty());
+        engine.insert(ds.profile(9).to_vec(), 1);
+        assert_eq!(engine.publish(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fingerprints must match the configured backend")]
+    fn mismatched_snapshot_fingerprints_are_rejected() {
+        let ds = dataset(67);
+        let engine = ServingEngine::build(ds, config(0));
+        let snapshot = engine.snapshot();
+        let mut other = config(0);
+        other.c2.backend = SimilarityBackend::GoldFinger { bits: 1024, seed: 999 };
+        ServingEngine::from_snapshot(snapshot, other);
+    }
+
+    #[test]
+    fn sessions_survive_epoch_swaps() {
+        let ds = dataset(71);
+        let engine = ServingEngine::build(ds.clone(), config(3));
+        let mut session = engine.session();
+        let before = engine.query_with(&mut session, ds.profile(4), 5, 9);
+        for i in 0..3u32 {
+            engine.insert(ds.profile(i).to_vec(), i as u64);
+        }
+        assert_eq!(engine.current_epoch().epoch(), 2);
+        let after = engine.query_with(&mut session, ds.profile(4), 5, 9);
+        assert!(!before.neighbors.is_empty() && !after.neighbors.is_empty());
+        // Same profile, fresh scratch: the session must behave like a new
+        // one on the new epoch.
+        assert_eq!(after.neighbors, engine.query(ds.profile(4), 5, 9).neighbors);
+    }
+}

@@ -1,0 +1,738 @@
+//! The versioned binary snapshot format.
+//!
+//! A built KNN graph used to die with the process; a serving deployment
+//! needs it to survive — rebuilt offline, shipped to servers, reloaded in
+//! milliseconds. [`Snapshot`] persists everything an online epoch needs
+//! into **one file**:
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ magic "CNCSNAP1" (8) │ version u32 │ section_count u32        │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ section table: per section { id u32, len u64, checksum u64 } │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ payloads, in table order                                     │
+//! │   1 DATASET     num_users, num_items, per-user item lists    │
+//! │   2 GRAPH       num_users, k, per-user neighbour lists       │
+//! │   3 GOLDFINGER  bits, seed, num_users, fingerprint words     │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Everything is little-endian and length-prefixed; similarities travel
+//! as raw `f32` bits and fingerprints as raw `u64` words — the same codec
+//! discipline as `cnc_runtime::shuffle`, so a write → load round trip is
+//! **bit-exact**: the dataset compares equal, the graph's neighbour lists
+//! restore their exact heap layout (they are written in
+//! [`NeighborList::iter`] order and rebuilt with
+//! [`NeighborList::from_heap_order`]), and the fingerprint words match
+//! word-for-word. Each section carries an FNV-1a checksum; the loader
+//! verifies magic, version, checksums and every structural invariant
+//! before handing anything out, mapping each failure to a typed
+//! [`SnapshotError`] instead of panicking — snapshot files are untrusted
+//! input.
+
+use cnc_dataset::Dataset;
+use cnc_graph::{KnnGraph, Neighbor, NeighborList};
+use cnc_similarity::GoldFinger;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// The 8-byte file magic ("CNC snapshot, format family 1").
+pub const MAGIC: [u8; 8] = *b"CNCSNAP1";
+
+/// The current format version.
+pub const VERSION: u32 = 1;
+
+const SECTION_DATASET: u32 = 1;
+const SECTION_GRAPH: u32 = 2;
+const SECTION_GOLDFINGER: u32 = 3;
+
+/// Why a snapshot failed to load (or write).
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying I/O failed; truncated files surface as
+    /// [`io::ErrorKind::UnexpectedEof`].
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`] — not a snapshot at all.
+    BadMagic([u8; 8]),
+    /// The file is a snapshot of a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// A section's payload does not hash to the checksum the table
+    /// recorded — bit rot or tampering.
+    ChecksumMismatch {
+        /// The corrupt section's id.
+        section: u32,
+    },
+    /// The bytes decode but violate a structural invariant (ragged
+    /// profiles, out-of-range neighbour ids, broken heap order, …).
+    Corrupt(String),
+    /// A required section is absent.
+    MissingSection(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic(got) => {
+                write!(f, "not a snapshot: magic {got:02x?} (expected {MAGIC:02x?})")
+            }
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "snapshot version {v} unsupported (this build reads {VERSION})")
+            }
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "section {section} failed its checksum")
+            }
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SnapshotError::MissingSection(name) => {
+                write!(f, "snapshot is missing its {name} section")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a over a byte slice — cheap, dependency-free integrity hashing
+/// (corruption detection, not authentication).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// A byte cursor over one section's verified payload, with typed
+/// overrun errors.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    section: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8], section: &'static str) -> Self {
+        Cursor { bytes, at: 0, section }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.bytes.len()).ok_or_else(|| {
+            SnapshotError::Corrupt(format!("{} section ends mid-field", self.section))
+        })?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A length field about to size an allocation: reject values that
+    /// cannot possibly fit in the remaining payload (each counted element
+    /// occupies at least `elem_bytes`), so a corrupt count cannot trigger
+    /// a huge allocation before the overrun is noticed.
+    fn len_field(&mut self, elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let n = self.u64()? as usize;
+        if n.checked_mul(elem_bytes).is_none_or(|total| total > self.bytes.len() - self.at) {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} section claims {n} elements but only {} bytes remain",
+                self.section,
+                self.bytes.len() - self.at
+            )));
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), SnapshotError> {
+        if self.at != self.bytes.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} section has {} trailing bytes",
+                self.section,
+                self.bytes.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One persisted serving state: the dataset, its KNN graph, and (when the
+/// backend uses them) the GoldFinger fingerprints the graph was built on.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// The user profiles the graph was built on.
+    pub dataset: Dataset,
+    /// The built KNN graph.
+    pub graph: KnnGraph,
+    /// The fingerprints backing query scoring (`None` for raw-Jaccard
+    /// deployments).
+    pub goldfinger: Option<GoldFinger>,
+}
+
+impl Snapshot {
+    /// Bundles a serving state for persistence.
+    ///
+    /// # Panics
+    /// Panics if the parts disagree on the user count — a snapshot must be
+    /// internally consistent by construction; only *loading* returns
+    /// errors.
+    pub fn new(dataset: Dataset, graph: KnnGraph, goldfinger: Option<GoldFinger>) -> Self {
+        assert_eq!(dataset.num_users(), graph.num_users(), "graph/dataset user mismatch");
+        if let Some(gf) = &goldfinger {
+            assert_eq!(gf.num_users(), dataset.num_users(), "fingerprints must cover the dataset");
+        }
+        Snapshot { dataset, graph, goldfinger }
+    }
+
+    /// Writes the snapshot to `path` **atomically** (see
+    /// [`write_snapshot`]); returns the encoded size in bytes.
+    pub fn write(&self, path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
+        write_snapshot(&self.dataset, &self.graph, self.goldfinger.as_ref(), path)
+    }
+
+    /// Writes the snapshot to any sink; returns the encoded size in bytes.
+    pub fn write_to<W: Write>(&self, out: &mut W) -> Result<u64, SnapshotError> {
+        write_snapshot_to(&self.dataset, &self.graph, self.goldfinger.as_ref(), out)
+    }
+
+    /// Loads a snapshot from `path`, verifying magic, version, checksums
+    /// and every structural invariant.
+    pub fn load(path: impl AsRef<Path>) -> Result<Snapshot, SnapshotError> {
+        Self::load_from(&mut BufReader::new(File::open(path)?))
+    }
+
+    /// Loads a snapshot from any source (see [`Snapshot::load`]).
+    pub fn load_from<R: Read>(input: &mut R) -> Result<Snapshot, SnapshotError> {
+        let mut header = [0u8; 16];
+        input.read_exact(&mut header)?;
+        let magic: [u8; 8] = header[0..8].try_into().unwrap();
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic(magic));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let section_count = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        if section_count > 16 {
+            return Err(SnapshotError::Corrupt(format!(
+                "implausible section count {section_count}"
+            )));
+        }
+
+        let mut table: Vec<(u32, u64, u64)> = Vec::with_capacity(section_count as usize);
+        for _ in 0..section_count {
+            let mut entry = [0u8; 20];
+            input.read_exact(&mut entry)?;
+            table.push((
+                u32::from_le_bytes(entry[0..4].try_into().unwrap()),
+                u64::from_le_bytes(entry[4..12].try_into().unwrap()),
+                u64::from_le_bytes(entry[12..20].try_into().unwrap()),
+            ));
+        }
+
+        let mut dataset: Option<Dataset> = None;
+        let mut graph: Option<KnnGraph> = None;
+        let mut goldfinger: Option<GoldFinger> = None;
+        for (id, len, checksum) in table {
+            // Read via `take` so a lying length cannot pre-allocate more
+            // than the file actually holds.
+            let mut payload = Vec::new();
+            input.take(len).read_to_end(&mut payload)?;
+            if (payload.len() as u64) < len {
+                return Err(SnapshotError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("section {id} truncated: {} of {len} bytes", payload.len()),
+                )));
+            }
+            if fnv1a(&payload) != checksum {
+                return Err(SnapshotError::ChecksumMismatch { section: id });
+            }
+            match id {
+                SECTION_DATASET if dataset.is_none() => {
+                    dataset = Some(decode_dataset(&payload)?);
+                }
+                SECTION_GRAPH if graph.is_none() => graph = Some(decode_graph(&payload)?),
+                SECTION_GOLDFINGER if goldfinger.is_none() => {
+                    goldfinger = Some(decode_goldfinger(&payload)?);
+                }
+                SECTION_DATASET | SECTION_GRAPH | SECTION_GOLDFINGER => {
+                    return Err(SnapshotError::Corrupt(format!("duplicate section {id}")));
+                }
+                other => {
+                    return Err(SnapshotError::Corrupt(format!("unknown section id {other}")));
+                }
+            }
+        }
+
+        let dataset = dataset.ok_or(SnapshotError::MissingSection("dataset"))?;
+        let graph = graph.ok_or(SnapshotError::MissingSection("graph"))?;
+        if graph.num_users() != dataset.num_users() {
+            return Err(SnapshotError::Corrupt(format!(
+                "graph covers {} users, dataset {}",
+                graph.num_users(),
+                dataset.num_users()
+            )));
+        }
+        for (u, list) in graph.iter() {
+            for n in list.iter() {
+                if n.user as usize >= dataset.num_users() || n.user == u {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "user {u} has invalid neighbour {}",
+                        n.user
+                    )));
+                }
+            }
+        }
+        if let Some(gf) = &goldfinger {
+            if gf.num_users() != dataset.num_users() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "fingerprints cover {} users, dataset {}",
+                    gf.num_users(),
+                    dataset.num_users()
+                )));
+            }
+        }
+        Ok(Snapshot { dataset, graph, goldfinger })
+    }
+}
+
+/// Streams one serving state to a sink from **borrowed** parts — the
+/// encoding core shared by [`Snapshot::write_to`] and
+/// `ServingEngine::write_snapshot`, which must not deep-clone an epoch
+/// (dataset + graph + fingerprint words) just to persist it. Returns the
+/// encoded size in bytes.
+///
+/// # Panics
+/// Panics if the parts disagree on the user count (same contract as
+/// [`Snapshot::new`]).
+pub fn write_snapshot_to<W: Write>(
+    dataset: &Dataset,
+    graph: &KnnGraph,
+    goldfinger: Option<&GoldFinger>,
+    out: &mut W,
+) -> Result<u64, SnapshotError> {
+    assert_eq!(dataset.num_users(), graph.num_users(), "graph/dataset user mismatch");
+    if let Some(gf) = goldfinger {
+        assert_eq!(gf.num_users(), dataset.num_users(), "fingerprints must cover the dataset");
+    }
+    let mut sections: Vec<(u32, Vec<u8>)> = Vec::with_capacity(3);
+    sections.push((SECTION_DATASET, encode_dataset(dataset)));
+    sections.push((SECTION_GRAPH, encode_graph(graph)));
+    if let Some(gf) = goldfinger {
+        sections.push((SECTION_GOLDFINGER, encode_goldfinger(gf)));
+    }
+
+    out.write_all(&MAGIC)?;
+    out.write_all(&VERSION.to_le_bytes())?;
+    out.write_all(&(sections.len() as u32).to_le_bytes())?;
+    let mut total = 16u64;
+    for (id, payload) in &sections {
+        out.write_all(&id.to_le_bytes())?;
+        out.write_all(&(payload.len() as u64).to_le_bytes())?;
+        out.write_all(&fnv1a(payload).to_le_bytes())?;
+        total += 20;
+    }
+    for (_, payload) in &sections {
+        out.write_all(payload)?;
+        total += payload.len() as u64;
+    }
+    Ok(total)
+}
+
+/// **Atomic** snapshot-to-file write from borrowed parts: the bytes go to
+/// a sibling temp file, are fsynced, and are renamed over `path` in one
+/// step — a crash or full disk mid-write never clobbers a previous good
+/// snapshot at `path` (the multi-process serving story depends on
+/// published files always being loadable). Returns the encoded size.
+pub fn write_snapshot(
+    dataset: &Dataset,
+    graph: &KnnGraph,
+    goldfinger: Option<&GoldFinger>,
+    path: impl AsRef<Path>,
+) -> Result<u64, SnapshotError> {
+    // The temp name must be unique per *call*, not just per process: two
+    // engine threads snapshotting to the same path would otherwise
+    // interleave writes in one temp file and rename garbage over a good
+    // snapshot — exactly what the atomic rename exists to prevent.
+    static WRITE_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        WRITE_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let mut out = BufWriter::new(File::create(&tmp)?);
+        let bytes = write_snapshot_to(dataset, graph, goldfinger, &mut out)?;
+        out.flush()?;
+        out.get_ref().sync_all()?;
+        drop(out);
+        std::fs::rename(&tmp, path)?;
+        Ok(bytes)
+    })();
+    if result.is_err() {
+        // Best effort: never leave a half-written temp file behind.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn encode_dataset(ds: &Dataset) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + 4 * (ds.num_users() + ds.num_ratings()));
+    out.extend_from_slice(&(ds.num_users() as u64).to_le_bytes());
+    out.extend_from_slice(&(ds.num_items() as u32).to_le_bytes());
+    for (_, profile) in ds.iter() {
+        out.extend_from_slice(&(profile.len() as u32).to_le_bytes());
+        for &item in profile {
+            out.extend_from_slice(&item.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_dataset(payload: &[u8]) -> Result<Dataset, SnapshotError> {
+    let mut cur = Cursor::new(payload, "dataset");
+    let num_users = cur.len_field(4)?;
+    let num_items = cur.u32()?;
+    let mut offsets = Vec::with_capacity(num_users + 1);
+    offsets.push(0usize);
+    let mut items = Vec::new();
+    for _ in 0..num_users {
+        let len = cur.u32()? as usize;
+        // One bulk take per profile (the cursor bounds-checks the whole
+        // span once), then a straight 4-byte chunk conversion — the load
+        // path runs per rating, so per-item cursor calls would dominate.
+        let bytes = cur
+            .take(len.checked_mul(4).ok_or_else(|| {
+                SnapshotError::Corrupt("dataset profile length overflows".into())
+            })?)?;
+        items.reserve(len);
+        items.extend(bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())));
+        offsets.push(items.len());
+    }
+    cur.finish()?;
+    Dataset::from_csr(offsets, items, num_items).map_err(SnapshotError::Corrupt)
+}
+
+fn encode_graph(graph: &KnnGraph) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + 8 * (graph.num_users() + graph.num_edges()));
+    out.extend_from_slice(&(graph.num_users() as u64).to_le_bytes());
+    out.extend_from_slice(&(graph.k() as u32).to_le_bytes());
+    for (_, list) in graph.iter() {
+        out.extend_from_slice(&(list.len() as u32).to_le_bytes());
+        // Heap (iter) order, so the loader can restore the identical
+        // in-memory layout.
+        for n in list.iter() {
+            out.extend_from_slice(&n.user.to_le_bytes());
+            out.extend_from_slice(&n.sim.to_bits().to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Largest neighbourhood bound a snapshot may declare. `KnnGraph::new`
+/// preallocates `num_users` lists of capacity `k`, so an untrusted `k`
+/// must be bounded *before* the allocation — a crafted `k = u32::MAX`
+/// would otherwise request gigabytes ahead of any validation. The paper
+/// runs k ≤ 64; 65 536 leaves two orders of magnitude of headroom.
+const MAX_K: usize = 1 << 16;
+
+fn decode_graph(payload: &[u8]) -> Result<KnnGraph, SnapshotError> {
+    let mut cur = Cursor::new(payload, "graph");
+    let num_users = cur.len_field(4)?;
+    let k = cur.u32()? as usize;
+    if k == 0 || k > MAX_K {
+        return Err(SnapshotError::Corrupt(format!(
+            "graph bound k = {k} outside the sane range 1..={MAX_K}"
+        )));
+    }
+    let mut graph = KnnGraph::new(num_users, k);
+    for u in 0..num_users {
+        let len = cur.u32()? as usize;
+        let mut entries = Vec::with_capacity(len.min(k));
+        for _ in 0..len {
+            let user = cur.u32()?;
+            let sim = f32::from_bits(cur.u32()?);
+            entries.push(Neighbor { user, sim });
+        }
+        let list = NeighborList::from_heap_order(k, entries)
+            .map_err(|e| SnapshotError::Corrupt(format!("user {u}: {e}")))?;
+        *graph.neighbors_mut(u as u32) = list;
+    }
+    cur.finish()?;
+    Ok(graph)
+}
+
+fn encode_goldfinger(gf: &GoldFinger) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20 + 8 * gf.words().len());
+    out.extend_from_slice(&(gf.bits() as u32).to_le_bytes());
+    out.extend_from_slice(&gf.seed().to_le_bytes());
+    out.extend_from_slice(&(gf.num_users() as u64).to_le_bytes());
+    for &word in gf.words() {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+fn decode_goldfinger(payload: &[u8]) -> Result<GoldFinger, SnapshotError> {
+    let mut cur = Cursor::new(payload, "goldfinger");
+    let bits = cur.u32()? as usize;
+    let seed = cur.u64()?;
+    let num_users = cur.len_field(8)?;
+    if bits == 0 || !bits.is_multiple_of(64) {
+        return Err(SnapshotError::Corrupt(format!(
+            "fingerprint width {bits} is not a positive multiple of 64"
+        )));
+    }
+    let num_words = num_users
+        .checked_mul(bits / 64)
+        .ok_or_else(|| SnapshotError::Corrupt("fingerprint dimensions overflow".into()))?;
+    let bytes = cur.take(
+        num_words
+            .checked_mul(8)
+            .ok_or_else(|| SnapshotError::Corrupt("fingerprint dimensions overflow".into()))?,
+    )?;
+    let mut words = Vec::with_capacity(num_words);
+    words.extend(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())));
+    cur.finish()?;
+    let gf = GoldFinger::from_parts(words, bits, seed).map_err(SnapshotError::Corrupt)?;
+    if gf.num_users() != num_users {
+        return Err(SnapshotError::Corrupt(format!(
+            "fingerprint section claims {num_users} users but holds {}",
+            gf.num_users()
+        )));
+    }
+    Ok(gf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnc_baselines::{BruteForce, BuildContext, KnnAlgorithm};
+    use cnc_dataset::SyntheticConfig;
+    use cnc_similarity::{SimilarityBackend, SimilarityData};
+
+    fn build(seed: u64) -> Snapshot {
+        let mut cfg = SyntheticConfig::small(seed);
+        cfg.num_users = 150;
+        cfg.num_items = 120;
+        cfg.mean_profile = 12.0;
+        cfg.min_profile = 4;
+        let ds = cfg.generate();
+        let gf = GoldFinger::build(&ds, 1024, 77);
+        let sim =
+            SimilarityData::build(SimilarityBackend::GoldFinger { bits: 1024, seed: 77 }, &ds);
+        let ctx = BuildContext { dataset: &ds, sim: &sim, k: 8, threads: 0, seed: 3 };
+        let graph = BruteForce.build(&ctx);
+        Snapshot::new(ds, graph, Some(gf))
+    }
+
+    fn round_trip(snap: &Snapshot) -> Snapshot {
+        let mut buf = Vec::new();
+        let bytes = snap.write_to(&mut buf).unwrap();
+        assert_eq!(bytes as usize, buf.len(), "write_to must report the encoded size");
+        Snapshot::load_from(&mut buf.as_slice()).unwrap()
+    }
+
+    /// Bit-exact equality, including the neighbour lists' heap layout.
+    fn assert_identical(a: &Snapshot, b: &Snapshot) {
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.graph.num_users(), b.graph.num_users());
+        assert_eq!(a.graph.k(), b.graph.k());
+        for (u, list) in a.graph.iter() {
+            let theirs = b.graph.neighbors(u);
+            let mine: Vec<(u32, u32)> = list.iter().map(|n| (n.user, n.sim.to_bits())).collect();
+            let got: Vec<(u32, u32)> = theirs.iter().map(|n| (n.user, n.sim.to_bits())).collect();
+            assert_eq!(mine, got, "user {u} list layout differs");
+        }
+        match (&a.goldfinger, &b.goldfinger) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert_eq!(x.words(), y.words());
+                assert_eq!((x.bits(), x.seed()), (y.bits(), y.seed()));
+            }
+            _ => panic!("fingerprint presence differs"),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let snap = build(21);
+        assert_identical(&snap, &round_trip(&snap));
+    }
+
+    #[test]
+    fn round_trip_without_fingerprints() {
+        let mut snap = build(22);
+        snap.goldfinger = None;
+        assert_identical(&snap, &round_trip(&snap));
+    }
+
+    #[test]
+    fn empty_dataset_round_trips() {
+        let snap = Snapshot::new(Dataset::from_profiles(vec![], 0), KnnGraph::new(0, 3), None);
+        let back = round_trip(&snap);
+        assert_eq!(back.dataset.num_users(), 0);
+        assert_eq!(back.graph.num_users(), 0);
+        assert_eq!(back.graph.k(), 3);
+    }
+
+    #[test]
+    fn file_round_trip_works() {
+        let snap = build(23);
+        let path = std::env::temp_dir().join(format!("cnc-snap-test-{}.bin", std::process::id()));
+        let bytes = snap.write(&path).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        let back = Snapshot::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_identical(&snap, &back);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cnc-snap-atomic-{}.bin", std::process::id()));
+        let first = build(31);
+        let second = build(32);
+        first.write(&path).unwrap();
+        second.write(&path).unwrap();
+        let loaded = Snapshot::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_identical(&second, &loaded);
+        // Every sibling temp file must be gone after the renames.
+        let prefix = format!("cnc-snap-atomic-{}.bin.tmp-", std::process::id());
+        let leaked: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(&prefix))
+            .collect();
+        assert!(leaked.is_empty(), "temp files leaked: {leaked:?}");
+    }
+
+    #[test]
+    fn failed_write_reports_io_and_cleans_up() {
+        let snap = build(33);
+        let missing_dir =
+            std::env::temp_dir().join(format!("cnc-no-such-dir-{}", std::process::id()));
+        match snap.write(missing_dir.join("x.snap")) {
+            Err(SnapshotError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn borrowed_writer_matches_the_owned_one() {
+        let snap = build(34);
+        let mut owned = Vec::new();
+        snap.write_to(&mut owned).unwrap();
+        let mut borrowed = Vec::new();
+        write_snapshot_to(&snap.dataset, &snap.graph, snap.goldfinger.as_ref(), &mut borrowed)
+            .unwrap();
+        assert_eq!(owned, borrowed, "the two writers must produce identical bytes");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = Vec::new();
+        build(24).write_to(&mut buf).unwrap();
+        buf[0] = b'X';
+        match Snapshot::load_from(&mut buf.as_slice()) {
+            Err(SnapshotError::BadMagic(_)) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let mut buf = Vec::new();
+        build(25).write_to(&mut buf).unwrap();
+        buf[8..12].copy_from_slice(&2u32.to_le_bytes());
+        match Snapshot::load_from(&mut buf.as_slice()) {
+            Err(SnapshotError::UnsupportedVersion(2)) => {}
+            other => panic!("expected UnsupportedVersion(2), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_point_errors_without_panicking() {
+        let mut buf = Vec::new();
+        build(26).write_to(&mut buf).unwrap();
+        // Sample truncation points across header, table and payloads.
+        for cut in [0, 4, 12, 20, 40, buf.len() / 2, buf.len() - 1] {
+            match Snapshot::load_from(&mut buf[..cut].to_vec().as_slice()) {
+                Err(_) => {}
+                Ok(_) => panic!("truncation at {cut} bytes loaded successfully"),
+            }
+        }
+    }
+
+    #[test]
+    fn payload_corruption_fails_the_checksum() {
+        let mut buf = Vec::new();
+        build(27).write_to(&mut buf).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        match Snapshot::load_from(&mut buf.as_slice()) {
+            Err(SnapshotError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_sections_are_reported() {
+        // A syntactically valid snapshot with zero sections.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        match Snapshot::load_from(&mut buf.as_slice()) {
+            Err(SnapshotError::MissingSection("dataset")) => {}
+            other => panic!("expected MissingSection(dataset), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let errors = [
+            SnapshotError::BadMagic(*b"NOTASNAP"),
+            SnapshotError::UnsupportedVersion(9),
+            SnapshotError::ChecksumMismatch { section: 2 },
+            SnapshotError::Corrupt("x".into()),
+            SnapshotError::MissingSection("graph"),
+            SnapshotError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "cut")),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "graph/dataset user mismatch")]
+    fn inconsistent_parts_cannot_be_bundled() {
+        Snapshot::new(Dataset::from_profiles(vec![vec![1]], 0), KnnGraph::new(5, 2), None);
+    }
+}

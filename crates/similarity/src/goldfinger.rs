@@ -137,6 +137,48 @@ impl GoldFinger {
         &self.words[base..base + self.words_per_user]
     }
 
+    /// The fingerprint an arbitrary profile would get under this set's
+    /// width and seed — out-of-sample queries become scoreable rows
+    /// without joining the dataset (`cnc-query`'s batched beam search).
+    ///
+    /// Bit-identical to the row [`GoldFinger::build`] would produce for
+    /// the same profile.
+    pub fn fingerprint_profile(&self, profile: &[ItemId]) -> Vec<u64> {
+        let mut row = vec![0u64; self.words_per_user];
+        Self::fill_user(&mut row, profile, SeededHash::new(self.seed), self.bits);
+        row
+    }
+
+    /// Appends one user's fingerprint (online growth — the streaming-insert
+    /// side of `cnc-query::DynamicIndex`); returns the new user's id.
+    pub fn push_user(&mut self, profile: &[ItemId]) -> UserId {
+        let base = self.words.len();
+        self.words.resize(base + self.words_per_user, 0);
+        Self::fill_user(&mut self.words[base..], profile, SeededHash::new(self.seed), self.bits);
+        self.num_users += 1;
+        (self.num_users - 1) as UserId
+    }
+
+    /// Reassembles a fingerprint set from its persisted parts (the
+    /// `cnc-serve` snapshot loader). The inverse of reading
+    /// [`GoldFinger::words`], [`GoldFinger::bits`] and
+    /// [`GoldFinger::seed`]; rejects inconsistent dimensions instead of
+    /// panicking, since the parts come from an untrusted file.
+    pub fn from_parts(words: Vec<u64>, bits: usize, seed: u64) -> Result<GoldFinger, String> {
+        if bits == 0 || !bits.is_multiple_of(64) {
+            return Err(format!("fingerprint width {bits} is not a positive multiple of 64"));
+        }
+        let words_per_user = bits / 64;
+        if !words.len().is_multiple_of(words_per_user) {
+            return Err(format!(
+                "{} fingerprint words do not divide into {words_per_user}-word rows",
+                words.len()
+            ));
+        }
+        let num_users = words.len() / words_per_user;
+        Ok(GoldFinger { words, words_per_user, bits, seed, num_users })
+    }
+
     /// Estimated Jaccard similarity of two users, in `[0, 1]`.
     ///
     /// Exact when no two distinct items of the union hash to the same bit;
@@ -274,6 +316,43 @@ mod tests {
             let parallel = GoldFinger::build_parallel(&ds, 128, 3, 4);
             assert_eq!(serial.words(), parallel.words());
         }
+    }
+
+    #[test]
+    fn fingerprint_profile_matches_built_rows() {
+        let ds = SyntheticConfig::small(61).generate();
+        let gf = GoldFinger::build(&ds, 1024, 11);
+        for u in ds.users().take(40) {
+            assert_eq!(gf.fingerprint_profile(ds.profile(u)), gf.fingerprint(u), "user {u}");
+        }
+    }
+
+    #[test]
+    fn push_user_grows_the_set_bit_identically() {
+        let profiles =
+            vec![vec![1u32, 2, 3], vec![4, 5], vec![1, 9, 20, 31], vec![], vec![7, 8, 9]];
+        let full = GoldFinger::build(&Dataset::from_profiles(profiles.clone(), 0), 256, 5);
+        let mut grown =
+            GoldFinger::build(&Dataset::from_profiles(profiles[..2].to_vec(), 0), 256, 5);
+        for (expect_id, profile) in profiles.iter().enumerate().skip(2) {
+            assert_eq!(grown.push_user(profile) as usize, expect_id);
+        }
+        assert_eq!(grown.num_users(), full.num_users());
+        assert_eq!(grown.words(), full.words());
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_garbage() {
+        let ds = SyntheticConfig::small(67).generate();
+        let gf = GoldFinger::build(&ds, 512, 13);
+        let back = GoldFinger::from_parts(gf.words().to_vec(), gf.bits(), gf.seed()).unwrap();
+        assert_eq!(back.words(), gf.words());
+        assert_eq!(back.num_users(), gf.num_users());
+        assert_eq!(back.words_per_user(), gf.words_per_user());
+        assert_eq!((back.bits(), back.seed()), (gf.bits(), gf.seed()));
+        assert!(GoldFinger::from_parts(vec![0; 8], 0, 1).is_err(), "zero width");
+        assert!(GoldFinger::from_parts(vec![0; 8], 100, 1).is_err(), "non-word width");
+        assert!(GoldFinger::from_parts(vec![0; 7], 128, 1).is_err(), "ragged rows");
     }
 
     #[test]

@@ -31,7 +31,12 @@
 //! * comparison accounting is the *caller's* job: kernels never touch the
 //!   shared atomic. Solvers count locally and flush one
 //!   [`crate::SimilarityData::add_comparisons`] per cluster or iteration,
-//!   with totals provably unchanged.
+//!   with totals provably unchanged;
+//! * the **query kernels** ([`RawQueryKernel`], [`GoldFingerQueryKernel`],
+//!   [`GoldFingerDynQueryKernel`]) extend the user rows with one trailing
+//!   external row — an out-of-sample query — so `cnc-query`'s beam search
+//!   can feed whole neighbour lists through [`one_vs_many`] instead of a
+//!   scalar oracle call per candidate.
 //!
 //! Every kernel is **bit-identical** to the scalar oracle: the similarity
 //! is computed with exactly the same `f64` arithmetic and cast as
@@ -148,27 +153,33 @@ const LANES: usize = 8;
 /// popcounts vectorize. Every lane performs the same correctly-rounded
 /// IEEE operations as the scalar path (`u64 → f64` conversion is exact,
 /// division and the `f64 → f32` narrowing round to nearest even), so the
-/// results are bit-identical — asserted by the module's proptests, which
-/// exercise this path on AVX-512 hosts.
+/// results are bit-identical — asserted by the module's proptests on any
+/// AVX-512 host.
 ///
-/// Coverage note: CI pins portable `x86-64-v3` (heterogeneous runners +
-/// shared caches), so this module is compiled out there — its tests run
-/// on `target-cpu=native` builds on AVX-512 hardware, like the reference
-/// box that records `BENCH_kernels.json`. Runtime ISA dispatch
-/// (`is_x86_feature_detected!`) is a ROADMAP next step precisely so
-/// portable builds can cover and use this path too.
-#[cfg(all(
-    target_arch = "x86_64",
-    target_feature = "avx512f",
-    target_feature = "avx512dq",
-    target_feature = "avx512vpopcntdq"
-))]
+/// Dispatch is at **runtime** (the ROADMAP "runtime ISA dispatch" item):
+/// the functions are compiled on every x86-64 build via
+/// `#[target_feature]` — portable `x86-64-v3` CI included — and the
+/// sweeps branch on [`avx512::available`] (`is_x86_feature_detected!`),
+/// so a portable binary still uses, and tests still cover, the AVX-512
+/// path whenever the host supports it.
+#[cfg(target_arch = "x86_64")]
 mod avx512 {
     use std::arch::x86_64::*;
 
+    /// True when the host can execute the sweeps below. The std detection
+    /// macro caches the CPUID probe in an atomic, so the per-row checks
+    /// in `sweep_row`/`sweep_pairs` cost one relaxed load each.
+    #[inline]
+    pub fn available() -> bool {
+        std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+    }
+
     /// Reduces eight 8-lane `u64` vectors to one vector whose lane `r`
     /// holds the lane-sum of `v[r]` (three unpack/shuffle + add levels).
-    #[inline(always)]
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vpopcntdq")]
     unsafe fn hsum8(v: [__m512i; 8]) -> __m512i {
         let sum2 =
             |a, b| _mm512_add_epi64(_mm512_unpacklo_epi64(a, b), _mm512_unpackhi_epi64(a, b));
@@ -194,11 +205,9 @@ mod avx512 {
     /// # Safety
     /// `rows` must point at `8 * W` readable words; `W` must be a positive
     /// multiple of 8 (one `zmm` per 8-word chunk).
-    #[inline(always)]
-    pub unsafe fn counts_vs8<const W: usize>(
-        rows: *const u64,
-        other: &[u64; W],
-    ) -> (__m512i, __m512i) {
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vpopcntdq")]
+    unsafe fn counts_vs8<const W: usize>(rows: *const u64, other: &[u64; W]) -> (__m512i, __m512i) {
         debug_assert!(W > 0 && W.is_multiple_of(8));
         let mut inter = [_mm512_setzero_si512(); 8];
         let mut union = [_mm512_setzero_si512(); 8];
@@ -223,9 +232,10 @@ mod avx512 {
     /// cannot trap — FP exceptions are masked).
     ///
     /// # Safety
-    /// Requires the module's target features (statically enabled).
-    #[inline(always)]
-    pub unsafe fn ratio8(inter: __m512i, union: __m512i) -> [f32; 8] {
+    /// The caller must have verified [`available`].
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vpopcntdq")]
+    unsafe fn ratio8(inter: __m512i, union: __m512i) -> [f32; 8] {
         let fi = _mm512_cvtepu64_pd(inter);
         let fu = _mm512_cvtepu64_pd(union);
         let q = _mm512_div_pd(fi, fu);
@@ -235,6 +245,21 @@ mod avx512 {
         let mut out = [0f32; 8];
         _mm256_storeu_ps(out.as_mut_ptr(), s);
         out
+    }
+
+    /// Similarities of one streamed `W`-word row against eight contiguous
+    /// cached rows — popcounts, transpose reduction and the single
+    /// `vdivpd` fused in one feature-annotated function so the helpers
+    /// inline together whatever the binary's baseline ISA is.
+    ///
+    /// # Safety
+    /// `rows` must point at `8 * W` readable words, `W` must be a
+    /// positive multiple of 8, and the caller must have verified
+    /// [`available`].
+    #[target_feature(enable = "avx512f,avx512dq,avx512vpopcntdq")]
+    pub unsafe fn group_vs_row<const W: usize>(rows: *const u64, other: &[u64; W]) -> [f32; 8] {
+        let (inter, union) = counts_vs8::<W>(rows, other);
+        ratio8(inter, union)
     }
 }
 
@@ -347,22 +372,14 @@ impl<const W: usize> SimKernel for GoldFingerKernel<'_, W> {
         // is consumed 8 rows at a time, each group's popcounts, reduction
         // and division staying in vector registers. The `W % 8` test is a
         // compile-time constant per instantiation — the dead branch
-        // disappears.
-        #[cfg(all(
-            target_arch = "x86_64",
-            target_feature = "avx512f",
-            target_feature = "avx512dq",
-            target_feature = "avx512vpopcntdq"
-        ))]
-        if W.is_multiple_of(8) {
+        // disappears — and the feature probe is a cached atomic load.
+        #[cfg(target_arch = "x86_64")]
+        if W.is_multiple_of(8) && avx512::available() {
             let mut groups = tail.chunks_exact(LANES * W);
             for group in &mut groups {
                 // SAFETY: `group` is exactly `8 * W` contiguous words and
-                // the target features are statically enabled.
-                let sims = unsafe {
-                    let (iv, uv) = avx512::counts_vs8::<W>(group.as_ptr(), &ri);
-                    avx512::ratio8(iv, uv)
-                };
+                // `available()` verified the CPU features at runtime.
+                let sims = unsafe { avx512::group_vs_row::<W>(group.as_ptr(), &ri) };
                 for s in sims {
                     sink(j, s);
                     j += 1;
@@ -410,22 +427,15 @@ impl<const W: usize> SimKernel for GoldFingerKernel<'_, W> {
             }
             let tail = &self.words[(start + height) * W..];
 
-            #[cfg(all(
-                target_arch = "x86_64",
-                target_feature = "avx512f",
-                target_feature = "avx512dq",
-                target_feature = "avx512vpopcntdq"
-            ))]
-            if W.is_multiple_of(8) && height == LANES {
+            #[cfg(target_arch = "x86_64")]
+            if W.is_multiple_of(8) && height == LANES && avx512::available() {
                 for (offset, chunk) in tail.chunks_exact(W).enumerate() {
                     let rj: &[u64; W] = chunk.try_into().expect("chunks_exact yields W-word rows");
                     let j = (start + height + offset) as u32;
-                    // SAFETY: `block` is `8 * W` contiguous words; the
-                    // target features are statically enabled.
-                    let sims = unsafe {
-                        let (iv, uv) = avx512::counts_vs8::<W>(block.as_ptr() as *const u64, rj);
-                        avx512::ratio8(iv, uv)
-                    };
+                    // SAFETY: `block` is `8 * W` contiguous words and
+                    // `available()` verified the CPU features at runtime.
+                    let sims =
+                        unsafe { avx512::group_vs_row::<W>(block.as_ptr() as *const u64, rj) };
                     for (r, s) in sims.into_iter().enumerate() {
                         sink((start + r) as u32, j, s);
                     }
@@ -634,6 +644,205 @@ pub fn one_vs_many<K: SimKernel>(
     }
 }
 
+/// Exact-Jaccard **query** kernel: the dataset's users plus one trailing
+/// external row — an out-of-sample query profile that is not a dataset
+/// user. Row [`RawQueryKernel::query_row`] (`= num_users`) is the query;
+/// rows below it pass through to the users, so
+/// `one_vs_many(&k, k.query_row(), ids, …)` scores a query against
+/// arbitrary users with no copying or remapping of the user data — the
+/// shape `cnc-query`'s beam search feeds per expanded node (the ROADMAP
+/// "one-vs-many batching in the query layer" item).
+#[derive(Clone, Copy)]
+pub struct RawQueryKernel<'a> {
+    dataset: &'a Dataset,
+    query: &'a [u32],
+}
+
+impl<'a> RawQueryKernel<'a> {
+    /// A kernel over `dataset`'s users with the (sorted) `query` profile
+    /// as the external trailing row.
+    pub fn new(dataset: &'a Dataset, query: &'a [u32]) -> Self {
+        RawQueryKernel { dataset, query }
+    }
+
+    /// The external row's index (== the dataset's user count).
+    #[inline]
+    pub fn query_row(&self) -> u32 {
+        self.dataset.num_users() as u32
+    }
+
+    #[inline]
+    fn profile(&self, i: u32) -> &[u32] {
+        if i == self.query_row() {
+            self.query
+        } else {
+            self.dataset.profile(i)
+        }
+    }
+}
+
+impl SimKernel for RawQueryKernel<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.dataset.num_users() + 1
+    }
+
+    #[inline]
+    fn sim(&self, i: u32, j: u32) -> f32 {
+        Jaccard::similarity(self.profile(i), self.profile(j)) as f32
+    }
+}
+
+/// Fixed-width GoldFinger query kernel: contiguous user fingerprint rows
+/// plus one external query fingerprint as the trailing row (see
+/// [`RawQueryKernel`] for the row convention). The query row is built
+/// once per query with [`GoldFinger::fingerprint_profile`]; every score
+/// is then the same fully-unrolled AND/OR/popcount sweep as the
+/// fixed-width cluster kernels, bit-identical to
+/// [`GoldFinger::estimate`] narrowed to `f32`.
+#[derive(Clone, Copy)]
+pub struct GoldFingerQueryKernel<'a, const W: usize> {
+    words: &'a [u64],
+    query: &'a [u64; W],
+}
+
+impl<'a, const W: usize> GoldFingerQueryKernel<'a, W> {
+    /// A kernel over a raw word slice (length must be a multiple of `W`)
+    /// with `query` as the external row.
+    ///
+    /// # Panics
+    /// Panics if `W == 0` or the slice length is not a multiple of `W`.
+    pub fn new(words: &'a [u64], query: &'a [u64; W]) -> Self {
+        assert!(W > 0, "fingerprint width must be positive");
+        assert!(words.len().is_multiple_of(W), "word slice is not a whole number of {W}-word rows");
+        GoldFingerQueryKernel { words, query }
+    }
+
+    /// A kernel whose user rows are the fingerprinted users of `gf`.
+    ///
+    /// # Panics
+    /// Panics if `gf` was not built with `W` words per user.
+    pub fn over(gf: &'a GoldFinger, query: &'a [u64; W]) -> Self {
+        assert_eq!(gf.words_per_user(), W, "fingerprint width mismatch");
+        Self::new(gf.words(), query)
+    }
+
+    /// The external row's index (== the number of user rows).
+    #[inline]
+    pub fn query_row(&self) -> u32 {
+        (self.words.len() / W) as u32
+    }
+
+    #[inline(always)]
+    fn row(&self, i: u32) -> &[u64; W] {
+        if i == self.query_row() {
+            self.query
+        } else {
+            let base = i as usize * W;
+            self.words[base..base + W].try_into().expect("row is exactly W words")
+        }
+    }
+}
+
+impl<const W: usize> SimKernel for GoldFingerQueryKernel<'_, W> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.words.len() / W + 1
+    }
+
+    #[inline(always)]
+    fn sim(&self, i: u32, j: u32) -> f32 {
+        sim_words_fixed::<W>(self.row(i), self.row(j))
+    }
+}
+
+/// Dynamic-width GoldFinger query kernel — the fallback for widths
+/// without a fixed-`W` specialization.
+#[derive(Clone, Copy)]
+pub struct GoldFingerDynQueryKernel<'a> {
+    words: &'a [u64],
+    words_per_user: usize,
+    query: &'a [u64],
+}
+
+impl<'a> GoldFingerDynQueryKernel<'a> {
+    /// A kernel over a raw word slice with `words_per_user` words per row
+    /// and `query` as the external row.
+    ///
+    /// # Panics
+    /// Panics if `words_per_user` is zero, does not divide the slice, or
+    /// does not match the query row's width.
+    pub fn new(words: &'a [u64], words_per_user: usize, query: &'a [u64]) -> Self {
+        assert!(words_per_user > 0, "fingerprint width must be positive");
+        assert!(
+            words.len().is_multiple_of(words_per_user),
+            "word slice is not a whole number of rows"
+        );
+        assert_eq!(query.len(), words_per_user, "query fingerprint width mismatch");
+        GoldFingerDynQueryKernel { words, words_per_user, query }
+    }
+
+    /// The external row's index (== the number of user rows).
+    #[inline]
+    pub fn query_row(&self) -> u32 {
+        (self.words.len() / self.words_per_user) as u32
+    }
+
+    #[inline]
+    fn row(&self, i: u32) -> &[u64] {
+        if i == self.query_row() {
+            self.query
+        } else {
+            let base = i as usize * self.words_per_user;
+            &self.words[base..base + self.words_per_user]
+        }
+    }
+}
+
+impl SimKernel for GoldFingerDynQueryKernel<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.words.len() / self.words_per_user + 1
+    }
+
+    #[inline]
+    fn sim(&self, i: u32, j: u32) -> f32 {
+        sim_words(self.row(i), self.row(j))
+    }
+}
+
+/// Runs `solver` against the query-extended fixed-width specialization
+/// matching `words_per_user` — the query-layer analogue of
+/// [`solve_words`], sharing its dispatch table. The kernel handed to the
+/// solver has the user rows at `0..n` and the query at row `n`
+/// (`kernel.len() - 1`).
+///
+/// # Panics
+/// Panics if `query.len() != words_per_user` or `words` is ragged.
+pub fn solve_query_words<S: SimSolve>(
+    words: &[u64],
+    words_per_user: usize,
+    query: &[u64],
+    solver: S,
+) -> S::Output {
+    assert_eq!(query.len(), words_per_user, "query fingerprint width mismatch");
+    macro_rules! fixed {
+        ($w:literal) => {
+            solver.run(&GoldFingerQueryKernel::<$w>::new(
+                words,
+                query.try_into().expect("width checked above"),
+            ))
+        };
+    }
+    match words_per_user {
+        1 => fixed!(1),
+        16 => fixed!(16),
+        64 => fixed!(64),
+        128 => fixed!(128),
+        _ => solver.run(&GoldFingerDynQueryKernel::new(words, words_per_user, query)),
+    }
+}
+
 /// The number of unordered pairs of an `n`-row kernel — the comparison
 /// count a full [`pairwise`] sweep flushes.
 #[inline]
@@ -770,6 +979,86 @@ mod tests {
         let expect: Vec<(u32, u32)> =
             others.iter().map(|&j| (j, kernel.sim(0, j).to_bits())).collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn raw_query_kernel_scores_like_scalar_jaccard() {
+        let ds = dataset();
+        let query: Vec<u32> = vec![3, 17, 40, 77, 150];
+        let kernel = RawQueryKernel::new(&ds, &query);
+        assert_eq!(kernel.len(), ds.num_users() + 1);
+        assert_eq!(kernel.query_row() as usize, ds.num_users());
+        let others: Vec<u32> = (0..ds.num_users() as u32).step_by(9).collect();
+        let mut got = Vec::new();
+        one_vs_many(&kernel, kernel.query_row(), &others, |j, s| got.push((j, s.to_bits())));
+        let expect: Vec<(u32, u32)> = others
+            .iter()
+            .map(|&u| (u, (Jaccard::similarity(&query, ds.profile(u)) as f32).to_bits()))
+            .collect();
+        assert_eq!(got, expect);
+        // User rows pass through untouched.
+        assert_eq!(
+            kernel.sim(2, 5).to_bits(),
+            (Jaccard::similarity(ds.profile(2), ds.profile(5)) as f32).to_bits()
+        );
+    }
+
+    #[test]
+    fn goldfinger_query_kernels_score_like_an_in_dataset_row() {
+        let ds = dataset();
+        let query: Vec<u32> = ds.profile(7).iter().map(|&i| i.saturating_sub(1)).collect();
+        let mut query = query;
+        query.sort_unstable();
+        query.dedup();
+        // Reference: append the query as a real user and fingerprint the
+        // grown dataset — per-user rows are independent, so the external
+        // row must match the built one exactly.
+        let mut profiles: Vec<Vec<u32>> = ds.iter().map(|(_, p)| p.to_vec()).collect();
+        profiles.push(query.clone());
+        let grown = Dataset::from_profiles(profiles, 0);
+        for bits in [64usize, 192, 1024] {
+            let gf = GoldFinger::build(&ds, bits, 23);
+            let reference = GoldFinger::build(&grown, bits, 23);
+            let qrow_words = gf.fingerprint_profile(&query);
+            assert_eq!(qrow_words, reference.fingerprint(ds.num_users() as UserId));
+            let others: Vec<u32> = (0..ds.num_users() as u32).step_by(7).collect();
+            struct Score<'a> {
+                others: &'a [u32],
+            }
+            impl SimSolve for Score<'_> {
+                type Output = Vec<(u32, u32)>;
+                fn run<K: SimKernel>(self, kernel: &K) -> Self::Output {
+                    let qrow = (kernel.len() - 1) as u32;
+                    let mut out = Vec::new();
+                    one_vs_many(kernel, qrow, self.others, |j, s| out.push((j, s.to_bits())));
+                    out
+                }
+            }
+            let got = solve_query_words(
+                gf.words(),
+                gf.words_per_user(),
+                &qrow_words,
+                Score { others: &others },
+            );
+            let expect: Vec<(u32, u32)> = others
+                .iter()
+                .map(|&u| (u, (reference.estimate(ds.num_users() as UserId, u) as f32).to_bits()))
+                .collect();
+            assert_eq!(got, expect, "{bits} bits");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "query fingerprint width mismatch")]
+    fn mismatched_query_width_panics() {
+        let ds = dataset();
+        let gf = GoldFinger::build(&ds, 128, 1);
+        struct Noop;
+        impl SimSolve for Noop {
+            type Output = ();
+            fn run<K: SimKernel>(self, _: &K) {}
+        }
+        solve_query_words(gf.words(), gf.words_per_user(), &[0u64; 3], Noop);
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub use cnc_eval as eval;
 pub use cnc_graph as graph;
 pub use cnc_query as query;
 pub use cnc_runtime as runtime;
+pub use cnc_serve as serve;
 pub use cnc_similarity as similarity;
 pub use cnc_threadpool as threadpool;
 
@@ -35,7 +36,8 @@ pub mod prelude {
     };
     pub use cnc_eval::{quality, KnnClassifier, Recommender};
     pub use cnc_graph::KnnGraph;
-    pub use cnc_query::{BeamSearchConfig, QueryIndex};
+    pub use cnc_query::{BeamSearchConfig, DynamicIndex, QueryIndex};
     pub use cnc_runtime::{Runtime, RuntimeConfig, ShardedBuild, SpillMode, StealPolicy};
+    pub use cnc_serve::{ServingConfig, ServingEngine, Snapshot};
     pub use cnc_similarity::{GoldFinger, Jaccard, SimilarityBackend};
 }

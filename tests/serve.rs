@@ -1,0 +1,335 @@
+//! Integration suite for the `cnc-serve` subsystem: snapshot round-trip
+//! fidelity (including property tests over arbitrary datasets/graphs), a
+//! corrupt-file matrix, serve-after-reload equivalence, and the
+//! concurrent reader/writer epoch-swap behaviour.
+
+use cluster_and_conquer::prelude::*;
+use cluster_and_conquer::serve::SnapshotError;
+use cnc_query::QueryResult;
+use cnc_similarity::SimilarityData;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A unique temp path removed on drop, so failing tests don't leak files.
+struct TempPath(std::path::PathBuf);
+
+impl TempPath {
+    fn new(tag: &str) -> Self {
+        TempPath(std::env::temp_dir().join(format!(
+            "cnc-serve-{}-{tag}-{:?}.snap",
+            std::process::id(),
+            std::thread::current().id(),
+        )))
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn dataset(seed: u64, users: usize) -> Dataset {
+    let mut cfg = SyntheticConfig::small(seed);
+    cfg.num_users = users;
+    cfg.num_items = users.max(100);
+    cfg.communities = 8;
+    cfg.mean_profile = 18.0;
+    cfg.min_profile = 6;
+    cfg.generate()
+}
+
+fn serving_config(rebuild_after: usize) -> ServingConfig {
+    ServingConfig {
+        c2: C2Config {
+            k: 8,
+            backend: SimilarityBackend::GoldFinger { bits: 1024, seed: 33 },
+            seed: 9,
+            threads: 1,
+            ..C2Config::default()
+        },
+        runtime: RuntimeConfig::with_workers(2),
+        beam: BeamSearchConfig { beam_width: 24, entry_points: 5, max_comparisons: 0 },
+        rebuild_after,
+    }
+}
+
+fn assert_snapshots_identical(a: &Snapshot, b: &Snapshot) {
+    assert_eq!(a.dataset, b.dataset);
+    assert_eq!(a.graph.k(), b.graph.k());
+    assert_eq!(a.graph.num_users(), b.graph.num_users());
+    for (u, list) in a.graph.iter() {
+        let mine: Vec<(u32, u32)> = list.iter().map(|n| (n.user, n.sim.to_bits())).collect();
+        let got: Vec<(u32, u32)> =
+            b.graph.neighbors(u).iter().map(|n| (n.user, n.sim.to_bits())).collect();
+        assert_eq!(mine, got, "user {u} neighbour layout differs");
+    }
+    match (&a.goldfinger, &b.goldfinger) {
+        (None, None) => {}
+        (Some(x), Some(y)) => {
+            assert_eq!(x.words(), y.words());
+            assert_eq!((x.bits(), x.seed()), (y.bits(), y.seed()));
+        }
+        _ => panic!("fingerprint presence differs"),
+    }
+}
+
+#[test]
+fn snapshot_file_round_trip_is_bit_exact() {
+    let ds = dataset(1, 250);
+    let engine = ServingEngine::build(ds, serving_config(0));
+    let snap = engine.snapshot();
+    let path = TempPath::new("roundtrip");
+    snap.write(&path.0).unwrap();
+    let back = Snapshot::load(&path.0).unwrap();
+    assert_snapshots_identical(&snap, &back);
+
+    // The streaming engine-side writer produces the identical file
+    // without cloning the epoch.
+    let streamed = TempPath::new("streamed");
+    engine.write_snapshot(&streamed.0).unwrap();
+    assert_eq!(
+        std::fs::read(&path.0).unwrap(),
+        std::fs::read(&streamed.0).unwrap(),
+        "owned and streamed writers must emit identical bytes"
+    );
+}
+
+#[test]
+fn concurrent_snapshot_writes_to_one_path_never_clobber() {
+    // Per-call temp names + atomic rename: racing writers must always
+    // leave a loadable snapshot at the destination.
+    let ds = dataset(8, 150);
+    let engine = ServingEngine::build(ds, serving_config(0));
+    let path = TempPath::new("race");
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let engine = &engine;
+            let path = &path.0;
+            scope.spawn(move || {
+                for _ in 0..4 {
+                    engine.write_snapshot(path).unwrap();
+                }
+            });
+        }
+    });
+    let loaded = Snapshot::load(&path.0).unwrap();
+    assert_snapshots_identical(&engine.snapshot(), &loaded);
+}
+
+#[test]
+fn reloaded_engine_answers_queries_identically() {
+    let ds = dataset(2, 300);
+    let config = serving_config(0);
+    let engine = ServingEngine::build(ds.clone(), config);
+    let path = TempPath::new("reload");
+    engine.snapshot().write(&path.0).unwrap();
+    let reloaded = ServingEngine::from_snapshot(Snapshot::load(&path.0).unwrap(), config);
+
+    for q in 0..25u64 {
+        let profile = ds.profile((q * 11 % 300) as u32);
+        let fresh: QueryResult = engine.query(profile, 10, q);
+        let replay: QueryResult = reloaded.query(profile, 10, q);
+        assert_eq!(fresh.neighbors, replay.neighbors, "query {q} diverged after reload");
+        assert_eq!(fresh.comparisons, replay.comparisons, "query {q} cost diverged");
+    }
+}
+
+#[test]
+fn reloaded_engine_continues_the_serving_loop() {
+    // A snapshot is not a dead end: the reloaded engine keeps absorbing
+    // inserts and publishing epochs.
+    let ds = dataset(3, 200);
+    let engine = ServingEngine::build(ds.clone(), serving_config(4));
+    let path = TempPath::new("continue");
+    engine.snapshot().write(&path.0).unwrap();
+    let reloaded =
+        ServingEngine::from_snapshot(Snapshot::load(&path.0).unwrap(), serving_config(4));
+    for i in 0..4u32 {
+        reloaded.insert(ds.profile(i * 9).to_vec(), i as u64);
+    }
+    let stats = reloaded.stats();
+    assert_eq!(stats.epoch, 2, "four inserts must publish the second epoch");
+    assert_eq!(stats.num_users, ds.num_users() + 4);
+}
+
+#[test]
+fn corrupt_file_matrix_yields_typed_errors_not_panics() {
+    let ds = dataset(4, 120);
+    let engine = ServingEngine::build(ds, serving_config(0));
+    let mut bytes = Vec::new();
+    engine.snapshot().write_to(&mut bytes).unwrap();
+
+    // Bad magic.
+    let mut bad = bytes.clone();
+    bad[..8].copy_from_slice(b"GARBAGE!");
+    assert!(matches!(Snapshot::load_from(&mut bad.as_slice()), Err(SnapshotError::BadMagic(_))));
+
+    // Version skew (a future format).
+    let mut bad = bytes.clone();
+    bad[8..12].copy_from_slice(&7u32.to_le_bytes());
+    assert!(matches!(
+        Snapshot::load_from(&mut bad.as_slice()),
+        Err(SnapshotError::UnsupportedVersion(7))
+    ));
+
+    // Checksum mismatch: flip one payload byte.
+    let mut bad = bytes.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x01;
+    assert!(matches!(
+        Snapshot::load_from(&mut bad.as_slice()),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+
+    // Truncation at every byte boundary of the header and table, plus a
+    // spread of payload cuts: typed errors, never panics.
+    for cut in (0..bytes.len().min(80)).chain([bytes.len() / 3, bytes.len() / 2, bytes.len() - 1]) {
+        let truncated = &bytes[..cut];
+        match Snapshot::load_from(&mut truncated.to_vec().as_slice()) {
+            Err(SnapshotError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof, "cut at {cut}")
+            }
+            Err(_) => {}
+            Ok(_) => panic!("truncation at {cut} bytes loaded successfully"),
+        }
+    }
+}
+
+#[test]
+fn concurrent_readers_survive_epoch_swaps() {
+    let ds = dataset(5, 250);
+    let n = ds.num_users();
+    let engine = Arc::new(ServingEngine::build(ds.clone(), serving_config(6)));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        // Two readers hammer queries across whatever epoch is current.
+        let readers: Vec<_> = (0..2)
+            .map(|r| {
+                let engine = Arc::clone(&engine);
+                let stop = Arc::clone(&stop);
+                let ds = &ds;
+                scope.spawn(move || {
+                    let mut session = engine.session();
+                    let mut answered = 0u64;
+                    let mut q = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let profile = ds.profile(((q * 7 + r * 13) % n as u64) as u32);
+                        let result = engine.query_with(&mut session, profile, 8, q);
+                        assert!(result.neighbors.len() <= 8);
+                        assert!(
+                            result.neighbors.iter().all(|nb| (nb.user as usize) < n + 64),
+                            "neighbour id out of any epoch's range"
+                        );
+                        answered += 1;
+                        q += 1;
+                    }
+                    answered
+                })
+            })
+            .collect();
+
+        // The writer absorbs a stream that triggers several swaps.
+        let mut published = 0;
+        for i in 0..20u32 {
+            let mut profile = ds.profile((i * 3) % n as u32).to_vec();
+            profile.push(i % 50);
+            let outcome = engine.insert(profile, i as u64);
+            published += usize::from(outcome.published.is_some());
+        }
+        stop.store(true, Ordering::Relaxed);
+        let answered: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(answered > 0, "readers must make progress during swaps");
+        assert_eq!(published, 3, "20 inserts at rebuild_after = 6 publish 3 epochs");
+    });
+
+    let stats = engine.stats();
+    assert_eq!(stats.epoch_swaps, 3);
+    assert_eq!(stats.epoch, 4);
+    assert_eq!(stats.num_users, n + 18, "3 published batches of 6 inserts each");
+    assert_eq!(stats.pending_inserts, 2);
+}
+
+#[test]
+fn held_epochs_stay_queryable_after_many_swaps() {
+    let ds = dataset(6, 150);
+    let engine = ServingEngine::build(ds.clone(), serving_config(0));
+    let held = engine.current_epoch();
+    let before = held.index().search(ds.profile(3), 5, &serving_config(0).beam, 1);
+    for round in 0..3u64 {
+        engine.insert(ds.profile((round * 5) as u32).to_vec(), round);
+        engine.publish();
+    }
+    assert_eq!(engine.current_epoch().epoch(), 4);
+    // The old epoch still answers, unchanged — readers are never torn.
+    let after = held.index().search(ds.profile(3), 5, &serving_config(0).beam, 1);
+    assert_eq!(before.neighbors, after.neighbors);
+    assert_eq!(held.epoch(), 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary datasets + graphs round trip bit-exactly through the
+    /// snapshot codec, fingerprints included.
+    #[test]
+    fn snapshot_round_trip_on_arbitrary_datasets(
+        profiles in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..300, 0..25)
+                .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+            1..40,
+        ),
+        k in 1usize..12,
+        bits_index in 0usize..4,
+        with_fingerprints in (0u32..2).prop_map(|b| b == 1),
+        seed in 0u64..100,
+    ) {
+        let ds = Dataset::from_profiles(profiles, 0);
+        let bits = [64usize, 192, 1024, 4096][bits_index];
+        let sim = SimilarityData::build(
+            SimilarityBackend::GoldFinger { bits, seed }, &ds);
+        let ctx = cluster_and_conquer::baselines::BuildContext {
+            dataset: &ds, sim: &sim, k, threads: 1, seed,
+        };
+        use cluster_and_conquer::baselines::KnnAlgorithm;
+        let graph = cluster_and_conquer::baselines::BruteForce.build(&ctx);
+        let goldfinger = with_fingerprints.then(|| sim.goldfinger().unwrap().clone());
+        let snap = Snapshot::new(ds, graph, goldfinger);
+        let mut buf = Vec::new();
+        let written = snap.write_to(&mut buf).unwrap();
+        prop_assert_eq!(written as usize, buf.len());
+        let back = Snapshot::load_from(&mut buf.as_slice()).unwrap();
+        assert_snapshots_identical(&snap, &back);
+    }
+
+    /// Random single-byte corruption anywhere in the file must never
+    /// panic and must never be silently accepted as a different snapshot.
+    #[test]
+    fn random_corruption_never_panics(
+        position_sel in 0u64..1_000_000,
+        flip in 1u32..256,
+    ) {
+        let ds = dataset(7, 60);
+        let gf = GoldFinger::build(&ds, 256, 3);
+        let sim = SimilarityData::build(SimilarityBackend::Raw, &ds);
+        let ctx = cluster_and_conquer::baselines::BuildContext {
+            dataset: &ds, sim: &sim, k: 4, threads: 1, seed: 1,
+        };
+        use cluster_and_conquer::baselines::KnnAlgorithm;
+        let graph = cluster_and_conquer::baselines::BruteForce.build(&ctx);
+        let snap = Snapshot::new(ds, graph, Some(gf));
+        let mut bytes = Vec::new();
+        snap.write_to(&mut bytes).unwrap();
+        let position = (bytes.len() as u64 * position_sel / 1_000_000) as usize;
+        bytes[position] ^= flip as u8;
+        // Either a typed error, or — when the flip hits a byte the format
+        // does not interpret (it re-reads as the same value) — a snapshot
+        // identical to the original. What must never happen: a panic, or
+        // a *different* snapshot loading successfully.
+        if let Ok(loaded) = Snapshot::load_from(&mut bytes.as_slice()) {
+            assert_snapshots_identical(&snap, &loaded);
+        }
+    }
+}
