@@ -30,13 +30,47 @@ pub fn brute_force_partial(
     sim: &SimilarityData<'_>,
     k: usize,
 ) -> Vec<NeighborList> {
+    brute_force_partial_counted(users, sim, k).0
+}
+
+/// [`brute_force_partial`] plus the number of similarities it computed
+/// (already flushed to `sim` — the count is *returned* so incremental
+/// executors can attribute it to the cluster's cached solution).
+pub fn brute_force_partial_counted(
+    users: &[UserId],
+    sim: &SimilarityData<'_>,
+    k: usize,
+) -> (Vec<NeighborList>, u64) {
     let mut lists: Vec<NeighborList> = (0..users.len()).map(|_| NeighborList::new(k)).collect();
     if users.len() < 2 {
-        return lists;
+        return (lists, 0);
     }
     sim.solve_cluster(users, BrutePartial { users, lists: &mut lists });
-    sim.add_comparisons(pair_count(users.len()));
-    lists
+    let comparisons = pair_count(users.len());
+    sim.add_comparisons(comparisons);
+    (lists, comparisons)
+}
+
+/// Algorithm 2's dispatch, in map-stage form: brute force below
+/// `threshold` (= `ρ·k²`, seed-independent), greedy Hyrec above — exactly
+/// the branch `core::pipeline` and `cnc-runtime` take per cluster, shared
+/// here so the build paths cannot drift. Returns the partial lists
+/// (aligned with `users`) and the similarity count the solve flushed,
+/// which incremental builds store in the cluster's cache entry.
+pub fn solve_cluster_partial(
+    users: &[UserId],
+    sim: &SimilarityData<'_>,
+    k: usize,
+    threshold: usize,
+    rho: usize,
+    delta: f64,
+    seed: u64,
+) -> (Vec<NeighborList>, u64) {
+    if users.len() < threshold {
+        brute_force_partial_counted(users, sim, k)
+    } else {
+        hyrec_partial_counted(users, sim, k, rho, delta, seed)
+    }
 }
 
 /// The brute-force cluster solve, written once and monomorphized per
@@ -86,15 +120,28 @@ pub fn hyrec_partial(
     delta: f64,
     seed: u64,
 ) -> Vec<NeighborList> {
+    hyrec_partial_counted(users, sim, k, rho, delta, seed).0
+}
+
+/// [`hyrec_partial`] plus the number of similarities it computed (already
+/// flushed to `sim`; see [`brute_force_partial_counted`]).
+pub fn hyrec_partial_counted(
+    users: &[UserId],
+    sim: &SimilarityData<'_>,
+    k: usize,
+    rho: usize,
+    delta: f64,
+    seed: u64,
+) -> (Vec<NeighborList>, u64) {
     let n = users.len();
     // Tiny clusters degenerate to brute force (cheaper and exact).
     if n <= k + 1 {
-        return brute_force_partial(users, sim, k);
+        return brute_force_partial_counted(users, sim, k);
     }
     let (lists, comparisons) =
         sim.solve_cluster(users, HyrecPartial { users, k, rho, delta, seed });
     sim.add_comparisons(comparisons);
-    lists
+    (lists, comparisons)
 }
 
 /// The greedy cluster solve, written once and monomorphized per kernel by

@@ -54,14 +54,30 @@ pub struct ServeReport {
     pub insert_p50_us: f64,
     /// 99th-percentile insert latency, microseconds.
     pub insert_p99_us: f64,
+    /// Mean cluster reuse ratio across the epoch rebuilds under load
+    /// (0 when nothing was published).
+    pub reuse_ratio_mean: f64,
+    /// Reuse ratio of the last published epoch.
+    pub reuse_ratio_last: f64,
+    /// Median epoch-rebuild wall-clock, milliseconds.
+    pub rebuild_ms_p50: f64,
+    /// 99th-percentile epoch-rebuild wall-clock, milliseconds.
+    pub rebuild_ms_p99: f64,
 }
 
-fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
-    if sorted_ns.is_empty() {
+/// Percentile over an ascending `f64` series, in the series' own unit
+/// (one index-selection rule for latencies and rebuild times alike).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
         return 0.0;
     }
-    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
-    sorted_ns[idx] as f64 / 1e3
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Converts sorted nanosecond samples to ascending microseconds.
+fn sorted_ns_to_us(sorted_ns: &[u64]) -> Vec<f64> {
+    sorted_ns.iter().map(|&ns| ns as f64 / 1e3).collect()
 }
 
 /// Runs the bench and returns the structured report.
@@ -151,6 +167,17 @@ pub fn bench(args: &HarnessArgs) -> ServeReport {
     assert_eq!(stats.queries as usize, query_ns.len(), "query accounting off");
     assert_eq!(stats.inserts as usize, insert_ns.len(), "insert accounting off");
 
+    // Incremental-rebuild trajectory: one RebuildStats per epoch swap.
+    let history = engine.rebuild_history();
+    let mut rebuild_ms: Vec<f64> = history.iter().map(|r| r.rebuild_ms).collect();
+    rebuild_ms.sort_unstable_by(|a, b| a.partial_cmp(b).expect("rebuild_ms is finite"));
+    let reuse_ratio_mean = if history.is_empty() {
+        0.0
+    } else {
+        history.iter().map(|r| r.reuse_ratio).sum::<f64>() / history.len() as f64
+    };
+    let reuse_ratio_last = history.last().map_or(0.0, |r| r.reuse_ratio);
+
     let ops = query_ns.len() + insert_ns.len();
     let report = ServeReport {
         clients,
@@ -162,14 +189,18 @@ pub fn bench(args: &HarnessArgs) -> ServeReport {
         inserts: insert_ns.len(),
         epoch_swaps: stats.epoch_swaps,
         qps: ops as f64 / traffic_s,
-        query_p50_us: percentile_us(&query_ns, 0.50),
-        query_p99_us: percentile_us(&query_ns, 0.99),
-        insert_p50_us: percentile_us(&insert_ns, 0.50),
-        insert_p99_us: percentile_us(&insert_ns, 0.99),
+        query_p50_us: percentile(&sorted_ns_to_us(&query_ns), 0.50),
+        query_p99_us: percentile(&sorted_ns_to_us(&query_ns), 0.99),
+        insert_p50_us: percentile(&sorted_ns_to_us(&insert_ns), 0.50),
+        insert_p99_us: percentile(&sorted_ns_to_us(&insert_ns), 0.99),
+        reuse_ratio_mean,
+        reuse_ratio_last,
+        rebuild_ms_p50: percentile(&rebuild_ms, 0.50),
+        rebuild_ms_p99: percentile(&rebuild_ms, 0.99),
     };
     eprintln!(
         "  serve: {} clients, {:.0} ops/s, query p50 {:.0} µs / p99 {:.0} µs, \
-         {} epoch swaps ({} → {} users)",
+         {} epoch swaps ({} → {} users), reuse {:.2} mean, rebuild p50 {:.1} ms",
         report.clients,
         report.qps,
         report.query_p50_us,
@@ -177,6 +208,8 @@ pub fn bench(args: &HarnessArgs) -> ServeReport {
         report.epoch_swaps,
         report.num_users_start,
         report.num_users_end,
+        report.reuse_ratio_mean,
+        report.rebuild_ms_p50,
     );
     report
 }
@@ -189,7 +222,9 @@ pub fn to_json(report: &ServeReport, args: &HarnessArgs) -> String {
          \"build_ms\": {:.3},\n  \"ops\": {},\n  \"queries\": {},\n  \"inserts\": {},\n  \
          \"epoch_swaps\": {},\n  \"qps\": {:.1},\n  \
          \"query_latency_us\": {{\"p50\": {:.1}, \"p99\": {:.1}}},\n  \
-         \"insert_latency_us\": {{\"p50\": {:.1}, \"p99\": {:.1}}}\n}}\n",
+         \"insert_latency_us\": {{\"p50\": {:.1}, \"p99\": {:.1}}},\n  \
+         \"rebuild\": {{\"reuse_ratio_mean\": {:.4}, \"reuse_ratio_last\": {:.4}, \
+         \"rebuild_ms\": {{\"p50\": {:.2}, \"p99\": {:.2}}}}}\n}}\n",
         args.scale,
         args.seed,
         report.clients,
@@ -205,6 +240,10 @@ pub fn to_json(report: &ServeReport, args: &HarnessArgs) -> String {
         report.query_p99_us,
         report.insert_p50_us,
         report.insert_p99_us,
+        report.reuse_ratio_mean,
+        report.reuse_ratio_last,
+        report.rebuild_ms_p50,
+        report.rebuild_ms_p99,
     )
 }
 
@@ -234,6 +273,8 @@ pub fn run(args: &HarnessArgs) -> String {
          | query p50 / p99 | {:.0} µs / {:.0} µs |\n\
          | insert p50 / p99 | {:.0} µs / {:.0} µs |\n\
          | epoch swaps under load | {} |\n\
+         | cluster reuse ratio (mean / last) | {:.2} / {:.2} |\n\
+         | epoch rebuild p50 / p99 | {:.1} ms / {:.1} ms |\n\
          | users served (start → end) | {} → {} |\n\n\
          Recorded to `BENCH_serve.json`.\n\n",
         report.clients,
@@ -246,6 +287,10 @@ pub fn run(args: &HarnessArgs) -> String {
         report.insert_p50_us,
         report.insert_p99_us,
         report.epoch_swaps,
+        report.reuse_ratio_mean,
+        report.reuse_ratio_last,
+        report.rebuild_ms_p50,
+        report.rebuild_ms_p99,
         report.num_users_start,
         report.num_users_end,
     )
@@ -259,7 +304,14 @@ mod tests {
     fn report_covers_throughput_latency_and_swaps() {
         let args = HarnessArgs { scale: 0.02, clients: Some(2), ..HarnessArgs::default() };
         let report = run(&args);
-        for needle in ["ops/s", "query p50 / p99", "insert p50 / p99", "epoch swaps under load"] {
+        for needle in [
+            "ops/s",
+            "query p50 / p99",
+            "insert p50 / p99",
+            "epoch swaps under load",
+            "cluster reuse ratio",
+            "epoch rebuild p50 / p99",
+        ] {
             assert!(report.contains(needle), "missing {needle:?} in {report}");
         }
     }
@@ -285,6 +337,16 @@ mod tests {
         );
         assert!(report.qps > 0.0);
         assert!(report.query_p99_us >= report.query_p50_us);
+        // Rebuilds after the first swap reuse clusters (the inserts touch
+        // a handful of the thousands of tiny clusters).
+        assert!((0.0..=1.0).contains(&report.reuse_ratio_mean));
+        assert!(
+            report.reuse_ratio_last > 0.0,
+            "the last epoch publish must reuse cached clusters, got {}",
+            report.reuse_ratio_last
+        );
+        assert!(report.rebuild_ms_p99 >= report.rebuild_ms_p50);
+        assert!(report.rebuild_ms_p50 > 0.0);
     }
 
     #[test]
@@ -297,15 +359,17 @@ mod tests {
         assert!(json.contains("\"experiment\": \"serve\""));
         assert!(json.contains("\"qps\""));
         assert!(json.contains("\"epoch_swaps\""));
+        assert!(json.contains("\"reuse_ratio_mean\""));
+        assert!(json.contains("\"rebuild_ms\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
     fn percentiles_are_sane() {
-        assert_eq!(percentile_us(&[], 0.5), 0.0);
-        assert_eq!(percentile_us(&[1000], 0.99), 1.0);
-        let ns: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
-        assert!((percentile_us(&ns, 0.5) - 51.0).abs() < 1.5);
-        assert!((percentile_us(&ns, 0.99) - 99.0).abs() < 1.5);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&sorted_ns_to_us(&[1000]), 0.99), 1.0);
+        let us = sorted_ns_to_us(&(1..=100).map(|i| i * 1000).collect::<Vec<u64>>());
+        assert!((percentile(&us, 0.5) - 51.0).abs() < 1.5);
+        assert!((percentile(&us, 0.99) - 99.0).abs() < 1.5);
     }
 }

@@ -86,15 +86,29 @@ pub fn plan_deployment(
     k: usize,
     rho: usize,
 ) -> DeploymentPlan {
+    let sizes: Vec<usize> = clustering.clusters.iter().map(Vec::len).collect();
+    plan_deployment_for(&sizes, workers, k, rho)
+}
+
+/// [`plan_deployment`] over bare cluster sizes — plan indices are
+/// positions in `sizes`. This is the entry point for schedulers that plan
+/// a *subset* of a clustering (the incremental engine plans only its
+/// dirty clusters; `sizes[i]` is then the size of the i-th scheduled
+/// cluster, and the caller maps plan indices back to global ones).
+///
+/// # Panics
+/// Panics if `workers == 0`, `k == 0` or `rho == 0`.
+pub fn plan_deployment_for(
+    sizes: &[usize],
+    workers: usize,
+    k: usize,
+    rho: usize,
+) -> DeploymentPlan {
     assert!(workers > 0, "at least one worker is required");
     assert!(k > 0 && rho > 0, "k and rho must be positive");
 
-    let mut indexed: Vec<(u64, usize)> = clustering
-        .clusters
-        .iter()
-        .enumerate()
-        .map(|(i, c)| (cluster_cost(c.len(), k, rho), i))
-        .collect();
+    let mut indexed: Vec<(u64, usize)> =
+        sizes.iter().enumerate().map(|(i, &size)| (cluster_cost(size, k, rho), i)).collect();
     indexed.sort_unstable_by(|a, b| b.cmp(a)); // decreasing cost, stable ids
 
     let mut assignments = vec![Vec::new(); workers];
@@ -106,11 +120,8 @@ pub fn plan_deployment(
         assignments[w].push(cluster);
     }
 
-    let merge_traffic = clustering
-        .clusters
-        .iter()
-        .map(|c| (c.len() * k.min(c.len().saturating_sub(1))) as u64)
-        .sum();
+    let merge_traffic =
+        sizes.iter().map(|&size| (size * k.min(size.saturating_sub(1))) as u64).sum();
 
     DeploymentPlan { assignments, worker_costs, merge_traffic }
 }

@@ -18,6 +18,7 @@
 //! empirically, and [`minhash_variant`] provides the C²/MinHash ablation of
 //! Table IV.
 
+pub mod build_plan;
 pub mod clustering;
 pub mod config;
 pub mod distributed;
@@ -26,8 +27,9 @@ pub mod minhash_variant;
 pub mod pipeline;
 pub mod theory;
 
+pub use build_plan::{BuildPlan, ClusterCache, ClusterSolution, RebuildStats};
 pub use clustering::{cluster_dataset, Clustering};
 pub use config::{C2Config, ClusteringScheme};
 pub use distributed::{plan_deployment, DeploymentPlan};
 pub use frh::FastRandomHash;
-pub use pipeline::{C2Result, C2Stats, ClusterAndConquer, PhaseTimings};
+pub use pipeline::{C2Result, C2Stats, ClusterAndConquer, IncrementalResult, PhaseTimings};

@@ -1,6 +1,7 @@
 //! Steps 2 and 3 of C²: scheduling, local KNN and merging (§II-F, §II-G,
 //! Algorithms 2 and 3) — the end-to-end [`ClusterAndConquer`] pipeline.
 
+use crate::build_plan::{BuildPlan, ClusterCache, ClusterSolution, RebuildStats};
 use crate::clustering::{cluster_dataset, Clustering};
 use crate::config::{C2Config, ClusteringScheme};
 use crate::frh::FastRandomHash;
@@ -10,6 +11,7 @@ use cnc_dataset::{Dataset, UserId};
 use cnc_graph::{KnnGraph, SharedKnnGraph};
 use cnc_similarity::{SeededHash, SimilarityData};
 use cnc_threadpool::{effective_threads, PriorityPool};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Wall-clock durations of the pipeline phases.
@@ -46,6 +48,20 @@ pub struct C2Result {
     pub graph: KnnGraph,
     /// Run statistics.
     pub stats: C2Stats,
+}
+
+/// An incremental build's output: the graph + stats (comparisons count
+/// only the *fresh* cluster solves), the cache covering every cluster of
+/// this build (hand it to the next incremental build), and the
+/// reuse figures.
+#[derive(Debug)]
+pub struct IncrementalResult {
+    /// The graph and stats — bit-identical to a from-scratch build.
+    pub result: C2Result,
+    /// Per-cluster solutions of *this* build, keyed for the next one.
+    pub cache: ClusterCache,
+    /// How the build split between reused and re-solved clusters.
+    pub rebuild: RebuildStats,
 }
 
 /// The Cluster-and-Conquer KNN-graph builder.
@@ -125,6 +141,50 @@ impl ClusterAndConquer {
         }
     }
 
+    /// Incrementally rebuilds the graph, re-solving **only** the clusters
+    /// whose content hash misses `prev` (stages 1–4 of the
+    /// [`BuildPlan`]); cached partial lists stand in for the rest. The
+    /// graph is bit-identical to [`ClusterAndConquer::build`] on the same
+    /// dataset, and `result.stats.comparisons` counts only the fresh
+    /// solves (`prev`'s entries carry the rest) — both locked by
+    /// `tests/incremental.rs`. Pass [`ClusterCache::new`] (empty) for the
+    /// first build; feed the returned cache to the next call.
+    pub fn build_incremental(&self, dataset: &Dataset, prev: &ClusterCache) -> IncrementalResult {
+        let start = Instant::now();
+        let sim = SimilarityData::build_parallel(self.config.backend, dataset, self.config.threads);
+        self.run_incremental(dataset, &sim, prev, &[], start)
+    }
+
+    /// [`ClusterAndConquer::build_incremental`] against an external
+    /// similarity oracle, additionally forcing the clusters of
+    /// `force_dirty` users to re-solve (the serving layer passes the ids
+    /// inserted since the last epoch). Timings start at the call (like
+    /// [`ClusterAndConquer::build_with`], the oracle's construction is
+    /// the caller's to account for).
+    pub fn build_incremental_with(
+        &self,
+        dataset: &Dataset,
+        sim: &SimilarityData<'_>,
+        prev: &ClusterCache,
+        force_dirty: &[UserId],
+    ) -> IncrementalResult {
+        self.run_incremental(dataset, sim, prev, force_dirty, Instant::now())
+    }
+
+    fn run_incremental(
+        &self,
+        dataset: &Dataset,
+        sim: &SimilarityData<'_>,
+        prev: &ClusterCache,
+        force_dirty: &[UserId],
+        start: Instant,
+    ) -> IncrementalResult {
+        let (result, extra) =
+            self.execute_plan(&self.config, dataset, sim, start, Some((prev, force_dirty)));
+        let (cache, rebuild) = extra.expect("incremental run must produce a cache");
+        IncrementalResult { result, cache, rebuild }
+    }
+
     fn run(
         &self,
         config: &C2Config,
@@ -132,47 +192,101 @@ impl ClusterAndConquer {
         sim: &SimilarityData<'_>,
         start: Instant,
     ) -> C2Result {
+        self.execute_plan(config, dataset, sim, start, None).0
+    }
+
+    /// The body shared by [`ClusterAndConquer::build`] (every cluster
+    /// dirty, no cache produced) and
+    /// [`ClusterAndConquer::build_incremental`] — one solve loop so the
+    /// two paths cannot drift apart (`tests/incremental.rs` locks their
+    /// bit-identity).
+    fn execute_plan(
+        &self,
+        config: &C2Config,
+        dataset: &Dataset,
+        sim: &SimilarityData<'_>,
+        start: Instant,
+        incremental: Option<(&ClusterCache, &[UserId])>,
+    ) -> (C2Result, Option<(ClusterCache, RebuildStats)>) {
         let comparisons_before = sim.comparisons();
         let n = dataset.num_users();
         let threads = effective_threads(config.threads);
 
-        // --- Step 1: clustering -----------------------------------------
-        let clustering = Self::cluster(config, dataset);
+        // --- Stages 1 + 2: assignment (+ content hashes when a cache is
+        // in play; one-shot builds skip the fingerprint stage) ------------
+        let mut plan = BuildPlan::assign(config, dataset);
+        if incremental.is_some() {
+            plan.fingerprint(dataset);
+        }
         let clustering_elapsed = start.elapsed();
 
-        // --- Steps 2 + 3: scheduled local KNN, merged on the fly --------
+        // --- Stage 3: partition, then solve only the dirty clusters ------
         let local_start = Instant::now();
-        let shared = SharedKnnGraph::new(n, config.k);
-        let threshold = config.brute_force_threshold();
-        let cluster_sizes_desc = clustering.sizes_desc();
-        let num_clusters = clustering.clusters.len();
-        let splits = clustering.splits;
-
-        let jobs: Vec<(u64, (u64, Vec<UserId>))> = clustering
-            .clusters
-            .into_iter()
-            .enumerate()
-            .map(|(index, users)| {
-                // Deterministic per-cluster seed for the greedy solver.
-                (users.len() as u64, (Self::job_seed(config, index), users))
-            })
-            .collect();
-        PriorityPool::run(threads, jobs, |(seed, cluster)| {
-            // Algorithm 2: brute force for small clusters, Hyrec above the
-            // ρ·k² crossover of the two cost estimates.
-            if cluster.len() < threshold {
-                local::brute_force(&cluster, sim, &shared);
-            } else {
-                local::hyrec(&cluster, sim, &shared, config.rho, config.delta, seed);
+        let (dirty, reused) = match incremental {
+            Some((prev, force_dirty)) => {
+                let part = plan.partition(prev, force_dirty);
+                (part.dirty, part.reused)
             }
+            None => ((0..plan.clusters().len()).collect(), Vec::new()),
+        };
+        let shared = SharedKnnGraph::new(n, config.k);
+        let solutions: Option<Vec<Mutex<Option<ClusterSolution>>>> =
+            incremental.map(|_| dirty.iter().map(|_| Mutex::new(None)).collect());
+        let jobs: Vec<(u64, (usize, usize))> = dirty
+            .iter()
+            .enumerate()
+            .map(|(slot, &index)| (plan.clusters()[index].len() as u64, (slot, index)))
+            .collect();
+        PriorityPool::run(threads, jobs, |(slot, index)| {
+            // Algorithm 2: brute force for small clusters, Hyrec above the
+            // ρ·k² crossover — the shared dispatch in
+            // `cnc_baselines::local`.
+            let users = &plan.clusters()[index];
+            let (lists, comparisons) = local::solve_cluster_partial(
+                users,
+                sim,
+                config.k,
+                config.brute_force_threshold(),
+                config.rho,
+                config.delta,
+                plan.seed(index),
+            );
+            for (i, &u) in users.iter().enumerate() {
+                shared.merge_into(u, &lists[i]);
+            }
+            if let Some(slots) = &solutions {
+                *slots[slot].lock().expect("solution slot poisoned") =
+                    Some(plan.solution(index, lists, comparisons));
+            }
+        });
+
+        // --- Stage 4: merge the cached partial lists; assemble the next
+        // cache (incremental only) ----------------------------------------
+        for (_, solution) in &reused {
+            for (i, &u) in solution.users.iter().enumerate() {
+                shared.merge_into(u, &solution.lists[i]);
+            }
+        }
+        let extra = solutions.map(|slots| {
+            let fresh: Vec<ClusterSolution> = slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("solution slot poisoned")
+                        .expect("dirty cluster not solved")
+                })
+                .collect();
+            ClusterCache::assemble(config, &reused, fresh, start.elapsed().as_secs_f64() * 1e3)
         });
         let local_elapsed = local_start.elapsed();
 
-        C2Result {
+        let mut cluster_sizes_desc: Vec<usize> = plan.clusters().iter().map(Vec::len).collect();
+        cluster_sizes_desc.sort_unstable_by(|a, b| b.cmp(a));
+        let result = C2Result {
             graph: shared.into_graph(),
             stats: C2Stats {
-                num_clusters,
-                splits,
+                num_clusters: plan.clusters().len(),
+                splits: plan.splits(),
                 cluster_sizes_desc,
                 comparisons: sim.comparisons() - comparisons_before,
                 timings: PhaseTimings {
@@ -181,7 +295,8 @@ impl ClusterAndConquer {
                     total: start.elapsed(),
                 },
             },
-        }
+        };
+        (result, extra)
     }
 }
 

@@ -11,9 +11,11 @@ pub enum StealPolicy {
     ///
     /// [`DeploymentPlan`]: cnc_core::DeploymentPlan
     Disabled,
-    /// Steal the *smallest* queued cluster from the peer with the most
-    /// predicted work remaining — absorbs stragglers the static plan cannot
-    /// anticipate (the default).
+    /// Steal **half** the remaining queue of the peer with the most
+    /// predicted work remaining (the victim keeps its larger-cost front
+    /// half) — absorbs stragglers the static plan cannot anticipate while
+    /// amortizing the steal synchronization over a batch (the default;
+    /// PR-2's policy took one cluster per steal).
     #[default]
     MostLoaded,
 }

@@ -16,7 +16,8 @@
 //!
 //! Workers drain their own LPT queue largest-first (the distributed
 //! generalization of Step 2's priority queue); when a queue runs dry the
-//! worker steals the smallest queued cluster from the most-loaded peer.
+//! worker steals **half** the most-loaded peer's remaining queue (the
+//! victim keeps its larger-cost front half).
 //! Every solved cluster's partial lists are hash-partitioned by user
 //! ([`partition_of`]) and shipped per reduce shard — through that shard's
 //! bounded channel, or (above the [`SpillMode`] threshold) appended to the
@@ -38,8 +39,9 @@ use crate::shuffle::{
     encoded_len, partition_of, read_record, FinishedSpill, SpillDir, SpillWriter,
 };
 use cnc_baselines::local;
-use cnc_core::distributed::cluster_cost;
-use cnc_core::{plan_deployment, C2Config, ClusterAndConquer, DeploymentPlan};
+use cnc_core::build_plan::{BuildPlan, ClusterCache, ClusterSolution, RebuildStats};
+use cnc_core::distributed::{cluster_cost, plan_deployment_for};
+use cnc_core::{C2Config, ClusterAndConquer, DeploymentPlan};
 use cnc_dataset::{Dataset, UserId};
 use cnc_graph::{KnnGraph, NeighborList};
 use cnc_similarity::{GoldFinger, SimilarityData};
@@ -57,7 +59,16 @@ use std::time::{Duration, Instant};
 enum ShuffleMessage {
     /// Partial lists routed in memory: pairs `(user, partial list)`, all
     /// owned by the receiving shard; empty lists are dropped at the source.
-    Chunk(Vec<(UserId, NeighborList)>),
+    Chunk {
+        /// `BuildPlan` content hash of the source cluster (0 when the
+        /// build never fingerprinted, i.e. a one-shot run).
+        cluster_hash: u64,
+        /// True when the lists come from a prior build's cluster cache
+        /// rather than a fresh map-stage solve.
+        reused: bool,
+        /// The routed `(user, partial list)` pairs.
+        entries: Vec<(UserId, NeighborList)>,
+    },
     /// A sealed spill file to replay; sent once the map phase is over.
     Spill(PathBuf),
 }
@@ -69,6 +80,23 @@ pub struct ShardedResult {
     pub graph: KnnGraph,
     /// Measured per-worker and per-reducer figures, with the plan inside.
     pub report: RuntimeReport,
+}
+
+/// An incremental sharded build's output: graph + report, plus the
+/// cluster cache covering every cluster of this build (feed it to the
+/// next call) and the reuse figures.
+#[derive(Debug)]
+pub struct IncrementalShardedResult {
+    /// The approximate KNN graph — bit-identical to a from-scratch build.
+    pub graph: KnnGraph,
+    /// Measured figures; `report.comparisons` covers only fresh solves.
+    pub report: RuntimeReport,
+    /// Per-cluster solutions of *this* build (reused entries carried
+    /// over, dirty ones refreshed); `cache.total_comparisons()` equals a
+    /// from-scratch build's comparison count.
+    pub cache: ClusterCache,
+    /// How the build split between reused and re-solved clusters.
+    pub rebuild: RebuildStats,
 }
 
 /// The per-worker cluster queues plus the bookkeeping stealing needs.
@@ -110,8 +138,13 @@ impl JobQueues {
         Some(cluster)
     }
 
-    /// Steals the *smallest* queued cluster from the most-loaded peer.
-    fn steal(&self, thief: usize) -> Option<usize> {
+    /// Steals **half** the most-loaded peer's remaining queue (ROADMAP
+    /// PR-2 follow-up: adaptive steal granularity). The victim keeps its
+    /// larger-cost front half; the stolen tail — still in decreasing-cost
+    /// order — yields its largest cluster for immediate execution while
+    /// the rest is queued on the thief (where peers may re-steal it).
+    /// Returns `(execute now, also queued on the thief)`.
+    fn steal(&self, thief: usize) -> Option<(usize, Vec<usize>)> {
         if self.policy == StealPolicy::Disabled {
             return None;
         }
@@ -130,11 +163,26 @@ impl JobQueues {
             }
             victims.sort_unstable_by(|a, b| b.cmp(a));
             for (_, victim) in victims {
-                let stolen = self.queues[victim].lock().pop_back();
-                if let Some(cluster) = stolen {
-                    self.remaining[victim].fetch_sub(self.costs[cluster], Ordering::Relaxed);
-                    return Some(cluster);
+                let stolen: Vec<usize> = {
+                    let mut queue = self.queues[victim].lock();
+                    let keep = queue.len() / 2;
+                    queue.split_off(keep).into_iter().collect()
+                };
+                if stolen.is_empty() {
+                    continue;
                 }
+                let stolen_cost: u64 = stolen.iter().map(|&c| self.costs[c]).sum();
+                self.remaining[victim].fetch_sub(stolen_cost, Ordering::Relaxed);
+                let first = stolen[0];
+                let queued = stolen[1..].to_vec();
+                if !queued.is_empty() {
+                    // Credit the thief *before* publishing the clusters so
+                    // a racing peer never sees work it cannot account for.
+                    let queued_cost: u64 = queued.iter().map(|&c| self.costs[c]).sum();
+                    self.remaining[thief].fetch_add(queued_cost, Ordering::Relaxed);
+                    self.queues[thief].lock().extend(queued.iter().copied());
+                }
+                return Some((first, queued));
             }
             // Every candidate's queue emptied between the load and the
             // lock; the owners' pending `fetch_sub`s will zero the stale
@@ -146,7 +194,18 @@ impl JobQueues {
 /// Everything a map worker needs, bundled so the thread spawn stays tidy.
 struct MapContext<'a> {
     queues: &'a JobQueues,
+    /// The full cluster list (global indices).
     clusters: &'a [Vec<UserId>],
+    /// Plan-local index → global cluster index. A from-scratch build
+    /// schedules everything (`scheduled[i] == i`); an incremental build
+    /// schedules only its dirty clusters.
+    scheduled: &'a [usize],
+    /// Per-global-cluster content hashes (empty when the build never
+    /// fingerprinted; records then carry hash 0).
+    hashes: &'a [u64],
+    /// Where incremental builds collect the fresh cache-keyed
+    /// [`ClusterSolution`]s (`None` for one-shot builds).
+    solutions: Option<&'a Mutex<Vec<ClusterSolution>>>,
     sim: &'a SimilarityData<'a>,
     c2: &'a C2Config,
     threshold: usize,
@@ -207,21 +266,7 @@ impl Runtime {
         c2: &C2Config,
         goldfinger: Arc<GoldFinger>,
     ) -> ShardedResult {
-        assert_eq!(
-            goldfinger.num_users(),
-            dataset.num_users(),
-            "shared fingerprints must cover the dataset"
-        );
-        match c2.backend {
-            cnc_similarity::SimilarityBackend::GoldFinger { bits, seed } => assert_eq!(
-                (bits, seed),
-                (goldfinger.bits(), goldfinger.seed()),
-                "shared fingerprints must match the configured backend"
-            ),
-            cnc_similarity::SimilarityBackend::Raw => {
-                panic!("execute_shared requires a GoldFinger backend, config says Raw")
-            }
-        }
+        validate_shared(dataset, c2, &goldfinger);
         let start = Instant::now();
         let sim = SimilarityData::from_goldfinger(goldfinger);
         self.execute_with(dataset, &sim, c2, start)
@@ -236,22 +281,104 @@ impl Runtime {
         c2: &C2Config,
         start: Instant,
     ) -> ShardedResult {
+        self.execute_inner(dataset, sim, c2, start, None).0
+    }
+
+    /// Incrementally rebuilds on the sharded engine, scheduling **only**
+    /// the clusters whose `BuildPlan` content hash misses `prev`; cached
+    /// partial lists are replayed straight into the reduce stage. Users in
+    /// `force_dirty` (the serving layer passes the ids inserted since the
+    /// last epoch) mark their clusters dirty regardless. The graph is
+    /// bit-identical to [`Runtime::execute`] on the same dataset, and
+    /// `report.comparisons` counts only the fresh solves — locked by
+    /// `tests/incremental.rs`. Pass an empty cache for the first build.
+    ///
+    /// # Panics
+    /// Panics if `c2` is invalid.
+    pub fn execute_incremental(
+        &self,
+        dataset: &Dataset,
+        c2: &C2Config,
+        prev: &ClusterCache,
+        force_dirty: &[UserId],
+    ) -> IncrementalShardedResult {
+        let start = Instant::now();
+        let sim =
+            SimilarityData::build_parallel(c2.backend, dataset, self.config.effective_workers());
+        let (result, extra) =
+            self.execute_inner(dataset, &sim, c2, start, Some((prev, force_dirty)));
+        let (cache, rebuild) = extra.expect("incremental run must produce a cache");
+        IncrementalShardedResult { graph: result.graph, report: result.report, cache, rebuild }
+    }
+
+    /// [`Runtime::execute_incremental`] against a pre-built, shared
+    /// fingerprint set (see [`Runtime::execute_shared`]) — the serving
+    /// engine's rebuild path, where one fingerprint build is shared
+    /// between construction and the published epoch's query kernels.
+    ///
+    /// # Panics
+    /// Panics on the same fingerprint mismatches as
+    /// [`Runtime::execute_shared`].
+    pub fn execute_incremental_shared(
+        &self,
+        dataset: &Dataset,
+        c2: &C2Config,
+        goldfinger: Arc<GoldFinger>,
+        prev: &ClusterCache,
+        force_dirty: &[UserId],
+    ) -> IncrementalShardedResult {
+        validate_shared(dataset, c2, &goldfinger);
+        let start = Instant::now();
+        let sim = SimilarityData::from_goldfinger(goldfinger);
+        let (result, extra) =
+            self.execute_inner(dataset, &sim, c2, start, Some((prev, force_dirty)));
+        let (cache, rebuild) = extra.expect("incremental run must produce a cache");
+        IncrementalShardedResult { graph: result.graph, report: result.report, cache, rebuild }
+    }
+
+    /// The engine shared by every entry point: stages 1–2 build (and, when
+    /// incremental, fingerprint) the [`BuildPlan`]; stage 3 schedules the
+    /// dirty clusters over the map shards while cached solutions replay
+    /// into the reducers; stage 4 is the order-independent bounded-heap
+    /// merge the reducers already implement.
+    fn execute_inner(
+        &self,
+        dataset: &Dataset,
+        sim: &SimilarityData<'_>,
+        c2: &C2Config,
+        start: Instant,
+        incremental: Option<(&ClusterCache, &[UserId])>,
+    ) -> (ShardedResult, Option<(ClusterCache, RebuildStats)>) {
         let comparisons_before = sim.comparisons();
         let workers = self.config.effective_workers();
         let reduce_shards = self.config.effective_reduce_shards();
         let n = dataset.num_users();
 
-        // --- Step 1: clustering (identical to the in-process pipeline) ---
-        let clustering = ClusterAndConquer::new(*c2).cluster_step(dataset);
+        // --- Stages 1 + 2: assignment (+ content hashes when a cache is
+        // in play), identical to the in-process pipeline ------------------
+        let mut plan = BuildPlan::assign(c2, dataset);
+        if incremental.is_some() {
+            plan.fingerprint(dataset);
+        }
         let clustering_wall = start.elapsed();
-        let splits = clustering.splits;
+        let splits = plan.splits();
+        let clusters = plan.clusters();
 
-        // --- Plan: the §VIII LPT simulation becomes the real schedule ----
-        let plan = plan_deployment(&clustering, workers, c2.k, c2.rho);
-        let clusters = clustering.clusters;
-        let costs: Vec<u64> =
-            clusters.iter().map(|c| cluster_cost(c.len(), c2.k, c2.rho)).collect();
-        let queues = JobQueues::new(&plan, costs, self.config.steal);
+        // --- Stage 3: partition into dirty (scheduled) and reused --------
+        let (scheduled, reused): (Vec<usize>, Vec<(usize, &ClusterSolution)>) = match incremental {
+            Some((prev, force_dirty)) => {
+                let part = plan.partition(prev, force_dirty);
+                (part.dirty, part.reused)
+            }
+            None => ((0..clusters.len()).collect(), Vec::new()),
+        };
+
+        // --- Plan: the §VIII LPT simulation becomes the real schedule,
+        // over the scheduled (dirty) subset only --------------------------
+        let sizes: Vec<usize> = scheduled.iter().map(|&i| clusters[i].len()).collect();
+        let deploy = plan_deployment_for(&sizes, workers, c2.k, c2.rho);
+        let costs: Vec<u64> = sizes.iter().map(|&s| cluster_cost(s, c2.k, c2.rho)).collect();
+        let queues = JobQueues::new(&deploy, costs, self.config.steal);
 
         // --- Reduce partitioning: a total disjoint cover of the users ----
         // `owned[r]` lists shard r's users in increasing order and
@@ -274,11 +401,15 @@ impl Runtime {
         };
         let spill_dir_path = spill_dir.as_ref().map(|d| d.path().to_path_buf());
 
-        // --- Map + reduce, overlapped ------------------------------------
+        // --- Map + reduce, overlapped; cached solutions replayed ---------
         let map_reduce_start = Instant::now();
+        let solutions = incremental.map(|_| Mutex::new(Vec::with_capacity(scheduled.len())));
         let ctx = MapContext {
             queues: &queues,
-            clusters: &clusters,
+            clusters,
+            scheduled: &scheduled,
+            hashes: plan.hashes(),
+            solutions: solutions.as_ref(),
             sim,
             c2,
             threshold: c2.brute_force_threshold(),
@@ -290,6 +421,7 @@ impl Runtime {
         let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
         let mut reduce_outputs: Vec<(Vec<NeighborList>, ReduceStats)> =
             Vec::with_capacity(reduce_shards);
+        let mut reused_entries = 0u64;
         std::thread::scope(|scope| {
             let (senders, receivers): (Vec<SyncSender<ShuffleMessage>>, Vec<_>) = (0
                 ..reduce_shards)
@@ -311,6 +443,33 @@ impl Runtime {
                     scope.spawn(move || map_worker(w, ctx, senders))
                 })
                 .collect();
+            // Stage 4, cached half: replay reused partial lists into the
+            // reduce stage while the map workers solve the dirty clusters
+            // (the bounded-heap merge is order-independent, so mixing the
+            // streams is safe; back-pressure on a full channel only slows
+            // this replay loop, never deadlocks — the reducers keep
+            // draining).
+            for (_, solution) in &reused {
+                let mut routed: Vec<Vec<(UserId, NeighborList)>> = vec![Vec::new(); reduce_shards];
+                for (&user, list) in solution.users.iter().zip(&solution.lists) {
+                    if !list.is_empty() {
+                        routed[partition_of(user, reduce_shards)].push((user, list.clone()));
+                    }
+                }
+                for (shard, entries) in routed.into_iter().enumerate() {
+                    if entries.is_empty() {
+                        continue;
+                    }
+                    reused_entries += entries.iter().map(|(_, l)| l.len() as u64).sum::<u64>();
+                    senders[shard]
+                        .send(ShuffleMessage::Chunk {
+                            cluster_hash: solution.hash,
+                            reused: true,
+                            entries,
+                        })
+                        .expect("reducer hung up early");
+                }
+            }
             // Once a worker is done its spill streams are sealed; hand the
             // replay handles to the owning reducers, then hang up so the
             // channels close and the reducers can finish.
@@ -337,7 +496,7 @@ impl Runtime {
         let mut shuffle_entries = 0u64;
         let mut reducer_stats: Vec<ReduceStats> = Vec::with_capacity(reduce_shards);
         for (r, (lists, stats)) in reduce_outputs.into_iter().enumerate() {
-            shuffle_entries += stats.entries;
+            shuffle_entries += stats.entries - stats.reused_entries;
             for (&user, list) in owned[r].iter().zip(lists) {
                 *graph.neighbors_mut(user) = list;
             }
@@ -345,13 +504,28 @@ impl Runtime {
         }
         let map_reduce_wall = map_reduce_start.elapsed();
 
+        // The next build's cache: reused solutions carried over, fresh
+        // ones collected from the map workers.
+        let extra = solutions.map(|fresh| {
+            let (cache, rebuild) = ClusterCache::assemble(
+                c2,
+                &reused,
+                fresh.into_inner(),
+                start.elapsed().as_secs_f64() * 1e3,
+            );
+            debug_assert_eq!(cache.len(), clusters.len());
+            (cache, rebuild)
+        });
+
         let report = RuntimeReport {
-            num_clusters: clusters.len(),
+            num_clusters: scheduled.len(),
+            clusters_total: clusters.len(),
             num_users: n,
-            plan,
+            plan: deploy,
             workers: worker_stats,
             reducers: reducer_stats,
             shuffle_entries,
+            reused_entries,
             spill: self.config.spill,
             spill_dir: spill_dir_path,
             splits,
@@ -363,7 +537,33 @@ impl Runtime {
         if cfg!(debug_assertions) {
             report.check_invariants().expect("runtime report accounting violated");
         }
-        ShardedResult { graph, report }
+        (ShardedResult { graph, report }, extra)
+    }
+}
+
+/// The fingerprint-set validation [`Runtime::execute_shared`] and
+/// [`Runtime::execute_incremental_shared`] share.
+///
+/// # Panics
+/// Panics if the fingerprints don't cover `dataset`'s users, or if
+/// `c2.backend` is not the GoldFinger configuration the shared build was
+/// made with — a silent mismatch would produce a graph inconsistent with
+/// the configuration the plan and report claim.
+fn validate_shared(dataset: &Dataset, c2: &C2Config, goldfinger: &GoldFinger) {
+    assert_eq!(
+        goldfinger.num_users(),
+        dataset.num_users(),
+        "shared fingerprints must cover the dataset"
+    );
+    match c2.backend {
+        cnc_similarity::SimilarityBackend::GoldFinger { bits, seed } => assert_eq!(
+            (bits, seed),
+            (goldfinger.bits(), goldfinger.seed()),
+            "shared fingerprints must match the configured backend"
+        ),
+        cnc_similarity::SimilarityBackend::Raw => {
+            panic!("execute_shared requires a GoldFinger backend, config says Raw")
+        }
     }
 }
 
@@ -389,30 +589,52 @@ fn map_worker(
     // the lazily-created spill stream.
     let mut shipped_bytes: Vec<u64> = vec![0; ctx.reduce_shards];
     let mut spills: Vec<Option<SpillWriter>> = (0..ctx.reduce_shards).map(|_| None).collect();
+    // Clusters this worker lifted from a peer (half-queue steals park the
+    // batch's tail in the own queue; marking attributes them when popped).
+    let mut stolen_mark: Vec<bool> = vec![false; ctx.scheduled.len()];
     loop {
         let (cluster, stolen) = match ctx.queues.pop_own(worker) {
-            Some(c) => (c, false),
+            Some(c) => (c, stolen_mark[c]),
             None => match ctx.queues.steal(worker) {
-                Some(c) => (c, true),
+                Some((first, queued)) => {
+                    for c in queued {
+                        stolen_mark[c] = true;
+                    }
+                    (first, true)
+                }
                 None => break,
             },
         };
         let busy_start = Instant::now();
-        let users = &ctx.clusters[cluster];
+        let global = ctx.scheduled[cluster];
+        let users = &ctx.clusters[global];
+        let cluster_hash = ctx.hashes.get(global).copied().unwrap_or(0);
         // Algorithm 2: brute force for small clusters, Hyrec above the
-        // ρ·k² crossover — exactly the single-process dispatch.
-        let lists = if users.len() < ctx.threshold {
-            local::brute_force_partial(users, ctx.sim, ctx.c2.k)
-        } else {
-            local::hyrec_partial(
-                users,
-                ctx.sim,
-                ctx.c2.k,
-                ctx.c2.rho,
-                ctx.c2.delta,
-                ClusterAndConquer::job_seed(ctx.c2, cluster),
-            )
-        };
+        // ρ·k² crossover — the shared dispatch of `cnc_baselines::local`,
+        // exactly the single-process pipeline's branch. Seeds key off the
+        // *global* cluster index, so a subset schedule solves every
+        // cluster identically to a full one.
+        let (lists, comparisons) = local::solve_cluster_partial(
+            users,
+            ctx.sim,
+            ctx.c2.k,
+            ctx.threshold,
+            ctx.c2.rho,
+            ctx.c2.delta,
+            ClusterAndConquer::job_seed(ctx.c2, global),
+        );
+        // Incremental builds keep the solve as a cache-keyed solution for
+        // the next epoch (the lists are cloned: one copy rides the shuffle,
+        // one lives in the cache).
+        if let Some(sink) = ctx.solutions {
+            sink.lock().push(ClusterSolution {
+                hash: cluster_hash,
+                users: users.clone(),
+                seed: ClusterAndConquer::job_seed(ctx.c2, global),
+                lists: lists.clone(),
+                comparisons,
+            });
+        }
         // Hash-partition the cluster's output by owning reduce shard.
         let mut routed: Vec<Vec<(UserId, NeighborList)>> = vec![Vec::new(); ctx.reduce_shards];
         for (&user, list) in users.iter().zip(lists) {
@@ -448,7 +670,7 @@ fn map_worker(
                         .expect("failed to create spill file")
                 });
                 for (user, list) in &batch {
-                    writer.push(*user, list).expect("failed to write spill record");
+                    writer.push(*user, cluster_hash, list).expect("failed to write spill record");
                 }
                 stats.spilled_entries += batch_entries;
                 stats.spilled_bytes += batch_bytes;
@@ -458,7 +680,9 @@ fn map_worker(
         }
         stats.busy += busy_start.elapsed();
         for (shard, batch) in to_send {
-            senders[shard].send(ShuffleMessage::Chunk(batch)).expect("reducer hung up early");
+            senders[shard]
+                .send(ShuffleMessage::Chunk { cluster_hash, reused: false, entries: batch })
+                .expect("reducer hung up early");
         }
     }
     let finished: Vec<Option<FinishedSpill>> = spills
@@ -485,6 +709,7 @@ fn reduce_shard(
         shard,
         users: owned.len(),
         entries: 0,
+        reused_entries: 0,
         spilled_entries: 0,
         spilled_bytes: 0,
         busy: Duration::ZERO,
@@ -492,16 +717,24 @@ fn reduce_shard(
     for message in receiver {
         let busy_start = Instant::now();
         match message {
-            ShuffleMessage::Chunk(entries) => {
+            ShuffleMessage::Chunk { cluster_hash, reused, entries } => {
+                // Reused chunks are replayed from a fingerprinted build's
+                // cache, so they always carry a real content hash; fresh
+                // chunks carry 0 when the build never fingerprinted. The
+                // hash otherwise rides along as per-record provenance
+                // (mirrored in the spill codec) for multi-process
+                // consumers of the stream.
+                debug_assert!(!reused || cluster_hash != 0, "reused chunk without a hash");
                 for (user, partial) in &entries {
                     stats.entries += partial.len() as u64;
+                    stats.reused_entries += u64::from(reused) * partial.len() as u64;
                     lists[local_index[*user as usize] as usize].merge(partial);
                 }
             }
             ShuffleMessage::Spill(path) => {
                 let mut reader =
                     BufReader::new(File::open(&path).expect("failed to open spill file"));
-                while let Some((user, partial)) =
+                while let Some((user, _cluster_hash, partial)) =
                     read_record(&mut reader, k).expect("corrupt spill file")
                 {
                     stats.entries += partial.len() as u64;
@@ -810,5 +1043,125 @@ mod tests {
     #[should_panic(expected = "invalid RuntimeConfig")]
     fn invalid_runtime_config_panics() {
         Runtime::new(RuntimeConfig { channel_capacity: 0, ..RuntimeConfig::default() });
+    }
+
+    #[test]
+    fn steal_takes_half_of_the_most_loaded_queue() {
+        // Worker 0 owns five clusters in decreasing-cost order; worker 1
+        // is idle and steals.
+        let plan = DeploymentPlan {
+            assignments: vec![vec![0, 1, 2, 3, 4], vec![]],
+            worker_costs: vec![50, 0],
+            merge_traffic: 0,
+        };
+        let queues = JobQueues::new(&plan, vec![20, 10, 8, 7, 5], StealPolicy::MostLoaded);
+        let (first, queued) = queues.steal(1).expect("loaded peer must yield work");
+        // The victim keeps its larger front half {0, 1}; the stolen tail
+        // {2, 3, 4} yields its largest (2) for immediate execution and
+        // parks the rest on the thief, still largest-first.
+        assert_eq!(first, 2);
+        assert_eq!(queued, vec![3, 4]);
+        assert_eq!(queues.pop_own(1), Some(3));
+        assert_eq!(queues.pop_own(1), Some(4));
+        assert_eq!(queues.pop_own(1), None);
+        assert_eq!(queues.pop_own(0), Some(0));
+        assert_eq!(queues.pop_own(0), Some(1));
+        assert_eq!(queues.pop_own(0), None);
+        // Counters drained exactly: nothing left to steal in either
+        // direction (a leak here would hang the old one-cluster protocol).
+        assert!(queues.steal(0).is_none());
+        assert!(queues.steal(1).is_none());
+    }
+
+    #[test]
+    fn steal_of_a_single_cluster_queue_takes_it_whole() {
+        let plan = DeploymentPlan {
+            assignments: vec![vec![0], vec![]],
+            worker_costs: vec![9, 0],
+            merge_traffic: 0,
+        };
+        let queues = JobQueues::new(&plan, vec![9], StealPolicy::MostLoaded);
+        let (first, queued) = queues.steal(1).unwrap();
+        assert_eq!((first, queued), (0, vec![]));
+        assert_eq!(queues.pop_own(0), None);
+        assert!(queues.steal(0).is_none());
+    }
+
+    #[test]
+    fn incremental_with_empty_cache_matches_a_from_scratch_build() {
+        let ds = test_dataset();
+        let c2 = test_config();
+        let runtime = Runtime::new(RuntimeConfig::with_workers(2));
+        let scratch = runtime.execute(&ds, &c2);
+        let empty = ClusterCache::new(&c2);
+        let incr = runtime.execute_incremental(&ds, &c2, &empty, &[]);
+        assert_eq!(incr.rebuild.clusters_resolved, incr.rebuild.clusters_total);
+        assert_eq!(incr.rebuild.reuse_ratio, 0.0);
+        assert_eq!(incr.report.reused_entries, 0);
+        assert_eq!(incr.cache.len(), incr.rebuild.clusters_total);
+        assert_eq!(incr.cache.total_comparisons(), scratch.report.comparisons);
+        for u in ds.users() {
+            assert_eq!(incr.graph.neighbors(u).sorted(), scratch.graph.neighbors(u).sorted());
+        }
+    }
+
+    #[test]
+    fn incremental_rebuild_reuses_unchanged_clusters_bit_identically() {
+        let ds = test_dataset();
+        let c2 = test_config();
+        let runtime = Runtime::new(RuntimeConfig::with_workers(2));
+        let base = runtime.execute_incremental(&ds, &c2, &ClusterCache::new(&c2), &[]);
+
+        // Grow the dataset by a handful of users (clones of existing
+        // profiles plus a twist), as the serving stream does.
+        let mut profiles: Vec<Vec<u32>> = ds.iter().map(|(_, p)| p.to_vec()).collect();
+        let n0 = profiles.len() as u32;
+        for i in 0..5u32 {
+            let mut p = profiles[(i as usize * 37) % profiles.len()].clone();
+            p.push(390 + i);
+            p.sort_unstable();
+            p.dedup();
+            profiles.push(p);
+        }
+        let grown = Dataset::from_profiles(profiles, 0);
+        let inserted: Vec<u32> = (n0..grown.num_users() as u32).collect();
+
+        let full = runtime.execute(&grown, &c2);
+        let incr = runtime.execute_incremental(&grown, &c2, &base.cache, &inserted);
+        // Bit-identical graph, most clusters reused, and the comparison
+        // accounting splits exactly: fresh (report) + cached = full.
+        for u in grown.users() {
+            assert_eq!(
+                incr.graph.neighbors(u).sorted(),
+                full.graph.neighbors(u).sorted(),
+                "user {u} differs between incremental and from-scratch"
+            );
+        }
+        assert!(
+            incr.rebuild.reuse_ratio > 0.5,
+            "only {:.2} of clusters reused after 5 inserts into {}",
+            incr.rebuild.reuse_ratio,
+            ds.num_users()
+        );
+        assert!(incr.report.reused_entries > 0);
+        assert!(incr.report.comparisons < full.report.comparisons);
+        assert_eq!(incr.cache.total_comparisons(), full.report.comparisons);
+        assert_eq!(incr.cache.len(), incr.rebuild.clusters_total);
+        incr.report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn incremental_identical_dataset_reuses_everything() {
+        let ds = test_dataset();
+        let c2 = test_config();
+        let runtime = Runtime::new(RuntimeConfig::with_workers(2));
+        let base = runtime.execute_incremental(&ds, &c2, &ClusterCache::new(&c2), &[]);
+        let again = runtime.execute_incremental(&ds, &c2, &base.cache, &[]);
+        assert_eq!(again.rebuild.clusters_resolved, 0);
+        assert_eq!(again.rebuild.reuse_ratio, 1.0);
+        assert_eq!(again.report.comparisons, 0, "no fresh solves, no fresh comparisons");
+        for u in ds.users() {
+            assert_eq!(again.graph.neighbors(u).sorted(), base.graph.neighbors(u).sorted());
+        }
     }
 }

@@ -35,7 +35,10 @@
 //!
 //! Every `(workers, reduce_shards, spill)` combination produces exactly
 //! the single-process pipeline's graph — `tests/shuffle.rs` asserts the
-//! full matrix.
+//! full matrix — and [`Runtime::execute_incremental`] re-solves **only**
+//! the clusters whose `BuildPlan` content hash changed since a prior
+//! build, replaying the cached partial lists straight into the reducers
+//! (bit-identical to a from-scratch run; `tests/incremental.rs`).
 //!
 //! [`DeploymentPlan`]: cnc_core::DeploymentPlan
 
@@ -45,6 +48,6 @@ pub mod report;
 pub mod shuffle;
 
 pub use config::{RuntimeConfig, SpillMode, StealPolicy};
-pub use engine::{Runtime, ShardedBuild, ShardedResult};
+pub use engine::{IncrementalShardedResult, Runtime, ShardedBuild, ShardedResult};
 pub use report::{ReduceStats, RuntimeReport, WorkerStats};
 pub use shuffle::partition_of;

@@ -38,8 +38,11 @@ pub struct ReduceStats {
     /// Users this shard owns (its partition size).
     pub users: usize,
     /// Entries `(user, neighbour, sim)` merged, from channels and spill
-    /// files combined.
+    /// files combined — including reused (cache-replayed) entries.
     pub entries: u64,
+    /// Of `entries`, how many came from a prior build's cluster cache
+    /// rather than a fresh map-stage solve (incremental builds only).
+    pub reused_entries: u64,
     /// Of `entries`, how many were replayed from spill files.
     pub spilled_entries: u64,
     /// Encoded spill bytes this shard replayed.
@@ -59,8 +62,13 @@ pub struct RuntimeReport {
     pub workers: Vec<WorkerStats>,
     /// Per-reduce-shard measurements.
     pub reducers: Vec<ReduceStats>,
-    /// Entries `(user, neighbour, sim)` received by the reduce stage.
+    /// Entries `(user, neighbour, sim)` the *map workers* shipped to the
+    /// reduce stage (fresh solves only; reused cache entries are counted
+    /// separately in [`RuntimeReport::reused_entries`]).
     pub shuffle_entries: u64,
+    /// Entries replayed from a prior build's cluster cache straight into
+    /// the reduce stage (0 for from-scratch builds).
+    pub reused_entries: u64,
     /// The spill policy the run executed under.
     pub spill: SpillMode,
     /// The unique temp dir spill files were written to (`None` when the
@@ -68,8 +76,15 @@ pub struct RuntimeReport {
     /// build returns, so this path records *where* the shuffle spilled,
     /// not a live location.
     pub spill_dir: Option<PathBuf>,
-    /// Number of clusters executed (across all workers).
+    /// Number of clusters *scheduled and executed* by the map workers
+    /// (plan-local indices run over `0..num_clusters`). For a from-scratch
+    /// build this is the whole clustering; an incremental build schedules
+    /// only its dirty clusters.
     pub num_clusters: usize,
+    /// Total clusters in the build's clustering (= `num_clusters` for
+    /// from-scratch builds; `num_clusters + reused clusters` when
+    /// incremental).
+    pub clusters_total: usize,
     /// Number of users in the dataset (the partition total).
     pub num_users: usize,
     /// Recursive splits performed during clustering.
@@ -125,6 +140,16 @@ impl RuntimeReport {
     /// [`StealPolicy::Disabled`](crate::StealPolicy::Disabled)).
     pub fn stolen_clusters(&self) -> usize {
         self.workers.iter().map(|w| w.stolen).sum()
+    }
+
+    /// Fraction of the clustering's solves skipped via the cluster cache
+    /// (0.0 for from-scratch builds).
+    pub fn reuse_ratio(&self) -> f64 {
+        if self.clusters_total == 0 {
+            0.0
+        } else {
+            1.0 - self.num_clusters as f64 / self.clusters_total as f64
+        }
     }
 
     /// The executed assignment as sorted cluster-index lists per worker —
@@ -188,26 +213,61 @@ impl RuntimeReport {
     /// in debug builds; the test suites assert it on every configuration.
     ///
     /// Invariants:
-    /// * entries received by reducers = `shuffle_entries` = entries sent
-    ///   by workers (nothing lost or duplicated in the shuffle);
+    /// * entries received by reducers = `shuffle_entries` (fresh, sent by
+    ///   workers) + `reused_entries` (cache replays) — nothing lost or
+    ///   duplicated in the shuffle;
+    /// * every scheduled cluster in `0..num_clusters` was executed by
+    ///   exactly one worker, and the executed cost sums to the plan's
+    ///   total (the scheduling invariant work stealing must preserve);
     /// * per-shard user counts sum to `num_users` (the partition is a
     ///   total, disjoint cover);
     /// * spilled entries/bytes agree between the write side (workers) and
     ///   the replay side (reducers);
     /// * [`SpillMode::Off`] implies zero spill traffic.
     pub fn check_invariants(&self) -> Result<(), String> {
-        let received: u64 = self.reducers.iter().map(|r| r.entries).sum();
-        if received != self.shuffle_entries {
-            return Err(format!(
-                "reducers merged {received} entries, report says {}",
-                self.shuffle_entries
-            ));
-        }
         let sent: u64 = self.workers.iter().map(|w| w.shuffle_entries).sum();
         if sent != self.shuffle_entries {
             return Err(format!(
-                "workers shipped {sent} entries, reducers merged {}",
+                "workers shipped {sent} entries, report says {}",
                 self.shuffle_entries
+            ));
+        }
+        let received: u64 = self.reducers.iter().map(|r| r.entries).sum();
+        if received != self.shuffle_entries + self.reused_entries {
+            return Err(format!(
+                "reducers merged {received} entries, report says {} fresh + {} reused",
+                self.shuffle_entries, self.reused_entries
+            ));
+        }
+        let reused: u64 = self.reducers.iter().map(|r| r.reused_entries).sum();
+        if reused != self.reused_entries {
+            return Err(format!(
+                "reducers attributed {reused} reused entries, report says {}",
+                self.reused_entries
+            ));
+        }
+        let mut executed: Vec<usize> =
+            self.workers.iter().flat_map(|w| w.clusters.iter().copied()).collect();
+        executed.sort_unstable();
+        if executed.len() != self.num_clusters || executed.iter().enumerate().any(|(i, &c)| i != c)
+        {
+            return Err(format!(
+                "workers executed {} clusters, schedule has {} (each exactly once)",
+                executed.len(),
+                self.num_clusters
+            ));
+        }
+        let solved: u64 = self.workers.iter().map(|w| w.solved_cost).sum();
+        if solved != self.plan.total_cost() {
+            return Err(format!(
+                "workers solved cost {solved}, plan totals {}",
+                self.plan.total_cost()
+            ));
+        }
+        if self.clusters_total < self.num_clusters {
+            return Err(format!(
+                "clusters_total {} below the {} scheduled",
+                self.clusters_total, self.num_clusters
             ));
         }
         let users: usize = self.reducers.iter().map(|r| r.users).sum();
@@ -258,6 +318,7 @@ mod tests {
             shard,
             users,
             entries,
+            reused_entries: 0,
             spilled_entries,
             spilled_bytes,
             busy: Duration::from_millis(3),
@@ -271,9 +332,11 @@ mod tests {
             workers: vec![worker(0, 7, 5, 40), worker(1, 5, 0, 0)],
             reducers: vec![reducer(0, 6, 8, 5, 40), reducer(1, 4, 4, 0, 0)],
             shuffle_entries: 12,
+            reused_entries: 0,
             spill: SpillMode::Always,
             spill_dir: Some(PathBuf::from("/tmp/cnc-spill-test")),
             num_clusters: 2,
+            clusters_total: 2,
             num_users: 10,
             splits: 0,
             comparisons: 100,
@@ -310,6 +373,41 @@ mod tests {
         report.reducers[0].users += 1;
         let err = report.check_invariants().unwrap_err();
         assert!(err.contains("cover"), "{err}");
+    }
+
+    #[test]
+    fn scheduling_invariant_catches_lost_and_duplicated_clusters() {
+        let mut lost = consistent_report();
+        lost.workers[1].clusters.clear();
+        assert!(lost.check_invariants().unwrap_err().contains("executed"), "lost cluster");
+        let mut dup = consistent_report();
+        dup.workers[1].clusters = vec![0];
+        assert!(dup.check_invariants().unwrap_err().contains("executed"), "duplicated cluster");
+        let mut cost = consistent_report();
+        cost.workers[0].solved_cost += 1;
+        assert!(cost.check_invariants().unwrap_err().contains("plan totals"), "cost drift");
+    }
+
+    #[test]
+    fn reused_entry_accounting_must_balance() {
+        // A consistent incremental report: 3 reused entries on shard 0.
+        let mut report = consistent_report();
+        report.reused_entries = 3;
+        report.clusters_total = 3;
+        report.reducers[0].entries += 3;
+        report.reducers[0].reused_entries = 3;
+        report.check_invariants().unwrap();
+        assert!((report.reuse_ratio() - 1.0 / 3.0).abs() < 1e-12);
+
+        // Shard attribution must match the report total.
+        report.reducers[0].reused_entries = 2;
+        assert!(report.check_invariants().unwrap_err().contains("attributed"));
+
+        // clusters_total can never undercut the scheduled count.
+        let mut shrunk = consistent_report();
+        shrunk.clusters_total = 1;
+        assert!(shrunk.check_invariants().unwrap_err().contains("clusters_total"));
+        assert_eq!(consistent_report().reuse_ratio(), 0.0);
     }
 
     #[test]

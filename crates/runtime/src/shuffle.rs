@@ -39,18 +39,29 @@ pub fn partition_of(user: UserId, reduce_shards: usize) -> usize {
     ((h >> 32) as usize) % reduce_shards
 }
 
-/// Encoded size of one spill record, in bytes: an 8-byte header
-/// (`user: u32 LE`, `len: u32 LE`) plus 8 bytes (`neighbour: u32 LE`,
-/// `sim: f32 bits LE`) per retained neighbour.
+/// Encoded size of one spill record, in bytes: a 16-byte header
+/// (`user: u32 LE`, `len: u32 LE`, `cluster_hash: u64 LE`) plus 8 bytes
+/// (`neighbour: u32 LE`, `sim: f32 bits LE`) per retained neighbour.
 #[inline]
 pub fn encoded_len(list: &NeighborList) -> u64 {
-    8 + 8 * list.len() as u64
+    16 + 8 * list.len() as u64
 }
 
-/// Writes one `(user, partial list)` record; returns its encoded size.
-pub fn write_record<W: Write>(out: &mut W, user: UserId, list: &NeighborList) -> io::Result<u64> {
+/// Writes one `(user, cluster hash, partial list)` record; returns its
+/// encoded size. The hash is the source cluster's `BuildPlan` content
+/// hash (0 for one-shot builds, which never fingerprint) — it keeps each
+/// record attributable to the cluster solve that produced it, the
+/// provenance an incremental or multi-process consumer of the stream
+/// needs.
+pub fn write_record<W: Write>(
+    out: &mut W,
+    user: UserId,
+    cluster_hash: u64,
+    list: &NeighborList,
+) -> io::Result<u64> {
     out.write_all(&user.to_le_bytes())?;
     out.write_all(&(list.len() as u32).to_le_bytes())?;
+    out.write_all(&cluster_hash.to_le_bytes())?;
     for n in list.iter() {
         out.write_all(&n.user.to_le_bytes())?;
         out.write_all(&n.sim.to_bits().to_le_bytes())?;
@@ -63,13 +74,17 @@ pub fn write_record<W: Write>(out: &mut W, user: UserId, list: &NeighborList) ->
 /// Returns `Ok(None)` at a clean end of stream; a stream that ends inside
 /// a record, or a record longer than `k`, is an `InvalidData`/
 /// `UnexpectedEof` error.
-pub fn read_record<R: Read>(input: &mut R, k: usize) -> io::Result<Option<(UserId, NeighborList)>> {
-    let mut header = [0u8; 8];
+pub fn read_record<R: Read>(
+    input: &mut R,
+    k: usize,
+) -> io::Result<Option<(UserId, u64, NeighborList)>> {
+    let mut header = [0u8; 16];
     if !read_exact_or_eof(input, &mut header)? {
         return Ok(None);
     }
     let user = u32::from_le_bytes(header[0..4].try_into().unwrap());
     let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    let cluster_hash = u64::from_le_bytes(header[8..16].try_into().unwrap());
     if len > k {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -86,7 +101,7 @@ pub fn read_record<R: Read>(input: &mut R, k: usize) -> io::Result<Option<(UserI
         // the decoded list equals the encoded one entry-for-entry.
         list.insert(neighbor, sim);
     }
-    Ok(Some((user, list)))
+    Ok(Some((user, cluster_hash, list)))
 }
 
 /// Fills `buf` completely, or reports a clean EOF *before the first byte*
@@ -176,8 +191,8 @@ impl SpillWriter {
     }
 
     /// Appends one record.
-    pub fn push(&mut self, user: UserId, list: &NeighborList) -> io::Result<()> {
-        self.bytes += write_record(&mut self.writer, user, list)?;
+    pub fn push(&mut self, user: UserId, cluster_hash: u64, list: &NeighborList) -> io::Result<()> {
+        self.bytes += write_record(&mut self.writer, user, cluster_hash, list)?;
         self.entries += list.len() as u64;
         Ok(())
     }
@@ -245,11 +260,12 @@ mod tests {
     fn record_round_trip_is_exact() {
         let original = list(4, &[(9, 0.75), (2, -0.5), (11, 0.75), (3, 0.0)]);
         let mut buf = Vec::new();
-        let written = write_record(&mut buf, 42, &original).unwrap();
+        let written = write_record(&mut buf, 42, 0xDEAD_BEEF_0123, &original).unwrap();
         assert_eq!(written, encoded_len(&original));
         assert_eq!(written as usize, buf.len());
-        let (user, decoded) = read_record(&mut buf.as_slice(), 4).unwrap().unwrap();
+        let (user, hash, decoded) = read_record(&mut buf.as_slice(), 4).unwrap().unwrap();
         assert_eq!(user, 42);
+        assert_eq!(hash, 0xDEAD_BEEF_0123);
         assert_eq!(decoded.sorted(), original.sorted());
         assert!(read_record(&mut io::empty(), 4).unwrap().is_none());
     }
@@ -258,9 +274,10 @@ mod tests {
     fn empty_list_round_trips() {
         let original = list(3, &[]);
         let mut buf = Vec::new();
-        write_record(&mut buf, 7, &original).unwrap();
-        let (user, decoded) = read_record(&mut buf.as_slice(), 3).unwrap().unwrap();
+        write_record(&mut buf, 7, 3, &original).unwrap();
+        let (user, hash, decoded) = read_record(&mut buf.as_slice(), 3).unwrap().unwrap();
         assert_eq!(user, 7);
+        assert_eq!(hash, 3);
         assert!(decoded.is_empty());
     }
 
@@ -269,12 +286,13 @@ mod tests {
         let lists = [list(2, &[(1, 0.9)]), list(2, &[]), list(2, &[(5, 0.1), (6, 0.2)])];
         let mut buf = Vec::new();
         for (i, l) in lists.iter().enumerate() {
-            write_record(&mut buf, i as u32, l).unwrap();
+            write_record(&mut buf, i as u32, i as u64 * 11, l).unwrap();
         }
         let mut reader = buf.as_slice();
         for (i, l) in lists.iter().enumerate() {
-            let (user, decoded) = read_record(&mut reader, 2).unwrap().unwrap();
+            let (user, hash, decoded) = read_record(&mut reader, 2).unwrap().unwrap();
             assert_eq!(user, i as u32);
+            assert_eq!(hash, i as u64 * 11);
             assert_eq!(decoded.sorted(), l.sorted());
         }
         assert!(read_record(&mut reader, 2).unwrap().is_none());
@@ -283,7 +301,7 @@ mod tests {
     #[test]
     fn truncated_record_is_an_error() {
         let mut buf = Vec::new();
-        write_record(&mut buf, 1, &list(2, &[(3, 0.5)])).unwrap();
+        write_record(&mut buf, 1, 0, &list(2, &[(3, 0.5)])).unwrap();
         buf.pop();
         let mut reader = buf.as_slice();
         assert!(read_record(&mut reader, 2).is_err());
@@ -292,7 +310,7 @@ mod tests {
     #[test]
     fn oversized_record_is_rejected() {
         let mut buf = Vec::new();
-        write_record(&mut buf, 1, &list(5, &[(1, 0.1), (2, 0.2), (3, 0.3)])).unwrap();
+        write_record(&mut buf, 1, 0, &list(5, &[(1, 0.1), (2, 0.2), (3, 0.3)])).unwrap();
         let err = read_record(&mut buf.as_slice(), 2).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
@@ -303,8 +321,8 @@ mod tests {
         let mut w = SpillWriter::create(dir.file_path(0, 1)).unwrap();
         let a = list(3, &[(1, 0.5), (2, 0.25)]);
         let b = list(3, &[(9, 0.125)]);
-        w.push(10, &a).unwrap();
-        w.push(11, &b).unwrap();
+        w.push(10, 1, &a).unwrap();
+        w.push(11, 2, &b).unwrap();
         let finished = w.finish().unwrap();
         assert_eq!(finished.bytes, encoded_len(&a) + encoded_len(&b));
         assert_eq!(finished.entries, 3);

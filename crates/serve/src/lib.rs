@@ -38,6 +38,7 @@
 pub mod server;
 pub mod snapshot;
 
+pub use cnc_core::RebuildStats;
 pub use server::{
     InsertOutcome, ServingConfig, ServingEngine, ServingEpoch, ServingSession, ServingStats,
 };

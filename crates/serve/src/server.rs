@@ -29,7 +29,7 @@
 //! `tests/serve.rs`).
 
 use crate::snapshot::{write_snapshot, Snapshot, SnapshotError};
-use cnc_core::C2Config;
+use cnc_core::{C2Config, ClusterCache, RebuildStats};
 use cnc_dataset::{Dataset, ItemId, UserId};
 use cnc_graph::KnnGraph;
 use cnc_query::{BeamSearchConfig, DynamicIndex, QueryIndex, QueryResult, Searcher};
@@ -38,6 +38,7 @@ use cnc_similarity::{GoldFinger, SimilarityBackend};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// Everything the engine needs to build, serve and rebuild.
 #[derive(Clone, Copy, Debug)]
@@ -72,6 +73,10 @@ pub struct ServingEpoch {
     dataset: Dataset,
     graph: KnnGraph,
     fingerprints: Option<Arc<GoldFinger>>,
+    /// How the build that published this epoch split between reused and
+    /// re-solved clusters (all-zero for epochs restored from parts or a
+    /// snapshot, which carry no build record).
+    rebuild: RebuildStats,
 }
 
 impl ServingEpoch {
@@ -89,12 +94,19 @@ impl ServingEpoch {
         if let Some(gf) = &fingerprints {
             assert_eq!(gf.num_users(), dataset.num_users(), "fingerprints must cover the dataset");
         }
-        ServingEpoch { epoch, dataset, graph, fingerprints }
+        ServingEpoch { epoch, dataset, graph, fingerprints, rebuild: RebuildStats::default() }
     }
 
     /// The epoch's sequence number (1 for the initial build).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The reuse figures of the incremental build that published this
+    /// epoch: `clusters_total`, `clusters_resolved`, `reuse_ratio` and
+    /// `rebuild_ms` (zeros when the epoch was loaded rather than built).
+    pub fn rebuild_stats(&self) -> RebuildStats {
+        self.rebuild
     }
 
     /// Users served by this epoch.
@@ -162,11 +174,13 @@ pub struct ServingSession {
     searcher: Searcher,
 }
 
-/// The writer side: the dynamic index absorbing the stream. The pending
-/// count lives in an engine-level atomic so monitoring never has to take
-/// this lock (a rebuild holds it for the full build).
+/// The writer side: the dynamic index absorbing the stream, plus the
+/// per-cluster solution cache the next incremental rebuild consults. The
+/// pending count lives in an engine-level atomic so monitoring never has
+/// to take this lock (a rebuild holds it for the full build).
 struct Writer {
     dynamic: DynamicIndex,
+    cache: ClusterCache,
 }
 
 /// A concurrent KNN serving engine (see the module docs).
@@ -180,22 +194,37 @@ pub struct ServingEngine {
     /// Inserts absorbed but not yet published (written under the writer
     /// lock, read lock-free by [`ServingEngine::stats`]).
     pending: AtomicUsize,
+    /// One [`RebuildStats`] per published epoch swap (the initial build is
+    /// not a swap and is excluded), for the serve bench's reuse
+    /// trajectory. Bounded to [`REBUILD_HISTORY_CAP`] entries — a
+    /// long-lived engine publishing every few seconds must not grow
+    /// monitoring state without bound; the oldest swaps are dropped.
+    rebuild_history: Mutex<std::collections::VecDeque<RebuildStats>>,
 }
+
+/// Retained epoch-publish records (newest kept; see
+/// [`ServingEngine::rebuild_history`]).
+const REBUILD_HISTORY_CAP: usize = 1024;
 
 impl ServingEngine {
     /// Builds the first epoch from `dataset` with the configured C²
     /// pipeline on the sharded runtime, fingerprinting once and sharing
-    /// the build between construction and serving.
+    /// the build between construction and serving. The build's
+    /// per-cluster solutions seed the writer's [`ClusterCache`], so the
+    /// first published epoch already rebuilds incrementally.
     ///
     /// # Panics
     /// Panics if the configurations are invalid (see [`Runtime::new`] and
     /// [`BeamSearchConfig::validate`]).
     pub fn build(dataset: Dataset, config: ServingConfig) -> Self {
-        let (graph, fingerprints) = build_epoch(&dataset, &config);
-        Self::from_parts(dataset, graph, fingerprints, config)
+        let empty = ClusterCache::new(&config.c2);
+        let (graph, fingerprints, cache, rebuild) = build_epoch(&dataset, &config, &empty, &[]);
+        Self::from_parts_with(dataset, graph, fingerprints, config, cache, rebuild)
     }
 
     /// Wraps an already-built state (the first epoch) without rebuilding.
+    /// The writer's cluster cache starts empty, so the *first* published
+    /// epoch re-solves every cluster and re-seeds the cache.
     ///
     /// # Panics
     /// Panics if the parts disagree on the user count, the fingerprints'
@@ -206,6 +235,18 @@ impl ServingEngine {
         graph: KnnGraph,
         fingerprints: Option<Arc<GoldFinger>>,
         config: ServingConfig,
+    ) -> Self {
+        let cache = ClusterCache::new(&config.c2);
+        Self::from_parts_with(dataset, graph, fingerprints, config, cache, RebuildStats::default())
+    }
+
+    fn from_parts_with(
+        dataset: Dataset,
+        graph: KnnGraph,
+        fingerprints: Option<Arc<GoldFinger>>,
+        config: ServingConfig,
+        cache: ClusterCache,
+        rebuild: RebuildStats,
     ) -> Self {
         match (&config.c2.backend, &fingerprints) {
             (SimilarityBackend::GoldFinger { bits, seed }, Some(gf)) => assert_eq!(
@@ -221,8 +262,10 @@ impl ServingEngine {
             }
             (SimilarityBackend::Raw, None) => {}
         }
-        let epoch = Arc::new(ServingEpoch::new(1, dataset, graph, fingerprints));
-        let writer = Writer { dynamic: writer_index(&epoch, &config) };
+        let mut epoch = ServingEpoch::new(1, dataset, graph, fingerprints);
+        epoch.rebuild = rebuild;
+        let epoch = Arc::new(epoch);
+        let writer = Writer { dynamic: writer_index(&epoch, &config), cache };
         ServingEngine {
             config,
             current: RwLock::new(epoch),
@@ -231,6 +274,7 @@ impl ServingEngine {
             inserts: AtomicU64::new(0),
             epoch_swaps: AtomicU64::new(0),
             pending: AtomicUsize::new(0),
+            rebuild_history: Mutex::new(std::collections::VecDeque::new()),
         }
     }
 
@@ -359,31 +403,62 @@ impl ServingEngine {
         }
     }
 
-    /// Full rebuild + epoch swap, with the writer lock held (single
-    /// writer). Readers keep serving the old epoch until the single
-    /// pointer store below.
+    /// The reuse figures of the most recent epoch publishes (oldest
+    /// first, at most the newest 1024 swaps retained; the initial build
+    /// is not a swap). This is the serve bench's `reuse_ratio` /
+    /// `rebuild_ms` trajectory source.
+    pub fn rebuild_history(&self) -> Vec<RebuildStats> {
+        self.rebuild_history.lock().expect("rebuild history poisoned").iter().copied().collect()
+    }
+
+    /// Incremental rebuild + epoch swap, with the writer lock held
+    /// (single writer): only the clusters touched since the last epoch —
+    /// tracked by the dynamic index's inserted ids and the `BuildPlan`
+    /// content hashes — are re-solved against the writer's
+    /// [`ClusterCache`]; cached partial lists cover the rest. Readers
+    /// keep serving the old epoch until the single pointer store below.
     fn rebuild_locked(&self, writer: &mut Writer) -> u64 {
         let dataset = writer.dynamic.to_dataset();
-        let (graph, fingerprints) = build_epoch(&dataset, &self.config);
+        let inserted: Vec<UserId> = writer.dynamic.inserted_ids().collect();
+        let (graph, fingerprints, cache, rebuild) =
+            build_epoch(&dataset, &self.config, &writer.cache, &inserted);
         let next = {
             let current = self.current.read().expect("epoch lock poisoned");
             current.epoch() + 1
         };
-        let epoch = Arc::new(ServingEpoch::new(next, dataset, graph, fingerprints));
+        let mut epoch = ServingEpoch::new(next, dataset, graph, fingerprints);
+        epoch.rebuild = rebuild;
+        let epoch = Arc::new(epoch);
         writer.dynamic = writer_index(&epoch, &self.config);
+        writer.cache = cache;
         self.pending.store(0, Ordering::Relaxed);
         *self.current.write().expect("epoch lock poisoned") = Arc::clone(&epoch);
         self.epoch_swaps.fetch_add(1, Ordering::Relaxed);
+        let mut history = self.rebuild_history.lock().expect("rebuild history poisoned");
+        if history.len() == REBUILD_HISTORY_CAP {
+            history.pop_front();
+        }
+        history.push_back(rebuild);
         next
     }
 }
 
-/// One C² build on the sharded runtime: fingerprints built once
-/// (in parallel, on the runtime's worker budget) and shared between the
-/// graph construction and the returned serving state.
-fn build_epoch(dataset: &Dataset, config: &ServingConfig) -> (KnnGraph, Option<Arc<GoldFinger>>) {
+/// One **incremental** C² build on the sharded runtime: fingerprints
+/// built once (in parallel, on the runtime's worker budget) and shared
+/// between the graph construction and the returned serving state; only
+/// clusters missing `prev` — or touched by a `force_dirty` user — are
+/// re-solved. Returns the graph, the shared fingerprints, the cache for
+/// the *next* build and the reuse figures (`rebuild_ms` covers the whole
+/// epoch build, fingerprinting included).
+fn build_epoch(
+    dataset: &Dataset,
+    config: &ServingConfig,
+    prev: &ClusterCache,
+    force_dirty: &[UserId],
+) -> (KnnGraph, Option<Arc<GoldFinger>>, ClusterCache, RebuildStats) {
+    let start = Instant::now();
     let runtime = Runtime::new(config.runtime);
-    match config.c2.backend {
+    let (graph, fingerprints, cache, mut rebuild) = match config.c2.backend {
         SimilarityBackend::GoldFinger { bits, seed } => {
             let gf = Arc::new(GoldFinger::build_parallel(
                 dataset,
@@ -391,11 +466,22 @@ fn build_epoch(dataset: &Dataset, config: &ServingConfig) -> (KnnGraph, Option<A
                 seed,
                 config.runtime.effective_workers(),
             ));
-            let result = runtime.execute_shared(dataset, &config.c2, Arc::clone(&gf));
-            (result.graph, Some(gf))
+            let result = runtime.execute_incremental_shared(
+                dataset,
+                &config.c2,
+                Arc::clone(&gf),
+                prev,
+                force_dirty,
+            );
+            (result.graph, Some(gf), result.cache, result.rebuild)
         }
-        SimilarityBackend::Raw => (runtime.execute(dataset, &config.c2).graph, None),
-    }
+        SimilarityBackend::Raw => {
+            let result = runtime.execute_incremental(dataset, &config.c2, prev, force_dirty);
+            (result.graph, None, result.cache, result.rebuild)
+        }
+    };
+    rebuild.rebuild_ms = start.elapsed().as_secs_f64() * 1e3;
+    (graph, fingerprints, cache, rebuild)
 }
 
 /// A fresh writer-side dynamic index over a published epoch (profiles,
@@ -532,6 +618,61 @@ mod tests {
         let mut other = config(0);
         other.c2.backend = SimilarityBackend::GoldFinger { bits: 1024, seed: 999 };
         ServingEngine::from_snapshot(snapshot, other);
+    }
+
+    #[test]
+    fn epoch_publishes_carry_incremental_rebuild_stats() {
+        let ds = dataset(83);
+        let engine = ServingEngine::build(ds.clone(), config(0));
+        // The initial build resolves everything (empty cache) and is not
+        // recorded as a swap.
+        let initial = engine.current_epoch().rebuild_stats();
+        assert!(initial.clusters_total > 0);
+        assert_eq!(initial.clusters_resolved, initial.clusters_total);
+        assert_eq!(initial.reuse_ratio, 0.0);
+        assert!(engine.rebuild_history().is_empty());
+
+        // A publish after a few inserts re-solves only the touched
+        // clusters.
+        for i in 0..3u32 {
+            engine.insert(ds.profile(i * 11).to_vec(), i as u64);
+        }
+        engine.publish();
+        let stats = engine.current_epoch().rebuild_stats();
+        assert_eq!(stats.clusters_total, stats.clusters_resolved + stats.clusters_reused());
+        assert!(
+            stats.reuse_ratio > 0.5,
+            "only {:.2} of {} clusters reused after 3 inserts",
+            stats.reuse_ratio,
+            stats.clusters_total
+        );
+        assert!(stats.rebuild_ms > 0.0);
+        let history = engine.rebuild_history();
+        assert_eq!(history.len(), 1);
+        assert_eq!(history[0].clusters_total, stats.clusters_total);
+
+        // Publishing again with nothing pending reuses every cluster.
+        engine.publish();
+        assert_eq!(engine.current_epoch().rebuild_stats().reuse_ratio, 1.0);
+        assert_eq!(engine.rebuild_history().len(), 2);
+    }
+
+    #[test]
+    fn snapshot_restored_engines_rebuild_from_an_empty_cache() {
+        let ds = dataset(89);
+        let engine = ServingEngine::build(ds.clone(), config(0));
+        let restored = ServingEngine::from_snapshot(engine.snapshot(), config(0));
+        assert_eq!(restored.current_epoch().rebuild_stats().clusters_total, 0);
+        restored.insert(ds.profile(4).to_vec(), 1);
+        restored.publish();
+        // First publish re-seeds the cache (nothing to reuse) …
+        let first = restored.current_epoch().rebuild_stats();
+        assert_eq!(first.reuse_ratio, 0.0);
+        assert!(first.clusters_total > 0);
+        // … after which publishes are incremental again.
+        restored.insert(ds.profile(9).to_vec(), 2);
+        restored.publish();
+        assert!(restored.current_epoch().rebuild_stats().reuse_ratio > 0.5);
     }
 
     #[test]

@@ -109,15 +109,10 @@ impl From<io::Error> for SnapshotError {
 }
 
 /// FNV-1a over a byte slice — cheap, dependency-free integrity hashing
-/// (corruption detection, not authentication).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x100_0000_01b3);
-    }
-    hash
-}
+/// (corruption detection, not authentication). The primitive is shared
+/// with `cnc-core`'s cluster content hashes so the workspace carries one
+/// implementation of the idiom.
+use cnc_core::build_plan::fnv1a;
 
 /// A byte cursor over one section's verified payload, with typed
 /// overrun errors.

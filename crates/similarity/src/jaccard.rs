@@ -13,10 +13,39 @@ use cnc_dataset::ItemId;
 /// `Jaccard::similarity(a, b)`.
 pub struct Jaccard;
 
+/// Size ratio beyond which the galloping intersection beats the linear
+/// merge: galloping costs `O(|small| · log |large|)`, the merge
+/// `O(|small| + |large|)`, so the switch pays once the larger side is a
+/// multiple of the smaller (the `RawKernel` hot path hits this whenever a
+/// heavy user meets light ones — the merge-bound Raw row of the kernels
+/// bench).
+const GALLOP_CUTOFF: usize = 8;
+
 impl Jaccard {
     /// Size of the intersection of two strictly increasing slices.
+    ///
+    /// Balanced inputs take the branch-light linear merge; skewed inputs
+    /// (one side more than [`GALLOP_CUTOFF`]× the other) gallop the
+    /// smaller side through the larger one — exponential probe then
+    /// binary search, resuming where the previous item landed. The count
+    /// is exact either way, so every similarity stays bit-identical to
+    /// the merge path (locked by the proptests below).
     #[inline]
     pub fn intersection(a: &[ItemId], b: &[ItemId]) -> usize {
+        if a.len() * GALLOP_CUTOFF < b.len() {
+            Self::intersection_gallop(a, b)
+        } else if b.len() * GALLOP_CUTOFF < a.len() {
+            Self::intersection_gallop(b, a)
+        } else {
+            Self::intersection_merge(a, b)
+        }
+    }
+
+    /// The linear-merge intersection (the seed implementation) — kept
+    /// public as the reference the galloping path is property-tested
+    /// against.
+    #[inline]
+    pub fn intersection_merge(a: &[ItemId], b: &[ItemId]) -> usize {
         let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
         while i < a.len() && j < b.len() {
             let (x, y) = (a[i], b[j]);
@@ -24,6 +53,37 @@ impl Jaccard {
             // Branch-light merge: advance the smaller side (both on equal).
             i += usize::from(x <= y);
             j += usize::from(y <= x);
+        }
+        count
+    }
+
+    /// Galloping (exponential + binary search) intersection for skewed
+    /// sizes: for each item of `small` in order, the first candidate
+    /// position in `large` is found by doubling steps from where the last
+    /// item landed, then pinned down by binary search within the
+    /// overshot window.
+    fn intersection_gallop(small: &[ItemId], large: &[ItemId]) -> usize {
+        let mut count = 0usize;
+        let mut base = 0usize;
+        for &x in small {
+            if base >= large.len() {
+                break;
+            }
+            // Exponential probe: after it, the first element ≥ x lies in
+            // `large[base + step/2 .. base + step]` (or past the end).
+            let mut step = 1usize;
+            while base + step < large.len() && large[base + step] < x {
+                step <<= 1;
+            }
+            let lo = base + step / 2;
+            let hi = (base + step + 1).min(large.len());
+            let at = lo + large[lo..hi].partition_point(|&y| y < x);
+            if at < large.len() && large[at] == x {
+                count += 1;
+                base = at + 1;
+            } else {
+                base = at;
+            }
         }
         count
     }
@@ -104,6 +164,21 @@ mod tests {
         let b = [4, 15, 21, 42, 99];
         assert_eq!(Jaccard::similarity(&a, &b), Jaccard::similarity(&b, &a));
     }
+
+    #[test]
+    fn galloping_kicks_in_on_skewed_sizes_and_stays_exact() {
+        // 3 items vs 100: well past the cutoff on either side.
+        let small = [7u32, 40, 77];
+        let large: Vec<u32> = (0..100).collect();
+        assert_eq!(Jaccard::intersection(&small, &large), 3);
+        assert_eq!(Jaccard::intersection(&large, &small), 3);
+        assert_eq!(Jaccard::intersection_merge(&small, &large), 3);
+        // Disjoint skewed sets, matches at both ends, empty small side.
+        let high: Vec<u32> = (1_000..1_100).collect();
+        assert_eq!(Jaccard::intersection(&small, &high), 0);
+        assert_eq!(Jaccard::intersection(&[0, 99], &large), 2);
+        assert_eq!(Jaccard::intersection(&[], &large), 0);
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +207,27 @@ mod proptests {
         fn intersection_matches_naive(a in sorted_set(), b in sorted_set()) {
             let naive = a.iter().filter(|x| b.contains(x)).count();
             prop_assert_eq!(Jaccard::intersection(&a, &b), naive);
+        }
+
+        /// The galloping dispatch is bit-identical to the linear merge on
+        /// deliberately skewed inputs (small set vs a large one), in both
+        /// argument orders — the seed semantics the RawKernel hot path
+        /// must keep.
+        #[test]
+        fn galloping_matches_linear_merge_on_skewed_sets(
+            small in proptest::collection::btree_set(0u32..4_000, 0..12)
+                .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+            large in proptest::collection::btree_set(0u32..4_000, 150..400)
+                .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+        ) {
+            let merge = Jaccard::intersection_merge(&small, &large);
+            prop_assert_eq!(Jaccard::intersection(&small, &large), merge);
+            prop_assert_eq!(Jaccard::intersection(&large, &small), merge);
+            // The similarities built on top stay bit-identical too.
+            prop_assert_eq!(
+                Jaccard::similarity(&small, &large).to_bits(),
+                Jaccard::similarity(&large, &small).to_bits()
+            );
         }
 
         #[test]

@@ -30,7 +30,7 @@ pub use cnc_threadpool as threadpool;
 /// Commonly used items, importable with one `use`.
 pub mod prelude {
     pub use cnc_baselines::{BruteForce, BuildContext, Hyrec, KnnAlgorithm, Lsh, NnDescent};
-    pub use cnc_core::{C2Config, ClusterAndConquer};
+    pub use cnc_core::{BuildPlan, C2Config, ClusterAndConquer, ClusterCache, RebuildStats};
     pub use cnc_dataset::{
         CrossValidation, Dataset, DatasetProfile, DatasetStats, SyntheticConfig,
     };

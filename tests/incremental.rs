@@ -1,0 +1,334 @@
+//! The incremental-rebuild equivalence suite (PR 5 acceptance matrix).
+//!
+//! The contract of the staged `BuildPlan` path: an incremental build that
+//! re-solves only the clusters whose content hash changed must be
+//! **bit-identical** to a from-scratch build of the same dataset —
+//! identical graphs for every `(insert batch × workers × reduce shards ×
+//! spill mode)` cell, and comparison counts that split exactly into
+//! "fresh solves" (the incremental report) plus "cached solves" (the
+//! cluster cache's totals). On top of the matrix: the in-process
+//! pipeline's incremental path, a randomized insert-sequence equivalence
+//! through the full `ServingEngine` loop, and proptests pinning the
+//! cluster-hash semantics (stable under member reordering; changes iff
+//! membership or item sets change).
+
+use cluster_and_conquer::prelude::*;
+use cnc_core::build_plan::{cluster_hash, profile_digest};
+use cnc_core::ClusterSolution;
+use cnc_graph::KnnGraph;
+use cnc_runtime::Runtime;
+
+fn base_dataset() -> Dataset {
+    let mut cfg = SyntheticConfig::small(5151);
+    cfg.num_users = 450;
+    cfg.num_items = 380;
+    cfg.communities = 9;
+    cfg.mean_profile = 22.0;
+    cfg.min_profile = 7;
+    cfg.generate()
+}
+
+fn c2_config() -> C2Config {
+    C2Config {
+        k: 8,
+        b: 64,
+        t: 3,
+        max_cluster_size: 120,
+        backend: SimilarityBackend::Raw,
+        seed: 17,
+        threads: 1,
+        ..C2Config::default()
+    }
+}
+
+/// Appends `batch` synthetic newcomers (donor profiles with a drift item,
+/// sorted + deduplicated like the serving path stores them) and returns
+/// the grown dataset plus the inserted ids.
+fn grow(dataset: &Dataset, batch: usize, salt: u32) -> (Dataset, Vec<u32>) {
+    let mut profiles: Vec<Vec<u32>> = dataset.iter().map(|(_, p)| p.to_vec()).collect();
+    let n0 = profiles.len() as u32;
+    for i in 0..batch as u32 {
+        let donor = ((i * 31 + salt) as usize * 7) % profiles.len();
+        let mut p = profiles[donor].clone();
+        p.push(370 + (i + salt) % 17);
+        p.sort_unstable();
+        p.dedup();
+        profiles.push(p);
+    }
+    let grown = Dataset::from_profiles(profiles, dataset.num_items() as u32);
+    let inserted: Vec<u32> = (n0..grown.num_users() as u32).collect();
+    (grown, inserted)
+}
+
+fn assert_graphs_identical(a: &KnnGraph, b: &KnnGraph, label: &str) {
+    assert_eq!(a.num_users(), b.num_users(), "{label}: user counts differ");
+    for u in 0..a.num_users() as u32 {
+        assert_eq!(
+            a.neighbors(u).sorted(),
+            b.neighbors(u).sorted(),
+            "{label}: user {u} differs between incremental and from-scratch"
+        );
+    }
+}
+
+/// The acceptance matrix: full-vs-incremental bit-identical graphs over
+/// (insert batch sizes × workers × reduce shards × spill modes), with the
+/// comparison accounting attributable per cell.
+#[test]
+fn incremental_matches_from_scratch_across_the_matrix() {
+    let base = base_dataset();
+    let c2 = c2_config();
+    for batch in [1usize, 6, 32] {
+        let (grown, inserted) = grow(&base, batch, batch as u32);
+        for workers in [1usize, 3] {
+            for reduce_shards in [1usize, 2] {
+                for spill in [SpillMode::Off, SpillMode::Always] {
+                    let label = format!(
+                        "batch={batch} workers={workers} shards={reduce_shards} spill={spill:?}"
+                    );
+                    let config =
+                        RuntimeConfig { workers, reduce_shards, spill, ..Default::default() };
+                    let runtime = Runtime::new(config);
+                    // Seed the cache from the base dataset, then rebuild
+                    // the grown one incrementally.
+                    let seeded =
+                        runtime.execute_incremental(&base, &c2, &ClusterCache::new(&c2), &[]);
+                    let incr = runtime.execute_incremental(&grown, &c2, &seeded.cache, &inserted);
+                    let full = runtime.execute(&grown, &c2);
+
+                    assert_graphs_identical(&incr.graph, &full.graph, &label);
+                    assert!(
+                        incr.rebuild.reuse_ratio > 0.0,
+                        "{label}: no clusters reused after a {batch}-user batch"
+                    );
+                    // Fresh + cached comparisons account for the whole
+                    // from-scratch build, exactly.
+                    assert!(incr.report.comparisons < full.report.comparisons, "{label}");
+                    assert_eq!(
+                        incr.cache.total_comparisons(),
+                        full.report.comparisons,
+                        "{label}: cache totals must equal a from-scratch build's count"
+                    );
+                    assert_eq!(incr.cache.len(), incr.rebuild.clusters_total, "{label}");
+                    incr.report.check_invariants().unwrap_or_else(|e| panic!("{label}: {e}"));
+                    assert_eq!(
+                        incr.report.num_clusters, incr.rebuild.clusters_resolved,
+                        "{label}: scheduled clusters must match the rebuild stats"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The in-process pipeline's incremental path obeys the same contract as
+/// the sharded engine's (they share the staged `BuildPlan`).
+#[test]
+fn pipeline_incremental_matches_full_build() {
+    let base = base_dataset();
+    let c2 = c2_config();
+    let builder = ClusterAndConquer::new(c2);
+    let seeded = builder.build_incremental(&base, &ClusterCache::new(&c2));
+    assert_eq!(seeded.rebuild.reuse_ratio, 0.0, "empty cache resolves everything");
+
+    let (grown, _) = grow(&base, 9, 3);
+    let full = builder.build(&grown);
+    let incr = builder.build_incremental(&grown, &seeded.cache);
+    assert_graphs_identical(&incr.result.graph, &full.graph, "pipeline");
+    assert!(incr.rebuild.reuse_ratio > 0.5, "reuse {:.2}", incr.rebuild.reuse_ratio);
+    assert!(incr.result.stats.comparisons < full.stats.comparisons);
+    assert_eq!(incr.cache.total_comparisons(), full.stats.comparisons);
+
+    // Pipeline and sharded engine agree with each other, too.
+    let sharded = Runtime::new(RuntimeConfig::with_workers(2)).execute_incremental(
+        &grown,
+        &c2,
+        &seeded.cache,
+        &[],
+    );
+    assert_graphs_identical(&sharded.graph, &incr.result.graph, "pipeline vs sharded");
+    assert_eq!(sharded.rebuild.clusters_resolved, incr.rebuild.clusters_resolved);
+}
+
+/// GoldFinger fingerprints are per-user independent, so cached solutions
+/// survive dataset growth bit-identically on the fingerprint backend too
+/// — the serving engine's actual configuration.
+#[test]
+fn goldfinger_incremental_matches_from_scratch() {
+    let base = base_dataset();
+    let c2 =
+        C2Config { backend: SimilarityBackend::GoldFinger { bits: 1024, seed: 29 }, ..c2_config() };
+    let runtime = Runtime::new(RuntimeConfig::with_workers(2));
+    let seeded = runtime.execute_incremental(&base, &c2, &ClusterCache::new(&c2), &[]);
+    let (grown, inserted) = grow(&base, 12, 8);
+    let incr = runtime.execute_incremental(&grown, &c2, &seeded.cache, &inserted);
+    let full = runtime.execute(&grown, &c2);
+    assert_graphs_identical(&incr.graph, &full.graph, "goldfinger");
+    assert!(incr.rebuild.reuse_ratio > 0.5);
+    assert_eq!(incr.cache.total_comparisons(), full.report.comparisons);
+}
+
+/// End-to-end randomized insert sequences through the serving loop: every
+/// published epoch must serve exactly the graph a from-scratch engine
+/// builds on the same dataset.
+#[test]
+fn serving_epochs_are_bit_identical_to_from_scratch_builds() {
+    let base = base_dataset();
+    let config = cnc_serve::ServingConfig {
+        c2: C2Config {
+            backend: SimilarityBackend::GoldFinger { bits: 1024, seed: 5 },
+            ..c2_config()
+        },
+        runtime: RuntimeConfig::with_workers(2),
+        beam: cnc_query::BeamSearchConfig { beam_width: 24, entry_points: 5, max_comparisons: 0 },
+        rebuild_after: 0,
+    };
+    let engine = ServingEngine::build(base.clone(), config);
+    // Three epochs of randomized insert batches (sizes 3, 1, 7; profiles
+    // derived from pseudo-random donors).
+    let mut salt = 0x5EEDu32;
+    for batch in [3usize, 1, 7] {
+        for i in 0..batch {
+            salt = salt.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let donor = salt % base.num_users() as u32;
+            let mut profile = base.profile(donor).to_vec();
+            profile.push(350 + (salt % 29));
+            engine.insert(profile, salt as u64 + i as u64);
+        }
+        engine.publish();
+        let epoch = engine.current_epoch();
+        assert!(epoch.rebuild_stats().reuse_ratio > 0.0, "epoch {} reused nothing", epoch.epoch());
+        // A from-scratch engine on the published dataset must serve the
+        // identical graph (sorted per-user equality, plus identical
+        // answers to a probe query).
+        let scratch = ServingEngine::build(epoch.dataset().clone(), config);
+        assert_graphs_identical(
+            epoch.graph(),
+            scratch.current_epoch().graph(),
+            &format!("epoch {}", epoch.epoch()),
+        );
+        let probe = base.profile(11);
+        assert_eq!(
+            engine.query(probe, 5, 99).neighbors,
+            scratch.query(probe, 5, 99).neighbors,
+            "epoch {}: query answers diverge",
+            epoch.epoch()
+        );
+    }
+    assert_eq!(engine.rebuild_history().len(), 3);
+}
+
+/// The cache lookup path never reuses across configuration changes.
+#[test]
+fn config_changes_invalidate_the_cache() {
+    let base = base_dataset();
+    let c2 = c2_config();
+    let runtime = Runtime::new(RuntimeConfig::with_workers(1));
+    let seeded = runtime.execute_incremental(&base, &c2, &ClusterCache::new(&c2), &[]);
+    let changed = C2Config { seed: c2.seed + 1, ..c2 };
+    let rebuilt = runtime.execute_incremental(&base, &changed, &seeded.cache, &[]);
+    assert_eq!(rebuilt.rebuild.reuse_ratio, 0.0, "other-config cache must be ignored");
+    let full = runtime.execute(&base, &changed);
+    assert_graphs_identical(&rebuilt.graph, &full.graph, "changed config");
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn profiles_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+        proptest::collection::vec(
+            proptest::collection::btree_set(0u32..300, 1..25)
+                .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+            4..24,
+        )
+    }
+
+    proptest! {
+        /// The cluster hash is invariant under member reordering…
+        #[test]
+        fn cluster_hash_is_stable_under_member_reordering(
+            profiles in profiles_strategy(),
+            picks in proptest::collection::vec(0usize..24, 2..10),
+            rotate in 1usize..8,
+        ) {
+            let ds = Dataset::from_profiles(profiles, 0);
+            let digests: Vec<u64> = ds.iter().map(|(_, p)| profile_digest(p)).collect();
+            let mut users: Vec<u32> = picks
+                .into_iter()
+                .map(|p| (p % ds.num_users()) as u32)
+                .collect();
+            users.sort_unstable();
+            users.dedup();
+            prop_assume!(users.len() >= 2);
+            let original = cluster_hash(&users, &digests);
+            let mut shuffled = users.clone();
+            let len = shuffled.len();
+            shuffled.rotate_left(rotate % len);
+            shuffled.reverse();
+            prop_assert_eq!(cluster_hash(&shuffled, &digests), original);
+        }
+
+        /// …and changes iff the membership or a member's item set changes.
+        #[test]
+        fn cluster_hash_changes_iff_membership_or_items_change(
+            profiles in profiles_strategy(),
+            drop_index in 0usize..8,
+            touched in 0usize..8,
+            new_item in 300u32..400,
+        ) {
+            let ds = Dataset::from_profiles(profiles.clone(), 0);
+            let digests: Vec<u64> = ds.iter().map(|(_, p)| profile_digest(p)).collect();
+            let users: Vec<u32> = (0..ds.num_users() as u32).collect();
+            let original = cluster_hash(&users, &digests);
+
+            // Same members, same item sets: identical hash.
+            prop_assert_eq!(cluster_hash(&users, &digests), original);
+
+            // Dropped member: different hash.
+            let mut fewer = users.clone();
+            fewer.remove(drop_index % fewer.len());
+            prop_assert!(cluster_hash(&fewer, &digests) != original);
+
+            // One member's item set grows by an unseen item: different
+            // hash (the digest layer catches profile drift).
+            let victim = touched % profiles.len();
+            let mut drifted = profiles;
+            drifted[victim].push(new_item);
+            drifted[victim].sort_unstable();
+            drifted[victim].dedup();
+            let ds2 = Dataset::from_profiles(drifted, 0);
+            let digests2: Vec<u64> = ds2.iter().map(|(_, p)| profile_digest(p)).collect();
+            prop_assert!(cluster_hash(&users, &digests2) != original);
+        }
+
+        /// Cache lookups key on (hash, exact members, seed when the solve
+        /// is greedy): a permuted member list never reuses a solution.
+        #[test]
+        fn cache_lookup_requires_exact_member_order(
+            seed in 0u64..1_000,
+        ) {
+            let c2 = c2_config();
+            let mut cache = ClusterCache::new(&c2);
+            let users = vec![3u32, 7, 11, 42];
+            let digests = vec![1u64; 64];
+            let hash = cluster_hash(&users, &digests);
+            cache.insert(ClusterSolution {
+                hash,
+                users: users.clone(),
+                seed,
+                lists: vec![cnc_graph::NeighborList::new(4); 4],
+                comparisons: 6,
+            });
+            prop_assert!(cache.lookup(hash, &users, seed, true).is_some());
+            let mut permuted = users.clone();
+            permuted.swap(0, 3);
+            // Same content hash (order-invariant), but the ordered
+            // verification refuses the reuse.
+            prop_assert_eq!(cluster_hash(&permuted, &digests), hash);
+            prop_assert!(cache.lookup(hash, &permuted, seed, true).is_none());
+            prop_assert!(cache.lookup(hash, &users, seed + 1, true).is_none());
+            prop_assert!(cache.lookup(hash, &users, seed + 1, false).is_some());
+        }
+    }
+}

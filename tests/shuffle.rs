@@ -144,6 +144,7 @@ mod properties {
         #[test]
         fn spill_round_trip_is_lossless(
             user in 0u32..100_000,
+            cluster_hash in 0u64..u64::MAX,
             inserts in proptest::collection::vec((0u32..5_000, -1000i32..1000), 0..40),
             k in 1usize..16,
         ) {
@@ -152,13 +153,15 @@ mod properties {
                 original.insert(neighbor, sim_raw as f32 / 128.0);
             }
             let mut buf = Vec::new();
-            let written = write_record(&mut buf, user, &original).unwrap();
+            let written = write_record(&mut buf, user, cluster_hash, &original).unwrap();
             prop_assert_eq!(written, encoded_len(&original));
             prop_assert_eq!(written as usize, buf.len());
 
             let mut reader = buf.as_slice();
-            let (decoded_user, decoded) = read_record(&mut reader, k).unwrap().unwrap();
+            let (decoded_user, decoded_hash, decoded) =
+                read_record(&mut reader, k).unwrap().unwrap();
             prop_assert_eq!(decoded_user, user);
+            prop_assert_eq!(decoded_hash, cluster_hash);
             prop_assert_eq!(decoded.len(), original.len());
             let got: Vec<(u32, u32)> =
                 decoded.sorted().iter().map(|n| (n.user, n.sim.to_bits())).collect();
@@ -190,12 +193,13 @@ mod properties {
                 .collect();
             let mut buf = Vec::new();
             for (i, l) in originals.iter().enumerate() {
-                write_record(&mut buf, i as u32, l).unwrap();
+                write_record(&mut buf, i as u32, i as u64 * 31, l).unwrap();
             }
             let mut reader = buf.as_slice();
             for (i, l) in originals.iter().enumerate() {
-                let (user, decoded) = read_record(&mut reader, k).unwrap().unwrap();
+                let (user, hash, decoded) = read_record(&mut reader, k).unwrap().unwrap();
                 prop_assert_eq!(user, i as u32);
+                prop_assert_eq!(hash, i as u64 * 31);
                 prop_assert_eq!(decoded.sorted(), l.sorted());
             }
             prop_assert!(read_record(&mut reader, k).unwrap().is_none());
