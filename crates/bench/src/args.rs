@@ -11,9 +11,12 @@
 //! --workers <n>        pin the runtime sweep's map worker count  (default: sweep)
 //! --reduce-shards <n>  pin the runtime sweep's reduce shards     (default: sweep)
 //! --clients <n>        client threads for the serve bench        (default: 4)
+//! --telemetry on|off   metric/span recording                     (default: per-binary)
+//! --profile-out <path> write a JSON telemetry profile on exit    (default: none)
 //! ```
 
 use cnc_dataset::DatasetProfile;
+use std::path::PathBuf;
 
 /// Parsed harness options.
 #[derive(Clone, Debug)]
@@ -34,6 +37,12 @@ pub struct HarnessArgs {
     pub reduce_shards: Option<usize>,
     /// Client threads driving the `serve` bench (`None` = the default 4).
     pub clients: Option<usize>,
+    /// Telemetry recording override (`None` = the binary's default; serve
+    /// turns it on, the pure-throughput benches leave it off).
+    pub telemetry: Option<bool>,
+    /// Writes the run's JSON telemetry profile here on exit. Implies
+    /// telemetry unless `--telemetry off` explicitly wins.
+    pub profile_out: Option<PathBuf>,
 }
 
 impl Default for HarnessArgs {
@@ -46,6 +55,8 @@ impl Default for HarnessArgs {
             workers: None,
             reduce_shards: None,
             clients: None,
+            telemetry: None,
+            profile_out: None,
         }
     }
 }
@@ -95,6 +106,18 @@ impl HarnessArgs {
                             .map_err(|e| format!("--reduce-shards: {e}"))?,
                     );
                 }
+                "--telemetry" => {
+                    args.telemetry = match value("--telemetry")?.as_str() {
+                        "on" => Some(true),
+                        "off" => Some(false),
+                        other => {
+                            return Err(format!("--telemetry: expected on|off, got {other:?}"))
+                        }
+                    };
+                }
+                "--profile-out" => {
+                    args.profile_out = Some(PathBuf::from(value("--profile-out")?));
+                }
                 "--datasets" => {
                     let list = value("--datasets")?;
                     args.datasets = list
@@ -131,7 +154,15 @@ impl HarnessArgs {
     /// The usage string.
     pub fn usage() -> &'static str {
         "usage: [--scale F] [--threads N] [--seed S] [--workers W] [--reduce-shards R] \
-         [--clients C] [--datasets ml1M,ml10M,ml20M,AM,DBLP,GW]"
+         [--clients C] [--datasets ml1M,ml10M,ml20M,AM,DBLP,GW] [--telemetry on|off] \
+         [--profile-out PATH]"
+    }
+
+    /// Resolves whether telemetry should record for this run:
+    /// an explicit `--telemetry` flag wins, otherwise `--profile-out`
+    /// implies recording, otherwise the binary's default.
+    pub fn telemetry_enabled(&self, default: bool) -> bool {
+        self.telemetry.unwrap_or(default || self.profile_out.is_some())
     }
 }
 
@@ -204,5 +235,31 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         assert!(parse(&["--seed"]).is_err());
+    }
+
+    #[test]
+    fn parses_telemetry_switch() {
+        assert_eq!(parse(&["--telemetry", "on"]).unwrap().telemetry, Some(true));
+        assert_eq!(parse(&["--telemetry", "off"]).unwrap().telemetry, Some(false));
+        assert!(parse(&["--telemetry", "maybe"]).is_err());
+        assert!(parse(&["--telemetry"]).is_err());
+    }
+
+    #[test]
+    fn parses_profile_out_path() {
+        let args = parse(&["--profile-out", "/tmp/profile.json"]).unwrap();
+        assert_eq!(args.profile_out, Some(PathBuf::from("/tmp/profile.json")));
+        assert!(parse(&["--profile-out"]).is_err());
+    }
+
+    #[test]
+    fn profile_out_implies_telemetry_unless_overridden() {
+        assert!(!parse(&[]).unwrap().telemetry_enabled(false));
+        assert!(parse(&[]).unwrap().telemetry_enabled(true));
+        assert!(parse(&["--profile-out", "p.json"]).unwrap().telemetry_enabled(false));
+        assert!(!parse(&["--profile-out", "p.json", "--telemetry", "off"])
+            .unwrap()
+            .telemetry_enabled(false));
+        assert!(parse(&["--telemetry", "on"]).unwrap().telemetry_enabled(false));
     }
 }

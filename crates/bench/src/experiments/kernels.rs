@@ -271,6 +271,10 @@ pub fn to_json(report: &KernelsReport, args: &HarnessArgs) -> String {
 /// Runs the bench, writes `BENCH_kernels.json` (best-effort) and renders
 /// the markdown section for `repro_all`.
 pub fn run(args: &HarnessArgs) -> String {
+    // The kernel bench defaults telemetry *off* (it measures raw
+    // comparison throughput); `--profile-out` or `--telemetry on` record
+    // the per-width `cnc_kernel_comparisons_total` family.
+    cnc_telemetry::Telemetry::global().enable(args.telemetry_enabled(false));
     let report = bench(args);
 
     // Recording is skipped under `cfg(test)` so unit tests don't clobber
@@ -283,6 +287,7 @@ pub fn run(args: &HarnessArgs) -> String {
             eprintln!("cannot write {path} ({err}); continuing");
         }
     }
+    crate::write_profile(args);
 
     let mut rows = String::new();
     for row in &report.pairwise {

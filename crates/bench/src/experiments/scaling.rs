@@ -35,6 +35,10 @@ pub const SHUFFLE_WORKERS: usize = 4;
 
 /// Runs both sweeps and renders the markdown section.
 pub fn run(args: &HarnessArgs) -> String {
+    // The scaling sweep defaults telemetry *off* (wall-clock fidelity);
+    // `--profile-out` or `--telemetry on` capture the per-build
+    // map.worker / reduce.shard span trees for trace inspection.
+    cnc_telemetry::Telemetry::global().enable(args.telemetry_enabled(false));
     let mut cfg = SyntheticConfig::small(args.seed);
     cfg.num_users = (8000.0 * args.scale.max(0.05)) as usize;
     cfg.num_items = (4000.0 * args.scale.max(0.05)) as usize;
@@ -113,6 +117,7 @@ pub fn run(args: &HarnessArgs) -> String {
         }
     }
 
+    crate::write_profile(args);
     format!(
         "## Sharded runtime — predicted vs. measured scaling\n\n\
          *{} users, {num_clusters} clusters per run; LPT plan + work stealing; \

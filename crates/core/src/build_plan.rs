@@ -43,6 +43,7 @@ use crate::pipeline::ClusterAndConquer;
 use cnc_dataset::{Dataset, ItemId, UserId};
 use cnc_graph::NeighborList;
 use cnc_similarity::SimilarityBackend;
+use cnc_telemetry::Telemetry;
 use std::collections::HashMap;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -286,7 +287,10 @@ impl BuildPlan {
     /// as [`ClusterAndConquer::build`] does (via `cluster_step`), and
     /// derives each cluster's solver seed (via `job_seed`).
     pub fn assign(config: &C2Config, dataset: &Dataset) -> BuildPlan {
+        let mut span = Telemetry::global().span("build.assign");
         let clustering = ClusterAndConquer::new(*config).cluster_step(dataset);
+        span.attr("clusters", clustering.clusters.len() as u64);
+        span.attr("splits", clustering.splits as u64);
         let seeds = (0..clustering.clusters.len())
             .map(|index| ClusterAndConquer::job_seed(config, index))
             .collect();
@@ -307,9 +311,11 @@ impl BuildPlan {
         if self.hashes.len() == self.clusters.len() {
             return;
         }
+        let mut span = Telemetry::global().span("build.fingerprint");
         let digests: Vec<u64> =
             dataset.iter().map(|(_, profile)| profile_digest(profile)).collect();
         self.hashes = self.clusters.iter().map(|users| cluster_hash(users, &digests)).collect();
+        span.attr("clusters", self.hashes.len() as u64);
     }
 
     /// **Stage 3** — splits the clusters into dirty (must solve) and
@@ -338,6 +344,7 @@ impl BuildPlan {
         for &u in force_dirty {
             forced[u as usize] = true;
         }
+        let mut span = Telemetry::global().span("build.partition");
         let mut dirty = Vec::new();
         let mut reused = Vec::new();
         for (index, users) in self.clusters.iter().enumerate() {
@@ -357,6 +364,8 @@ impl BuildPlan {
                 None => dirty.push(index),
             }
         }
+        span.attr("dirty", dirty.len() as u64);
+        span.attr("reused", reused.len() as u64);
         PlanPartition { dirty, reused }
     }
 

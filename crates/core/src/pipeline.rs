@@ -10,6 +10,7 @@ use cnc_baselines::{local, BuildContext, KnnAlgorithm};
 use cnc_dataset::{Dataset, UserId};
 use cnc_graph::{KnnGraph, SharedKnnGraph};
 use cnc_similarity::{SeededHash, SimilarityData};
+use cnc_telemetry::Telemetry;
 use cnc_threadpool::{effective_threads, PriorityPool};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -208,6 +209,8 @@ impl ClusterAndConquer {
         start: Instant,
         incremental: Option<(&ClusterCache, &[UserId])>,
     ) -> (C2Result, Option<(ClusterCache, RebuildStats)>) {
+        let telemetry = Telemetry::global();
+        let mut build_span = telemetry.span("build");
         let comparisons_before = sim.comparisons();
         let n = dataset.num_users();
         let threads = effective_threads(config.threads);
@@ -221,6 +224,7 @@ impl ClusterAndConquer {
         let clustering_elapsed = start.elapsed();
 
         // --- Stage 3: partition, then solve only the dirty clusters ------
+        let local_start_ns = telemetry.stamp();
         let local_start = Instant::now();
         let (dirty, reused) = match incremental {
             Some((prev, force_dirty)) => {
@@ -279,6 +283,21 @@ impl ClusterAndConquer {
             ClusterCache::assemble(config, &reused, fresh, start.elapsed().as_secs_f64() * 1e3)
         });
         let local_elapsed = local_start.elapsed();
+        let run_comparisons = sim.comparisons() - comparisons_before;
+
+        // Span fed by the identical Duration that feeds the stats struct,
+        // so stage timings cannot drift between the two accounts.
+        telemetry.record_complete(
+            "build.local_knn",
+            local_start_ns,
+            local_elapsed.as_nanos() as u64,
+            vec![("comparisons", run_comparisons), ("clusters_solved", dirty.len() as u64)],
+        );
+        if telemetry.enabled() {
+            build_span.attr("comparisons", run_comparisons);
+            build_span.attr("users", n as u64);
+            telemetry.counter("cnc_build_comparisons_total", &[]).add(run_comparisons);
+        }
 
         let mut cluster_sizes_desc: Vec<usize> = plan.clusters().iter().map(Vec::len).collect();
         cluster_sizes_desc.sort_unstable_by(|a, b| b.cmp(a));
@@ -288,7 +307,7 @@ impl ClusterAndConquer {
                 num_clusters: plan.clusters().len(),
                 splits: plan.splits(),
                 cluster_sizes_desc,
-                comparisons: sim.comparisons() - comparisons_before,
+                comparisons: run_comparisons,
                 timings: PhaseTimings {
                     clustering: clustering_elapsed,
                     local_knn: local_elapsed,

@@ -45,6 +45,7 @@ use cnc_core::{C2Config, ClusterAndConquer, DeploymentPlan};
 use cnc_dataset::{Dataset, UserId};
 use cnc_graph::{KnnGraph, NeighborList};
 use cnc_similarity::{GoldFinger, SimilarityData};
+use cnc_telemetry::{SpanRecord, Telemetry};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fs::File;
@@ -349,6 +350,7 @@ impl Runtime {
         start: Instant,
         incremental: Option<(&ClusterCache, &[UserId])>,
     ) -> (ShardedResult, Option<(ClusterCache, RebuildStats)>) {
+        let telemetry = Telemetry::global();
         let comparisons_before = sim.comparisons();
         let workers = self.config.effective_workers();
         let reduce_shards = self.config.effective_reduce_shards();
@@ -402,6 +404,7 @@ impl Runtime {
         let spill_dir_path = spill_dir.as_ref().map(|d| d.path().to_path_buf());
 
         // --- Map + reduce, overlapped; cached solutions replayed ---------
+        let map_reduce_start_ns = telemetry.stamp();
         let map_reduce_start = Instant::now();
         let solutions = incremental.map(|_| Mutex::new(Vec::with_capacity(scheduled.len())));
         let ctx = MapContext {
@@ -537,8 +540,83 @@ impl Runtime {
         if cfg!(debug_assertions) {
             report.check_invariants().expect("runtime report accounting violated");
         }
+        // Stage spans, synthesized from the joined stats so span durations
+        // and the report are fed by the identical values. Built for the
+        // debug cross-check even when telemetry is off; published (with
+        // the stage counters) only when it is on.
+        if telemetry.enabled() || cfg!(debug_assertions) {
+            let records = stage_span_records(telemetry, &report, map_reduce_start_ns);
+            if cfg!(debug_assertions) {
+                report
+                    .check_telemetry(&records)
+                    .expect("synthesized telemetry spans drifted from the report");
+            }
+            if telemetry.enabled() {
+                let parent = telemetry.collector().record_complete(
+                    "build.map_reduce",
+                    map_reduce_start_ns,
+                    map_reduce_wall.as_nanos() as u64,
+                    vec![
+                        ("shuffle_entries", report.shuffle_entries),
+                        ("reused_entries", report.reused_entries),
+                    ],
+                );
+                for mut record in records {
+                    record.parent = parent;
+                    telemetry.submit(record);
+                }
+                telemetry.counter("cnc_build_comparisons_total", &[]).add(report.comparisons);
+                telemetry.counter("cnc_shuffle_entries_total", &[]).add(report.shuffle_entries);
+                telemetry.counter("cnc_spill_bytes_total", &[]).add(report.total_spill_bytes());
+                telemetry.counter("cnc_steals_total", &[]).add(report.stolen_clusters() as u64);
+            }
+        }
         (ShardedResult { graph, report }, extra)
     }
+}
+
+/// One `map.worker` span per worker and one `reduce.shard` span per
+/// reducer, synthesized from the joined stats: durations and comparison
+/// attributions ARE the stats' values (not independently re-measured), so
+/// [`RuntimeReport::check_telemetry`]'s exact equalities hold by
+/// construction — the debug assert catches any future drift between the
+/// two accounts. Synthetic thread ids keep worker and reducer lanes apart
+/// in a Perfetto view.
+fn stage_span_records(
+    telemetry: &Telemetry,
+    report: &RuntimeReport,
+    start_ns: u64,
+) -> Vec<SpanRecord> {
+    let mut records = Vec::with_capacity(report.workers.len() + report.reducers.len());
+    for w in &report.workers {
+        records.push(SpanRecord {
+            name: "map.worker",
+            id: telemetry.next_span_id(),
+            parent: 0,
+            thread: 1_000 + w.worker as u64,
+            start_ns,
+            dur_ns: w.busy.as_nanos() as u64,
+            attrs: vec![
+                ("comparisons", w.comparisons),
+                ("shuffle_entries", w.shuffle_entries),
+                ("spilled_bytes", w.spilled_bytes),
+                ("stolen", w.stolen as u64),
+                ("clusters", w.clusters.len() as u64),
+            ],
+        });
+    }
+    for r in &report.reducers {
+        records.push(SpanRecord {
+            name: "reduce.shard",
+            id: telemetry.next_span_id(),
+            parent: 0,
+            thread: 2_000 + r.shard as u64,
+            start_ns,
+            dur_ns: r.busy.as_nanos() as u64,
+            attrs: vec![("entries", r.entries), ("spilled_bytes", r.spilled_bytes)],
+        });
+    }
+    records
 }
 
 /// The fingerprint-set validation [`Runtime::execute_shared`] and
@@ -584,7 +662,17 @@ fn map_worker(
         spilled_entries: 0,
         spilled_bytes: 0,
         stolen: 0,
+        comparisons: 0,
     };
+    // Per-algorithm solve-latency histograms, resolved once per worker
+    // (never in the cluster loop) and only when telemetry is on.
+    let telemetry = Telemetry::global();
+    let solve_hists = telemetry.enabled().then(|| {
+        (
+            telemetry.histogram("cnc_cluster_solve_ns", &[("algo", "brute")]),
+            telemetry.histogram("cnc_cluster_solve_ns", &[("algo", "greedy")]),
+        )
+    });
     // Per reduce shard: encoded bytes shipped so far (drives `Auto`) and
     // the lazily-created spill stream.
     let mut shipped_bytes: Vec<u64> = vec![0; ctx.reduce_shards];
@@ -623,6 +711,11 @@ fn map_worker(
             ctx.c2.delta,
             ClusterAndConquer::job_seed(ctx.c2, global),
         );
+        stats.comparisons += comparisons;
+        if let Some((brute, greedy)) = &solve_hists {
+            let hist = if users.len() >= ctx.threshold { greedy } else { brute };
+            hist.record(busy_start.elapsed().as_nanos() as u64);
+        }
         // Incremental builds keep the solve as a cache-keyed solution for
         // the next epoch (the lists are cloned: one copy rides the shuffle,
         // one lives in the cache).

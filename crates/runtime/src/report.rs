@@ -3,6 +3,7 @@
 
 use crate::config::SpillMode;
 use cnc_core::DeploymentPlan;
+use cnc_telemetry::SpanRecord;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -28,6 +29,11 @@ pub struct WorkerStats {
     pub spilled_bytes: u64,
     /// How many of `clusters` were stolen from another worker's queue.
     pub stolen: usize,
+    /// Similarity computations this worker's cluster solves performed —
+    /// summed from the solver's *returned* counts, an accounting path
+    /// independent of the oracle's atomic counter the report-level
+    /// `comparisons` figure reads (their equality is an invariant).
+    pub comparisons: u64,
 }
 
 /// What one reduce shard actually did.
@@ -223,7 +229,10 @@ impl RuntimeReport {
     ///   total, disjoint cover);
     /// * spilled entries/bytes agree between the write side (workers) and
     ///   the replay side (reducers);
-    /// * [`SpillMode::Off`] implies zero spill traffic.
+    /// * [`SpillMode::Off`] implies zero spill traffic;
+    /// * per-worker comparison counts (the solvers' returned totals) sum
+    ///   to the report's `comparisons` (the oracle's atomic delta) — two
+    ///   independently fed accounts of the paper's primary cost metric.
     pub fn check_invariants(&self) -> Result<(), String> {
         let sent: u64 = self.workers.iter().map(|w| w.shuffle_entries).sum();
         if sent != self.shuffle_entries {
@@ -293,6 +302,54 @@ impl RuntimeReport {
         if self.spill == SpillMode::Off && replayed != (0, 0) {
             return Err(format!("spill is Off but {replayed:?} (entries, bytes) were spilled"));
         }
+        let worker_comparisons: u64 = self.workers.iter().map(|w| w.comparisons).sum();
+        if worker_comparisons != self.comparisons {
+            return Err(format!(
+                "workers counted {worker_comparisons} comparisons, oracle counted {}",
+                self.comparisons
+            ));
+        }
+        Ok(())
+    }
+
+    /// Cross-checks the engine's synthesized telemetry spans against this
+    /// report: `map.worker` / `reduce.shard` spans must carry exactly the
+    /// busy times of [`RuntimeReport::total_busy`] /
+    /// [`RuntimeReport::total_reduce_busy`] (the engine feeds both from
+    /// the same `Duration` values, so equality is exact, not approximate),
+    /// and the `comparisons` attributions must sum to the report's total.
+    /// Debug-asserted by the engine on every build.
+    pub fn check_telemetry(&self, records: &[SpanRecord]) -> Result<(), String> {
+        let sum = |name: &str| -> u64 {
+            records.iter().filter(|r| r.name == name).map(|r| r.dur_ns).sum()
+        };
+        let map_busy = sum("map.worker");
+        if map_busy != self.total_busy().as_nanos() as u64 {
+            return Err(format!(
+                "map.worker spans carry {map_busy} ns, report total_busy is {} ns",
+                self.total_busy().as_nanos()
+            ));
+        }
+        let reduce_busy = sum("reduce.shard");
+        if reduce_busy != self.total_reduce_busy().as_nanos() as u64 {
+            return Err(format!(
+                "reduce.shard spans carry {reduce_busy} ns, report total_reduce_busy is {} ns",
+                self.total_reduce_busy().as_nanos()
+            ));
+        }
+        let span_comparisons: u64 = records
+            .iter()
+            .filter(|r| r.name == "map.worker")
+            .flat_map(|r| r.attrs.iter())
+            .filter(|(k, _)| *k == "comparisons")
+            .map(|(_, v)| v)
+            .sum();
+        if span_comparisons != self.comparisons {
+            return Err(format!(
+                "map.worker spans attribute {span_comparisons} comparisons, report says {}",
+                self.comparisons
+            ));
+        }
         Ok(())
     }
 }
@@ -313,6 +370,7 @@ mod tests {
             spilled_entries,
             spilled_bytes,
             stolen: 0,
+            comparisons: 50,
         };
         let reducer = |shard, users, entries, spilled_entries, spilled_bytes| ReduceStats {
             shard,
@@ -408,6 +466,64 @@ mod tests {
         shrunk.clusters_total = 1;
         assert!(shrunk.check_invariants().unwrap_err().contains("clusters_total"));
         assert_eq!(consistent_report().reuse_ratio(), 0.0);
+    }
+
+    #[test]
+    fn worker_comparison_sum_must_equal_oracle_count() {
+        let mut report = consistent_report();
+        report.workers[1].comparisons += 1;
+        let err = report.check_invariants().unwrap_err();
+        assert!(err.contains("workers counted"), "{err}");
+    }
+
+    /// Synthesized spans matching `consistent_report`: one `map.worker`
+    /// per worker fed from its busy/comparisons, one `reduce.shard` per
+    /// reducer fed from its busy.
+    fn matching_spans(report: &RuntimeReport) -> Vec<SpanRecord> {
+        let mut records = Vec::new();
+        for w in &report.workers {
+            records.push(SpanRecord {
+                name: "map.worker",
+                id: 1 + w.worker as u64,
+                parent: 0,
+                thread: 1 + w.worker as u64,
+                start_ns: 0,
+                dur_ns: w.busy.as_nanos() as u64,
+                attrs: vec![("comparisons", w.comparisons)],
+            });
+        }
+        for r in &report.reducers {
+            records.push(SpanRecord {
+                name: "reduce.shard",
+                id: 100 + r.shard as u64,
+                parent: 0,
+                thread: 100 + r.shard as u64,
+                start_ns: 0,
+                dur_ns: r.busy.as_nanos() as u64,
+                attrs: Vec::new(),
+            });
+        }
+        records
+    }
+
+    #[test]
+    fn telemetry_cross_check_demands_exact_busy_and_comparison_sums() {
+        let report = consistent_report();
+        let good = matching_spans(&report);
+        report.check_telemetry(&good).unwrap();
+
+        let mut slow = matching_spans(&report);
+        slow[0].dur_ns += 1;
+        assert!(report.check_telemetry(&slow).unwrap_err().contains("map.worker"));
+
+        let mut reduce_drift = matching_spans(&report);
+        let shard = reduce_drift.iter_mut().find(|r| r.name == "reduce.shard").unwrap();
+        shard.dur_ns -= 1;
+        assert!(report.check_telemetry(&reduce_drift).unwrap_err().contains("reduce.shard"));
+
+        let mut uncounted = matching_spans(&report);
+        uncounted[0].attrs.clear();
+        assert!(report.check_telemetry(&uncounted).unwrap_err().contains("comparisons"));
     }
 
     #[test]

@@ -35,6 +35,7 @@ use cnc_graph::KnnGraph;
 use cnc_query::{BeamSearchConfig, DynamicIndex, QueryIndex, QueryResult, Searcher};
 use cnc_runtime::{Runtime, RuntimeConfig};
 use cnc_similarity::{GoldFinger, SimilarityBackend};
+use cnc_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -183,6 +184,44 @@ struct Writer {
     cache: ClusterCache,
 }
 
+/// Telemetry handles for the serving path, resolved once at engine
+/// construction (the registry lock never appears on the query path).
+/// Recording is gated on [`Telemetry::enabled`] at each site; the
+/// histograms are the bounded-memory source of the serve bench's latency
+/// percentiles.
+struct ServeMetrics {
+    queries_served: Arc<Counter>,
+    queries_empty: Arc<Counter>,
+    query_latency_ns: Arc<Histogram>,
+    query_comparisons: Arc<Histogram>,
+    insert_latency_ns: Arc<Histogram>,
+    inserts_total: Arc<Counter>,
+    epoch_publishes: Arc<Counter>,
+    rebuild_ms: Arc<Histogram>,
+    epoch: Arc<Gauge>,
+    epoch_users: Arc<Gauge>,
+    pending_inserts: Arc<Gauge>,
+}
+
+impl ServeMetrics {
+    fn new() -> Self {
+        let t = Telemetry::global();
+        ServeMetrics {
+            queries_served: t.counter("cnc_queries_total", &[("outcome", "served")]),
+            queries_empty: t.counter("cnc_queries_total", &[("outcome", "empty")]),
+            query_latency_ns: t.histogram("cnc_query_latency_ns", &[]),
+            query_comparisons: t.histogram("cnc_query_comparisons", &[]),
+            insert_latency_ns: t.histogram("cnc_insert_latency_ns", &[]),
+            inserts_total: t.counter("cnc_inserts_total", &[]),
+            epoch_publishes: t.counter("cnc_epoch_publishes_total", &[]),
+            rebuild_ms: t.histogram("cnc_rebuild_ms", &[]),
+            epoch: t.gauge("cnc_epoch", &[]),
+            epoch_users: t.gauge("cnc_epoch_users", &[]),
+            pending_inserts: t.gauge("cnc_pending_inserts", &[]),
+        }
+    }
+}
+
 /// A concurrent KNN serving engine (see the module docs).
 pub struct ServingEngine {
     config: ServingConfig,
@@ -200,6 +239,7 @@ pub struct ServingEngine {
     /// long-lived engine publishing every few seconds must not grow
     /// monitoring state without bound; the oldest swaps are dropped.
     rebuild_history: Mutex<std::collections::VecDeque<RebuildStats>>,
+    metrics: ServeMetrics,
 }
 
 /// Retained epoch-publish records (newest kept; see
@@ -266,6 +306,11 @@ impl ServingEngine {
         epoch.rebuild = rebuild;
         let epoch = Arc::new(epoch);
         let writer = Writer { dynamic: writer_index(&epoch, &config), cache };
+        let metrics = ServeMetrics::new();
+        if Telemetry::global().enabled() {
+            metrics.epoch.set(epoch.epoch() as i64);
+            metrics.epoch_users.set(epoch.num_users() as i64);
+        }
         ServingEngine {
             config,
             current: RwLock::new(epoch),
@@ -275,6 +320,7 @@ impl ServingEngine {
             epoch_swaps: AtomicU64::new(0),
             pending: AtomicUsize::new(0),
             rebuild_history: Mutex::new(std::collections::VecDeque::new()),
+            metrics,
         }
     }
 
@@ -346,6 +392,7 @@ impl ServingEngine {
         k: usize,
         seed: u64,
     ) -> QueryResult {
+        let timer = Telemetry::global().enabled().then(Instant::now);
         let mut query = profile.to_vec();
         query.sort_unstable();
         query.dedup();
@@ -355,6 +402,15 @@ impl ServingEngine {
         let result =
             epoch.index().search_with(&mut session.searcher, &query, k, &self.config.beam, seed);
         self.queries.fetch_add(1, Ordering::Relaxed);
+        if let Some(start) = timer {
+            self.metrics.query_latency_ns.record(start.elapsed().as_nanos() as u64);
+            self.metrics.query_comparisons.record(result.comparisons as u64);
+            if result.neighbors.is_empty() {
+                self.metrics.queries_empty.inc();
+            } else {
+                self.metrics.queries_served.inc();
+            }
+        }
         result
     }
 
@@ -366,10 +422,18 @@ impl ServingEngine {
     /// Single-writer: concurrent inserts serialize on the writer lock;
     /// queries are never blocked.
     pub fn insert(&self, profile: Vec<ItemId>, seed: u64) -> InsertOutcome {
+        let timer = Telemetry::global().enabled().then(Instant::now);
         let mut writer = self.writer.lock().expect("writer lock poisoned");
         let (user, comparisons) = writer.dynamic.add_user(profile, seed);
         let pending = self.pending.fetch_add(1, Ordering::Relaxed) + 1;
         self.inserts.fetch_add(1, Ordering::Relaxed);
+        if let Some(start) = timer {
+            // Placement latency only — a triggered rebuild is accounted by
+            // its own `publish` span and `cnc_rebuild_ms`.
+            self.metrics.insert_latency_ns.record(start.elapsed().as_nanos() as u64);
+            self.metrics.inserts_total.inc();
+            self.metrics.pending_inserts.set(pending as i64);
+        }
         let published = if self.config.rebuild_after > 0 && pending >= self.config.rebuild_after {
             Some(self.rebuild_locked(&mut writer))
         } else {
@@ -418,6 +482,8 @@ impl ServingEngine {
     /// [`ClusterCache`]; cached partial lists cover the rest. Readers
     /// keep serving the old epoch until the single pointer store below.
     fn rebuild_locked(&self, writer: &mut Writer) -> u64 {
+        let telemetry = Telemetry::global();
+        let mut span = telemetry.span("publish");
         let dataset = writer.dynamic.to_dataset();
         let inserted: Vec<UserId> = writer.dynamic.inserted_ids().collect();
         let (graph, fingerprints, cache, rebuild) =
@@ -434,6 +500,16 @@ impl ServingEngine {
         self.pending.store(0, Ordering::Relaxed);
         *self.current.write().expect("epoch lock poisoned") = Arc::clone(&epoch);
         self.epoch_swaps.fetch_add(1, Ordering::Relaxed);
+        if telemetry.enabled() {
+            span.attr("epoch", next);
+            span.attr("clusters_resolved", rebuild.clusters_resolved as u64);
+            span.attr("clusters_reused", rebuild.clusters_reused() as u64);
+            self.metrics.epoch_publishes.inc();
+            self.metrics.rebuild_ms.record(rebuild.rebuild_ms as u64);
+            self.metrics.epoch.set(next as i64);
+            self.metrics.epoch_users.set(epoch.num_users() as i64);
+            self.metrics.pending_inserts.set(0);
+        }
         let mut history = self.rebuild_history.lock().expect("rebuild history poisoned");
         if history.len() == REBUILD_HISTORY_CAP {
             history.pop_front();

@@ -34,6 +34,7 @@
 use cnc_dataset::Dataset;
 use cnc_graph::{KnnGraph, Neighbor, NeighborList};
 use cnc_similarity::GoldFinger;
+use cnc_telemetry::Telemetry;
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -214,7 +215,18 @@ impl Snapshot {
     /// Loads a snapshot from `path`, verifying magic, version, checksums
     /// and every structural invariant.
     pub fn load(path: impl AsRef<Path>) -> Result<Snapshot, SnapshotError> {
-        Self::load_from(&mut BufReader::new(File::open(path)?))
+        let telemetry = Telemetry::global();
+        let start_ns = telemetry.stamp();
+        let file = File::open(path)?;
+        let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+        let snap = Self::load_from(&mut BufReader::new(file))?;
+        telemetry.record_complete(
+            "snapshot.load",
+            start_ns,
+            telemetry.stamp().saturating_sub(start_ns),
+            vec![("bytes", bytes), ("users", snap.dataset.num_users() as u64)],
+        );
+        Ok(snap)
     }
 
     /// Loads a snapshot from any source (see [`Snapshot::load`]).
@@ -380,6 +392,8 @@ pub fn write_snapshot(
         WRITE_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     ));
     let tmp = std::path::PathBuf::from(tmp);
+    let telemetry = Telemetry::global();
+    let start_ns = telemetry.stamp();
     let result = (|| {
         let mut out = BufWriter::new(File::create(&tmp)?);
         let bytes = write_snapshot_to(dataset, graph, goldfinger, &mut out)?;
@@ -389,6 +403,14 @@ pub fn write_snapshot(
         std::fs::rename(&tmp, path)?;
         Ok(bytes)
     })();
+    if let Ok(bytes) = &result {
+        telemetry.record_complete(
+            "snapshot.write",
+            start_ns,
+            telemetry.stamp().saturating_sub(start_ns),
+            vec![("bytes", *bytes), ("users", dataset.num_users() as u64)],
+        );
+    }
     if result.is_err() {
         // Best effort: never leave a half-written temp file behind.
         let _ = std::fs::remove_file(&tmp);

@@ -7,6 +7,11 @@
 use cluster_and_conquer::prelude::*;
 
 fn main() {
+    // 0. Turn telemetry on: every pipeline stage below records a span
+    //    (wall time + comparison counts) into the global collector.
+    let telemetry = Telemetry::global();
+    telemetry.enable(true);
+
     // 1. A dataset: users × items. Here a seeded synthetic one; plug your
     //    own ratings with `cnc_dataset::io::load_ratings`.
     let dataset = SyntheticConfig::small(42).generate();
@@ -36,4 +41,16 @@ fn main() {
         best.sim,
         Jaccard::similarity(dataset.profile(0), dataset.profile(best.user)),
     );
+
+    // 5. Where did the time go? The telemetry span summary is the
+    //    stage-level breakdown the paper reports in Table 1.
+    println!("\nstage                 time        comparisons");
+    for span in telemetry.span_summary() {
+        let comparisons = span
+            .attrs
+            .iter()
+            .find(|(key, _)| *key == "comparisons")
+            .map_or(String::new(), |(_, total)| total.to_string());
+        println!("{:<20}  {:>8.3} ms  {:>11}", span.name, span.total_ns as f64 / 1e6, comparisons);
+    }
 }

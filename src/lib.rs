@@ -25,6 +25,7 @@ pub use cnc_query as query;
 pub use cnc_runtime as runtime;
 pub use cnc_serve as serve;
 pub use cnc_similarity as similarity;
+pub use cnc_telemetry as telemetry;
 pub use cnc_threadpool as threadpool;
 
 /// Commonly used items, importable with one `use`.
@@ -40,4 +41,5 @@ pub mod prelude {
     pub use cnc_runtime::{Runtime, RuntimeConfig, ShardedBuild, SpillMode, StealPolicy};
     pub use cnc_serve::{ServingConfig, ServingEngine, Snapshot};
     pub use cnc_similarity::{GoldFinger, Jaccard, SimilarityBackend};
+    pub use cnc_telemetry::Telemetry;
 }

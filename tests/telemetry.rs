@@ -1,0 +1,189 @@
+//! Cross-layer telemetry tests: histogram laws (property-based), sharded
+//! counter correctness under thread storms, and end-to-end presence of
+//! the spans/metrics the instrumented layers promise.
+//!
+//! The global registry is shared by every test in this binary (and they
+//! run in parallel), so the integration tests assert *presence and
+//! lower bounds* on global state, and exact equalities only on local
+//! `Histogram`/`Counter` instances or per-run handles they own.
+
+use cluster_and_conquer::prelude::*;
+use cnc_telemetry::{Counter, Histogram};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Histogram laws
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Quantiles are monotone in `q` for any sample set.
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        samples in proptest::collection::vec(0u64..1u64 << 40, 1..200),
+        qa_millis in 0u32..1000,
+        qb_millis in 0u32..1000,
+    ) {
+        let hist = Histogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let (qa, qb) = (f64::from(qa_millis) / 1000.0, f64::from(qb_millis) / 1000.0);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(hist.quantile(lo) <= hist.quantile(hi));
+    }
+
+    /// Merging two histograms is exactly equivalent to recording the
+    /// concatenated sample stream into one.
+    #[test]
+    fn histogram_merge_equals_concatenation(
+        left in proptest::collection::vec(0u64..1u64 << 40, 0..100),
+        right in proptest::collection::vec(0u64..1u64 << 40, 0..100),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for &s in &left {
+            a.record(s);
+            combined.record(s);
+        }
+        for &s in &right {
+            b.record(s);
+            combined.record(s);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), combined.count());
+        prop_assert_eq!(a.sum(), combined.sum());
+        prop_assert_eq!(a.min(), combined.min());
+        prop_assert_eq!(a.max(), combined.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(a.quantile(q), combined.quantile(q));
+        }
+    }
+
+    /// Every power of two is a bucket lower bound, so a histogram holding
+    /// only copies of `1 << e` reports that exact value at any quantile.
+    #[test]
+    fn power_of_two_samples_report_exactly(e in 0u32..63, n in 1usize..50) {
+        let value = 1u64 << e;
+        let hist = Histogram::new();
+        for _ in 0..n {
+            hist.record(value);
+        }
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            prop_assert_eq!(hist.quantile(q), value);
+        }
+    }
+
+    /// The bucket a value lands in never claims a lower bound above the
+    /// value, and quantiles only quantize downward within one sub-bucket.
+    #[test]
+    fn bucket_lower_bound_never_exceeds_value(v in 0u64..u64::MAX / 2) {
+        let idx = Histogram::bucket_index(v);
+        let lower = Histogram::bucket_lower_bound(idx);
+        prop_assert!(lower <= v, "bucket {idx} lower bound {lower} > value {v}");
+        let hist = Histogram::new();
+        hist.record(v);
+        prop_assert_eq!(hist.quantile(0.5), lower);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded counter under contention
+// ---------------------------------------------------------------------
+
+#[test]
+fn sharded_counter_is_exact_under_thread_storm() {
+    let counter = Counter::new();
+    let threads = 8;
+    let increments_per_thread = 50_000u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let counter = &counter;
+            scope.spawn(move || {
+                for i in 0..increments_per_thread {
+                    // Mix inc() and add() so both paths see contention.
+                    if (t + i) % 2 == 0 {
+                        counter.inc();
+                    } else {
+                        counter.add(1);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(counter.value(), threads * increments_per_thread);
+}
+
+// ---------------------------------------------------------------------
+// Cross-layer integration (presence-based: the registry is global)
+// ---------------------------------------------------------------------
+
+#[test]
+fn instrumented_build_emits_spans_and_counts_comparisons() {
+    let telemetry = Telemetry::global();
+    telemetry.enable(true);
+    let comparisons_handle = telemetry.counter("cnc_build_comparisons_total", &[]);
+    let before = comparisons_handle.value();
+
+    let dataset = SyntheticConfig::small(97).generate();
+    let config = C2Config { k: 8, ..C2Config::default() };
+    let result = ClusterAndConquer::new(config).build(&dataset);
+    assert!(result.stats.comparisons > 0);
+
+    // The per-run delta on our own handle must cover this build exactly
+    // once (parallel tests may add more, never subtract).
+    let delta = comparisons_handle.value() - before;
+    assert!(
+        delta >= result.stats.comparisons,
+        "registry delta {delta} < build's own count {}",
+        result.stats.comparisons
+    );
+
+    let summary = telemetry.span_summary();
+    for stage in ["build", "build.assign", "build.local_knn"] {
+        let span = summary
+            .iter()
+            .find(|s| s.name == stage)
+            .unwrap_or_else(|| panic!("no {stage:?} span recorded"));
+        assert!(span.count >= 1);
+        assert!(span.total_ns > 0, "{stage} recorded zero wall time");
+    }
+}
+
+#[test]
+fn exports_render_after_a_real_build() {
+    let telemetry = Telemetry::global();
+    telemetry.enable(true);
+    let dataset = SyntheticConfig::small(98).generate();
+    let config = C2Config { k: 6, ..C2Config::default() };
+    ClusterAndConquer::new(config).build(&dataset);
+
+    let text = telemetry.prometheus_text();
+    assert!(text.contains("cnc_build_comparisons_total"), "missing counter in:\n{text}");
+
+    let profile = telemetry.json_profile();
+    assert!(profile.contains("\"counters\""));
+    assert!(profile.contains("cnc_build_comparisons_total"));
+    assert_eq!(profile.matches('{').count(), profile.matches('}').count());
+
+    let trace = telemetry.chrome_trace();
+    assert!(trace.contains("\"traceEvents\""));
+    assert!(trace.contains("\"build\""));
+    assert_eq!(trace.matches('[').count(), trace.matches(']').count());
+}
+
+#[test]
+fn disabled_telemetry_records_no_new_spans() {
+    // A private instance (not the global one): enabling/disabling the
+    // global mid-test would race the integration tests above.
+    let telemetry = cnc_telemetry::Telemetry::new();
+    {
+        let mut span = telemetry.span("never");
+        span.attr("x", 1);
+    }
+    telemetry.counter("quiet_total", &[]).add(5);
+    assert!(telemetry.span_records().is_empty());
+    // Counters always count (callers gate on enabled() themselves) —
+    // the *span* path is what must stay silent when disabled.
+    assert_eq!(telemetry.counter("quiet_total", &[]).value(), 5);
+}
