@@ -11,6 +11,9 @@
 //! --workers <n>        pin the runtime sweep's map worker count  (default: sweep)
 //! --reduce-shards <n>  pin the runtime sweep's reduce shards     (default: sweep)
 //! --clients <n>        client threads for the serve bench        (default: 4)
+//! --budget <n>         serve admission budget, comparisons/s     (default: unlimited)
+//! --slo-us <n>         serve p99 latency SLO in µs, 0 = off      (default: 0)
+//! --batch <n>          serve cross-query batch size              (default: 16)
 //! --telemetry on|off   metric/span recording                     (default: per-binary)
 //! --profile-out <path> write a JSON telemetry profile on exit    (default: none)
 //! ```
@@ -37,6 +40,15 @@ pub struct HarnessArgs {
     pub reduce_shards: Option<usize>,
     /// Client threads driving the `serve` bench (`None` = the default 4).
     pub clients: Option<usize>,
+    /// Global admission budget for the serve bench, in similarity
+    /// comparisons per second (`None` = no admission control).
+    pub budget: Option<u64>,
+    /// p99 latency SLO for the serve bench's adaptive beam controller, in
+    /// microseconds (`None` = controller off).
+    pub slo_us: Option<u64>,
+    /// Cross-query batch size for the serve bench's batched-path phase
+    /// (`None` = the default 16).
+    pub batch: Option<usize>,
     /// Telemetry recording override (`None` = the binary's default; serve
     /// turns it on, the pure-throughput benches leave it off).
     pub telemetry: Option<bool>,
@@ -55,6 +67,9 @@ impl Default for HarnessArgs {
             workers: None,
             reduce_shards: None,
             clients: None,
+            budget: None,
+            slo_us: None,
+            batch: None,
             telemetry: None,
             profile_out: None,
         }
@@ -98,6 +113,26 @@ impl HarnessArgs {
                         return Err("--clients must be positive".into());
                     }
                     args.clients = Some(n);
+                }
+                "--budget" => {
+                    let n: u64 =
+                        value("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?;
+                    if n == 0 {
+                        return Err("--budget must be positive (omit it for unlimited)".into());
+                    }
+                    args.budget = Some(n);
+                }
+                "--slo-us" => {
+                    args.slo_us =
+                        Some(value("--slo-us")?.parse().map_err(|e| format!("--slo-us: {e}"))?);
+                }
+                "--batch" => {
+                    let n: usize =
+                        value("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?;
+                    if n == 0 {
+                        return Err("--batch must be positive".into());
+                    }
+                    args.batch = Some(n);
                 }
                 "--reduce-shards" => {
                     args.reduce_shards = Some(
@@ -154,7 +189,8 @@ impl HarnessArgs {
     /// The usage string.
     pub fn usage() -> &'static str {
         "usage: [--scale F] [--threads N] [--seed S] [--workers W] [--reduce-shards R] \
-         [--clients C] [--datasets ml1M,ml10M,ml20M,AM,DBLP,GW] [--telemetry on|off] \
+         [--clients C] [--budget CMP_PER_S] [--slo-us US] [--batch B] \
+         [--datasets ml1M,ml10M,ml20M,AM,DBLP,GW] [--telemetry on|off] \
          [--profile-out PATH]"
     }
 
@@ -235,6 +271,21 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         assert!(parse(&["--seed"]).is_err());
+    }
+
+    #[test]
+    fn parses_slo_flags() {
+        let args = parse(&["--budget", "500000", "--slo-us", "800", "--batch", "8"]).unwrap();
+        assert_eq!(args.budget, Some(500_000));
+        assert_eq!(args.slo_us, Some(800));
+        assert_eq!(args.batch, Some(8));
+        assert!(parse(&["--budget", "0"]).is_err(), "zero budget means 'omit the flag'");
+        assert!(parse(&["--batch", "0"]).is_err());
+        assert!(parse(&["--slo-us"]).is_err());
+        let defaults = parse(&[]).unwrap();
+        assert_eq!(defaults.budget, None);
+        assert_eq!(defaults.slo_us, None);
+        assert_eq!(defaults.batch, None);
     }
 
     #[test]

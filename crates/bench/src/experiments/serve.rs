@@ -19,9 +19,10 @@
 
 use crate::args::HarnessArgs;
 use cnc_core::C2Config;
-use cnc_query::BeamSearchConfig;
+use cnc_eval::groundtruth::{epoch_key, GroundTruthCache, GroundTruthConfig};
+use cnc_query::{BatchQuery, BeamSearchConfig};
 use cnc_runtime::RuntimeConfig;
-use cnc_serve::{ServingConfig, ServingEngine};
+use cnc_serve::{BatchRequest, ServingConfig, ServingEngine, SloConfig};
 use cnc_similarity::SimilarityBackend;
 use cnc_telemetry::Telemetry;
 use rand::rngs::SmallRng;
@@ -32,6 +33,14 @@ use std::time::Instant;
 /// Queries per insert in the mixed workload (news-recommender-ish:
 /// reads dominate, but freshness traffic is constant).
 const QUERIES_PER_INSERT: usize = 15;
+
+/// Neighbours per query, everywhere in this bench (traffic, recall,
+/// batched phase).
+const QUERY_K: usize = 10;
+
+/// Per-query comparison caps swept for the recall-vs-budget curve
+/// (0 = uncapped full beam).
+const RECALL_BUDGETS: [usize; 4] = [128, 256, 512, 0];
 
 /// The full bench result (rendered to markdown and JSON).
 #[derive(Clone, Debug)]
@@ -72,6 +81,35 @@ pub struct ServeReport {
     pub rebuild_ms_p50: f64,
     /// 99th-percentile epoch-rebuild wall-clock, milliseconds.
     pub rebuild_ms_p99: f64,
+    /// Queries admitted by the budget during traffic (0 when admission
+    /// is disabled — unmetered queries are not counted).
+    pub admitted: u64,
+    /// Queries shed with a typed rejection during traffic.
+    pub shed: u64,
+    /// shed / (admitted + shed), 0 when admission is disabled.
+    pub shed_rate: f64,
+    /// Admission budget the run was configured with (0 = unlimited).
+    pub budget_per_sec: u64,
+    /// p99 SLO the adaptive-beam controller targeted (0 = off).
+    pub slo_target_us: u64,
+    /// The controller's beam scale at the end of the run, percent.
+    pub beam_scale_pct: u32,
+    /// Mean recall@k of the served answers on the final epoch, against
+    /// sampled exact ground truth.
+    pub recall_at_k: f64,
+    /// k the recall was measured at.
+    pub recall_k: usize,
+    /// Sampled ground-truth queries.
+    pub recall_sample: usize,
+    /// Recall@k under swept per-query comparison budgets
+    /// `(max_comparisons, recall)`; 0 = uncapped.
+    pub recall_by_budget: Vec<(usize, f64)>,
+    /// Batch size of the cross-query phase.
+    pub batch_size: usize,
+    /// Single-query throughput over the phase's query set, queries/s.
+    pub single_qps: f64,
+    /// Cross-query batched throughput over the same set, queries/s.
+    pub batched_qps: f64,
 }
 
 /// Percentile over an ascending `f64` series, in the series' own unit
@@ -127,9 +165,16 @@ pub fn bench(args: &HarnessArgs) -> ServeReport {
     let total_inserts = clients * ops_per_client / (QUERIES_PER_INSERT + 1);
     let rebuild_after = (total_inserts / 3).max(8);
 
+    let batch_size = args.batch.unwrap_or(16);
     let config = ServingConfig {
         c2: C2Config {
-            k: 10,
+            // The graph is built wider than the query k (paper-default 30
+            // edges, top-10 answers): extra edges cost build time but buy
+            // navigability — beam search reaches the true top-10 instead
+            // of stalling inside cluster-local neighbourhoods (measured
+            // recall@10 on the CI smoke scale: 0.65 at k=10, 0.85 at
+            // k=20, 0.98 at k=30).
+            k: 30,
             backend: SimilarityBackend::GoldFinger { bits: 1024, seed: args.seed ^ 0x5E12 },
             seed: args.seed,
             threads: args.threads,
@@ -138,6 +183,12 @@ pub fn bench(args: &HarnessArgs) -> ServeReport {
         runtime: RuntimeConfig::with_workers(args.threads),
         beam: BeamSearchConfig { beam_width: 32, entry_points: 6, max_comparisons: 0 },
         rebuild_after,
+        slo: SloConfig {
+            budget_per_sec: args.budget.unwrap_or(0),
+            target_p99_us: args.slo_us.unwrap_or(0),
+            batch_max: batch_size,
+            ..SloConfig::default()
+        },
     };
 
     let build_start = Instant::now();
@@ -168,7 +219,11 @@ pub fn bench(args: &HarnessArgs) -> ServeReport {
                         if op % (QUERIES_PER_INSERT + 1) == QUERIES_PER_INSERT {
                             engine.insert(profile, seed);
                         } else {
-                            engine.query_with(&mut session, &profile, 10, seed);
+                            // The SLO-governed path: admission-checked when a
+                            // budget is configured (shed queries return a typed
+                            // rejection and are simply dropped by this
+                            // open-loop client), plain query otherwise.
+                            let _ = engine.try_query_with(&mut session, &profile, QUERY_K, seed);
                         }
                     }
                 })
@@ -199,6 +254,86 @@ pub fn bench(args: &HarnessArgs) -> ServeReport {
     };
     let reuse_ratio_last = history.last().map_or(0.0, |r| r.reuse_ratio);
 
+    // ── Recall phase ────────────────────────────────────────────────────
+    // Sampled exact ground truth on the *final* epoch, cached against its
+    // cluster content hashes (repeat benches over an unchanged epoch reuse
+    // the brute-forced answers). Served answers come through the engine's
+    // cross-query batched path; the swept per-query comparison caps chart
+    // recall@k against the budget.
+    let epoch = engine.current_epoch();
+    let truth_cfg = GroundTruthConfig {
+        sample: if cfg!(debug_assertions) { 16 } else { 64 },
+        k: QUERY_K,
+        seed: args.seed ^ 0x6E_D0,
+    };
+    let mut truth_cache = GroundTruthCache::new();
+    let key = epoch_key(epoch.dataset(), &engine.config().c2);
+    // The oracle brute-forces the *serving metric*: with a GoldFinger
+    // backend the engine ranks by sketch estimates, so the exact answer is
+    // the exhaustive top-k under those same estimates (`f64` cast to
+    // `f32`, matching the kernels). Recall then isolates what admission
+    // budgets and beam narrowing actually degrade — search coverage — and
+    // not the sketch's own approximation error, which no budget can buy
+    // back. A Raw-backend epoch falls through to exact Jaccard.
+    let truth = match epoch.fingerprints() {
+        Some(gf) => truth_cache
+            .get_or_compute_with(key, epoch.dataset(), &truth_cfg, |d, v| gf.estimate(d, v) as f32),
+        None => truth_cache.get_or_compute(key, epoch.dataset(), &truth_cfg),
+    };
+    let recall_queries: Vec<Vec<u32>> =
+        truth.queries.iter().map(|&donor| epoch.dataset().profile(donor).to_vec()).collect();
+    let recall_of = |max_comparisons: usize| {
+        let beam = BeamSearchConfig { max_comparisons, ..engine.config().beam };
+        let batch: Vec<BatchQuery> = recall_queries
+            .iter()
+            .enumerate()
+            .map(|(qi, profile)| BatchQuery { profile, k: QUERY_K, seed: qi as u64 })
+            .collect();
+        let answers: Vec<Vec<u32>> = epoch
+            .index()
+            .search_batch(&batch, &beam)
+            .into_iter()
+            .map(|r| r.neighbors.into_iter().map(|n| n.user).collect())
+            .collect();
+        truth.mean_recall(&answers)
+    };
+    let recall_by_budget: Vec<(usize, f64)> =
+        RECALL_BUDGETS.iter().map(|&cap| (cap, recall_of(cap))).collect();
+    let recall_at_k = recall_of(engine.config().beam.max_comparisons);
+
+    // ── Batched-path phase ──────────────────────────────────────────────
+    // The same query set through the single-query path and through
+    // `query_batch` in windows of `batch_size`: same answers (locked by
+    // tests/slo.rs), one shared sweep per visited neighbour list.
+    let phase_queries: Vec<BatchRequest> = {
+        let mut rng = SmallRng::seed_from_u64(args.seed ^ 0xBA7C);
+        let rounds = if cfg!(debug_assertions) { 64 } else { 2_048 };
+        (0..rounds)
+            .map(|i| {
+                let donor = rng.random_range(0..epoch.dataset().num_users() as u32);
+                BatchRequest {
+                    profile: epoch.dataset().profile(donor).to_vec(),
+                    k: QUERY_K,
+                    seed: i as u64,
+                }
+            })
+            .collect()
+    };
+    let single_start = Instant::now();
+    let mut session = engine.session();
+    for request in &phase_queries {
+        let _ = engine.try_query_with(&mut session, &request.profile, request.k, request.seed);
+    }
+    let single_qps = phase_queries.len() as f64 / single_start.elapsed().as_secs_f64();
+    let batched_start = Instant::now();
+    for window in phase_queries.chunks(batch_size) {
+        let _ = engine.query_batch(window);
+    }
+    let batched_qps = phase_queries.len() as f64 / batched_start.elapsed().as_secs_f64();
+
+    let metered = stats.admitted + stats.shed;
+    let shed_rate = if metered == 0 { 0.0 } else { stats.shed as f64 / metered as f64 };
+
     let ops = (stats.queries + stats.inserts) as usize;
     let report = ServeReport {
         clients,
@@ -218,10 +353,24 @@ pub fn bench(args: &HarnessArgs) -> ServeReport {
         reuse_ratio_last,
         rebuild_ms_p50: percentile(&rebuild_ms, 0.50),
         rebuild_ms_p99: percentile(&rebuild_ms, 0.99),
+        admitted: stats.admitted,
+        shed: stats.shed,
+        shed_rate,
+        budget_per_sec: args.budget.unwrap_or(0),
+        slo_target_us: args.slo_us.unwrap_or(0),
+        beam_scale_pct: engine.beam_scale_pct(),
+        recall_at_k,
+        recall_k: truth_cfg.k,
+        recall_sample: truth.queries.len(),
+        recall_by_budget,
+        batch_size,
+        single_qps,
+        batched_qps,
     };
     eprintln!(
         "  serve: {} clients, {:.0} ops/s, query p50 {:.0} µs / p99 {:.0} µs, \
-         {} epoch swaps ({} → {} users), reuse {:.2} mean, rebuild p50 {:.1} ms",
+         {} epoch swaps ({} → {} users), reuse {:.2} mean, rebuild p50 {:.1} ms, \
+         recall@{} {:.3}, shed {} ({:.1}%), batched {:.0} q/s vs single {:.0} q/s",
         report.clients,
         report.qps,
         report.query_p50_us,
@@ -231,12 +380,24 @@ pub fn bench(args: &HarnessArgs) -> ServeReport {
         report.num_users_end,
         report.reuse_ratio_mean,
         report.rebuild_ms_p50,
+        report.recall_k,
+        report.recall_at_k,
+        report.shed,
+        report.shed_rate * 100.0,
+        report.batched_qps,
+        report.single_qps,
     );
     report
 }
 
 /// Renders the JSON document recorded at the workspace root.
 pub fn to_json(report: &ServeReport, args: &HarnessArgs) -> String {
+    let by_budget = report
+        .recall_by_budget
+        .iter()
+        .map(|&(cap, recall)| format!("\"{cap}\": {recall:.4}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
         "{{\n  \"experiment\": \"serve\",\n  \"scale\": {},\n  \"seed\": {},\n  \
          \"clients\": {},\n  \"num_users_start\": {},\n  \"num_users_end\": {},\n  \
@@ -245,7 +406,12 @@ pub fn to_json(report: &ServeReport, args: &HarnessArgs) -> String {
          \"query_latency_us\": {{\"p50\": {:.1}, \"p99\": {:.1}}},\n  \
          \"insert_latency_us\": {{\"p50\": {:.1}, \"p99\": {:.1}}},\n  \
          \"rebuild\": {{\"reuse_ratio_mean\": {:.4}, \"reuse_ratio_last\": {:.4}, \
-         \"rebuild_ms\": {{\"p50\": {:.2}, \"p99\": {:.2}}}}}\n}}\n",
+         \"rebuild_ms\": {{\"p50\": {:.2}, \"p99\": {:.2}}}}},\n  \
+         \"slo\": {{\"budget_per_sec\": {}, \"target_p99_us\": {}, \"admitted\": {}, \
+         \"shed\": {}, \"shed_rate\": {:.4}, \"beam_scale_pct\": {}}},\n  \
+         \"recall\": {{\"k\": {}, \"sample\": {}, \"recall_at_k\": {:.4}, \
+         \"by_comparison_budget\": {{{}}}}},\n  \
+         \"batched\": {{\"batch\": {}, \"single_qps\": {:.1}, \"batched_qps\": {:.1}}}\n}}\n",
         args.scale,
         args.seed,
         report.clients,
@@ -265,6 +431,19 @@ pub fn to_json(report: &ServeReport, args: &HarnessArgs) -> String {
         report.reuse_ratio_last,
         report.rebuild_ms_p50,
         report.rebuild_ms_p99,
+        report.budget_per_sec,
+        report.slo_target_us,
+        report.admitted,
+        report.shed,
+        report.shed_rate,
+        report.beam_scale_pct,
+        report.recall_k,
+        report.recall_sample,
+        report.recall_at_k,
+        by_budget,
+        report.batch_size,
+        report.single_qps,
+        report.batched_qps,
     )
 }
 
@@ -297,7 +476,10 @@ pub fn run(args: &HarnessArgs) -> String {
          | epoch swaps under load | {} |\n\
          | cluster reuse ratio (mean / last) | {:.2} / {:.2} |\n\
          | epoch rebuild p50 / p99 | {:.1} ms / {:.1} ms |\n\
-         | users served (start → end) | {} → {} |\n\n\
+         | users served (start → end) | {} → {} |\n\
+         | recall@{} (final epoch, {} sampled queries) | {:.3} |\n\
+         | admission (admitted / shed) | {} / {} ({:.1}% shed) |\n\
+         | batched vs single query throughput (batch {}) | {:.0} / {:.0} q/s |\n\n\
          Recorded to `BENCH_serve.json`.\n\n",
         report.clients,
         QUERIES_PER_INSERT,
@@ -315,6 +497,15 @@ pub fn run(args: &HarnessArgs) -> String {
         report.rebuild_ms_p99,
         report.num_users_start,
         report.num_users_end,
+        report.recall_k,
+        report.recall_sample,
+        report.recall_at_k,
+        report.admitted,
+        report.shed,
+        report.shed_rate * 100.0,
+        report.batch_size,
+        report.batched_qps,
+        report.single_qps,
     )
 }
 
@@ -333,9 +524,65 @@ mod tests {
             "epoch swaps under load",
             "cluster reuse ratio",
             "epoch rebuild p50 / p99",
+            "recall@10",
+            "admission (admitted / shed)",
+            "batched vs single query throughput",
         ] {
             assert!(report.contains(needle), "missing {needle:?} in {report}");
         }
+    }
+
+    #[test]
+    fn recall_slo_and_batched_fields_are_recorded() {
+        let args = HarnessArgs { scale: 0.02, clients: Some(2), ..HarnessArgs::default() };
+        let report = bench(&args);
+        assert_eq!(report.recall_k, QUERY_K);
+        assert!(report.recall_sample > 0);
+        assert!((0.0..=1.0).contains(&report.recall_at_k));
+        // Unbudgeted, no-SLO run: admission never engaged, full beam.
+        assert_eq!(report.admitted, 0);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.shed_rate, 0.0);
+        assert_eq!(report.beam_scale_pct, 100);
+        assert_eq!(report.budget_per_sec, 0);
+        // The default beam is uncapped, so the sweep's uncapped point is
+        // the same measurement as recall_at_k.
+        let uncapped = report
+            .recall_by_budget
+            .iter()
+            .find(|&&(cap, _)| cap == 0)
+            .expect("sweep includes the uncapped point")
+            .1;
+        assert_eq!(uncapped, report.recall_at_k);
+        // A generous budget cannot do worse than the tightest one.
+        let tightest = report.recall_by_budget[0].1;
+        assert!(uncapped >= tightest - 1e-9, "uncapped {uncapped} < capped {tightest}");
+        assert!(report.single_qps > 0.0);
+        assert!(report.batched_qps > 0.0);
+    }
+
+    #[test]
+    fn budgeted_run_sheds_under_starvation_without_panicking() {
+        // A budget of one comparison per second cannot admit the mixed
+        // traffic; every metered query must shed with a typed rejection
+        // and the bench must still produce a coherent report.
+        let args = HarnessArgs {
+            scale: 0.02,
+            clients: Some(2),
+            budget: Some(1),
+            ..HarnessArgs::default()
+        };
+        let report = bench(&args);
+        assert!(report.shed > 0, "starvation budget must shed");
+        assert!(
+            report.shed_rate > 0.9,
+            "shed rate {} too low for a 1 cmp/s budget",
+            report.shed_rate
+        );
+        assert_eq!(report.budget_per_sec, 1);
+        // Recall is measured on the unmetered index path, so it is
+        // unaffected by admission starvation.
+        assert!((0.0..=1.0).contains(&report.recall_at_k));
     }
 
     #[test]
@@ -383,6 +630,11 @@ mod tests {
         assert!(json.contains("\"epoch_swaps\""));
         assert!(json.contains("\"reuse_ratio_mean\""));
         assert!(json.contains("\"rebuild_ms\""));
+        assert!(json.contains("\"recall_at_k\""));
+        assert!(json.contains("\"by_comparison_budget\""));
+        assert!(json.contains("\"shed\""));
+        assert!(json.contains("\"shed_rate\""));
+        assert!(json.contains("\"batched_qps\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -5,6 +5,7 @@ use std::fmt;
 
 /// Summary statistics of a dataset, matching the columns of Table I.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DatasetStats {
     /// Number of users `|U|`.
     pub users: usize,

@@ -29,7 +29,8 @@ use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
 
 /// Parameters of the latent-community generator.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SyntheticConfig {
     /// Number of users `|U|`.
     pub num_users: usize,

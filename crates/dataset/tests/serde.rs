@@ -1,0 +1,58 @@
+//! Round-trip coverage for the restored serde derives (the
+//! `DatasetStats`/`SyntheticConfig` public-API regression noted in
+//! ROADMAP "Constraints & known gaps"). Gated on the off-by-default
+//! `serde` feature; CI runs `cargo test -p cnc-dataset --features serde`.
+
+#![cfg(feature = "serde")]
+
+use cnc_dataset::{Dataset, DatasetStats, SyntheticConfig};
+
+#[test]
+fn dataset_stats_round_trip_losslessly() {
+    let ds = Dataset::from_profiles(vec![vec![0, 1, 2], vec![1, 2], vec![0, 3, 4, 5]], 0);
+    let stats = DatasetStats::compute(&ds);
+    let json = serde::json::to_string(&stats);
+    // Every Table-I column is present by name.
+    for field in [
+        "users",
+        "items",
+        "ratings",
+        "avg_profile",
+        "avg_item_degree",
+        "density",
+        "max_item_degree",
+    ] {
+        assert!(json.contains(&format!("\"{field}\"")), "missing {field} in {json}");
+    }
+    let back: DatasetStats = serde::json::from_str(&json).expect("well-formed JSON");
+    assert_eq!(back, stats, "round trip must be lossless (floats included)");
+}
+
+#[test]
+fn synthetic_config_round_trips_and_regenerates_the_same_dataset() {
+    let config = SyntheticConfig::small(97);
+    let json = serde::json::to_string(&config);
+    let back: SyntheticConfig = serde::json::from_str(&json).expect("well-formed JSON");
+    assert_eq!(back, config);
+    // The contract that matters: a deserialized config is the *same
+    // experiment* — it regenerates a bit-identical dataset.
+    let original = config.generate();
+    let regenerated = back.generate();
+    assert_eq!(original.num_users(), regenerated.num_users());
+    for (u, profile) in original.iter() {
+        assert_eq!(profile, regenerated.profile(u), "profile {u} diverged");
+    }
+}
+
+#[test]
+fn missing_fields_are_typed_errors_and_unknown_fields_are_ignored() {
+    let err = serde::json::from_str::<DatasetStats>("{\"users\": 3}")
+        .expect_err("missing fields must not default silently");
+    assert!(err.to_string().contains("missing field"), "got: {err}");
+
+    let config = SyntheticConfig::small(7);
+    let mut json = serde::json::to_string(&config);
+    json.insert_str(1, "\"future_knob\": true,");
+    let back: SyntheticConfig = serde::json::from_str(&json).expect("unknown fields ignored");
+    assert_eq!(back, config);
+}

@@ -4,13 +4,17 @@
 //! Eq. (2) (re-exported from `cnc-graph`) and the *practical* impact on
 //! item recommendation (Table III) — a user-based collaborative-filtering
 //! recommender fed by the KNN graph, scored by recall under 5-fold
-//! cross-validation.
+//! cross-validation. [`groundtruth`] adds the serving-time axis: sampled
+//! exact-KNN answers cached per epoch so the serve bench can report
+//! recall@k next to ops/s and p99.
 
 pub mod classify;
 pub mod crossval;
+pub mod groundtruth;
 pub mod recommend;
 
 pub use classify::KnnClassifier;
 pub use cnc_graph::metrics::{avg_exact_similarity, quality};
 pub use crossval::{evaluate_recall, CrossValResult};
+pub use groundtruth::{epoch_key, GroundTruth, GroundTruthCache, GroundTruthConfig};
 pub use recommend::Recommender;

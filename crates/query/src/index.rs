@@ -11,11 +11,26 @@
 //! the equivalence tests below).
 
 use crate::beam::BeamSearchConfig;
-use crate::search::{batched_beam_search, BeamSolve};
+use crate::search::{batched_beam_search, batched_multi_beam_search, BeamSolve, MultiBeamSolve};
 use cnc_dataset::{Dataset, ItemId, UserId};
 use cnc_graph::{KnnGraph, Neighbor, NeighborList};
-use cnc_similarity::kernel::{solve_query_words, RawQueryKernel};
+use cnc_similarity::kernel::{
+    solve_multi_query_words, solve_query_words, RawMultiQueryKernel, RawQueryKernel,
+    MAX_SWEEP_QUERIES,
+};
 use cnc_similarity::{GoldFinger, Jaccard};
+
+/// One query of a cross-query batch (see [`QueryIndex::search_batch`]).
+#[derive(Clone, Copy, Debug)]
+pub struct BatchQuery<'q> {
+    /// The sorted, deduplicated query profile.
+    pub profile: &'q [ItemId],
+    /// How many neighbours to return.
+    pub k: usize,
+    /// The entry-point seed — the same seed a single-query
+    /// [`QueryIndex::search`] would be given.
+    pub seed: u64,
+}
 
 /// The answer to one query.
 #[derive(Clone, Debug)]
@@ -157,6 +172,73 @@ impl<'a> QueryIndex<'a> {
         let mut neighbors = beam.sorted();
         neighbors.truncate(k);
         QueryResult { neighbors, comparisons }
+    }
+
+    /// Cross-query batched search: answers every query in `queries`,
+    /// per-query **bit-identical** (neighbours *and* comparison counts)
+    /// to calling [`QueryIndex::search`] with the same profile, `k` and
+    /// seed — but queries that expand the same graph node in the same
+    /// lockstep round share one sweep over that node's neighbour list,
+    /// so concurrent queries amortize the candidate-row gather instead
+    /// of re-reading the rows once each. Batches wider than the 64-query
+    /// interest mask are processed in chunks.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid for any query's `k` or a
+    /// profile is unsorted.
+    pub fn search_batch(
+        &self,
+        queries: &[BatchQuery],
+        config: &BeamSearchConfig,
+    ) -> Vec<QueryResult> {
+        let mut results = Vec::with_capacity(queries.len());
+        for chunk in queries.chunks(MAX_SWEEP_QUERIES.max(1)) {
+            for q in chunk {
+                if let Err(msg) = config.validate(q.k) {
+                    panic!("invalid beam search config: {msg}");
+                }
+                debug_assert!(
+                    q.profile.windows(2).all(|w| w[0] < w[1]),
+                    "query profile must be sorted"
+                );
+            }
+            let seeds: Vec<u64> = chunk.iter().map(|q| q.seed).collect();
+            let beams = match self.goldfinger {
+                None => {
+                    let profiles: Vec<&[ItemId]> = chunk.iter().map(|q| q.profile).collect();
+                    batched_multi_beam_search(
+                        &RawMultiQueryKernel::new(self.dataset, &profiles),
+                        chunk.len(),
+                        self.graph,
+                        config,
+                        &seeds,
+                    )
+                }
+                Some(gf) => {
+                    let mut block = Vec::with_capacity(chunk.len() * gf.words_per_user());
+                    for q in chunk {
+                        block.extend_from_slice(&gf.fingerprint_profile(q.profile));
+                    }
+                    solve_multi_query_words(
+                        gf.words(),
+                        gf.words_per_user(),
+                        &block,
+                        MultiBeamSolve {
+                            graph: self.graph,
+                            num_queries: chunk.len(),
+                            config,
+                            seeds: &seeds,
+                        },
+                    )
+                }
+            };
+            for (q, (beam, comparisons)) in chunk.iter().zip(beams) {
+                let mut neighbors = beam.sorted();
+                neighbors.truncate(q.k);
+                results.push(QueryResult { neighbors, comparisons });
+            }
+        }
+        results
     }
 
     /// Exact reference answer by scanning every user with raw Jaccard
@@ -314,6 +396,54 @@ mod tests {
                 assert_eq!(batched.comparisons, scalar.comparisons, "{bits} bits counts diverged");
             }
         }
+    }
+
+    #[test]
+    fn batched_cross_query_search_is_identical_to_single_queries() {
+        let (ds, graph) = setup();
+        for bits in [None, Some(1024usize), Some(192)] {
+            let gf = bits.map(|b| GoldFinger::build(&ds, b, 31));
+            let index = match &gf {
+                None => QueryIndex::new(&ds, &graph),
+                Some(gf) => QueryIndex::with_goldfinger(&ds, &graph, gf),
+            };
+            for max_comparisons in [0usize, 120, 1] {
+                let config = BeamSearchConfig { beam_width: 24, entry_points: 5, max_comparisons };
+                let profiles: Vec<Vec<u32>> =
+                    (0..9u32).map(|q| ds.profile(q * 37 % 500).to_vec()).collect();
+                let queries: Vec<BatchQuery> = profiles
+                    .iter()
+                    .enumerate()
+                    .map(|(q, p)| BatchQuery { profile: p, k: 8, seed: q as u64 * 7 })
+                    .collect();
+                let batched = index.search_batch(&queries, &config);
+                assert_eq!(batched.len(), queries.len());
+                for (q, query) in queries.iter().enumerate() {
+                    let single = index.search(query.profile, query.k, &config, query.seed);
+                    assert_eq!(
+                        batched[q].neighbors, single.neighbors,
+                        "{bits:?} bits, query {q}, cap {max_comparisons}"
+                    );
+                    assert_eq!(
+                        batched[q].comparisons, single.comparisons,
+                        "{bits:?} bits, query {q}, cap {max_comparisons}: counts diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_batch_of_one_work() {
+        let (ds, graph) = setup();
+        let index = QueryIndex::new(&ds, &graph);
+        let config = BeamSearchConfig::default();
+        assert!(index.search_batch(&[], &config).is_empty());
+        let profile: Vec<u32> = ds.profile(11).to_vec();
+        let one = index.search_batch(&[BatchQuery { profile: &profile, k: 5, seed: 3 }], &config);
+        let single = index.search(&profile, 5, &config, 3);
+        assert_eq!(one[0].neighbors, single.neighbors);
+        assert_eq!(one[0].comparisons, single.comparisons);
     }
 
     #[test]

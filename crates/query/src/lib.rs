@@ -21,4 +21,4 @@ mod search;
 
 pub use beam::BeamSearchConfig;
 pub use dynamic::DynamicIndex;
-pub use index::{QueryIndex, QueryResult, Searcher};
+pub use index::{BatchQuery, QueryIndex, QueryResult, Searcher};

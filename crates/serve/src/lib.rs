@@ -36,10 +36,13 @@
 //! ```
 
 pub mod server;
+pub mod slo;
 pub mod snapshot;
 
 pub use cnc_core::RebuildStats;
 pub use server::{
-    InsertOutcome, ServingConfig, ServingEngine, ServingEpoch, ServingSession, ServingStats,
+    BatchRequest, InsertOutcome, ServingConfig, ServingEngine, ServingEpoch, ServingSession,
+    ServingStats,
 };
+pub use slo::{ManualClock, Rejected, SloAction, SloConfig, SloController, TokenBucket};
 pub use snapshot::{write_snapshot, write_snapshot_to, Snapshot, SnapshotError};

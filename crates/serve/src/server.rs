@@ -28,18 +28,19 @@
 //! answering queries identically to the engine that wrote it (locked by
 //! `tests/serve.rs`).
 
+use crate::slo::{scaled_beam, CrossQueryBatcher, Rejected, SloConfig, SloController, TokenBucket};
 use crate::snapshot::{write_snapshot, Snapshot, SnapshotError};
 use cnc_core::{C2Config, ClusterCache, RebuildStats};
 use cnc_dataset::{Dataset, ItemId, UserId};
 use cnc_graph::KnnGraph;
-use cnc_query::{BeamSearchConfig, DynamicIndex, QueryIndex, QueryResult, Searcher};
+use cnc_query::{BatchQuery, BeamSearchConfig, DynamicIndex, QueryIndex, QueryResult, Searcher};
 use cnc_runtime::{Runtime, RuntimeConfig};
 use cnc_similarity::{GoldFinger, SimilarityBackend};
-use cnc_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use cnc_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Telemetry};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Everything the engine needs to build, serve and rebuild.
 #[derive(Clone, Copy, Debug)]
@@ -54,6 +55,9 @@ pub struct ServingConfig {
     /// Rebuild and publish a new epoch after this many inserts
     /// (0 = only on explicit [`ServingEngine::publish`] calls).
     pub rebuild_after: usize,
+    /// Admission control, adaptive beam and cross-query batching knobs
+    /// (all off by default; see [`SloConfig`]).
+    pub slo: SloConfig,
 }
 
 impl Default for ServingConfig {
@@ -63,8 +67,21 @@ impl Default for ServingConfig {
             runtime: RuntimeConfig::default(),
             beam: BeamSearchConfig::default(),
             rebuild_after: 1024,
+            slo: SloConfig::default(),
         }
     }
+}
+
+/// One query of an engine-level cross-query batch (see
+/// [`ServingEngine::query_batch`]). The profile need not be sorted.
+#[derive(Clone, Debug)]
+pub struct BatchRequest {
+    /// The query profile (normalized by the engine).
+    pub profile: Vec<ItemId>,
+    /// Neighbours to return.
+    pub k: usize,
+    /// The entry-point seed a single [`ServingEngine::query`] would get.
+    pub seed: u64,
 }
 
 /// One immutable published serving state. Readers hold it by `Arc`, so a
@@ -167,6 +184,13 @@ pub struct ServingStats {
     pub num_users: usize,
     /// Inserts absorbed but not yet published.
     pub pending_inserts: usize,
+    /// Queries admitted by the budget (0 when admission is disabled —
+    /// unmetered queries are not counted here).
+    pub admitted: u64,
+    /// Queries shed with a typed rejection.
+    pub shed: u64,
+    /// Cross-query batches executed (each covering ≥ 1 queries).
+    pub batches: u64,
 }
 
 /// Per-client scratch (visited marks + batch buffers) reused across
@@ -201,6 +225,11 @@ struct ServeMetrics {
     epoch: Arc<Gauge>,
     epoch_users: Arc<Gauge>,
     pending_inserts: Arc<Gauge>,
+    admitted_total: Arc<Counter>,
+    shed_total: Arc<Counter>,
+    beam_scale_pct: Arc<Gauge>,
+    batch_flushes: Arc<Counter>,
+    batch_queries: Arc<Counter>,
 }
 
 impl ServeMetrics {
@@ -218,8 +247,94 @@ impl ServeMetrics {
             epoch: t.gauge("cnc_epoch", &[]),
             epoch_users: t.gauge("cnc_epoch_users", &[]),
             pending_inserts: t.gauge("cnc_pending_inserts", &[]),
+            admitted_total: t.counter("cnc_admission_total", &[("outcome", "admitted")]),
+            shed_total: t.counter("cnc_admission_total", &[("outcome", "shed")]),
+            beam_scale_pct: t.gauge("cnc_beam_scale_pct", &[]),
+            batch_flushes: t.counter("cnc_batch_flushes_total", &[]),
+            batch_queries: t.counter("cnc_batch_queries_total", &[]),
         }
     }
+}
+
+/// The windowed-p99 evaluation state the controller ticks against
+/// (guarded by one mutex so evaluations are serialized; queries that
+/// find it busy skip the tick instead of stalling).
+struct ControllerTick {
+    controller: SloController,
+    baseline: HistogramSnapshot,
+}
+
+/// Engine-side SLO state assembled from [`SloConfig`].
+struct SloState {
+    /// The global admission budget (`None` = admission disabled).
+    bucket: Option<TokenBucket>,
+    /// Adaptive-beam controller (`None` = fixed beam).
+    controller: Option<Mutex<ControllerTick>>,
+    /// The controller's current scale, cached for lock-free reads on the
+    /// query path.
+    scale_pct: AtomicU32,
+    /// The controller's beam floor.
+    min_beam: usize,
+    /// Queries between controller evaluations.
+    every: u64,
+    /// Queries since engine start (drives the evaluation cadence).
+    seen: AtomicU64,
+    /// The cross-query batching window behind
+    /// [`ServingEngine::query_batched`].
+    batcher: CrossQueryBatcher,
+}
+
+impl SloState {
+    fn new(config: &ServingConfig) -> Self {
+        let slo = &config.slo;
+        let bucket = (slo.budget_per_sec > 0).then(|| {
+            // The burst must cover at least one full-price query, or
+            // nothing could ever be admitted.
+            let floor = query_charge(&admission_beam(&config.beam));
+            let burst = if slo.burst > 0 { slo.burst } else { slo.budget_per_sec };
+            TokenBucket::new(slo.budget_per_sec, burst.max(floor))
+        });
+        let controller = (slo.target_p99_us > 0).then(|| {
+            let full = config.beam.beam_width;
+            let min_beam = slo.min_beam_width.clamp(1, full);
+            Mutex::new(ControllerTick {
+                controller: SloController::new(slo.target_p99_us * 1_000, full, min_beam),
+                baseline: HistogramSnapshot::default(),
+            })
+        });
+        SloState {
+            bucket,
+            controller,
+            scale_pct: AtomicU32::new(100),
+            min_beam: config.slo.min_beam_width.clamp(1, config.beam.beam_width),
+            every: slo.controller_every.max(1),
+            seen: AtomicU64::new(0),
+            batcher: CrossQueryBatcher::new(
+                Duration::from_micros(slo.batch_window_us),
+                slo.batch_max,
+            ),
+        }
+    }
+}
+
+/// The hard per-query comparison cap admission enforces so a query's
+/// actual work never exceeds its charge. An explicit `max_comparisons`
+/// is kept; an unlimited config gets a generous derived cap (entry
+/// points plus 64 expansions' worth of beam) — the budget needs a finite
+/// unit of account.
+fn admission_beam(beam: &BeamSearchConfig) -> BeamSearchConfig {
+    let mut capped = *beam;
+    if capped.max_comparisons == 0 {
+        capped.max_comparisons = capped.entry_points + 64 * capped.beam_width;
+    }
+    capped
+}
+
+/// The worst-case comparison count of one query under `beam` — what
+/// admission charges. Entry points are always scored, so the bound is
+/// `max(entry_points, max_comparisons)` (see `batched_beam_search`).
+fn query_charge(beam: &BeamSearchConfig) -> u64 {
+    beam.max_comparisons.max(beam.entry_points) as u64
 }
 
 /// A concurrent KNN serving engine (see the module docs).
@@ -240,6 +355,12 @@ pub struct ServingEngine {
     /// monitoring state without bound; the oldest swaps are dropped.
     rebuild_history: Mutex<std::collections::VecDeque<RebuildStats>>,
     metrics: ServeMetrics,
+    /// Admission, adaptive beam and batching state (always present;
+    /// individual mechanisms are `None`/inert when unconfigured).
+    slo: SloState,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    batches: AtomicU64,
 }
 
 /// Retained epoch-publish records (newest kept; see
@@ -311,6 +432,7 @@ impl ServingEngine {
             metrics.epoch.set(epoch.epoch() as i64);
             metrics.epoch_users.set(epoch.num_users() as i64);
         }
+        let slo = SloState::new(&config);
         ServingEngine {
             config,
             current: RwLock::new(epoch),
@@ -321,6 +443,10 @@ impl ServingEngine {
             pending: AtomicUsize::new(0),
             rebuild_history: Mutex::new(std::collections::VecDeque::new()),
             metrics,
+            slo,
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
         }
     }
 
@@ -385,6 +511,11 @@ impl ServingEngine {
     }
 
     /// Answers one KNN query with per-client scratch.
+    ///
+    /// This is the **unmetered** path: the adaptive beam applies (a
+    /// degraded engine answers every caller with the narrowed beam), but
+    /// the admission budget is neither checked nor consumed —
+    /// SLO-governed clients go through [`ServingEngine::try_query_with`].
     pub fn query_with(
         &self,
         session: &mut ServingSession,
@@ -392,18 +523,141 @@ impl ServingEngine {
         k: usize,
         seed: u64,
     ) -> QueryResult {
-        let timer = Telemetry::global().enabled().then(Instant::now);
+        let beam = self.effective_beam(k, false);
+        self.run_query(session, profile, k, seed, &beam)
+    }
+
+    /// Answers one KNN query under admission control: the query is
+    /// charged its worst-case comparison cost against the global token
+    /// bucket up front (unspent tokens are refunded after execution) and
+    /// **shed** with a typed [`Rejected`] when the budget cannot cover
+    /// it — never a panic, never a silently slow answer. With no budget
+    /// configured every query is admitted.
+    pub fn try_query(
+        &self,
+        profile: &[ItemId],
+        k: usize,
+        seed: u64,
+    ) -> Result<QueryResult, Rejected> {
+        let mut session = self.session();
+        self.try_query_with(&mut session, profile, k, seed)
+    }
+
+    /// [`ServingEngine::try_query`] with per-client scratch.
+    pub fn try_query_with(
+        &self,
+        session: &mut ServingSession,
+        profile: &[ItemId],
+        k: usize,
+        seed: u64,
+    ) -> Result<QueryResult, Rejected> {
+        let beam = self.effective_beam(k, true);
+        let charge = self.admit(&beam)?;
+        let result = self.run_query(session, profile, k, seed, &beam);
+        if let (Some(bucket), Some(charge)) = (&self.slo.bucket, charge) {
+            bucket.settle(charge, result.comparisons as u64);
+        }
+        Ok(result)
+    }
+
+    /// Answers a batch of queries through the **cross-query** execution
+    /// path: admission runs per query (shed queries return their
+    /// [`Rejected`] slot; admitted ones proceed), and the admitted set is
+    /// executed in lockstep so queries expanding the same graph node
+    /// share one sweep over its neighbour list. Per query, neighbours and
+    /// comparison counts are bit-identical to [`ServingEngine::try_query`]
+    /// with the same arguments (locked by `tests/slo.rs`).
+    pub fn query_batch(&self, requests: &[BatchRequest]) -> Vec<Result<QueryResult, Rejected>> {
+        let beam = self.effective_beam(
+            requests.iter().map(|r| r.k).max().unwrap_or(1),
+            self.slo.bucket.is_some(),
+        );
+        let mut outcomes: Vec<Option<Result<QueryResult, Rejected>>> =
+            (0..requests.len()).map(|_| None).collect();
+        let mut admitted: Vec<(Vec<ItemId>, usize, u64)> = Vec::with_capacity(requests.len());
+        let mut admitted_at: Vec<usize> = Vec::with_capacity(requests.len());
+        let mut charges: Vec<u64> = Vec::with_capacity(requests.len());
+        for (i, request) in requests.iter().enumerate() {
+            match self.admit(&beam) {
+                Err(rejected) => outcomes[i] = Some(Err(rejected)),
+                Ok(charge) => {
+                    let mut query = request.profile.clone();
+                    query.sort_unstable();
+                    query.dedup();
+                    admitted.push((query, request.k, request.seed));
+                    admitted_at.push(i);
+                    charges.push(charge.unwrap_or(0));
+                }
+            }
+        }
+        let results = self.execute_admitted_batch(&admitted, &beam);
+        for ((i, result), charge) in admitted_at.into_iter().zip(results).zip(charges) {
+            if let Some(bucket) = &self.slo.bucket {
+                if charge > 0 {
+                    bucket.settle(charge, result.comparisons as u64);
+                }
+            }
+            outcomes[i] = Some(Ok(result));
+        }
+        outcomes.into_iter().map(|o| o.expect("every request answered")).collect()
+    }
+
+    /// Answers one query through the shared **batching window**: the
+    /// calling thread parks up to `slo.batch_window_us` waiting for
+    /// companion queries, then one thread executes the coalesced batch
+    /// through the cross-query path and every submitter gets its own
+    /// (bit-identical) result. Admission runs immediately on entry, so a
+    /// shed query never waits out the window.
+    pub fn query_batched(
+        &self,
+        profile: &[ItemId],
+        k: usize,
+        seed: u64,
+    ) -> Result<QueryResult, Rejected> {
+        let beam = self.effective_beam(k, true);
+        let charge = self.admit(&beam)?;
+        let mut query = profile.to_vec();
+        query.sort_unstable();
+        query.dedup();
+        let result = self.slo.batcher.submit(query, k, seed, |batch| {
+            let beam = self.effective_beam(
+                batch.iter().map(|&(_, k, _)| k).max().unwrap_or(1),
+                self.slo.bucket.is_some(),
+            );
+            self.execute_admitted_batch(batch, &beam)
+        });
+        if let (Some(bucket), Some(charge)) = (&self.slo.bucket, charge) {
+            bucket.settle(charge, result.comparisons as u64);
+        }
+        Ok(result)
+    }
+
+    /// The single-query execution core: search on the current epoch with
+    /// `beam`, then account metrics and feed the controller.
+    fn run_query(
+        &self,
+        session: &mut ServingSession,
+        profile: &[ItemId],
+        k: usize,
+        seed: u64,
+        beam: &BeamSearchConfig,
+    ) -> QueryResult {
+        let telemetry_on = Telemetry::global().enabled();
+        // The controller needs the latency histogram populated even when
+        // telemetry export is off — it is the engine's own SLO signal.
+        let timer = (telemetry_on || self.slo.controller.is_some()).then(Instant::now);
         let mut query = profile.to_vec();
         query.sort_unstable();
         query.dedup();
         // Clone the Arc under the read lock, run the query outside it: a
         // concurrent publish proceeds without waiting for this query.
         let epoch = self.current_epoch();
-        let result =
-            epoch.index().search_with(&mut session.searcher, &query, k, &self.config.beam, seed);
+        let result = epoch.index().search_with(&mut session.searcher, &query, k, beam, seed);
         self.queries.fetch_add(1, Ordering::Relaxed);
         if let Some(start) = timer {
             self.metrics.query_latency_ns.record(start.elapsed().as_nanos() as u64);
+        }
+        if telemetry_on {
             self.metrics.query_comparisons.record(result.comparisons as u64);
             if result.neighbors.is_empty() {
                 self.metrics.queries_empty.inc();
@@ -411,7 +665,138 @@ impl ServingEngine {
                 self.metrics.queries_served.inc();
             }
         }
+        self.slo_tick();
         result
+    }
+
+    /// Executes pre-admitted, pre-normalized queries through the
+    /// cross-query lockstep search and accounts per-query metrics.
+    fn execute_admitted_batch(
+        &self,
+        batch: &[(Vec<ItemId>, usize, u64)],
+        beam: &BeamSearchConfig,
+    ) -> Vec<QueryResult> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let telemetry_on = Telemetry::global().enabled();
+        let timer = (telemetry_on || self.slo.controller.is_some()).then(Instant::now);
+        let epoch = self.current_epoch();
+        let queries: Vec<BatchQuery> = batch
+            .iter()
+            .map(|(profile, k, seed)| BatchQuery {
+                profile: profile.as_slice(),
+                k: *k,
+                seed: *seed,
+            })
+            .collect();
+        let results = epoch.index().search_batch(&queries, beam);
+        self.queries.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if let Some(start) = timer {
+            // Per-query latency on the shared path: each query's share of
+            // the batch's wall time (the whole point of sharing is that
+            // the batch costs less than the sum of its parts).
+            let share = start.elapsed().as_nanos() as u64 / batch.len() as u64;
+            for _ in 0..batch.len() {
+                self.metrics.query_latency_ns.record(share);
+            }
+        }
+        if telemetry_on {
+            self.metrics.batch_flushes.inc();
+            self.metrics.batch_queries.add(batch.len() as u64);
+            for result in &results {
+                self.metrics.query_comparisons.record(result.comparisons as u64);
+                if result.neighbors.is_empty() {
+                    self.metrics.queries_empty.inc();
+                } else {
+                    self.metrics.queries_served.inc();
+                }
+            }
+        }
+        for _ in 0..batch.len() {
+            self.slo_tick();
+        }
+        results
+    }
+
+    /// The beam configuration queries actually run with: the controller's
+    /// current scale applied to width and cap (never below the floor or
+    /// `k`), plus — on admission-metered paths — the hard comparison cap
+    /// that makes a query's cost chargeable.
+    fn effective_beam(&self, k: usize, metered: bool) -> BeamSearchConfig {
+        let mut beam = self.config.beam;
+        if self.slo.controller.is_some() {
+            let pct = self.slo.scale_pct.load(Ordering::Relaxed);
+            if pct < 100 {
+                beam.beam_width = scaled_beam(beam.beam_width, self.slo.min_beam, pct).max(k);
+                if beam.max_comparisons > 0 {
+                    beam.max_comparisons =
+                        (beam.max_comparisons * pct as usize / 100).max(beam.beam_width);
+                }
+            }
+        }
+        if metered && self.slo.bucket.is_some() {
+            beam = admission_beam(&beam);
+        }
+        beam
+    }
+
+    /// Charges one query against the budget. Returns the charge to settle
+    /// later (`None` when admission is disabled), or the typed rejection.
+    fn admit(&self, beam: &BeamSearchConfig) -> Result<Option<u64>, Rejected> {
+        let Some(bucket) = &self.slo.bucket else {
+            return Ok(None);
+        };
+        let charge = query_charge(beam);
+        match bucket.try_acquire(charge) {
+            Ok(()) => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                if Telemetry::global().enabled() {
+                    self.metrics.admitted_total.inc();
+                }
+                Ok(Some(charge))
+            }
+            Err(rejected) => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                if Telemetry::global().enabled() {
+                    self.metrics.shed_total.inc();
+                }
+                Err(rejected)
+            }
+        }
+    }
+
+    /// Every `slo.controller_every` queries, evaluates the rolling p99
+    /// over the window since the last evaluation and lets the controller
+    /// adjust the beam scale. Non-blocking: a query finding the
+    /// evaluation mutex busy skips the tick.
+    fn slo_tick(&self) {
+        let Some(ctl) = &self.slo.controller else {
+            return;
+        };
+        let n = self.slo.seen.fetch_add(1, Ordering::Relaxed) + 1;
+        if !n.is_multiple_of(self.slo.every) {
+            return;
+        }
+        let Ok(mut tick) = ctl.try_lock() else {
+            return;
+        };
+        if let Some(p99) = self.metrics.query_latency_ns.quantile_since(&tick.baseline, 0.99) {
+            tick.controller.observe(p99);
+            let pct = tick.controller.scale_pct();
+            self.slo.scale_pct.store(pct, Ordering::Relaxed);
+            if Telemetry::global().enabled() {
+                self.metrics.beam_scale_pct.set(pct as i64);
+            }
+        }
+        tick.baseline = self.metrics.query_latency_ns.snapshot();
+    }
+
+    /// The controller's current beam scale in percent (100 = full width;
+    /// always 100 when no p99 target is configured).
+    pub fn beam_scale_pct(&self) -> u32 {
+        self.slo.scale_pct.load(Ordering::Relaxed)
     }
 
     /// Absorbs one streaming insert: the newcomer is placed in the
@@ -464,6 +849,9 @@ impl ServingEngine {
             epoch: epoch.epoch(),
             num_users: epoch.num_users(),
             pending_inserts: pending,
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
         }
     }
 
@@ -601,6 +989,7 @@ mod tests {
             runtime: RuntimeConfig::with_workers(2),
             beam: BeamSearchConfig { beam_width: 24, entry_points: 5, max_comparisons: 0 },
             rebuild_after,
+            slo: SloConfig::default(),
         }
     }
 

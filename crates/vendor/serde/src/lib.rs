@@ -1,0 +1,575 @@
+//! Offline stand-in for `serde` (crates.io is unreachable in this build
+//! environment; see ROADMAP "Constraints").
+//!
+//! The real serde is a zero-cost serialization *framework*; this stand-in
+//! is deliberately much smaller: a self-describing [`Value`] tree, a JSON
+//! reader/writer for it ([`json`]), and `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` (re-exported from the companion `serde_derive`
+//! proc-macro crate) for **flat named-field structs** of primitives,
+//! strings, options and sequences — exactly the shape of the public
+//! types that lost their derives when the offline build dropped serde
+//! (`DatasetStats`, `SyntheticConfig`).
+//!
+//! Guarantees kept from the real thing:
+//! - derive → `to_string` → `from_str` → value round-trips losslessly for
+//!   supported field types (floats via Rust's shortest round-trip
+//!   formatting);
+//! - unknown JSON fields are ignored, missing ones are typed errors —
+//!   never a panic.
+//!
+//! Not implemented (fail to compile rather than misbehave): enums,
+//! tuple/unit structs, generics, borrowed data, custom attributes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing parsed value — the interchange point between the
+/// derived impls and the [`json`] text layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer literal.
+    UInt(u64),
+    /// A negative integer literal.
+    Int(i64),
+    /// A fractional or exponent-form number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order (duplicate keys keep the last).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks a field up in an object (`None` for absent keys and
+    /// non-objects alike).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => {
+                fields.iter().rev().find(|(name, _)| name == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Typed (de)serialization error: a message plus nothing else — the
+/// stand-in never panics on malformed input.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+
+    /// The standard "missing field" error the derive emits.
+    pub fn missing_field(name: &str) -> Self {
+        Error::custom(format!("missing field `{name}`"))
+    }
+
+    /// The standard "wrong type" error the primitive impls emit.
+    pub fn invalid_type(expected: &str, got: &Value) -> Self {
+        Error::custom(format!("invalid type: expected {expected}, got {got:?}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] model (the derive generates one
+/// `to_value` call per field).
+pub trait Serialize {
+    /// This value as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide = match value {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) if *n >= 0 => *n as u64,
+                    other => return Err(Error::invalid_type(stringify!($t), other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as i64;
+                if wide >= 0 { Value::UInt(wide as u64) } else { Value::Int(wide) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide: i64 = match value {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range for i64")))?,
+                    other => return Err(Error::invalid_type(stringify!($t), other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    other => Err(Error::invalid_type(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::invalid_type("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_owned())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::invalid_type("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(Deserialize::from_value).collect(),
+            other => Err(Error::invalid_type("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Deserialize::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+/// JSON text layer: [`Value`] ↔ text, plus the `to_string`/`from_str`
+/// convenience pair matching `serde_json`'s entry points.
+pub mod json {
+    use super::{Deserialize, Error, Serialize, Value};
+    use std::fmt::Write as _;
+
+    /// Serializes `value` to compact JSON.
+    pub fn to_string<T: Serialize>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&mut out, &value.to_value());
+        out
+    }
+
+    /// Parses JSON text into a `T` (typed error on malformed input or
+    /// shape mismatch; trailing non-whitespace is rejected).
+    pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+        T::from_value(&parse(text)?)
+    }
+
+    /// Parses JSON text into the generic [`Value`] tree.
+    pub fn parse(text: &str) -> Result<Value, Error> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(Error::custom(format!("trailing input at byte {pos}")));
+        }
+        Ok(value)
+    }
+
+    fn write_value(out: &mut String, value: &Value) {
+        match value {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Float(f) if f.is_finite() => {
+                // Rust's Display for f64 is shortest-round-trip; ensure a
+                // decimal point so the token re-parses as a float.
+                let text = format!("{f}");
+                out.push_str(&text);
+                if !text.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            }
+            // JSON has no NaN/∞; mirror serde_json's `null`.
+            Value::Float(_) => out.push_str("null"),
+            Value::Str(s) => write_string(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_value(out, item);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (name, field)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, name);
+                    out.push(':');
+                    write_value(out, field);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), Error> {
+        if bytes[*pos..].starts_with(token.as_bytes()) {
+            *pos += token.len();
+            Ok(())
+        } else {
+            Err(Error::custom(format!("expected `{token}` at byte {pos}", pos = *pos)))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err(Error::custom("unexpected end of input")),
+            Some(b'n') => expect(bytes, pos, "null").map(|()| Value::Null),
+            Some(b't') => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
+            Some(b'f') => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
+            Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => {
+                            return Err(Error::custom(format!(
+                                "expected `,` or `]` at byte {pos}",
+                                pos = *pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let name = parse_string(bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    expect(bytes, pos, ":")?;
+                    let value = parse_value(bytes, pos)?;
+                    fields.push((name, value));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(fields));
+                        }
+                        _ => {
+                            return Err(Error::custom(format!(
+                                "expected `,` or `}}` at byte {pos}",
+                                pos = *pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(_) => parse_number(bytes, pos),
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(Error::custom(format!("expected string at byte {pos}", pos = *pos)));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::custom("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::custom("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("surrogate \\u escape"))?,
+                            );
+                            *pos += 4;
+                        }
+                        _ => return Err(Error::custom("bad escape")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&bytes[*pos..])
+                        .map_err(|_| Error::custom("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        let start = *pos;
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = bytes.get(*pos) {
+            match b {
+                b'0'..=b'9' => *pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    *pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&bytes[start..*pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(Error::custom(format!("expected value at byte {start}")));
+        }
+        if is_float {
+            text.parse::<f64>().map(Value::Float).map_err(|e| Error::custom(format!("{e}: {text}")))
+        } else if let Some(negative) = text.strip_prefix('-') {
+            negative
+                .parse::<u64>()
+                .ok()
+                .and_then(|n| i64::try_from(n).ok().map(|n| Value::Int(-n)))
+                .ok_or_else(|| Error::custom(format!("integer out of range: {text}")))
+        } else {
+            text.parse::<u64>().map(Value::UInt).map_err(|e| Error::custom(format!("{e}: {text}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_json_text() {
+        assert_eq!(json::to_string(&42u64), "42");
+        assert_eq!(json::from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(json::to_string(&-7i32), "-7");
+        assert_eq!(json::from_str::<i32>("-7").unwrap(), -7);
+        assert_eq!(json::to_string(&true), "true");
+        assert_eq!(json::to_string(&String::from("a\"b\n")), "\"a\\\"b\\n\"");
+        assert_eq!(json::from_str::<String>("\"a\\\"b\\n\"").unwrap(), "a\"b\n");
+        assert_eq!(json::to_string(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(json::from_str::<Vec<u32>>("[1, 2, 3]").unwrap(), vec![1, 2, 3]);
+        assert_eq!(json::to_string(&Option::<u32>::None), "null");
+        assert_eq!(json::from_str::<Option<u32>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn floats_use_shortest_round_trip_formatting() {
+        for f in [0.1, 1.0 / 3.0, 1e-12, 25.0, f64::MAX, -0.0] {
+            let text = json::to_string(&f);
+            assert_eq!(json::from_str::<f64>(&text).unwrap().to_bits(), f.to_bits(), "{text}");
+        }
+        // Integral floats keep a decimal point so they re-parse as floats.
+        assert_eq!(json::to_string(&25.0f64), "25.0");
+        assert_eq!(json::to_string(&f64::NAN), "null");
+    }
+
+    #[test]
+    fn malformed_input_is_a_typed_error_never_a_panic() {
+        for bad in ["", "{", "[1,", "\"open", "nul", "{\"a\" 1}", "12x", "[1] garbage", "-"] {
+            assert!(json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+        // Shape mismatches too.
+        assert!(json::from_str::<u64>("\"nope\"").is_err());
+        assert!(json::from_str::<u64>("-3").is_err());
+        assert!(json::from_str::<u8>("300").is_err());
+    }
+
+    #[test]
+    fn objects_ignore_unknown_and_duplicate_keys_keep_the_last() {
+        let v = json::parse("{\"a\": 1, \"a\": 2, \"b\": 3}").unwrap();
+        assert_eq!(v.get("a"), Some(&Value::UInt(2)));
+        assert_eq!(v.get("missing"), None);
+    }
+}

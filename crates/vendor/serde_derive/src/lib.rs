@@ -1,0 +1,178 @@
+//! Offline stand-in for `serde_derive`, written against the compiler's
+//! own `proc_macro` token model (no `syn`/`quote` — neither is available
+//! offline, and the supported input shape doesn't need a full parser).
+//!
+//! Supported input: a (possibly `pub`) **struct with named fields** whose
+//! types implement the stand-in `serde::Serialize` / `serde::Deserialize`
+//! traits. Attributes on the struct and its fields are skipped (doc
+//! comments included); generics, tuple structs and enums are rejected
+//! with a compile error naming the limitation.
+//!
+//! The generated impls speak the stand-in's `Value` model:
+//! `Serialize::to_value` builds an object with one entry per field in
+//! declaration order; `Deserialize::from_value` looks each field up by
+//! name (unknown keys ignored, missing ones a typed error).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a flat named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Impl::Serialize)
+}
+
+/// Derives `serde::Deserialize` for a flat named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Impl::Deserialize)
+}
+
+enum Impl {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Impl) -> TokenStream {
+    let (name, fields) = match parse_struct(input) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            // Surface parse failures as a compile error at the derive
+            // site instead of an opaque proc-macro panic.
+            return format!("compile_error!({message:?});").parse().expect("literal error");
+        }
+    };
+    let body = match which {
+        Impl::Serialize => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                             = ::std::vec::Vec::new();\n\
+                         {entries}\n\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Impl::Deserialize => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(value.get({f:?})\
+                         .ok_or_else(|| ::serde::Error::missing_field({f:?}))?)?,"
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {entries} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("generated impl parses")
+}
+
+/// Extracts `(struct name, field names in declaration order)` from the
+/// derive input, or a human-readable reason it is unsupported.
+fn parse_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes and visibility until the `struct` keyword.
+    let mut name = None;
+    while let Some(token) = tokens.next() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the following [...] group.
+                tokens.next();
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return Err("expected a struct name".into()),
+                }
+                break;
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "enum" => {
+                return Err("the offline serde stand-in cannot derive for enums".into());
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or("expected a struct item")?;
+    // Next significant token must be the { ... } field block; `<` means
+    // generics, `(` a tuple struct — both unsupported.
+    let fields_group = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(
+                    "the offline serde stand-in needs named fields, not a tuple struct".into()
+                );
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("the offline serde stand-in cannot derive for generic structs".into());
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err("the offline serde stand-in cannot derive for unit structs".into());
+            }
+            Some(_) => continue,
+            None => return Err("expected a braced field block".into()),
+        }
+    };
+
+    // Within the braces: `[attrs] [pub[(..)]] name : type ,` repeated.
+    // Only the names matter; types are skipped up to the next top-level
+    // comma (tracking `<…>` depth so generic arguments don't split a
+    // field early).
+    let mut fields = Vec::new();
+    let mut inner = fields_group.stream().into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        let field_name = loop {
+            match inner.next() {
+                None => return Ok((name, fields)),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    inner.next();
+                }
+                Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(_)) = inner.peek() {
+                        inner.next();
+                    }
+                }
+                Some(TokenTree::Ident(ident)) => break ident.to_string(),
+                Some(other) => return Err(format!("unexpected token `{other}` in field list")),
+            }
+        };
+        match inner.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{field_name}`")),
+        }
+        fields.push(field_name);
+        // Skip the type.
+        let mut angle_depth = 0usize;
+        loop {
+            match inner.next() {
+                None => return Ok((name, fields)),
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+            }
+        }
+    }
+}

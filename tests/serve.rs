@@ -52,6 +52,7 @@ fn serving_config(rebuild_after: usize) -> ServingConfig {
         runtime: RuntimeConfig::with_workers(2),
         beam: BeamSearchConfig { beam_width: 24, entry_points: 5, max_comparisons: 0 },
         rebuild_after,
+        ..ServingConfig::default()
     }
 }
 

@@ -1,0 +1,430 @@
+//! Integration suite for the SLO-aware serving layer: cross-query batched
+//! execution equivalence (bit-identical results *and* comparison counts
+//! against the single-query path, over every kernel width), token-bucket
+//! admission and adaptive-beam controller properties, the recall@k
+//! ground-truth harness, and the engine-level overload behaviour (typed
+//! shed, never a panic).
+
+use cluster_and_conquer::prelude::*;
+use cnc_eval::groundtruth::{epoch_key, GroundTruthCache, GroundTruthConfig};
+use cnc_query::BatchQuery;
+use cnc_serve::{BatchRequest, ManualClock, SloAction, SloConfig, SloController, TokenBucket};
+use cnc_similarity::SimilarityData;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn dataset(seed: u64, users: usize) -> Dataset {
+    let mut cfg = SyntheticConfig::small(seed);
+    cfg.num_users = users;
+    cfg.num_items = users.max(120);
+    cfg.communities = 6;
+    cfg.mean_profile = 16.0;
+    cfg.min_profile = 5;
+    cfg.generate()
+}
+
+fn graph_for(ds: &Dataset, k: usize) -> KnnGraph {
+    let sim = SimilarityData::build(SimilarityBackend::Raw, ds);
+    let ctx = BuildContext { dataset: ds, sim: &sim, k, threads: 1, seed: 3 };
+    BruteForce.build(&ctx)
+}
+
+/// Neighbour lists compared as `(user, sim bit pattern)` — the equality
+/// the tentpole promises.
+fn bits(result: &cnc_query::QueryResult) -> Vec<(u32, u32)> {
+    result.neighbors.iter().map(|n| (n.user, n.sim.to_bits())).collect()
+}
+
+/// Runs one epoch's worth of queries through the single-query path and
+/// the cross-query batched path and asserts bit-identity, for one scoring
+/// backend (`bits_opt`: None = raw Jaccard, Some(b) = b-bit GoldFinger).
+fn assert_batched_path_identical(
+    ds: &Dataset,
+    graph: &KnnGraph,
+    bits_opt: Option<usize>,
+    k: usize,
+    batch: usize,
+    config: &BeamSearchConfig,
+) {
+    let goldfinger = bits_opt.map(|b| GoldFinger::build(ds, b, 0xF1));
+    let index = match &goldfinger {
+        Some(gf) => QueryIndex::with_goldfinger(ds, graph, gf),
+        None => QueryIndex::new(ds, graph),
+    };
+    let queries: Vec<Vec<u32>> =
+        (0..batch).map(|q| ds.profile((q * 7 % ds.num_users()) as u32).to_vec()).collect();
+    let requests: Vec<BatchQuery> = queries
+        .iter()
+        .enumerate()
+        .map(|(q, profile)| BatchQuery { profile, k, seed: 0xA0 + q as u64 })
+        .collect();
+    let batched = index.search_batch(&requests, config);
+    assert_eq!(batched.len(), requests.len());
+    for (request, got) in requests.iter().zip(&batched) {
+        let single = index.search(request.profile, request.k, config, request.seed);
+        assert_eq!(
+            bits(got),
+            bits(&single),
+            "neighbours diverged (bits {bits_opt:?}, k {k}, batch {batch})"
+        );
+        assert_eq!(
+            got.comparisons, single.comparisons,
+            "comparison counts diverged (bits {bits_opt:?}, k {k}, batch {batch})"
+        );
+    }
+}
+
+/// Every monomorphized kernel width: 64 bits (1 word), 192 (dyn
+/// fallback), 1024 (16 words), 4096 (64 words), 8192 (128 words), plus
+/// raw Jaccard — across capped and uncapped beams.
+#[test]
+fn batched_path_is_bit_identical_for_every_backend_width() {
+    let ds = dataset(11, 160);
+    let graph = graph_for(&ds, 8);
+    for bits_opt in [None, Some(64), Some(192), Some(1024), Some(4096), Some(8192)] {
+        for max_comparisons in [0usize, 48, 1] {
+            let config = BeamSearchConfig { beam_width: 16, entry_points: 4, max_comparisons };
+            assert_batched_path_identical(&ds, &graph, bits_opt, 8, 9, &config);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random epochs × batch sizes × k: the cross-query path reproduces
+    /// the single-query path exactly, neighbours and comparison counts,
+    /// on raw and fingerprint backends.
+    #[test]
+    fn batched_equivalence_over_random_epochs(
+        seed in 0u64..1000,
+        users in 30usize..220,
+        k in 1usize..12,
+        batch in 1usize..20,
+        backend_pick in 0usize..3,
+        cap_pick in 0usize..3,
+    ) {
+        let ds = dataset(seed, users);
+        let graph = graph_for(&ds, k.max(4));
+        let bits_opt = [None, Some(64), Some(1024)][backend_pick];
+        let max_comparisons = [0usize, 64, 1][cap_pick];
+        let config = BeamSearchConfig {
+            beam_width: k.max(12),
+            entry_points: 4,
+            max_comparisons,
+        };
+        assert_batched_path_identical(&ds, &graph, bits_opt, k, batch, &config);
+    }
+
+    /// Token bucket: over any run, admitted work never exceeds
+    /// `burst + rate × elapsed` (integer-exact refill, charge-then-settle
+    /// refunds included), and the admit/shed pattern is a deterministic
+    /// function of the seeded clock.
+    #[test]
+    fn admitted_work_never_exceeds_the_budget(
+        rate in 1u64..50_000,
+        burst in 1u64..10_000,
+        ops in proptest::collection::vec((0u64..5_000_000, 1u64..400, 0u64..100), 1..120),
+    ) {
+        let clock = ManualClock::new();
+        let bucket = TokenBucket::with_manual_clock(rate, burst, &clock);
+        let replay_clock = ManualClock::new();
+        let replay = TokenBucket::with_manual_clock(rate, burst, &replay_clock);
+        let mut elapsed_ns: u128 = 0;
+        let mut admitted_work: u128 = 0;
+        for &(advance, cost, spend_pct) in &ops {
+            clock.advance(Duration::from_nanos(advance));
+            replay_clock.advance(Duration::from_nanos(advance));
+            elapsed_ns += advance as u128;
+            let outcome = bucket.try_acquire(cost);
+            let replayed = replay.try_acquire(cost);
+            prop_assert_eq!(
+                outcome.map_err(|r| r.retry_after),
+                replayed.map_err(|r| r.retry_after),
+                "shed decisions must be deterministic under the seeded clock"
+            );
+            if outcome.is_ok() {
+                // The query runs, spending some fraction of its charge.
+                let actual = cost * spend_pct.min(100) / 100;
+                bucket.settle(cost, actual);
+                replay.settle(cost, actual);
+                admitted_work += actual as u128;
+                // Work admitted so far can never exceed the budget line:
+                // the initial burst plus everything refilled since, with
+                // one token of slack for the carry numerator.
+                let ceiling = burst as u128 + (elapsed_ns * rate as u128) / 1_000_000_000 + 1;
+                prop_assert!(
+                    admitted_work <= ceiling,
+                    "admitted {admitted_work} > budget ceiling {ceiling}"
+                );
+            } else {
+                // A rejection must carry a usable retry hint.
+                prop_assert!(outcome.unwrap_err().retry_after > Duration::ZERO);
+            }
+        }
+        prop_assert_eq!(bucket.balance(), replay.balance());
+    }
+
+    /// Controller: whatever p99 sequence it observes, the beam scale
+    /// stays in [floor, 100] and the derived width never drops below the
+    /// configured minimum.
+    #[test]
+    fn beam_never_drops_below_the_configured_floor(
+        target in 1u64..10_000_000,
+        full_beam in 8usize..64,
+        min_pick in 1usize..8,
+        p99s in proptest::collection::vec(0u64..20_000_000, 1..60),
+    ) {
+        let min_beam = min_pick.min(full_beam);
+        let mut controller = SloController::new(target, full_beam, min_beam);
+        for &p99 in &p99s {
+            controller.observe(p99);
+            prop_assert!(controller.scale_pct() <= 100);
+            prop_assert!(
+                controller.beam_width() >= min_beam,
+                "beam {} below floor {min_beam} at scale {}%",
+                controller.beam_width(),
+                controller.scale_pct()
+            );
+            prop_assert!(controller.beam_width() <= full_beam);
+        }
+    }
+
+    /// Recovery: after an arbitrary burst of SLO misses, a healthy stretch
+    /// restores the full beam width.
+    #[test]
+    fn recovery_after_burst_restores_full_width(
+        misses in 1usize..20,
+        full_beam in 8usize..64,
+    ) {
+        let target = 1_000_000u64;
+        let mut controller = SloController::new(target, full_beam, 2);
+        for _ in 0..misses {
+            controller.observe(target * 10);
+        }
+        prop_assert!(controller.scale_pct() < 100, "misses must degrade the beam");
+        // Each +25% recovery step needs 2 consecutive healthy windows;
+        // from the floor that is bounded by 2 × ceil(100/25) + slack.
+        for _ in 0..16 {
+            controller.observe(target / 2);
+        }
+        prop_assert_eq!(controller.scale_pct(), 100);
+        prop_assert_eq!(controller.beam_width(), full_beam);
+    }
+}
+
+#[test]
+fn controller_degrades_by_halving_and_reports_actions() {
+    let mut controller = SloController::new(1_000, 32, 4);
+    assert_eq!(controller.observe(2_000), SloAction::Degrade);
+    assert_eq!(controller.scale_pct(), 50);
+    assert_eq!(controller.observe(2_000), SloAction::Degrade);
+    assert_eq!(controller.scale_pct(), 25);
+    // Healthy windows: hold, then recover on the second.
+    assert_eq!(controller.observe(500), SloAction::Hold);
+    assert_eq!(controller.observe(500), SloAction::Recover);
+    assert_eq!(controller.scale_pct(), 50);
+    // A miss resets the healthy streak.
+    assert_eq!(controller.observe(2_000), SloAction::Degrade);
+    assert_eq!(controller.observe(500), SloAction::Hold);
+    assert_eq!(controller.observe(2_000), SloAction::Degrade);
+}
+
+fn serving_config(users_hint: usize) -> ServingConfig {
+    ServingConfig {
+        c2: C2Config {
+            k: 8,
+            backend: SimilarityBackend::GoldFinger { bits: 1024, seed: 21 },
+            seed: 5,
+            threads: 1,
+            ..C2Config::default()
+        },
+        runtime: RuntimeConfig::with_workers(2),
+        beam: BeamSearchConfig {
+            beam_width: 16.min(users_hint),
+            entry_points: 4,
+            max_comparisons: 0,
+        },
+        rebuild_after: 0,
+        ..ServingConfig::default()
+    }
+}
+
+/// Engine-level equivalence: `query_batch` and the window-coalesced
+/// `query_batched` answer bit-identically to `try_query` with the same
+/// arguments.
+#[test]
+fn engine_batched_paths_match_try_query_bitwise() {
+    let ds = dataset(31, 180);
+    let engine = ServingEngine::build(ds.clone(), serving_config(180));
+    let requests: Vec<BatchRequest> = (0..10)
+        .map(|q| BatchRequest { profile: ds.profile(q * 11).to_vec(), k: 6, seed: 900 + q as u64 })
+        .collect();
+    let batched = engine.query_batch(&requests);
+    for (request, outcome) in requests.iter().zip(batched) {
+        let got = outcome.expect("no budget configured, nothing sheds");
+        let single = engine.try_query(&request.profile, request.k, request.seed).unwrap();
+        assert_eq!(bits(&got), bits(&single));
+        assert_eq!(got.comparisons, single.comparisons);
+    }
+
+    // The shared batching window, driven from concurrent submitters.
+    let mut config = serving_config(180);
+    config.slo = SloConfig { batch_window_us: 2_000, batch_max: 4, ..SloConfig::default() };
+    let windowed = ServingEngine::build(ds.clone(), config);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|q| {
+                let engine = &windowed;
+                let ds = &ds;
+                scope.spawn(move || {
+                    let profile = ds.profile(q * 13).to_vec();
+                    let result = engine.query_batched(&profile, 6, 700 + q as u64).unwrap();
+                    (profile, 700 + q as u64, result)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (profile, seed, result) = handle.join().unwrap();
+            let single = windowed.try_query(&profile, 6, seed).unwrap();
+            assert_eq!(bits(&result), bits(&single), "windowed batch diverged");
+            assert_eq!(result.comparisons, single.comparisons);
+        }
+    });
+    assert!(windowed.stats().batches >= 1, "the window must have coalesced at least one batch");
+}
+
+/// Overload: a starvation budget sheds with typed rejections carrying a
+/// retry hint — never a panic, never a silent slow query — while the
+/// queries that were admitted still answer correctly.
+#[test]
+fn overloaded_engine_sheds_with_typed_rejections() {
+    let ds = dataset(41, 150);
+    let mut config = serving_config(150);
+    // One comparison per second: the burst covers exactly one query's
+    // worst-case charge, after which the bucket needs hours to refill.
+    config.slo = SloConfig { budget_per_sec: 1, ..SloConfig::default() };
+    let engine = ServingEngine::build(ds.clone(), config);
+
+    let first = engine.try_query(ds.profile(0), 5, 1);
+    assert!(first.is_ok(), "the initial burst must admit the first query");
+    let mut sheds = 0;
+    for q in 0..20u64 {
+        match engine.try_query(ds.profile((q % 50) as u32), 5, q) {
+            Ok(_) => {}
+            Err(rejected) => {
+                sheds += 1;
+                assert!(rejected.retry_after > Duration::ZERO, "shed must carry a retry hint");
+                assert!(rejected.to_string().contains("retry"), "typed error must explain itself");
+            }
+        }
+    }
+    assert!(sheds >= 19, "starvation budget admitted too much ({sheds} sheds)");
+    let stats = engine.stats();
+    assert_eq!(stats.shed, sheds);
+    assert!(stats.admitted >= 1);
+
+    // The batch path sheds per request, answering every slot.
+    let requests: Vec<BatchRequest> = (0..4)
+        .map(|q| BatchRequest { profile: ds.profile(q).to_vec(), k: 5, seed: q as u64 })
+        .collect();
+    let outcomes = engine.query_batch(&requests);
+    assert_eq!(outcomes.len(), 4);
+    assert!(outcomes.iter().all(|o| o.is_err()), "every slot sheds under starvation");
+
+    // The unmetered path is untouched by the budget.
+    let unmetered = engine.query(ds.profile(1), 5, 99);
+    assert_eq!(unmetered.neighbors.len(), 5);
+}
+
+/// Light load with no budget: nothing sheds, the controller holds the
+/// full beam — the CI smoke contract.
+#[test]
+fn unbudgeted_engine_never_sheds() {
+    let ds = dataset(43, 120);
+    let engine = ServingEngine::build(ds.clone(), serving_config(120));
+    for q in 0..30u64 {
+        engine.try_query(ds.profile((q % 40) as u32), 5, q).expect("no budget, no shed");
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.shed, 0);
+    assert_eq!(engine.beam_scale_pct(), 100);
+}
+
+/// An impossible SLO target forces the adaptive beam to degrade — and
+/// the scale floor holds.
+#[test]
+fn impossible_slo_narrows_the_beam_to_its_floor_but_not_below() {
+    let ds = dataset(47, 200);
+    let mut config = serving_config(200);
+    config.slo = SloConfig {
+        target_p99_us: 1, // 1 µs p99: unattainable, every window misses
+        min_beam_width: 6,
+        controller_every: 16,
+        ..SloConfig::default()
+    };
+    let engine = ServingEngine::build(ds.clone(), config);
+    let mut session = engine.session();
+    for q in 0..400u64 {
+        let result = engine.query_with(&mut session, ds.profile((q % 100) as u32), 5, q);
+        assert!(result.neighbors.len() <= 5);
+    }
+    let scale = engine.beam_scale_pct();
+    assert!(scale < 100, "impossible SLO must degrade the beam (scale {scale}%)");
+    // floor = ceil(min_beam × 100 / full_beam) = ceil(600/16)
+    assert!(scale >= 38, "scale {scale}% fell below the floor");
+}
+
+/// The recall harness against a live engine: exact search scores a
+/// perfect recall, and the ground-truth cache invalidates exactly when
+/// the epoch's cluster content changes.
+#[test]
+fn recall_harness_is_exact_and_cache_tracks_cluster_hashes() {
+    let ds = dataset(53, 170);
+    let engine = ServingEngine::build(ds, serving_config(170));
+    let truth_cfg = GroundTruthConfig { sample: 10, k: 6, seed: 77 };
+    let mut cache = GroundTruthCache::new();
+
+    let epoch = engine.current_epoch();
+    let key = epoch_key(epoch.dataset(), &engine.config().c2);
+    let truth = cache.get_or_compute(key, epoch.dataset(), &truth_cfg);
+    assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+    // Unbudgeted exact search recalls 1.0 on every sampled query.
+    let index = epoch.index();
+    for (qi, &donor) in truth.queries.iter().enumerate() {
+        let exact = index.exact_search(epoch.dataset().profile(donor), truth_cfg.k);
+        let ids: Vec<u32> = exact.neighbors.iter().map(|n| n.user).collect();
+        assert_eq!(truth.recall_of(qi, &ids), 1.0, "exact search must recall 1.0");
+        assert_eq!(exact.comparisons, epoch.dataset().num_users());
+    }
+    // The approximate path is bounded by 1 and not degenerate.
+    for (qi, &donor) in truth.queries.iter().enumerate() {
+        let approx = engine.query(epoch.dataset().profile(donor), truth_cfg.k, qi as u64);
+        let ids: Vec<u32> = approx.neighbors.iter().map(|n| n.user).collect();
+        let recall = truth.recall_of(qi, &ids);
+        assert!((0.0..=1.0).contains(&recall));
+    }
+
+    // Same epoch key → cache hit, no recompute.
+    let again = cache.get_or_compute(key, epoch.dataset(), &truth_cfg);
+    assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    assert_eq!(again.key, truth.key);
+
+    // An absorbed insert + publish changes cluster content hashes → the
+    // key moves → exactly one new miss.
+    engine.insert(vec![1, 2, 3, 4, 5], 9);
+    engine.publish();
+    let fresh = engine.current_epoch();
+    assert!(fresh.epoch() > epoch.epoch(), "publish must swap the epoch");
+    let fresh_key = epoch_key(fresh.dataset(), &engine.config().c2);
+    assert_ne!(key, fresh_key, "content change must move the epoch key");
+    cache.get_or_compute(fresh_key, fresh.dataset(), &truth_cfg);
+    assert_eq!((cache.hits(), cache.misses()), (1, 2));
+
+    // Re-deriving the unchanged fresh epoch's key hits again.
+    let fresh_key_again = epoch_key(fresh.dataset(), &engine.config().c2);
+    assert_eq!(fresh_key, fresh_key_again);
+    cache.get_or_compute(fresh_key_again, fresh.dataset(), &truth_cfg);
+    assert_eq!((cache.hits(), cache.misses()), (2, 2));
+}
