@@ -16,9 +16,12 @@
 //! --batch <n>          serve cross-query batch size              (default: 16)
 //! --telemetry on|off   metric/span recording                     (default: per-binary)
 //! --profile-out <path> write a JSON telemetry profile on exit    (default: none)
+//! --faults SPEC        arm seeded fault injection, e.g.
+//!                      `seed=42,p=0.02[,span=3][,sites=a+b]`     (default: off)
 //! ```
 
 use cnc_dataset::DatasetProfile;
+use cnc_faults::FaultPlan;
 use std::path::PathBuf;
 
 /// Parsed harness options.
@@ -55,6 +58,9 @@ pub struct HarnessArgs {
     /// Writes the run's JSON telemetry profile here on exit. Implies
     /// telemetry unless `--telemetry off` explicitly wins.
     pub profile_out: Option<PathBuf>,
+    /// Seeded fault-injection schedule armed for the run (`None` = the
+    /// registry stays disabled: one relaxed atomic load per site).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for HarnessArgs {
@@ -72,6 +78,7 @@ impl Default for HarnessArgs {
             batch: None,
             telemetry: None,
             profile_out: None,
+            faults: None,
         }
     }
 }
@@ -153,6 +160,12 @@ impl HarnessArgs {
                 "--profile-out" => {
                     args.profile_out = Some(PathBuf::from(value("--profile-out")?));
                 }
+                "--faults" => {
+                    args.faults = Some(
+                        FaultPlan::parse(&value("--faults")?)
+                            .map_err(|e| format!("--faults: {e}"))?,
+                    );
+                }
                 "--datasets" => {
                     let list = value("--datasets")?;
                     args.datasets = list
@@ -191,7 +204,7 @@ impl HarnessArgs {
         "usage: [--scale F] [--threads N] [--seed S] [--workers W] [--reduce-shards R] \
          [--clients C] [--budget CMP_PER_S] [--slo-us US] [--batch B] \
          [--datasets ml1M,ml10M,ml20M,AM,DBLP,GW] [--telemetry on|off] \
-         [--profile-out PATH]"
+         [--profile-out PATH] [--faults seed=S,p=P[,span=N][,sites=a+b]]"
     }
 
     /// Resolves whether telemetry should record for this run:
@@ -301,6 +314,20 @@ mod tests {
         let args = parse(&["--profile-out", "/tmp/profile.json"]).unwrap();
         assert_eq!(args.profile_out, Some(PathBuf::from("/tmp/profile.json")));
         assert!(parse(&["--profile-out"]).is_err());
+    }
+
+    #[test]
+    fn parses_fault_spec() {
+        assert_eq!(parse(&[]).unwrap().faults, None);
+        let plan = parse(&["--faults", "seed=42,p=0.02"]).unwrap().faults.unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.p_mille, 20);
+        let narrow =
+            parse(&["--faults", "seed=7,p=0.1,span=3,sites=solve.cluster"]).unwrap().faults;
+        assert_eq!(narrow.unwrap().span, 3);
+        assert!(parse(&["--faults", "p=2"]).is_err(), "p outside [0, 1]");
+        assert!(parse(&["--faults", "bogus"]).is_err());
+        assert!(parse(&["--faults"]).is_err());
     }
 
     #[test]

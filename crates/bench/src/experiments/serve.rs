@@ -20,6 +20,7 @@
 use crate::args::HarnessArgs;
 use cnc_core::C2Config;
 use cnc_eval::groundtruth::{epoch_key, GroundTruthCache, GroundTruthConfig};
+use cnc_faults::{silence_injected_panics, Faults, Site};
 use cnc_query::{BatchQuery, BeamSearchConfig};
 use cnc_runtime::RuntimeConfig;
 use cnc_serve::{BatchRequest, ServingConfig, ServingEngine, SloConfig};
@@ -41,6 +42,33 @@ const QUERY_K: usize = 10;
 /// Per-query comparison caps swept for the recall-vs-budget curve
 /// (0 = uncapped full beam).
 const RECALL_BUDGETS: [usize; 4] = [128, 256, 512, 0];
+
+/// The robustness point of a `--faults` run: serving figures under the
+/// armed schedule next to a fault-free baseline phase on the same engine,
+/// plus the recovery accounting the injections triggered.
+#[derive(Clone, Debug)]
+pub struct Robustness {
+    /// The armed schedule, in `--faults` spec form.
+    pub spec: String,
+    /// Ops/s of the fault-free traffic phase.
+    pub baseline_qps: f64,
+    /// Query p99 of the fault-free traffic phase, microseconds.
+    pub baseline_query_p99_us: f64,
+    /// Ops/s of the traffic phase run under the armed schedule.
+    pub faulted_qps: f64,
+    /// Query p99 under the armed schedule, microseconds.
+    pub faulted_query_p99_us: f64,
+    /// Faults the registry injected during the faulted phase.
+    pub injected: u64,
+    /// Spill/replay retries the injections forced (`cnc_fault_retries_total`).
+    pub retries: u64,
+    /// Clusters returned to the queue after an injected solver panic.
+    pub requeued_clusters: u64,
+    /// Epoch rebuilds that failed and were absorbed (old epoch stayed live).
+    pub rebuild_failures: u64,
+    /// Snapshot files condemned and renamed aside during the run.
+    pub quarantined_snapshots: u64,
+}
 
 /// The full bench result (rendered to markdown and JSON).
 #[derive(Clone, Debug)]
@@ -110,6 +138,8 @@ pub struct ServeReport {
     pub single_qps: f64,
     /// Cross-query batched throughput over the same set, queries/s.
     pub batched_qps: f64,
+    /// Fault-injection robustness point (`None` unless `--faults` armed).
+    pub robustness: Option<Robustness>,
 }
 
 /// Percentile over an ascending `f64` series, in the series' own unit
@@ -199,46 +229,111 @@ pub fn bench(args: &HarnessArgs) -> ServeReport {
     // drawn from the base dataset with a random drift item (fresh users
     // resemble existing ones, as in the paper's workloads). Per-operation
     // latency is recorded inside the engine (telemetry histograms), so the
-    // clients carry no measurement state of their own.
-    let traffic_start = Instant::now();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..clients)
-            .map(|client| {
-                let engine = &engine;
-                let dataset = &dataset;
-                scope.spawn(move || {
-                    let mut rng = SmallRng::seed_from_u64(
-                        args.seed.wrapping_add(client as u64 * 0x9E37_79B9),
-                    );
-                    let mut session = engine.session();
-                    for op in 0..ops_per_client {
-                        let donor = rng.random_range(0..num_users as u32);
-                        let mut profile = dataset.profile(donor).to_vec();
-                        profile.push(rng.random_range(0..num_items as u32));
-                        let seed = (client * ops_per_client + op) as u64;
-                        if op % (QUERIES_PER_INSERT + 1) == QUERIES_PER_INSERT {
-                            engine.insert(profile, seed);
-                        } else {
-                            // The SLO-governed path: admission-checked when a
-                            // budget is configured (shed queries return a typed
-                            // rejection and are simply dropped by this
-                            // open-loop client), plain query otherwise.
-                            let _ = engine.try_query_with(&mut session, &profile, QUERY_K, seed);
+    // clients carry no measurement state of their own. A `--faults` run
+    // drives the same mix twice — phase 0 fault-free, phase 1 under the
+    // armed schedule — so the robustness point compares like with like.
+    let run_traffic = |phase: u64| -> f64 {
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|client| {
+                    let engine = &engine;
+                    let dataset = &dataset;
+                    scope.spawn(move || {
+                        let mut rng = SmallRng::seed_from_u64(
+                            args.seed
+                                .wrapping_add(client as u64 * 0x9E37_79B9)
+                                .wrapping_add(phase.wrapping_mul(0xA5A5_A5A5)),
+                        );
+                        let mut session = engine.session();
+                        for op in 0..ops_per_client {
+                            let donor = rng.random_range(0..num_users as u32);
+                            let mut profile = dataset.profile(donor).to_vec();
+                            profile.push(rng.random_range(0..num_items as u32));
+                            let seed =
+                                ((phase as usize * clients + client) * ops_per_client + op) as u64;
+                            if op % (QUERIES_PER_INSERT + 1) == QUERIES_PER_INSERT {
+                                engine.insert(profile, seed);
+                            } else {
+                                // The SLO-governed path: admission-checked when a
+                                // budget is configured (shed queries return a typed
+                                // rejection and are simply dropped by this
+                                // open-loop client), plain query otherwise.
+                                let _ =
+                                    engine.try_query_with(&mut session, &profile, QUERY_K, seed);
+                            }
                         }
-                    }
+                    })
                 })
-            })
-            .collect();
-        for handle in handles {
-            handle.join().expect("client thread panicked");
+                .collect();
+            for handle in handles {
+                handle.join().expect("client thread panicked");
+            }
+        });
+        start.elapsed().as_secs_f64()
+    };
+
+    let phase_ops = clients * ops_per_client;
+    let (traffic_s, robustness) = match args.faults {
+        None => (run_traffic(0), None),
+        Some(plan) => {
+            // Injected solver panics must not spray the default panic hook's
+            // backtraces over the bench output; genuine panics still print.
+            silence_injected_panics();
+            let registry = Faults::global();
+            let baseline_s = run_traffic(0);
+            let baseline_qps = phase_ops as f64 / baseline_s;
+            let baseline_query_p99_us = query_hist.quantile(0.99) as f64 / 1e3;
+            // Reset so the main report's percentiles describe the faulted
+            // phase alone, not a blend of both phases.
+            query_hist.reset();
+            insert_hist.reset();
+            let retries_before: u64 = Site::ALL
+                .iter()
+                .map(|s| {
+                    telemetry.counter("cnc_fault_retries_total", &[("site", s.name())]).value()
+                })
+                .sum();
+            let requeued_before = telemetry.counter("cnc_requeued_clusters_total", &[]).value();
+            let quarantined_before =
+                telemetry.counter("cnc_quarantined_snapshots_total", &[]).value();
+            let rebuild_failures_before = engine.rebuild_failures();
+            let guard = registry.arm(plan);
+            let faulted_s = run_traffic(1);
+            let injected = registry.injected_total();
+            drop(guard);
+            let retries_after: u64 = Site::ALL
+                .iter()
+                .map(|s| {
+                    telemetry.counter("cnc_fault_retries_total", &[("site", s.name())]).value()
+                })
+                .sum();
+            let robustness = Robustness {
+                spec: plan.spec(),
+                baseline_qps,
+                baseline_query_p99_us,
+                faulted_qps: phase_ops as f64 / faulted_s,
+                faulted_query_p99_us: query_hist.quantile(0.99) as f64 / 1e3,
+                injected,
+                retries: retries_after - retries_before,
+                requeued_clusters: telemetry.counter("cnc_requeued_clusters_total", &[]).value()
+                    - requeued_before,
+                rebuild_failures: engine.rebuild_failures() - rebuild_failures_before,
+                quarantined_snapshots: telemetry
+                    .counter("cnc_quarantined_snapshots_total", &[])
+                    .value()
+                    - quarantined_before,
+            };
+            (baseline_s + faulted_s, Some(robustness))
         }
-    });
-    let traffic_s = traffic_start.elapsed().as_secs_f64();
+    };
 
     let stats = engine.stats();
-    if telemetry_on {
+    if telemetry_on && args.faults.is_none() {
         // The engine timed exactly one histogram sample per operation;
-        // drift here means an instrumentation path was skipped.
+        // drift here means an instrumentation path was skipped. (A faulted
+        // run resets the histograms between its two phases, so the counts
+        // intentionally cover only the second.)
         assert_eq!(query_hist.count(), stats.queries, "query latency accounting off");
         assert_eq!(insert_hist.count(), stats.inserts, "insert latency accounting off");
     }
@@ -366,7 +461,25 @@ pub fn bench(args: &HarnessArgs) -> ServeReport {
         batch_size,
         single_qps,
         batched_qps,
+        robustness,
     };
+    if let Some(r) = &report.robustness {
+        eprintln!(
+            "  serve faults ({}): {} injected, {} retries, {} requeued clusters, \
+             {} rebuild failures, {} quarantined; {:.0} ops/s p99 {:.0} µs faulted \
+             vs {:.0} ops/s p99 {:.0} µs fault-free",
+            r.spec,
+            r.injected,
+            r.retries,
+            r.requeued_clusters,
+            r.rebuild_failures,
+            r.quarantined_snapshots,
+            r.faulted_qps,
+            r.faulted_query_p99_us,
+            r.baseline_qps,
+            r.baseline_query_p99_us,
+        );
+    }
     eprintln!(
         "  serve: {} clients, {:.0} ops/s, query p50 {:.0} µs / p99 {:.0} µs, \
          {} epoch swaps ({} → {} users), reuse {:.2} mean, rebuild p50 {:.1} ms, \
@@ -398,6 +511,26 @@ pub fn to_json(report: &ServeReport, args: &HarnessArgs) -> String {
         .map(|&(cap, recall)| format!("\"{cap}\": {recall:.4}"))
         .collect::<Vec<_>>()
         .join(", ");
+    let robustness = match &report.robustness {
+        None => "null".to_owned(),
+        Some(r) => format!(
+            "{{\"spec\": \"{}\", \
+             \"baseline\": {{\"qps\": {:.1}, \"query_p99_us\": {:.1}}}, \
+             \"faulted\": {{\"qps\": {:.1}, \"query_p99_us\": {:.1}}}, \
+             \"injected\": {}, \"retries\": {}, \"requeued_clusters\": {}, \
+             \"rebuild_failures\": {}, \"quarantined_snapshots\": {}}}",
+            r.spec,
+            r.baseline_qps,
+            r.baseline_query_p99_us,
+            r.faulted_qps,
+            r.faulted_query_p99_us,
+            r.injected,
+            r.retries,
+            r.requeued_clusters,
+            r.rebuild_failures,
+            r.quarantined_snapshots,
+        ),
+    };
     format!(
         "{{\n  \"experiment\": \"serve\",\n  \"scale\": {},\n  \"seed\": {},\n  \
          \"clients\": {},\n  \"num_users_start\": {},\n  \"num_users_end\": {},\n  \
@@ -411,7 +544,8 @@ pub fn to_json(report: &ServeReport, args: &HarnessArgs) -> String {
          \"shed\": {}, \"shed_rate\": {:.4}, \"beam_scale_pct\": {}}},\n  \
          \"recall\": {{\"k\": {}, \"sample\": {}, \"recall_at_k\": {:.4}, \
          \"by_comparison_budget\": {{{}}}}},\n  \
-         \"batched\": {{\"batch\": {}, \"single_qps\": {:.1}, \"batched_qps\": {:.1}}}\n}}\n",
+         \"batched\": {{\"batch\": {}, \"single_qps\": {:.1}, \"batched_qps\": {:.1}}},\n  \
+         \"robustness\": {}\n}}\n",
         args.scale,
         args.seed,
         report.clients,
@@ -444,6 +578,7 @@ pub fn to_json(report: &ServeReport, args: &HarnessArgs) -> String {
         report.batch_size,
         report.single_qps,
         report.batched_qps,
+        robustness,
     )
 }
 
@@ -464,7 +599,7 @@ pub fn run(args: &HarnessArgs) -> String {
     }
     crate::write_profile(args);
 
-    format!(
+    let mut md = format!(
         "## Online serving — epoch-swapped engine under mixed traffic\n\n\
          *{} client threads, {} queries : 1 insert; initial epoch {} users \
          (C² sharded build {:.0} ms); inserts trigger a full rebuild + atomic \
@@ -506,7 +641,26 @@ pub fn run(args: &HarnessArgs) -> String {
         report.batch_size,
         report.batched_qps,
         report.single_qps,
-    )
+    );
+    if let Some(r) = &report.robustness {
+        md.push_str(&format!(
+            "**Fault injection** (`{}`): {} faults injected — {} spill retries, \
+             {} requeued clusters, {} absorbed rebuild failures, {} quarantined \
+             snapshots. Under faults: {:.0} ops/s, query p99 {:.0} µs; fault-free \
+             baseline: {:.0} ops/s, query p99 {:.0} µs.\n\n",
+            r.spec,
+            r.injected,
+            r.retries,
+            r.requeued_clusters,
+            r.rebuild_failures,
+            r.quarantined_snapshots,
+            r.faulted_qps,
+            r.faulted_query_p99_us,
+            r.baseline_qps,
+            r.baseline_query_p99_us,
+        ));
+    }
+    md
 }
 
 #[cfg(test)]
@@ -616,6 +770,46 @@ mod tests {
         );
         assert!(report.rebuild_ms_p99 >= report.rebuild_ms_p50);
         assert!(report.rebuild_ms_p50 > 0.0);
+    }
+
+    #[test]
+    fn faulted_run_records_a_robustness_point() {
+        // Span 2 stays under the runtime's per-cluster retry budget (3), so
+        // every injected solver panic is absorbed by requeueing and the
+        // faulted build still publishes — the surviving-run regime the
+        // chaos proptest pins bit-for-bit.
+        let args = HarnessArgs {
+            scale: 0.02,
+            clients: Some(2),
+            faults: Some(cnc_faults::FaultPlan::parse("seed=42,p=0.5,span=2").unwrap()),
+            ..HarnessArgs::default()
+        };
+        let report = bench(&args);
+        assert!(!Faults::global().armed(), "bench must disarm the registry on exit");
+        let r = report.robustness.as_ref().expect("--faults records a robustness point");
+        assert_eq!(r.spec, "seed=42,p=0.5,span=2");
+        assert!(r.baseline_qps > 0.0);
+        assert!(r.faulted_qps > 0.0);
+        assert!(r.injected > 0, "a 50% schedule over the re-solved clusters must fire");
+        assert!(r.requeued_clusters > 0, "injected solver panics requeue their clusters");
+        assert_eq!(r.rebuild_failures, 0, "span 2 is absorbed below the retry budget");
+        assert_eq!(r.quarantined_snapshots, 0, "this bench never touches snapshots");
+        // The engine kept serving: swaps happened in both phases and the
+        // recall phase ran on a fully published epoch.
+        assert!(report.epoch_swaps >= 1);
+        assert!((0.0..=1.0).contains(&report.recall_at_k));
+        let json = to_json(&report, &args);
+        assert!(json.contains("\"robustness\": {\"spec\": \"seed=42,p=0.5,span=2\""));
+        assert!(json.contains("\"requeued_clusters\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn fault_free_run_records_no_robustness_point() {
+        let args = HarnessArgs { scale: 0.02, clients: Some(2), ..HarnessArgs::default() };
+        let report = bench(&args);
+        assert!(report.robustness.is_none());
+        assert!(to_json(&report, &args).contains("\"robustness\": null"));
     }
 
     #[test]

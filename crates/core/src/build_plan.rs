@@ -184,6 +184,45 @@ impl ClusterCache {
         self.entries.values().flatten().map(|s| s.comparisons).sum()
     }
 
+    /// Recovery-path accounting check: a cache assembled by a build that
+    /// retried, re-queued or replayed failed cluster solves must be
+    /// indistinguishable from a fault-free build's — every scheduled
+    /// cluster stored exactly once, the reuse split summing to the total,
+    /// and each solution's partial lists aligned with its member list. A
+    /// violation means a recovery path double-counted or dropped a solve;
+    /// chaos tests call this after every surviving build.
+    pub fn check_accounting(&self, rebuild: &RebuildStats) -> Result<(), String> {
+        let stored: usize = self.entries.values().map(|v| v.len()).sum();
+        if stored != self.len {
+            return Err(format!("cache stores {stored} solutions but counts {}", self.len));
+        }
+        if rebuild.clusters_total != self.len {
+            return Err(format!(
+                "rebuild covers {} clusters but the cache holds {}",
+                rebuild.clusters_total, self.len
+            ));
+        }
+        if rebuild.clusters_resolved + rebuild.clusters_reused() != rebuild.clusters_total {
+            return Err(format!(
+                "{} resolved + {} reused != {} total",
+                rebuild.clusters_resolved,
+                rebuild.clusters_reused(),
+                rebuild.clusters_total
+            ));
+        }
+        for solution in self.entries.values().flatten() {
+            if solution.lists.len() != solution.users.len() {
+                return Err(format!(
+                    "cluster {:016x} stores {} lists for {} members",
+                    solution.hash,
+                    solution.lists.len(),
+                    solution.users.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Records one solved cluster.
     pub fn insert(&mut self, solution: ClusterSolution) {
         self.entries.entry(solution.hash).or_default().push(solution);

@@ -1,0 +1,648 @@
+//! Seeded, deterministic fault injection — the chaos counterpart of
+//! `cnc-telemetry`.
+//!
+//! A process-wide [`Faults`] registry exposes typed *sites* — points in
+//! the build, shuffle and snapshot paths where the engine asks "does this
+//! operation fail now?". Disarmed (the default), every site costs one
+//! relaxed atomic load. Armed with a [`FaultPlan`], the registry answers
+//! from a **seeded schedule**: each `(site, key)` pair draws a *failure
+//! budget* `n ∈ {0, …, span}` from a hash of `(seed, site, key)`, and the
+//! first `n` injection queries for that pair fail (with a deterministic
+//! fault kind), after which the pair succeeds forever. Two properties
+//! follow:
+//!
+//! * **Determinism per key.** Whether — and how often — a given cluster
+//!   solve, spill record or snapshot write fails is a pure function of
+//!   the plan's seed, independent of thread interleaving.
+//! * **Transience.** Budgets are finite, so bounded retry loops always
+//!   outlast the schedule *unless* the caller's retry budget is smaller
+//!   than the drawn failure budget — which is exactly how the schedule
+//!   escalates a recoverable fault into a build-level failure the layer
+//!   above must absorb.
+//!
+//! The registry is dependency-free and knows nothing about the layers it
+//! serves: callers map [`Fault::Io`] to an `io::Error`, [`Fault::Panic`]
+//! to an unwinding panic ([`Faults::panic_on`]), [`Fault::Torn`] to a
+//! short write, [`Fault::Crash`] to "die between write and rename".
+
+use std::collections::HashMap;
+use std::panic::UnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Duration;
+
+/// A typed injection point. The six sites cover every IO or compute step
+/// whose failure the engine promises to survive (see the README's fault
+/// matrix).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// Appending one record to a spill stream.
+    SpillWrite,
+    /// Opening/reading a sealed spill file on the reduce side.
+    SpillReplay,
+    /// Writing a snapshot (temp file + rename).
+    SnapshotWrite,
+    /// Opening/reading a snapshot at load.
+    SnapshotLoad,
+    /// One cluster solve on a map worker.
+    SolveCluster,
+    /// One shuffle message received by a reduce shard.
+    ReduceShard,
+}
+
+impl Site {
+    /// Every site, in stable order (indexes the per-site counters).
+    pub const ALL: [Site; 6] = [
+        Site::SpillWrite,
+        Site::SpillReplay,
+        Site::SnapshotWrite,
+        Site::SnapshotLoad,
+        Site::SolveCluster,
+        Site::ReduceShard,
+    ];
+
+    /// The site's wire name, as used in `sites=` plan specs and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::SpillWrite => "spill.write",
+            Site::SpillReplay => "spill.replay",
+            Site::SnapshotWrite => "snapshot.write",
+            Site::SnapshotLoad => "snapshot.load",
+            Site::SolveCluster => "solve.cluster",
+            Site::ReduceShard => "reduce.shard",
+        }
+    }
+
+    fn index(self) -> usize {
+        Site::ALL.iter().position(|&s| s == self).unwrap()
+    }
+
+    fn parse(name: &str) -> Result<Site, String> {
+        Site::ALL
+            .iter()
+            .copied()
+            .find(|s| s.name() == name)
+            .ok_or_else(|| format!("unknown fault site {name:?}"))
+    }
+}
+
+/// What an injected failure looks like to the caller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// A clean IO error (nothing written/read).
+    Io,
+    /// A torn write: a prefix of the payload reaches the file, then the
+    /// operation errors. Recovery must truncate back to the last
+    /// committed offset.
+    Torn,
+    /// An unwinding panic (solver/reducer crash).
+    Panic,
+    /// A crash between temp-file write and rename: the temp file is left
+    /// behind and the operation errors.
+    Crash,
+}
+
+/// The payload [`Faults::panic_on`] unwinds with, so hooks and tests can
+/// tell injected panics from genuine ones.
+#[derive(Clone, Copy, Debug)]
+pub struct InjectedPanic {
+    /// The site that fired.
+    pub site: Site,
+    /// The caller's site key.
+    pub key: u64,
+}
+
+/// A seeded fault schedule. `p` is the per-key failure probability (a key
+/// identifies one retryable operation: a cluster, a spill record, a
+/// snapshot path); a failing key draws a failure budget uniformly from
+/// `1..=span` and fails its first *budget* attempts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Schedule seed: same seed, same failures.
+    pub seed: u64,
+    /// Per-key failure probability, in thousandths (20 = 2%).
+    pub p_mille: u32,
+    /// Upper bound of the per-key failure budget; clamped to `1..=12` so
+    /// generous retry loops (≥ 16 attempts) always outlast the schedule.
+    pub span: u32,
+    /// Bitmask of armed sites (bit = `Site::ALL` index); 0b111111 = all.
+    pub sites: u8,
+}
+
+impl FaultPlan {
+    /// All sites armed at probability `p` (fraction, not mille).
+    pub fn new(seed: u64, p: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            p_mille: (p.clamp(0.0, 1.0) * 1000.0).round() as u32,
+            span: 4,
+            sites: 0x3F,
+        }
+    }
+
+    /// Restricts the plan to the given sites.
+    pub fn only(mut self, sites: &[Site]) -> FaultPlan {
+        self.sites = sites.iter().fold(0u8, |m, s| m | (1 << s.index()));
+        self
+    }
+
+    /// Sets the failure-budget span (clamped to `1..=12` when applied).
+    pub fn with_span(mut self, span: u32) -> FaultPlan {
+        self.span = span;
+        self
+    }
+
+    /// Parses a `--faults` spec: comma-separated `key=value` pairs.
+    ///
+    /// ```text
+    /// seed=42,p=0.02                 all sites, 2% per key, span 4
+    /// seed=7,p=0.1,span=6            wider budgets (escalation likelier)
+    /// seed=1,p=1,sites=solve.cluster+spill.write
+    /// ```
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new(42, 0.02);
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec part {part:?} is not key=value"))?;
+            match k.trim() {
+                "seed" => plan.seed = v.trim().parse().map_err(|e| format!("seed: {e}"))?,
+                "p" => {
+                    let p: f64 = v.trim().parse().map_err(|e| format!("p: {e}"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err("p must be in [0, 1]".into());
+                    }
+                    plan.p_mille = (p * 1000.0).round() as u32;
+                }
+                "span" => plan.span = v.trim().parse().map_err(|e| format!("span: {e}"))?,
+                "sites" => {
+                    let mut mask = 0u8;
+                    for name in v.split('+') {
+                        mask |= 1 << Site::parse(name.trim())?.index();
+                    }
+                    plan.sites = mask;
+                }
+                other => return Err(format!("unknown fault spec key {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Renders the plan back into `parse` form.
+    pub fn spec(&self) -> String {
+        format!("seed={},p={},span={}", self.seed, self.p_mille as f64 / 1000.0, self.span)
+    }
+
+    fn armed_site(&self, site: Site) -> bool {
+        self.sites & (1 << site.index()) != 0
+    }
+
+    fn effective_span(&self) -> u64 {
+        self.span.clamp(1, 12) as u64
+    }
+
+    /// How many times `(site, key)` will fail before succeeding — a pure
+    /// function of the plan. 0 for most keys; `1..=span` for the unlucky
+    /// `p` fraction.
+    pub fn failure_budget(&self, site: Site, key: u64) -> u32 {
+        if !self.armed_site(site) || self.p_mille == 0 {
+            return 0;
+        }
+        let h = mix(self.seed ^ SITE_SALT[site.index()] ^ key);
+        if h % 1000 < self.p_mille as u64 {
+            (1 + (h >> 32) % self.effective_span()) as u32
+        } else {
+            0
+        }
+    }
+
+    /// The fault kind of the `n`-th failure of `(site, key)` — IO-flavored
+    /// sites alternate deterministically between their two kinds.
+    fn kind(&self, site: Site, key: u64, n: u32) -> Fault {
+        let h = mix(self.seed ^ SITE_SALT[site.index()].rotate_left(17) ^ key ^ (n as u64) << 48);
+        match site {
+            Site::SolveCluster | Site::ReduceShard => Fault::Panic,
+            Site::SpillReplay | Site::SnapshotLoad => Fault::Io,
+            Site::SpillWrite => {
+                if h & 1 == 0 {
+                    Fault::Io
+                } else {
+                    Fault::Torn
+                }
+            }
+            Site::SnapshotWrite => {
+                if h & 1 == 0 {
+                    Fault::Io
+                } else {
+                    Fault::Crash
+                }
+            }
+        }
+    }
+}
+
+/// Per-site salts so the same key draws independently across sites.
+const SITE_SALT: [u64; 6] = [
+    0x9E37_79B9_7F4A_7C15,
+    0xBF58_476D_1CE4_E5B9,
+    0x94D0_49BB_1331_11EB,
+    0xD6E8_FEB8_6659_FD93,
+    0xA076_1D64_78BD_642F,
+    0xE703_7ED1_A0B4_28DB,
+];
+
+/// splitmix64's finalizer — the same mixer the workspace's vendored PRNG
+/// and FNV paths lean on for cheap avalanche.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Armed-plan state: the plan plus the per-`(site, key)` draw counters
+/// that make injected failures transient.
+struct PlanState {
+    plan: FaultPlan,
+    draws: HashMap<(u8, u64), u32>,
+}
+
+/// The process-wide fault registry. See the module docs for semantics.
+pub struct Faults {
+    armed: AtomicBool,
+    state: Mutex<Option<PlanState>>,
+    injected: [AtomicU64; 6],
+}
+
+/// Disarms (and clears) the registry when dropped, so a panicking test
+/// cannot leave the process chaos-armed.
+pub struct ArmedGuard<'a> {
+    faults: &'a Faults,
+}
+
+impl Drop for ArmedGuard<'_> {
+    fn drop(&mut self) {
+        self.faults.disarm();
+    }
+}
+
+impl Faults {
+    const fn new() -> Faults {
+        Faults {
+            armed: AtomicBool::new(false),
+            state: Mutex::new(None),
+            injected: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Faults {
+        static GLOBAL: OnceLock<Faults> = OnceLock::new();
+        GLOBAL.get_or_init(Faults::new)
+    }
+
+    /// Whether a plan is armed — the one relaxed load every disarmed site
+    /// costs.
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.armed.load(Ordering::Relaxed)
+    }
+
+    /// Arms `plan`, resetting draw state and injection counters. The
+    /// returned guard disarms on drop; [`std::mem::forget`] it to keep
+    /// the plan armed past the current scope.
+    pub fn arm(&self, plan: FaultPlan) -> ArmedGuard<'_> {
+        {
+            let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+            *state = Some(PlanState { plan, draws: HashMap::new() });
+        }
+        for c in &self.injected {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.armed.store(true, Ordering::Relaxed);
+        ArmedGuard { faults: self }
+    }
+
+    /// Disarms and clears any armed plan (idempotent).
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::Relaxed);
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        *state = None;
+    }
+
+    /// The armed plan, if any.
+    pub fn plan(&self) -> Option<FaultPlan> {
+        if !self.armed() {
+            return None;
+        }
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).as_ref().map(|s| s.plan)
+    }
+
+    /// Asks the schedule whether this attempt at `(site, key)` fails.
+    /// Consumes one unit of the pair's failure budget on `Some`; returns
+    /// `None` forever once the budget is spent. Disarmed: one relaxed
+    /// load, always `None`.
+    #[inline]
+    pub fn inject(&self, site: Site, key: u64) -> Option<Fault> {
+        if !self.armed() {
+            return None;
+        }
+        self.inject_slow(site, key)
+    }
+
+    fn inject_slow(&self, site: Site, key: u64) -> Option<Fault> {
+        let mut guard = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let state = guard.as_mut()?;
+        let budget = state.plan.failure_budget(site, key);
+        if budget == 0 {
+            return None;
+        }
+        let n = state.draws.entry((site.index() as u8, key)).or_insert(0);
+        if *n >= budget {
+            return None;
+        }
+        let kind = state.plan.kind(site, key, *n);
+        *n += 1;
+        drop(guard);
+        self.injected[site.index()].fetch_add(1, Ordering::Relaxed);
+        Some(kind)
+    }
+
+    /// [`Faults::inject`] mapped to `io::Result`: `Fault::Io`/`Torn`/
+    /// `Crash` become an `Err` tagged with the site name (the caller
+    /// distinguishes kinds it cares about via [`Faults::inject`]
+    /// directly).
+    pub fn inject_io(&self, site: Site, key: u64) -> std::io::Result<()> {
+        match self.inject(site, key) {
+            None => Ok(()),
+            Some(_) => Err(injected_io_error(site)),
+        }
+    }
+
+    /// Unwinds with an [`InjectedPanic`] payload if the schedule fails
+    /// this attempt. Sites whose kind is `Panic` use this at the top of
+    /// the protected region, *before* any state is mutated, so catching
+    /// and retrying is always safe.
+    #[inline]
+    pub fn panic_on(&self, site: Site, key: u64) {
+        if self.inject(site, key).is_some() {
+            std::panic::panic_any(InjectedPanic { site, key });
+        }
+    }
+
+    /// Total injections fired at `site` since the last arm.
+    pub fn injected(&self, site: Site) -> u64 {
+        self.injected[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total injections across all sites since the last arm.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// The `io::Error` injected faults surface as.
+pub fn injected_io_error(site: Site) -> std::io::Error {
+    std::io::Error::other(format!("injected fault at {}", site.name()))
+}
+
+/// True if a caught panic payload is an [`InjectedPanic`].
+pub fn is_injected_panic(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<InjectedPanic>()
+}
+
+/// Runs `f`, converting an [`InjectedPanic`] unwind into `Err(payload)`.
+/// Genuine panics are re-raised untouched — injected faults must never
+/// mask real bugs.
+pub fn catch_injected<T>(f: impl FnOnce() -> T + UnwindSafe) -> Result<T, InjectedPanic> {
+    match std::panic::catch_unwind(f) {
+        Ok(v) => Ok(v),
+        Err(payload) => match payload.downcast::<InjectedPanic>() {
+            Ok(injected) => Err(*injected),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    }
+}
+
+/// Installs (once) a panic-hook wrapper that suppresses the default
+/// "thread panicked" report for [`InjectedPanic`] unwinds — chaos runs
+/// inject thousands of panics that are caught and recovered, and the
+/// stderr noise would drown real failures. All other panics report as
+/// before.
+pub fn silence_injected_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<InjectedPanic>() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// Capped exponential backoff for recovery retries: sleeps
+/// `base_us << attempt`, capped at `cap_us`. Attempt 0 sleeps `base_us`.
+pub fn backoff(attempt: u32, base_us: u64, cap_us: u64) {
+    let us = base_us.saturating_shl(attempt.min(20)).min(cap_us).max(1);
+    std::thread::sleep(Duration::from_micros(us));
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        self.checked_shl(shift).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests share the process-global registry; serialize the armed
+    /// sections so parallel tests don't observe each other's plans.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disarmed_registry_never_injects() {
+        let _serial = lock();
+        let faults = Faults::global();
+        assert!(!faults.armed());
+        for site in Site::ALL {
+            for key in 0..200 {
+                assert_eq!(faults.inject(site, key), None);
+            }
+        }
+    }
+
+    #[test]
+    fn budgets_are_deterministic_and_transient() {
+        let _serial = lock();
+        let plan = FaultPlan::new(7, 0.5).with_span(3);
+        let faults = Faults::global();
+        let _guard = faults.arm(plan);
+        for key in 0..500u64 {
+            let budget = plan.failure_budget(Site::SolveCluster, key);
+            assert!(budget <= 3);
+            // The first `budget` queries fail, every later one succeeds.
+            for _ in 0..budget {
+                assert!(faults.inject(Site::SolveCluster, key).is_some());
+            }
+            for _ in 0..4 {
+                assert_eq!(faults.inject(Site::SolveCluster, key), None);
+            }
+        }
+        assert!(faults.injected(Site::SolveCluster) > 0);
+    }
+
+    #[test]
+    fn rearming_resets_draw_state() {
+        let _serial = lock();
+        let plan = FaultPlan::new(3, 1.0).with_span(1);
+        let faults = Faults::global();
+        {
+            let _guard = faults.arm(plan);
+            assert!(faults.inject(Site::SpillReplay, 9).is_some());
+            assert_eq!(faults.inject(Site::SpillReplay, 9), None, "budget spent");
+        }
+        let _guard = faults.arm(plan);
+        assert!(faults.inject(Site::SpillReplay, 9).is_some(), "fresh arm, fresh budget");
+    }
+
+    #[test]
+    fn guard_disarms_on_drop() {
+        let _serial = lock();
+        let faults = Faults::global();
+        {
+            let _guard = faults.arm(FaultPlan::new(1, 1.0));
+            assert!(faults.armed());
+        }
+        assert!(!faults.armed());
+        assert_eq!(faults.inject(Site::SnapshotWrite, 0), None);
+    }
+
+    #[test]
+    fn probability_zero_and_site_masks_suppress_injection() {
+        let _serial = lock();
+        let faults = Faults::global();
+        {
+            let _guard = faults.arm(FaultPlan::new(5, 0.0));
+            for key in 0..100 {
+                assert_eq!(faults.inject(Site::SpillWrite, key), None);
+            }
+        }
+        let only_solve = FaultPlan::new(5, 1.0).only(&[Site::SolveCluster]);
+        let _guard = faults.arm(only_solve);
+        assert_eq!(faults.inject(Site::SpillWrite, 0), None, "site not armed");
+        assert!(faults.inject(Site::SolveCluster, 0).is_some());
+    }
+
+    #[test]
+    fn kinds_match_their_sites() {
+        let _serial = lock();
+        let plan = FaultPlan::new(11, 1.0).with_span(12);
+        let faults = Faults::global();
+        let _guard = faults.arm(plan);
+        let mut seen: HashMap<Site, Vec<Fault>> = HashMap::new();
+        for site in Site::ALL {
+            for key in 0..64u64 {
+                while let Some(kind) = faults.inject(site, key) {
+                    seen.entry(site).or_default().push(kind);
+                }
+            }
+        }
+        for (site, kinds) in &seen {
+            for kind in kinds {
+                let ok = match site {
+                    Site::SolveCluster | Site::ReduceShard => *kind == Fault::Panic,
+                    Site::SpillReplay | Site::SnapshotLoad => *kind == Fault::Io,
+                    Site::SpillWrite => matches!(kind, Fault::Io | Fault::Torn),
+                    Site::SnapshotWrite => matches!(kind, Fault::Io | Fault::Crash),
+                };
+                assert!(ok, "site {site:?} drew {kind:?}");
+            }
+        }
+        // Both kinds of the two-kind sites appear across enough draws.
+        let writes = &seen[&Site::SpillWrite];
+        assert!(writes.contains(&Fault::Io) && writes.contains(&Fault::Torn));
+        let snaps = &seen[&Site::SnapshotWrite];
+        assert!(snaps.contains(&Fault::Io) && snaps.contains(&Fault::Crash));
+    }
+
+    #[test]
+    fn panic_on_unwinds_with_typed_payload() {
+        let _serial = lock();
+        let faults = Faults::global();
+        let _guard = faults.arm(FaultPlan::new(2, 1.0).with_span(1));
+        let err = catch_injected(|| faults.panic_on(Site::ReduceShard, 77)).unwrap_err();
+        assert_eq!(err.site, Site::ReduceShard);
+        assert_eq!(err.key, 77);
+        // Budget spent: the same call now succeeds.
+        catch_injected(|| faults.panic_on(Site::ReduceShard, 77)).unwrap();
+    }
+
+    #[test]
+    fn catch_injected_reraises_genuine_panics() {
+        let _serial = lock();
+        let outcome = std::panic::catch_unwind(|| {
+            let _ = catch_injected(|| panic!("genuine bug"));
+        });
+        assert!(outcome.is_err(), "genuine panics must propagate");
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        let plan = FaultPlan::parse("seed=42,p=0.02").unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.p_mille, 20);
+        assert_eq!(plan.span, 4);
+        assert_eq!(plan.sites, 0x3F);
+        let again = FaultPlan::parse(&plan.spec()).unwrap();
+        assert_eq!(again, plan);
+
+        let narrow =
+            FaultPlan::parse("seed=7,p=0.1,span=6,sites=solve.cluster+spill.write").unwrap();
+        assert_eq!(narrow.span, 6);
+        assert!(narrow.armed_site(Site::SolveCluster));
+        assert!(narrow.armed_site(Site::SpillWrite));
+        assert!(!narrow.armed_site(Site::SnapshotLoad));
+
+        assert!(FaultPlan::parse("p=2").is_err());
+        assert!(FaultPlan::parse("sites=bogus").is_err());
+        assert!(FaultPlan::parse("nope=1").is_err());
+        assert!(FaultPlan::parse("seed").is_err());
+    }
+
+    #[test]
+    fn budget_distribution_tracks_p() {
+        let plan = FaultPlan::new(1234, 0.02).with_span(4);
+        let failing =
+            (0..100_000u64).filter(|&k| plan.failure_budget(Site::SolveCluster, k) > 0).count();
+        // 2% ± generous slack over 100k keys.
+        assert!((1_000..3_000).contains(&failing), "{failing} failing keys at p=0.02");
+    }
+
+    #[test]
+    fn io_helper_maps_faults_to_errors() {
+        let _serial = lock();
+        let faults = Faults::global();
+        let _guard = faults.arm(FaultPlan::new(9, 1.0).with_span(1));
+        let err = faults.inject_io(Site::SnapshotLoad, 5).unwrap_err();
+        assert!(err.to_string().contains("snapshot.load"), "{err}");
+        faults.inject_io(Site::SnapshotLoad, 5).unwrap();
+    }
+}

@@ -36,25 +36,38 @@
 use crate::config::{RuntimeConfig, SpillMode, StealPolicy};
 use crate::report::{ReduceStats, RuntimeReport, WorkerStats};
 use crate::shuffle::{
-    encoded_len, partition_of, read_record, FinishedSpill, SpillDir, SpillWriter,
+    encoded_len, note_retry, partition_of, replay_spill, FinishedSpill, SpillDir, SpillWriter,
 };
 use cnc_baselines::local;
 use cnc_core::build_plan::{BuildPlan, ClusterCache, ClusterSolution, RebuildStats};
 use cnc_core::distributed::{cluster_cost, plan_deployment_for};
 use cnc_core::{C2Config, ClusterAndConquer, DeploymentPlan};
 use cnc_dataset::{Dataset, UserId};
+use cnc_faults::{Faults, Site};
 use cnc_graph::{KnnGraph, NeighborList};
 use cnc_similarity::{GoldFinger, SimilarityData};
 use cnc_telemetry::{SpanRecord, Telemetry};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::fs::File;
-use std::io::BufReader;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// In-build solve attempts per cluster (first try + bounded
+/// re-executions after caught panics). A cluster that panics this many
+/// times aborts the build — the layer above (the serving writer) keeps
+/// its last good epoch and retries the whole publish with backoff, by
+/// which point a transient fault schedule has drained its budget.
+const MAX_SOLVE_ATTEMPTS: u32 = 3;
+
+/// Caught solve panics a map worker absorbs before it is declared dead.
+/// A dead worker's remaining queue stays claimable: surviving peers
+/// steal it half-at-a-time, and whatever nobody claims is swept by the
+/// orchestrator's recovery lane after the workers join.
+const WORKER_PANIC_BUDGET: u32 = 2;
 
 /// One message on a reduce shard's channel.
 enum ShuffleMessage {
@@ -115,7 +128,7 @@ impl JobQueues {
         // Each worker's LPT assignment is already in decreasing-cost order
         // (clusters are assigned globally largest-first), so popping from
         // the front preserves Step 2's largest-first schedule per shard.
-        let queues: Vec<Mutex<VecDeque<usize>>> = plan
+        let mut queues: Vec<Mutex<VecDeque<usize>>> = plan
             .assignments
             .iter()
             .map(|clusters| Mutex::new(clusters.iter().copied().collect()))
@@ -124,12 +137,40 @@ impl JobQueues {
         // not from `plan.worker_costs`: steal()'s termination needs the
         // counters to reach exactly 0 once the queues drain, which a
         // second, independently computed cost model could silently break.
-        let remaining = plan
+        let mut remaining: Vec<AtomicU64> = plan
             .assignments
             .iter()
             .map(|clusters| AtomicU64::new(clusters.iter().map(|&c| costs[c]).sum()))
             .collect();
+        // One extra, initially empty lane: the orchestrator's recovery
+        // sweep steals into it after the workers join, so clusters a dead
+        // worker left behind are executed even with zero survivors.
+        queues.push(Mutex::new(VecDeque::new()));
+        remaining.push(AtomicU64::new(0));
         JobQueues { queues, remaining, costs, policy }
+    }
+
+    /// The extra lane the orchestrator's recovery sweep pops and steals
+    /// on after the worker threads have joined.
+    fn recovery_lane(&self) -> usize {
+        self.queues.len() - 1
+    }
+
+    /// Whether any queue still holds unexecuted work. Read after the
+    /// worker joins (which synchronize the relaxed counters), so `true`
+    /// means dead workers left clusters behind.
+    fn any_remaining(&self) -> bool {
+        self.remaining.iter().any(|r| r.load(Ordering::Relaxed) > 0)
+    }
+
+    /// Returns a cluster whose solve panicked to the front of `worker`'s
+    /// queue for re-execution (failed clusters retry before the backlog).
+    /// The cost is credited back *before* the cluster is published,
+    /// mirroring `steal`'s ordering, so a racing peer never sees queued
+    /// work the counters cannot cover.
+    fn requeue(&self, worker: usize, cluster: usize) {
+        self.remaining[worker].fetch_add(self.costs[cluster], Ordering::Relaxed);
+        self.queues[worker].lock().push_front(cluster);
     }
 
     /// Next cluster from the worker's own queue (largest first).
@@ -149,6 +190,18 @@ impl JobQueues {
         if self.policy == StealPolicy::Disabled {
             return None;
         }
+        self.steal_impl(thief)
+    }
+
+    /// [`JobQueues::steal`] minus the policy gate: the recovery lane
+    /// redistributes a dead worker's leftovers even under
+    /// [`StealPolicy::Disabled`] — the policy governs load balancing,
+    /// not crash recovery.
+    fn steal_forced(&self, thief: usize) -> Option<(usize, Vec<usize>)> {
+        self.steal_impl(thief)
+    }
+
+    fn steal_impl(&self, thief: usize) -> Option<(usize, Vec<usize>)> {
         loop {
             // Rank victims by predicted work remaining, best first.
             let mut victims: Vec<(u64, usize)> = self
@@ -213,6 +266,13 @@ struct MapContext<'a> {
     reduce_shards: usize,
     spill: SpillMode,
     spill_dir: Option<&'a SpillDir>,
+    /// Per-scheduled-cluster *failed* solve attempts, shared across
+    /// workers: a cluster may be requeued and retried anywhere, but its
+    /// total failure budget is [`MAX_SOLVE_ATTEMPTS`] per build.
+    attempts: &'a [AtomicU32],
+    /// Set when a cluster exhausts its attempts: every worker bails out
+    /// of its loop so the build fails fast as a unit.
+    abort: &'a AtomicBool,
 }
 
 /// The sharded map-reduce execution engine.
@@ -407,6 +467,8 @@ impl Runtime {
         let map_reduce_start_ns = telemetry.stamp();
         let map_reduce_start = Instant::now();
         let solutions = incremental.map(|_| Mutex::new(Vec::with_capacity(scheduled.len())));
+        let attempts: Vec<AtomicU32> = (0..scheduled.len()).map(|_| AtomicU32::new(0)).collect();
+        let abort = AtomicBool::new(false);
         let ctx = MapContext {
             queues: &queues,
             clusters,
@@ -419,6 +481,8 @@ impl Runtime {
             reduce_shards,
             spill: self.config.spill,
             spill_dir: spill_dir.as_ref(),
+            attempts: &attempts,
+            abort: &abort,
         };
 
         let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
@@ -443,7 +507,7 @@ impl Runtime {
                 .map(|w| {
                     let senders = senders.clone();
                     let ctx = &ctx;
-                    scope.spawn(move || map_worker(w, ctx, senders))
+                    scope.spawn(move || map_worker(w, ctx, senders, false))
                 })
                 .collect();
             // Stage 4, cached half: replay reused partial lists into the
@@ -475,9 +539,14 @@ impl Runtime {
             }
             // Once a worker is done its spill streams are sealed; hand the
             // replay handles to the owning reducers, then hang up so the
-            // channels close and the reducers can finish.
-            for handle in worker_handles {
-                let (stats, spill_files) = handle.join().expect("map worker panicked");
+            // channels close and the reducers can finish. A worker that
+            // *unwound* (a cluster exhausted its solve attempts, or a
+            // genuine bug) fails the whole build — but only after every
+            // thread has joined and the leftover sweep is skipped, so the
+            // unwind re-raised below is the build's single failure.
+            let mut build_panic: Option<Box<dyn std::any::Any + Send>> = None;
+            let deliver = |(stats, spill_files): (WorkerStats, Vec<Option<FinishedSpill>>),
+                           worker_stats: &mut Vec<WorkerStats>| {
                 worker_stats.push(stats);
                 for (shard, file) in spill_files.into_iter().enumerate() {
                     if let Some(file) = file {
@@ -486,8 +555,32 @@ impl Runtime {
                             .expect("reducer hung up early");
                     }
                 }
+            };
+            for handle in worker_handles {
+                match handle.join() {
+                    Ok(output) => deliver(output, &mut worker_stats),
+                    Err(payload) => build_panic = Some(payload),
+                }
+            }
+            // Dead workers (panic budget spent) may have left clusters
+            // behind that nobody stole; sweep them on this thread through
+            // the reserved recovery lane — forced stealing, so the sweep
+            // works even under `StealPolicy::Disabled` or with zero
+            // surviving workers.
+            if build_panic.is_none() && queues.any_remaining() {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    map_worker(queues.recovery_lane(), &ctx, senders.clone(), true)
+                })) {
+                    Ok(output) => deliver(output, &mut worker_stats),
+                    Err(payload) => build_panic = Some(payload),
+                }
             }
             drop(senders);
+            if let Some(payload) = build_panic {
+                // Reducers drain their closed channels and finish; the
+                // scope joins them as this unwinds.
+                resume_unwind(payload);
+            }
             for handle in reducer_handles {
                 reduce_outputs.push(handle.join().expect("reducer panicked"));
             }
@@ -645,13 +738,37 @@ fn validate_shared(dataset: &Dataset, c2: &C2Config, goldfinger: &GoldFinger) {
     }
 }
 
+/// The stable stream identity `(worker, shard)` presents to the fault
+/// registry — the recovery lane reuses dead workers' indices never, so
+/// the hash stays collision-free across a build.
+fn spill_fault_base(worker: usize, shard: usize) -> u64 {
+    ((worker as u64) << 32 | shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// One map shard: drain own queue largest-first, then steal, then hang up.
 /// Returns the worker's stats and its sealed spill streams (one slot per
 /// reduce shard).
+///
+/// Failure handling, from the inside out:
+/// * each cluster solve runs under `catch_unwind`; a panicking solve
+///   (injected at `solve.cluster`, or genuine) is **requeued** at the
+///   front of this worker's queue, bounded by [`MAX_SOLVE_ATTEMPTS`]
+///   failed attempts per cluster per build — exhaustion aborts the build
+///   by re-raising the final payload;
+/// * a worker that catches [`WORKER_PANIC_BUDGET`] panics is declared
+///   *dead* and returns early; its remaining queue stays claimable by
+///   stealing peers and, failing that, the orchestrator's recovery lane
+///   (`recovery = true`, which steals even under `StealPolicy::Disabled`
+///   and never dies — only the attempts bound stops it);
+/// * a spill stream whose create/append exhausts its internal retries is
+///   marked broken and the traffic **reroutes through the in-memory
+///   channel** — the graph is transport-independent, so degrading the
+///   route never changes the result.
 fn map_worker(
     worker: usize,
     ctx: &MapContext<'_>,
     senders: Vec<SyncSender<ShuffleMessage>>,
+    recovery: bool,
 ) -> (WorkerStats, Vec<Option<FinishedSpill>>) {
     let mut stats = WorkerStats {
         worker,
@@ -663,6 +780,8 @@ fn map_worker(
         spilled_bytes: 0,
         stolen: 0,
         comparisons: 0,
+        requeued: 0,
+        spill_rerouted: 0,
     };
     // Per-algorithm solve-latency histograms, resolved once per worker
     // (never in the cluster loop) and only when telemetry is on.
@@ -673,25 +792,40 @@ fn map_worker(
             telemetry.histogram("cnc_cluster_solve_ns", &[("algo", "greedy")]),
         )
     });
-    // Per reduce shard: encoded bytes shipped so far (drives `Auto`) and
-    // the lazily-created spill stream.
+    // Per reduce shard: encoded bytes shipped so far (drives `Auto`),
+    // the lazily-created spill stream, and whether the stream has been
+    // declared broken (hard create/append failure → route in memory).
     let mut shipped_bytes: Vec<u64> = vec![0; ctx.reduce_shards];
     let mut spills: Vec<Option<SpillWriter>> = (0..ctx.reduce_shards).map(|_| None).collect();
+    let mut spill_broken: Vec<bool> = vec![false; ctx.reduce_shards];
     // Clusters this worker lifted from a peer (half-queue steals park the
     // batch's tail in the own queue; marking attributes them when popped).
     let mut stolen_mark: Vec<bool> = vec![false; ctx.scheduled.len()];
+    // Caught solve panics so far — the worker's life budget.
+    let mut caught = 0u32;
+    let faults = Faults::global();
     loop {
+        if ctx.abort.load(Ordering::Relaxed) {
+            break; // another worker exhausted a cluster's attempts
+        }
         let (cluster, stolen) = match ctx.queues.pop_own(worker) {
             Some(c) => (c, stolen_mark[c]),
-            None => match ctx.queues.steal(worker) {
-                Some((first, queued)) => {
-                    for c in queued {
-                        stolen_mark[c] = true;
+            None => {
+                let lifted = if recovery {
+                    ctx.queues.steal_forced(worker)
+                } else {
+                    ctx.queues.steal(worker)
+                };
+                match lifted {
+                    Some((first, queued)) => {
+                        for c in queued {
+                            stolen_mark[c] = true;
+                        }
+                        (first, true)
                     }
-                    (first, true)
+                    None => break,
                 }
-                None => break,
-            },
+            }
         };
         let busy_start = Instant::now();
         let global = ctx.scheduled[cluster];
@@ -702,15 +836,61 @@ fn map_worker(
         // exactly the single-process pipeline's branch. Seeds key off the
         // *global* cluster index, so a subset schedule solves every
         // cluster identically to a full one.
-        let (lists, comparisons) = local::solve_cluster_partial(
-            users,
-            ctx.sim,
-            ctx.c2.k,
-            ctx.threshold,
-            ctx.c2.rho,
-            ctx.c2.delta,
-            ClusterAndConquer::job_seed(ctx.c2, global),
-        );
+        //
+        // The solve is panic-isolated. The injection fires *before* the
+        // solver touches anything and the solver is pure (its only output
+        // is the return value), so a caught attempt leaves no partial
+        // state: re-executing elsewhere yields the identical lists, and
+        // failed attempts burn zero comparisons.
+        let solved = catch_unwind(AssertUnwindSafe(|| {
+            if faults.armed() {
+                faults.panic_on(Site::SolveCluster, global as u64);
+            }
+            local::solve_cluster_partial(
+                users,
+                ctx.sim,
+                ctx.c2.k,
+                ctx.threshold,
+                ctx.c2.rho,
+                ctx.c2.delta,
+                ClusterAndConquer::job_seed(ctx.c2, global),
+            )
+        }));
+        let (lists, comparisons) = match solved {
+            Ok(output) => output,
+            Err(payload) => {
+                stats.busy += busy_start.elapsed();
+                let failures = ctx.attempts[cluster].fetch_add(1, Ordering::Relaxed) + 1;
+                if failures >= MAX_SOLVE_ATTEMPTS {
+                    // Out of budget: fail the whole build with the final
+                    // payload (typed `InjectedPanic` under injection, the
+                    // genuine payload otherwise). The layer above — the
+                    // serving writer — keeps its last good epoch and
+                    // retries the publish.
+                    ctx.abort.store(true, Ordering::Relaxed);
+                    resume_unwind(payload);
+                }
+                if stolen {
+                    stolen_mark[cluster] = true;
+                }
+                stats.requeued += 1;
+                ctx.queues.requeue(worker, cluster);
+                caught += 1;
+                if telemetry.enabled() {
+                    telemetry.counter("cnc_requeued_clusters_total", &[]).add(1);
+                }
+                if !recovery && caught >= WORKER_PANIC_BUDGET {
+                    // This worker is dead. Its queue (including the
+                    // cluster just requeued) outlives it: peers steal it,
+                    // the recovery lane sweeps the rest.
+                    if telemetry.enabled() {
+                        telemetry.counter("cnc_worker_deaths_total", &[]).add(1);
+                    }
+                    break;
+                }
+                continue;
+            }
+        };
         stats.comparisons += comparisons;
         if let Some((brute, greedy)) = &solve_hists {
             let hist = if users.len() >= ctx.threshold { greedy } else { brute };
@@ -756,19 +936,52 @@ fn map_worker(
                 SpillMode::Auto(threshold) => shipped_bytes[shard] + batch_bytes > threshold,
             };
             shipped_bytes[shard] += batch_bytes;
-            if spill_now {
-                let dir = ctx.spill_dir.expect("spill requested without a spill dir");
-                let writer = spills[shard].get_or_insert_with(|| {
-                    SpillWriter::create(dir.file_path(worker, shard))
-                        .expect("failed to create spill file")
-                });
-                for (user, list) in &batch {
-                    writer.push(*user, cluster_hash, list).expect("failed to write spill record");
-                }
-                stats.spilled_entries += batch_entries;
-                stats.spilled_bytes += batch_bytes;
-            } else {
+            if !spill_now {
                 to_send.push((shard, batch));
+                continue;
+            }
+            if spill_broken[shard] {
+                // The stream died earlier; keep degrading to the channel.
+                stats.spill_rerouted += batch.len() as u64;
+                to_send.push((shard, batch));
+                continue;
+            }
+            let dir = ctx.spill_dir.expect("spill requested without a spill dir");
+            if spills[shard].is_none() {
+                match SpillWriter::create(
+                    dir.file_path(worker, shard),
+                    spill_fault_base(worker, shard),
+                ) {
+                    Ok(writer) => spills[shard] = Some(writer),
+                    Err(_) => spill_broken[shard] = true,
+                }
+            }
+            let Some(writer) = spills[shard].as_mut() else {
+                stats.spill_rerouted += batch.len() as u64;
+                to_send.push((shard, batch));
+                continue;
+            };
+            // Per-record accounting: a hard append failure (the writer's
+            // own retry budget exhausted) keeps the committed prefix —
+            // still perfectly replayable — and reroutes this record and
+            // the batch's tail through the channel.
+            let mut wrote = batch.len();
+            for (i, (user, list)) in batch.iter().enumerate() {
+                match writer.push(*user, cluster_hash, list) {
+                    Ok(()) => {
+                        stats.spilled_entries += list.len() as u64;
+                        stats.spilled_bytes += encoded_len(list);
+                    }
+                    Err(_) => {
+                        spill_broken[shard] = true;
+                        wrote = i;
+                        break;
+                    }
+                }
+            }
+            if wrote < batch.len() {
+                stats.spill_rerouted += (batch.len() - wrote) as u64;
+                to_send.push((shard, batch[wrote..].to_vec()));
             }
         }
         stats.busy += busy_start.elapsed();
@@ -778,9 +991,15 @@ fn map_worker(
                 .expect("reducer hung up early");
         }
     }
+    // A seal failure is not recoverable by rerouting — records already
+    // committed to the stream would silently vanish from the merge — so
+    // it fails the build; the invariant checks would catch the loss, this
+    // panic just names the cause first. (Injected faults never fire here:
+    // `finish` only flushes, and every append was already durable or
+    // rerouted.)
     let finished: Vec<Option<FinishedSpill>> = spills
         .into_iter()
-        .map(|w| w.map(|w| w.finish().expect("failed to seal spill file")))
+        .map(|w| w.map(|w| w.finish().unwrap_or_else(|e| panic!("spill seal failed: {e}"))))
         .collect();
     (stats, finished)
 }
@@ -790,6 +1009,14 @@ fn map_worker(
 /// arrive while mapping; spill replay handles arrive once the map phase is
 /// over. Returns the partition's lists (in `owned` order) and the shard's
 /// stats.
+///
+/// Failure handling: each received message passes a `reduce.shard`
+/// injection gate *before* any of it is merged, and an injected panic
+/// there is caught and retried under backoff — merge state is never
+/// partially applied, so the retry is exact. Spill replays go through
+/// [`replay_spill`], which retries IO failures internally and buffers the
+/// whole file before a single record is merged. Only a genuine persistent
+/// failure (typed [`ShuffleError`](crate::ShuffleError)) fails the build.
 fn reduce_shard(
     shard: usize,
     receiver: Receiver<ShuffleMessage>,
@@ -807,7 +1034,19 @@ fn reduce_shard(
         spilled_bytes: 0,
         busy: Duration::ZERO,
     };
-    for message in receiver {
+    let faults = Faults::global();
+    for (ordinal, message) in receiver.into_iter().enumerate() {
+        if faults.armed() {
+            // One key per (shard, message): the budget drains across
+            // retries, so the gate always opens.
+            let key = (shard as u64) << 48 | ordinal as u64;
+            let mut attempt = 0u32;
+            while cnc_faults::catch_injected(|| faults.panic_on(Site::ReduceShard, key)).is_err() {
+                note_retry("reduce.shard");
+                cnc_faults::backoff(attempt, 10, 1_000);
+                attempt += 1;
+            }
+        }
         let busy_start = Instant::now();
         match message {
             ShuffleMessage::Chunk { cluster_hash, reused, entries } => {
@@ -825,11 +1064,9 @@ fn reduce_shard(
                 }
             }
             ShuffleMessage::Spill(path) => {
-                let mut reader =
-                    BufReader::new(File::open(&path).expect("failed to open spill file"));
-                while let Some((user, _cluster_hash, partial)) =
-                    read_record(&mut reader, k).expect("corrupt spill file")
-                {
+                let records =
+                    replay_spill(&path, k).unwrap_or_else(|e| panic!("spill replay failed: {e}"));
+                for (user, _cluster_hash, partial) in records {
                     stats.entries += partial.len() as u64;
                     stats.spilled_entries += partial.len() as u64;
                     stats.spilled_bytes += encoded_len(&partial);
@@ -1241,6 +1478,101 @@ mod tests {
         assert_eq!(incr.cache.total_comparisons(), full.report.comparisons);
         assert_eq!(incr.cache.len(), incr.rebuild.clusters_total);
         incr.report.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn injected_solve_panics_recover_bit_identically() {
+        let _serial = crate::fault_lock();
+        cnc_faults::silence_injected_panics();
+        let ds = test_dataset();
+        let clean = Runtime::new(RuntimeConfig::with_workers(2)).execute(&ds, &test_config());
+        let faults = Faults::global();
+        for workers in [1usize, 3] {
+            // Every cluster's solve panics 1–2 times (span 2 <
+            // MAX_SOLVE_ATTEMPTS), so the build must survive purely via
+            // catch + requeue — including through worker deaths, since
+            // p=1.0 kills every worker after two catches.
+            let plan =
+                cnc_faults::FaultPlan::new(4242, 1.0).only(&[Site::SolveCluster]).with_span(2);
+            let _guard = faults.arm(plan);
+            let chaotic =
+                Runtime::new(RuntimeConfig::with_workers(workers)).execute(&ds, &test_config());
+            assert!(chaotic.report.requeued_clusters() > 0, "the schedule must have fired");
+            chaotic.report.check_invariants().unwrap();
+            for u in ds.users() {
+                assert_eq!(
+                    chaotic.graph.neighbors(u).sorted(),
+                    clean.graph.neighbors(u).sorted(),
+                    "user {u} differs under injected solve panics ({workers} workers)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_worker_clusters_are_swept_even_with_stealing_disabled() {
+        let _serial = crate::fault_lock();
+        cnc_faults::silence_injected_panics();
+        let ds = test_dataset();
+        let clean = Runtime::new(RuntimeConfig::with_workers(2)).execute(&ds, &test_config());
+        let faults = Faults::global();
+        let plan = cnc_faults::FaultPlan::new(11, 1.0).only(&[Site::SolveCluster]).with_span(1);
+        let _guard = faults.arm(plan);
+        // Both workers die after two caught panics each; with stealing
+        // disabled only the orchestrator's recovery lane (which steals by
+        // force) can claim their leftovers.
+        let config =
+            RuntimeConfig { workers: 2, steal: StealPolicy::Disabled, ..RuntimeConfig::default() };
+        let chaotic = Runtime::new(config).execute(&ds, &test_config());
+        chaotic.report.check_invariants().unwrap();
+        assert_eq!(
+            chaotic.report.workers.len(),
+            3,
+            "two dead workers plus the recovery lane must all report stats"
+        );
+        for u in ds.users() {
+            assert_eq!(chaotic.graph.neighbors(u).sorted(), clean.graph.neighbors(u).sorted());
+        }
+    }
+
+    #[test]
+    fn exhausted_solve_attempts_abort_the_build_with_a_typed_panic() {
+        let _serial = crate::fault_lock();
+        cnc_faults::silence_injected_panics();
+        let ds = test_dataset();
+        let faults = Faults::global();
+        // Span 12: most clusters draw a failure budget ≥ MAX_SOLVE_ATTEMPTS,
+        // so some cluster must exhaust its attempts and fail the build with
+        // the injected payload (the serving layer's rebuild-failure signal).
+        let plan = cnc_faults::FaultPlan::new(7, 1.0).only(&[Site::SolveCluster]).with_span(12);
+        let guard = faults.arm(plan);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            Runtime::new(RuntimeConfig::with_workers(2)).execute(&ds, &test_config())
+        }));
+        drop(guard);
+        let payload = outcome.expect_err("a span-12 schedule must exhaust some cluster");
+        assert!(
+            cnc_faults::is_injected_panic(payload.as_ref()),
+            "the abort must re-raise the typed injected payload"
+        );
+    }
+
+    #[test]
+    fn injected_reduce_panics_are_absorbed_before_any_merge() {
+        let _serial = crate::fault_lock();
+        cnc_faults::silence_injected_panics();
+        let ds = test_dataset();
+        let clean = Runtime::new(RuntimeConfig::with_workers(2)).execute(&ds, &test_config());
+        let faults = Faults::global();
+        let plan = cnc_faults::FaultPlan::new(5, 1.0).only(&[Site::ReduceShard]).with_span(3);
+        let _guard = faults.arm(plan);
+        let config = RuntimeConfig { workers: 2, reduce_shards: 2, ..RuntimeConfig::default() };
+        let chaotic = Runtime::new(config).execute(&ds, &test_config());
+        assert!(faults.injected(Site::ReduceShard) > 0, "the schedule must have fired");
+        chaotic.report.check_invariants().unwrap();
+        for u in ds.users() {
+            assert_eq!(chaotic.graph.neighbors(u).sorted(), clean.graph.neighbors(u).sorted());
+        }
     }
 
     #[test]

@@ -50,4 +50,13 @@ pub mod shuffle;
 pub use config::{RuntimeConfig, SpillMode, StealPolicy};
 pub use engine::{IncrementalShardedResult, Runtime, ShardedBuild, ShardedResult};
 pub use report::{ReduceStats, RuntimeReport, WorkerStats};
-pub use shuffle::partition_of;
+pub use shuffle::{partition_of, ShuffleError};
+
+/// Serializes unit tests that arm the process-global fault registry —
+/// one lock for the whole crate, because `cargo test` runs every module's
+/// tests in a single process.
+#[cfg(test)]
+pub(crate) fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}

@@ -29,6 +29,12 @@ pub struct WorkerStats {
     pub spilled_bytes: u64,
     /// How many of `clusters` were stolen from another worker's queue.
     pub stolen: usize,
+    /// Solve attempts this worker caught panicking and returned to the
+    /// queue for re-execution (0 without injected or genuine faults).
+    pub requeued: u64,
+    /// Partial-list records rerouted from a broken spill stream to the
+    /// in-memory channel (0 unless a spill create/append hard-failed).
+    pub spill_rerouted: u64,
     /// Similarity computations this worker's cluster solves performed —
     /// summed from the solver's *returned* counts, an accounting path
     /// independent of the oracle's atomic counter the report-level
@@ -146,6 +152,18 @@ impl RuntimeReport {
     /// [`StealPolicy::Disabled`](crate::StealPolicy::Disabled)).
     pub fn stolen_clusters(&self) -> usize {
         self.workers.iter().map(|w| w.stolen).sum()
+    }
+
+    /// Total solve attempts caught panicking and requeued for
+    /// re-execution (0 on a fault-free run).
+    pub fn requeued_clusters(&self) -> u64 {
+        self.workers.iter().map(|w| w.requeued).sum()
+    }
+
+    /// Total spill records rerouted through the in-memory channel after a
+    /// spill stream hard-failed (0 on a fault-free run).
+    pub fn rerouted_spill_records(&self) -> u64 {
+        self.workers.iter().map(|w| w.spill_rerouted).sum()
     }
 
     /// Fraction of the clustering's solves skipped via the cluster cache
@@ -370,6 +388,8 @@ mod tests {
             spilled_entries,
             spilled_bytes,
             stolen: 0,
+            requeued: 0,
+            spill_rerouted: 0,
             comparisons: 50,
         };
         let reducer = |shard, users, entries, spilled_entries, spilled_bytes| ReduceStats {

@@ -18,11 +18,81 @@
 //! the final graph stays bit-identical.
 
 use cnc_dataset::UserId;
+use cnc_faults::{injected_io_error, Fault, Faults, Site};
 use cnc_graph::NeighborList;
+use cnc_telemetry::Telemetry;
 use std::fs::{self, File};
-use std::io::{self, BufWriter, Read, Write};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Typed failure of the spill layer — what used to unwind as an
+/// `.expect()` panic now surfaces with the site, path and root cause
+/// attached, so the engine can decide between degradation (reroute spill
+/// traffic through the channels) and a build-level failure.
+#[derive(Debug)]
+pub enum ShuffleError {
+    /// A single-shot IO failure (e.g. sealing a stream).
+    Io {
+        /// The fault site's wire name.
+        site: &'static str,
+        /// The stream file involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A retried operation failed every attempt of its backoff loop.
+    Exhausted {
+        /// The fault site's wire name.
+        site: &'static str,
+        /// The stream file involved.
+        path: PathBuf,
+        /// How many attempts were made.
+        attempts: u32,
+        /// The final attempt's error.
+        last: io::Error,
+    },
+}
+
+impl std::fmt::Display for ShuffleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShuffleError::Io { site, path, source } => {
+                write!(f, "{site} failed on {}: {source}", path.display())
+            }
+            ShuffleError::Exhausted { site, path, attempts, last } => write!(
+                f,
+                "{site} failed on {} after {attempts} attempts (capped backoff): {last}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShuffleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShuffleError::Io { source, .. } => Some(source),
+            ShuffleError::Exhausted { last, .. } => Some(last),
+        }
+    }
+}
+
+/// Retry budget for spill record appends; outlasts any injectable
+/// failure budget (span ≤ 12 < 16), so injected write faults are always
+/// recoverable — only genuine persistent IO errors exhaust it.
+pub const SPILL_WRITE_ATTEMPTS: u32 = 16;
+
+/// Retry budget for replaying a sealed spill file.
+pub const SPILL_REPLAY_ATTEMPTS: u32 = 16;
+
+/// Counts one recovery retry at `site` (telemetry-gated, like every hook).
+pub(crate) fn note_retry(site: &'static str) {
+    let telemetry = Telemetry::global();
+    if telemetry.enabled() {
+        telemetry.counter("cnc_fault_retries_total", &[("site", site)]).add(1);
+    }
+}
 
 /// The reduce shard owning `user`, in `0..reduce_shards`.
 ///
@@ -175,33 +245,189 @@ impl Drop for SpillDir {
     }
 }
 
-/// Buffered writer for one `(map worker, reduce shard)` spill stream.
+/// Buffered writer for one `(map worker, reduce shard)` spill stream,
+/// with retrying, torn-write-recovering appends.
+///
+/// `bytes` is the stream's *committed* length: records the writer has
+/// accepted (buffered or flushed). A failed append — injected or real —
+/// is rolled back by flushing the committed prefix and truncating the
+/// file back to it, so a torn write never leaves garbage a replay would
+/// trip over; the append is then retried under capped exponential
+/// backoff ([`SPILL_WRITE_ATTEMPTS`]).
 pub struct SpillWriter {
     writer: BufWriter<File>,
     path: PathBuf,
     bytes: u64,
     entries: u64,
+    /// Salts the per-record fault keys so streams draw independently.
+    fault_base: u64,
+    /// Records appended so far (the per-record fault-key ordinal).
+    records: u64,
+    /// Encode-once scratch buffer; records are tiny (≤ 16 + 8·k bytes).
+    scratch: Vec<u8>,
 }
 
 impl SpillWriter {
-    /// Creates the stream's file.
-    pub fn create(path: PathBuf) -> io::Result<SpillWriter> {
-        let writer = BufWriter::new(File::create(&path)?);
-        Ok(SpillWriter { writer, path, bytes: 0, entries: 0 })
+    /// Creates the stream's file. `fault_base` identifies the stream to
+    /// the fault registry (the engine passes a `(worker, shard)` hash).
+    pub fn create(path: PathBuf, fault_base: u64) -> Result<SpillWriter, ShuffleError> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = Faults::global()
+                .inject_io(Site::SpillWrite, fault_base)
+                .and_then(|()| File::create(&path));
+            match outcome {
+                Ok(file) => {
+                    return Ok(SpillWriter {
+                        writer: BufWriter::new(file),
+                        path,
+                        bytes: 0,
+                        entries: 0,
+                        fault_base,
+                        records: 0,
+                        scratch: Vec::new(),
+                    })
+                }
+                Err(last) => {
+                    attempt += 1;
+                    if attempt >= SPILL_WRITE_ATTEMPTS {
+                        return Err(ShuffleError::Exhausted {
+                            site: Site::SpillWrite.name(),
+                            path,
+                            attempts: attempt,
+                            last,
+                        });
+                    }
+                    note_retry("spill.write");
+                    cnc_faults::backoff(attempt, 20, 2_000);
+                }
+            }
+        }
     }
 
-    /// Appends one record.
-    pub fn push(&mut self, user: UserId, cluster_hash: u64, list: &NeighborList) -> io::Result<()> {
-        self.bytes += write_record(&mut self.writer, user, cluster_hash, list)?;
-        self.entries += list.len() as u64;
+    /// Appends one record, retrying (with rollback) on failure.
+    pub fn push(
+        &mut self,
+        user: UserId,
+        cluster_hash: u64,
+        list: &NeighborList,
+    ) -> Result<(), ShuffleError> {
+        self.scratch.clear();
+        write_record(&mut self.scratch, user, cluster_hash, list)
+            .expect("encoding into a Vec cannot fail");
+        let key = self.fault_base ^ self.records.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let faults = Faults::global();
+        let mut attempt = 0u32;
+        loop {
+            let outcome: io::Result<()> = match faults.inject(Site::SpillWrite, key) {
+                None => self.writer.write_all(&self.scratch),
+                Some(Fault::Torn) => {
+                    // A torn write: flush the committed prefix, land half
+                    // the record directly in the file, then fail — the
+                    // recovery path below must truncate it away.
+                    self.writer.flush().and_then(|()| {
+                        let torn = self.scratch.len() / 2;
+                        self.writer.get_mut().write_all(&self.scratch[..torn])?;
+                        Err(injected_io_error(Site::SpillWrite))
+                    })
+                }
+                Some(_) => Err(injected_io_error(Site::SpillWrite)),
+            };
+            match outcome {
+                Ok(()) => {
+                    self.bytes += self.scratch.len() as u64;
+                    self.entries += list.len() as u64;
+                    self.records += 1;
+                    return Ok(());
+                }
+                Err(last) => {
+                    attempt += 1;
+                    let rollback = self.rollback();
+                    if attempt >= SPILL_WRITE_ATTEMPTS || rollback.is_err() {
+                        let last = rollback.err().unwrap_or(last);
+                        return Err(ShuffleError::Exhausted {
+                            site: Site::SpillWrite.name(),
+                            path: self.path.clone(),
+                            attempts: attempt,
+                            last,
+                        });
+                    }
+                    note_retry("spill.write");
+                    cnc_faults::backoff(attempt, 20, 2_000);
+                }
+            }
+        }
+    }
+
+    /// Restores the file to exactly the committed stream: flush the
+    /// committed prefix out of the buffer, truncate any torn tail, seek
+    /// back to the end.
+    fn rollback(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        let file = self.writer.get_mut();
+        file.set_len(self.bytes)?;
+        file.seek(SeekFrom::End(0))?;
         Ok(())
     }
 
     /// Flushes and seals the stream, returning its replay handle.
-    pub fn finish(mut self) -> io::Result<FinishedSpill> {
-        self.writer.flush()?;
+    pub fn finish(mut self) -> Result<FinishedSpill, ShuffleError> {
+        self.writer.flush().map_err(|source| ShuffleError::Io {
+            site: Site::SpillWrite.name(),
+            path: self.path.clone(),
+            source,
+        })?;
         Ok(FinishedSpill { path: self.path, bytes: self.bytes, entries: self.entries })
     }
+}
+
+/// Replays a sealed spill file into memory, retrying the whole read under
+/// capped backoff ([`SPILL_REPLAY_ATTEMPTS`]). Buffering before the merge
+/// keeps retries trivially idempotent: no record reaches a
+/// [`NeighborList`] until the full file has decoded cleanly.
+pub fn replay_spill(
+    path: &Path,
+    k: usize,
+) -> Result<Vec<(UserId, u64, NeighborList)>, ShuffleError> {
+    let key = path_fault_key(path);
+    let faults = Faults::global();
+    let mut attempt = 0u32;
+    loop {
+        let outcome: io::Result<Vec<(UserId, u64, NeighborList)>> = (|| {
+            faults.inject_io(Site::SpillReplay, key)?;
+            let mut reader = BufReader::new(File::open(path)?);
+            let mut records = Vec::new();
+            while let Some(record) = read_record(&mut reader, k)? {
+                records.push(record);
+            }
+            Ok(records)
+        })();
+        match outcome {
+            Ok(records) => return Ok(records),
+            Err(last) => {
+                attempt += 1;
+                if attempt >= SPILL_REPLAY_ATTEMPTS {
+                    return Err(ShuffleError::Exhausted {
+                        site: Site::SpillReplay.name(),
+                        path: path.to_path_buf(),
+                        attempts: attempt,
+                        last,
+                    });
+                }
+                note_retry("spill.replay");
+                cnc_faults::backoff(attempt, 20, 2_000);
+            }
+        }
+    }
+}
+
+/// FNV-1a over the path string: the replay side's stable fault key.
+fn path_fault_key(path: &Path) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in path.to_string_lossy().bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// A sealed spill file, ready to be replayed by its reduce shard.
@@ -318,7 +544,7 @@ mod tests {
     #[test]
     fn spill_writer_counts_bytes_and_entries() {
         let dir = SpillDir::create().unwrap();
-        let mut w = SpillWriter::create(dir.file_path(0, 1)).unwrap();
+        let mut w = SpillWriter::create(dir.file_path(0, 1), 0).unwrap();
         let a = list(3, &[(1, 0.5), (2, 0.25)]);
         let b = list(3, &[(9, 0.125)]);
         w.push(10, 1, &a).unwrap();
@@ -357,5 +583,78 @@ mod tests {
         let a = SpillDir::create().unwrap();
         let b = SpillDir::create().unwrap();
         assert_ne!(a.path(), b.path());
+    }
+
+    use crate::fault_lock;
+
+    #[test]
+    fn injected_write_faults_are_retried_and_the_stream_stays_exact() {
+        let _serial = fault_lock();
+        let dir = SpillDir::create().unwrap();
+        let records: Vec<NeighborList> =
+            (0..64u32).map(|i| list(4, &[(i, 0.5), (i + 100, 0.25)])).collect();
+
+        // Fault-free reference stream.
+        let mut clean = SpillWriter::create(dir.file_path(0, 0), 7).unwrap();
+        for (i, l) in records.iter().enumerate() {
+            clean.push(i as u32, i as u64, l).unwrap();
+        }
+        let clean = clean.finish().unwrap();
+        let clean_bytes = fs::read(&clean.path).unwrap();
+
+        // Same records under a hostile schedule (every key fails 1..=4
+        // times, torn and clean IO mixed).
+        let faults = Faults::global();
+        let plan = cnc_faults::FaultPlan::new(99, 1.0).only(&[Site::SpillWrite]).with_span(4);
+        let injected = {
+            let _guard = faults.arm(plan);
+            let mut chaotic = SpillWriter::create(dir.file_path(1, 0), 7).unwrap();
+            for (i, l) in records.iter().enumerate() {
+                chaotic.push(i as u32, i as u64, l).unwrap();
+            }
+            let chaotic = chaotic.finish().unwrap();
+            let injected = faults.injected(Site::SpillWrite);
+            assert_eq!(fs::read(&chaotic.path).unwrap(), clean_bytes, "streams must be identical");
+            assert_eq!((chaotic.bytes, chaotic.entries), (clean.bytes, clean.entries));
+            injected
+        };
+        assert!(injected > 0, "the schedule must actually have fired");
+    }
+
+    #[test]
+    fn replay_retries_injected_faults_and_decodes_everything() {
+        let _serial = fault_lock();
+        let dir = SpillDir::create().unwrap();
+        let mut w = SpillWriter::create(dir.file_path(0, 0), 0).unwrap();
+        for i in 0..16u32 {
+            w.push(i, 5, &list(3, &[(i + 1, 0.5)])).unwrap();
+        }
+        let finished = w.finish().unwrap();
+
+        let faults = Faults::global();
+        let _guard =
+            faults.arm(cnc_faults::FaultPlan::new(3, 1.0).only(&[Site::SpillReplay]).with_span(6));
+        let records = replay_spill(&finished.path, 3).unwrap();
+        assert_eq!(records.len(), 16);
+        assert!(faults.injected(Site::SpillReplay) > 0);
+        for (i, (user, hash, l)) in records.iter().enumerate() {
+            assert_eq!(*user, i as u32);
+            assert_eq!(*hash, 5);
+            assert_eq!(l.len(), 1);
+        }
+    }
+
+    #[test]
+    fn replay_of_a_missing_file_exhausts_with_a_typed_error() {
+        let _serial = fault_lock();
+        let err = replay_spill(Path::new("/nonexistent/cnc-spill/gone.spill"), 4).unwrap_err();
+        match err {
+            ShuffleError::Exhausted { site, attempts, .. } => {
+                assert_eq!(site, "spill.replay");
+                assert_eq!(attempts, SPILL_REPLAY_ATTEMPTS);
+            }
+            other => panic!("expected Exhausted, got {other}"),
+        }
+        assert!(err.to_string().contains("spill.replay"), "{err}");
     }
 }

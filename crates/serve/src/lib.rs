@@ -41,8 +41,20 @@ pub mod snapshot;
 
 pub use cnc_core::RebuildStats;
 pub use server::{
-    BatchRequest, InsertOutcome, ServingConfig, ServingEngine, ServingEpoch, ServingSession,
-    ServingStats,
+    BatchRequest, InsertOutcome, RebuildFailure, ServingConfig, ServingEngine, ServingEpoch,
+    ServingSession, ServingStats,
 };
 pub use slo::{ManualClock, Rejected, SloAction, SloConfig, SloController, TokenBucket};
-pub use snapshot::{write_snapshot, write_snapshot_to, Snapshot, SnapshotError};
+pub use snapshot::{
+    load_newest_valid, quarantine_snapshot, sweep_temp_files, write_snapshot, write_snapshot_to,
+    Snapshot, SnapshotError,
+};
+
+/// Serializes unit tests that arm the process-global fault registry —
+/// one lock for the whole crate, because `cargo test` runs every module's
+/// tests in a single process.
+#[cfg(test)]
+pub(crate) fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}

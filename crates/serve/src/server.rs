@@ -37,9 +37,11 @@ use cnc_query::{BatchQuery, BeamSearchConfig, DynamicIndex, QueryIndex, QueryRes
 use cnc_runtime::{Runtime, RuntimeConfig};
 use cnc_similarity::{GoldFinger, SimilarityBackend};
 use cnc_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Telemetry};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 /// Everything the engine needs to build, serve and rebuild.
@@ -157,6 +159,66 @@ impl ServingEpoch {
     }
 }
 
+/// Why an epoch publish did not happen: the incremental rebuild
+/// panicked (a crashed solver, an injected fault, a genuine bug). The
+/// engine absorbs the unwind — the last good epoch stays live, pending
+/// inserts stay queued — and reports it as this typed value.
+#[derive(Clone, Debug)]
+pub struct RebuildFailure {
+    /// What the rebuild panicked with.
+    pub reason: String,
+    /// Consecutive failed publish attempts, this one included.
+    pub attempts: u32,
+    /// Age of the still-live epoch at the time of the failure.
+    pub staleness: Duration,
+    /// How long insert-triggered publishes are deferred before retrying.
+    pub retry_after: Duration,
+}
+
+impl fmt::Display for RebuildFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "epoch rebuild failed ({}; attempt {}, epoch {}ms stale, retry in {}ms)",
+            self.reason,
+            self.attempts,
+            self.staleness.as_millis(),
+            self.retry_after.as_millis()
+        )
+    }
+}
+
+impl std::error::Error for RebuildFailure {}
+
+/// First retry delay after a failed rebuild; doubles per consecutive
+/// failure up to [`REBUILD_RETRY_CAP`], so a persistently failing build
+/// cannot turn the insert path into a rebuild-retry loop.
+const REBUILD_RETRY_BASE: Duration = Duration::from_millis(25);
+
+/// Ceiling of the publish-retry backoff.
+const REBUILD_RETRY_CAP: Duration = Duration::from_secs(2);
+
+/// The deferral before the next insert-triggered publish retry after
+/// `consecutive` straight failures.
+fn rebuild_backoff(consecutive: u32) -> Duration {
+    let exp = consecutive.saturating_sub(1).min(8);
+    REBUILD_RETRY_BASE.saturating_mul(1 << exp).min(REBUILD_RETRY_CAP)
+}
+
+/// Renders a caught rebuild panic payload for [`RebuildFailure::reason`].
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(injected) = payload.downcast_ref::<cnc_faults::InjectedPanic>() {
+        return format!("injected fault at {} (key {})", injected.site.name(), injected.key);
+    }
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return (*s).to_string();
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    "opaque panic payload".into()
+}
+
 /// The result of one streaming insert.
 #[derive(Clone, Copy, Debug)]
 pub struct InsertOutcome {
@@ -191,6 +253,9 @@ pub struct ServingStats {
     pub shed: u64,
     /// Cross-query batches executed (each covering ≥ 1 queries).
     pub batches: u64,
+    /// Epoch rebuilds that failed and were absorbed (the last good epoch
+    /// stayed live; see [`RebuildFailure`]).
+    pub rebuild_failures: u64,
 }
 
 /// Per-client scratch (visited marks + batch buffers) reused across
@@ -206,6 +271,16 @@ pub struct ServingSession {
 struct Writer {
     dynamic: DynamicIndex,
     cache: ClusterCache,
+    /// Consecutive failed publish attempts (reset on success); drives the
+    /// retry backoff.
+    failed_attempts: u32,
+    /// Insert-triggered publishes are deferred until this instant after a
+    /// failure (`None` = no deferral). Explicit [`ServingEngine::publish`]
+    /// calls ignore it.
+    retry_after: Option<Instant>,
+    /// When the live epoch was published — the staleness reference a
+    /// failed rebuild reports against.
+    published_at: Instant,
 }
 
 /// Telemetry handles for the serving path, resolved once at engine
@@ -221,6 +296,8 @@ struct ServeMetrics {
     insert_latency_ns: Arc<Histogram>,
     inserts_total: Arc<Counter>,
     epoch_publishes: Arc<Counter>,
+    rebuild_failures: Arc<Counter>,
+    epoch_staleness_ms: Arc<Gauge>,
     rebuild_ms: Arc<Histogram>,
     epoch: Arc<Gauge>,
     epoch_users: Arc<Gauge>,
@@ -243,6 +320,8 @@ impl ServeMetrics {
             insert_latency_ns: t.histogram("cnc_insert_latency_ns", &[]),
             inserts_total: t.counter("cnc_inserts_total", &[]),
             epoch_publishes: t.counter("cnc_epoch_publishes_total", &[]),
+            rebuild_failures: t.counter("cnc_rebuild_failures_total", &[]),
+            epoch_staleness_ms: t.gauge("cnc_epoch_staleness_ms", &[]),
             rebuild_ms: t.histogram("cnc_rebuild_ms", &[]),
             epoch: t.gauge("cnc_epoch", &[]),
             epoch_users: t.gauge("cnc_epoch_users", &[]),
@@ -361,6 +440,8 @@ pub struct ServingEngine {
     admitted: AtomicU64,
     shed: AtomicU64,
     batches: AtomicU64,
+    /// Rebuilds that panicked and were absorbed (see [`RebuildFailure`]).
+    rebuild_failures: AtomicU64,
 }
 
 /// Retained epoch-publish records (newest kept; see
@@ -426,7 +507,13 @@ impl ServingEngine {
         let mut epoch = ServingEpoch::new(1, dataset, graph, fingerprints);
         epoch.rebuild = rebuild;
         let epoch = Arc::new(epoch);
-        let writer = Writer { dynamic: writer_index(&epoch, &config), cache };
+        let writer = Writer {
+            dynamic: writer_index(&epoch, &config),
+            cache,
+            failed_attempts: 0,
+            retry_after: None,
+            published_at: Instant::now(),
+        };
         let metrics = ServeMetrics::new();
         if Telemetry::global().enabled() {
             metrics.epoch.set(epoch.epoch() as i64);
@@ -447,6 +534,7 @@ impl ServingEngine {
             admitted: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            rebuild_failures: AtomicU64::new(0),
         }
     }
 
@@ -490,10 +578,39 @@ impl ServingEngine {
         &self.config
     }
 
+    /// The epoch lock, recovering from poison: the pointer behind it is
+    /// only ever replaced by a single store of a fully built epoch, so a
+    /// thread that panicked while holding the lock cannot have left a
+    /// partial one — poisoning carries no broken invariant here, and a
+    /// serving engine must not let one crashed writer take down every
+    /// reader.
+    fn epoch_read(&self) -> RwLockReadGuard<'_, Arc<ServingEpoch>> {
+        self.current.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Write half of [`ServingEngine::epoch_read`], same poison policy.
+    fn epoch_write(&self) -> RwLockWriteGuard<'_, Arc<ServingEpoch>> {
+        self.current.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The writer lock, recovering from poison. [`Self::rebuild_locked`]
+    /// mutates writer state only *after* a build succeeds (a panicking
+    /// build leaves the dynamic index, cache and pending count exactly as
+    /// they were), so the state under a poisoned lock is always coherent.
+    fn writer_state(&self) -> MutexGuard<'_, Writer> {
+        self.writer.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The rebuild-history lock, recovering from poison (the deque is
+    /// only ever pushed/popped whole records).
+    fn history_state(&self) -> MutexGuard<'_, std::collections::VecDeque<RebuildStats>> {
+        self.rebuild_history.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// The currently published epoch (readers may hold it as long as they
     /// like; swaps never invalidate it).
     pub fn current_epoch(&self) -> Arc<ServingEpoch> {
-        Arc::clone(&self.current.read().expect("epoch lock poisoned"))
+        Arc::clone(&self.epoch_read())
     }
 
     /// Allocates per-client scratch, reusable across queries and epoch
@@ -806,9 +923,16 @@ impl ServingEngine {
     ///
     /// Single-writer: concurrent inserts serialize on the writer lock;
     /// queries are never blocked.
+    ///
+    /// A rebuild that *fails* (panics) is absorbed: the last good epoch
+    /// stays live, the pending inserts — this one included — stay queued
+    /// for the next attempt, `published` is `None`, and further
+    /// insert-triggered publishes are deferred by a capped exponential
+    /// backoff (see [`RebuildFailure`]; explicit
+    /// [`ServingEngine::publish`] calls retry immediately).
     pub fn insert(&self, profile: Vec<ItemId>, seed: u64) -> InsertOutcome {
         let timer = Telemetry::global().enabled().then(Instant::now);
-        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let mut writer = self.writer_state();
         let (user, comparisons) = writer.dynamic.add_user(profile, seed);
         let pending = self.pending.fetch_add(1, Ordering::Relaxed) + 1;
         self.inserts.fetch_add(1, Ordering::Relaxed);
@@ -819,20 +943,38 @@ impl ServingEngine {
             self.metrics.inserts_total.inc();
             self.metrics.pending_inserts.set(pending as i64);
         }
-        let published = if self.config.rebuild_after > 0 && pending >= self.config.rebuild_after {
-            Some(self.rebuild_locked(&mut writer))
-        } else {
-            None
-        };
+        let due = self.config.rebuild_after > 0 && pending >= self.config.rebuild_after;
+        let backing_off = writer.retry_after.is_some_and(|at| Instant::now() < at);
+        let published =
+            if due && !backing_off { self.rebuild_locked(&mut writer).ok() } else { None };
         InsertOutcome { user, comparisons, published }
     }
 
     /// Rebuilds from the writer's current state and publishes the epoch
     /// now, regardless of the pending count; returns the new epoch's
     /// sequence number.
+    ///
+    /// # Panics
+    /// Panics if the rebuild itself panics (use
+    /// [`ServingEngine::try_publish`] to absorb the failure instead).
     pub fn publish(&self) -> u64 {
-        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        self.try_publish().unwrap_or_else(|failure| panic!("{failure}"))
+    }
+
+    /// [`ServingEngine::publish`] with failures absorbed: on a rebuild
+    /// panic the last good epoch stays live, pending inserts stay queued,
+    /// and the typed [`RebuildFailure`] is returned. Retries immediately
+    /// regardless of the insert path's backoff deferral (an explicit call
+    /// is its own decision to retry), though it still advances the
+    /// deferral on failure.
+    pub fn try_publish(&self) -> Result<u64, RebuildFailure> {
+        let mut writer = self.writer_state();
         self.rebuild_locked(&mut writer)
+    }
+
+    /// Epoch rebuilds that failed and were absorbed since engine start.
+    pub fn rebuild_failures(&self) -> u64 {
+        self.rebuild_failures.load(Ordering::Relaxed)
     }
 
     /// The engine's counters, in one consistent-enough view for
@@ -852,6 +994,7 @@ impl ServingEngine {
             admitted: self.admitted.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            rebuild_failures: self.rebuild_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -860,7 +1003,7 @@ impl ServingEngine {
     /// is not a swap). This is the serve bench's `reuse_ratio` /
     /// `rebuild_ms` trajectory source.
     pub fn rebuild_history(&self) -> Vec<RebuildStats> {
-        self.rebuild_history.lock().expect("rebuild history poisoned").iter().copied().collect()
+        self.history_state().iter().copied().collect()
     }
 
     /// Incremental rebuild + epoch swap, with the writer lock held
@@ -869,24 +1012,55 @@ impl ServingEngine {
     /// content hashes — are re-solved against the writer's
     /// [`ClusterCache`]; cached partial lists cover the rest. Readers
     /// keep serving the old epoch until the single pointer store below.
-    fn rebuild_locked(&self, writer: &mut Writer) -> u64 {
+    ///
+    /// A build that panics is caught *before* any engine state changes:
+    /// the writer's dynamic index, cache and pending count are untouched
+    /// (the build only read them), the epoch pointer never moves, and the
+    /// failure is recorded (`cnc_rebuild_failures_total`, the
+    /// `cnc_epoch_staleness_ms` gauge) with a backoff deferral for the
+    /// next insert-triggered retry. Readers can never observe a partial
+    /// epoch: the only visible transition is the single `Arc` store on
+    /// the success path.
+    fn rebuild_locked(&self, writer: &mut Writer) -> Result<u64, RebuildFailure> {
         let telemetry = Telemetry::global();
         let mut span = telemetry.span("publish");
         let dataset = writer.dynamic.to_dataset();
         let inserted: Vec<UserId> = writer.dynamic.inserted_ids().collect();
-        let (graph, fingerprints, cache, rebuild) =
-            build_epoch(&dataset, &self.config, &writer.cache, &inserted);
-        let next = {
-            let current = self.current.read().expect("epoch lock poisoned");
-            current.epoch() + 1
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            build_epoch(&dataset, &self.config, &writer.cache, &inserted)
+        }));
+        let (graph, fingerprints, cache, rebuild) = match built {
+            Ok(parts) => parts,
+            Err(payload) => {
+                writer.failed_attempts += 1;
+                let retry_after = rebuild_backoff(writer.failed_attempts);
+                writer.retry_after = Some(Instant::now() + retry_after);
+                self.rebuild_failures.fetch_add(1, Ordering::Relaxed);
+                let staleness = writer.published_at.elapsed();
+                if telemetry.enabled() {
+                    span.attr("failed", 1);
+                    self.metrics.rebuild_failures.inc();
+                    self.metrics.epoch_staleness_ms.set(staleness.as_millis() as i64);
+                }
+                return Err(RebuildFailure {
+                    reason: describe_panic(payload.as_ref()),
+                    attempts: writer.failed_attempts,
+                    staleness,
+                    retry_after,
+                });
+            }
         };
+        let next = self.epoch_read().epoch() + 1;
         let mut epoch = ServingEpoch::new(next, dataset, graph, fingerprints);
         epoch.rebuild = rebuild;
         let epoch = Arc::new(epoch);
         writer.dynamic = writer_index(&epoch, &self.config);
         writer.cache = cache;
+        writer.failed_attempts = 0;
+        writer.retry_after = None;
+        writer.published_at = Instant::now();
         self.pending.store(0, Ordering::Relaxed);
-        *self.current.write().expect("epoch lock poisoned") = Arc::clone(&epoch);
+        *self.epoch_write() = Arc::clone(&epoch);
         self.epoch_swaps.fetch_add(1, Ordering::Relaxed);
         if telemetry.enabled() {
             span.attr("epoch", next);
@@ -897,13 +1071,14 @@ impl ServingEngine {
             self.metrics.epoch.set(next as i64);
             self.metrics.epoch_users.set(epoch.num_users() as i64);
             self.metrics.pending_inserts.set(0);
+            self.metrics.epoch_staleness_ms.set(0);
         }
-        let mut history = self.rebuild_history.lock().expect("rebuild history poisoned");
+        let mut history = self.history_state();
         if history.len() == REBUILD_HISTORY_CAP {
             history.pop_front();
         }
         history.push_back(rebuild);
-        next
+        Ok(next)
     }
 }
 
@@ -966,6 +1141,7 @@ fn writer_index(epoch: &ServingEpoch, config: &ServingConfig) -> DynamicIndex {
 mod tests {
     use super::*;
     use cnc_dataset::SyntheticConfig;
+    use cnc_faults::{silence_injected_panics, FaultPlan, Faults, Site};
 
     fn dataset(seed: u64) -> Dataset {
         let mut cfg = SyntheticConfig::small(seed);
@@ -1138,6 +1314,100 @@ mod tests {
         restored.insert(ds.profile(9).to_vec(), 2);
         restored.publish();
         assert!(restored.current_epoch().rebuild_stats().reuse_ratio > 0.5);
+    }
+
+    #[test]
+    fn failed_rebuilds_keep_the_last_good_epoch_live() {
+        let _serial = crate::fault_lock();
+        silence_injected_panics();
+        let ds = dataset(97);
+        let engine = ServingEngine::build(ds.clone(), config(0));
+        engine.insert(ds.profile(3).to_vec(), 1);
+        let held = engine.current_epoch();
+
+        // Span 12 swamps the engine's per-cluster retry budget, so every
+        // publish attempt aborts with a typed payload until the schedule
+        // drains; p = 1 makes every cluster a candidate.
+        let _guard = Faults::global()
+            .arm(FaultPlan::new(12345, 1.0).only(&[Site::SolveCluster]).with_span(12));
+        let failure = engine.try_publish().unwrap_err();
+        assert!(failure.reason.contains("solve.cluster"), "reason: {}", failure.reason);
+        assert_eq!(failure.attempts, 1);
+
+        // The last good epoch is still live and complete; the pending
+        // insert survived for the next attempt.
+        assert_eq!(engine.current_epoch().epoch(), 1);
+        assert!(!engine.query(ds.profile(5), 5, 9).neighbors.is_empty());
+        let stats = engine.stats();
+        assert_eq!(stats.rebuild_failures, 1);
+        assert_eq!(stats.epoch_swaps, 0);
+        assert_eq!(stats.pending_inserts, 1, "pending inserts must survive a failed rebuild");
+        assert_eq!(held.epoch(), 1);
+
+        // Each retry drains failure budget; a bounded loop must outlast
+        // the schedule and publish the absorbed insert.
+        let mut published = None;
+        for _ in 0..64 {
+            if let Ok(epoch) = engine.try_publish() {
+                published = Some(epoch);
+                break;
+            }
+        }
+        assert_eq!(published, Some(2), "retries must eventually publish");
+        let stats = engine.stats();
+        assert_eq!(stats.pending_inserts, 0);
+        assert_eq!(stats.num_users, ds.num_users() + 1);
+        assert!(stats.rebuild_failures >= 1);
+    }
+
+    #[test]
+    fn insert_triggered_retries_back_off_then_recover() {
+        let _serial = crate::fault_lock();
+        silence_injected_panics();
+        let ds = dataset(101);
+        let engine = ServingEngine::build(ds.clone(), config(1));
+        let guard = Faults::global()
+            .arm(FaultPlan::new(2024, 1.0).only(&[Site::SolveCluster]).with_span(12));
+
+        // rebuild_after = 1: this insert triggers a publish, which fails
+        // and is absorbed.
+        let first = engine.insert(ds.profile(1).to_vec(), 1);
+        assert_eq!(first.published, None);
+        let failures = engine.rebuild_failures();
+        assert!(failures >= 1);
+        assert_eq!(engine.current_epoch().epoch(), 1);
+
+        // The immediate next insert lands inside the backoff window, so
+        // no rebuild is even attempted.
+        let second = engine.insert(ds.profile(2).to_vec(), 2);
+        assert_eq!(second.published, None);
+        assert_eq!(engine.rebuild_failures(), failures, "backoff must gate the retry");
+        assert_eq!(engine.stats().pending_inserts, 2);
+
+        // Chaos over; once the deferral lapses the next insert publishes
+        // everything that queued up during the outage.
+        drop(guard);
+        std::thread::sleep(rebuild_backoff(failures.min(u32::MAX as u64) as u32));
+        let third = engine.insert(ds.profile(3).to_vec(), 3);
+        assert_eq!(third.published, Some(2));
+        let stats = engine.stats();
+        assert_eq!(stats.pending_inserts, 0);
+        assert_eq!(stats.num_users, ds.num_users() + 3, "no insert may be lost to the outage");
+    }
+
+    #[test]
+    fn rebuild_failures_preserve_genuine_panic_messages() {
+        // Recovery must not anonymize real bugs: a non-injected payload
+        // keeps its message, an injected one names its site.
+        let genuine: Box<dyn std::any::Any + Send> = Box::new("genuine bug at cluster 7");
+        assert_eq!(describe_panic(genuine.as_ref()), "genuine bug at cluster 7");
+        let owned: Box<dyn std::any::Any + Send> = Box::new(String::from("kaput"));
+        assert_eq!(describe_panic(owned.as_ref()), "kaput");
+        let injected: Box<dyn std::any::Any + Send> =
+            Box::new(cnc_faults::InjectedPanic { site: Site::SolveCluster, key: 3 });
+        assert_eq!(describe_panic(injected.as_ref()), "injected fault at solve.cluster (key 3)");
+        assert!(rebuild_backoff(1) < rebuild_backoff(2));
+        assert_eq!(rebuild_backoff(30), REBUILD_RETRY_CAP);
     }
 
     #[test]

@@ -32,13 +32,14 @@
 //! input.
 
 use cnc_dataset::Dataset;
+use cnc_faults::{injected_io_error, Fault, Faults, Site};
 use cnc_graph::{KnnGraph, Neighbor, NeighborList};
 use cnc_similarity::GoldFinger;
 use cnc_telemetry::Telemetry;
 use std::fmt;
-use std::fs::File;
+use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// The 8-byte file magic ("CNC snapshot, format family 1").
 pub const MAGIC: [u8; 8] = *b"CNCSNAP1";
@@ -215,8 +216,10 @@ impl Snapshot {
     /// Loads a snapshot from `path`, verifying magic, version, checksums
     /// and every structural invariant.
     pub fn load(path: impl AsRef<Path>) -> Result<Snapshot, SnapshotError> {
+        let path = path.as_ref();
         let telemetry = Telemetry::global();
         let start_ns = telemetry.stamp();
+        Faults::global().inject_io(Site::SnapshotLoad, path_key(path))?;
         let file = File::open(path)?;
         let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
         let snap = Self::load_from(&mut BufReader::new(file))?;
@@ -373,6 +376,15 @@ pub fn write_snapshot_to<W: Write>(
 /// step — a crash or full disk mid-write never clobbers a previous good
 /// snapshot at `path` (the multi-process serving story depends on
 /// published files always being loadable). Returns the encoded size.
+///
+/// Before writing, stale `.tmp-*` siblings of `path` left by a writer
+/// *process that no longer exists* — the droppings of a crash between
+/// write and rename — are swept. Temps of live writers (this process, or
+/// another still-running one) are left alone, so concurrent writers to
+/// one path stay independent: per-call unique temp names and the atomic
+/// rename guarantee the destination is always a complete snapshot.
+/// Same-process crash litter is collected by the directory-maintenance
+/// paths instead ([`sweep_temp_files`], [`load_newest_valid`]).
 pub fn write_snapshot(
     dataset: &Dataset,
     graph: &KnnGraph,
@@ -385,22 +397,38 @@ pub fn write_snapshot(
     // snapshot — exactly what the atomic rename exists to prevent.
     static WRITE_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let path = path.as_ref();
+    let _ = sweep_sibling_temps(path);
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(format!(
         ".tmp-{}-{}",
         std::process::id(),
         WRITE_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     ));
-    let tmp = std::path::PathBuf::from(tmp);
+    let tmp = PathBuf::from(tmp);
     let telemetry = Telemetry::global();
     let start_ns = telemetry.stamp();
+    // `Fault::Crash` models a writer killed between temp-file write and
+    // rename: the temp file stays on disk (the cleanup below is skipped)
+    // and the caller sees an error — exactly the litter `sweep_*` exists
+    // to collect.
+    let mut simulated_crash = false;
     let result = (|| {
         let mut out = BufWriter::new(File::create(&tmp)?);
         let bytes = write_snapshot_to(dataset, graph, goldfinger, &mut out)?;
         out.flush()?;
         out.get_ref().sync_all()?;
         drop(out);
-        std::fs::rename(&tmp, path)?;
+        match Faults::global().inject(Site::SnapshotWrite, path_key(path)) {
+            Some(Fault::Crash) => {
+                simulated_crash = true;
+                return Err(SnapshotError::Io(io::Error::other(
+                    "injected crash between temp write and rename at snapshot.write",
+                )));
+            }
+            Some(_) => return Err(SnapshotError::Io(injected_io_error(Site::SnapshotWrite))),
+            None => {}
+        }
+        fs::rename(&tmp, path)?;
         Ok(bytes)
     })();
     if let Ok(bytes) = &result {
@@ -411,11 +439,180 @@ pub fn write_snapshot(
             vec![("bytes", *bytes), ("users", dataset.num_users() as u64)],
         );
     }
-    if result.is_err() {
+    if result.is_err() && !simulated_crash {
         // Best effort: never leave a half-written temp file behind.
-        let _ = std::fs::remove_file(&tmp);
+        let _ = fs::remove_file(&tmp);
     }
     result
+}
+
+/// The fault-registry key of a snapshot path (stable across retries of
+/// the same file).
+fn path_key(path: &Path) -> u64 {
+    fnv1a(path.as_os_str().as_encoded_bytes())
+}
+
+/// Removes stale `.tmp-*` siblings of `path` left by a writer *process*
+/// that died between temp write and rename; returns how many were swept.
+/// A temp is only condemned when its embedded pid provably names a dead
+/// process — the current process and still-running peers keep their
+/// in-flight temps (racing writers must never sweep each other).
+fn sweep_sibling_temps(path: &Path) -> io::Result<usize> {
+    let (Some(dir), Some(name)) = (path.parent(), path.file_name()) else {
+        return Ok(0);
+    };
+    let prefix = format!("{}.tmp-", name.to_string_lossy());
+    let mut swept = 0;
+    for entry in fs::read_dir(if dir.as_os_str().is_empty() { Path::new(".") } else { dir })? {
+        let entry = entry?;
+        let file_name = entry.file_name();
+        let Some(suffix) = file_name.to_string_lossy().strip_prefix(&prefix).map(str::to_owned)
+        else {
+            continue;
+        };
+        if temp_writer_is_dead(&suffix) && fs::remove_file(entry.path()).is_ok() {
+            swept += 1;
+        }
+    }
+    Ok(swept)
+}
+
+/// Whether the `<pid>-<counter>` tail of a temp name belongs to a writer
+/// process that no longer exists. Unparseable tails count as dead (they
+/// are not our in-flight naming scheme). Liveness comes from `/proc`;
+/// where that is unavailable any other-process temp counts as dead.
+fn temp_writer_is_dead(suffix: &str) -> bool {
+    let Some(pid) = suffix.split('-').next().and_then(|p| p.parse::<u32>().ok()) else {
+        return true;
+    };
+    pid != std::process::id() && !Path::new("/proc").join(pid.to_string()).exists()
+}
+
+/// Sweeps **every** stale snapshot temp file (`*.tmp-*`) in `dir`,
+/// whatever path it was headed for; returns how many were removed. Run
+/// when taking over a snapshot directory — after a crash, before serving
+/// from it — so dead writers' litter does not accumulate.
+pub fn sweep_temp_files(dir: impl AsRef<Path>) -> io::Result<usize> {
+    let mut swept = 0;
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if name.to_string_lossy().contains(".tmp-")
+            && entry.file_type().map(|t| t.is_file()).unwrap_or(false)
+            && fs::remove_file(entry.path()).is_ok()
+        {
+            swept += 1;
+        }
+    }
+    Ok(swept)
+}
+
+/// Moves a snapshot that failed validation aside as
+/// `<name>.quarantine-<pid>-<n>`, so the directory's newest-valid scan
+/// never re-reads it and an operator can post-mortem the bytes; returns
+/// the quarantine path. Counted in `cnc_quarantined_snapshots_total`.
+pub fn quarantine_snapshot(path: impl AsRef<Path>) -> io::Result<PathBuf> {
+    static QUARANTINE_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let path = path.as_ref();
+    let mut target = path.as_os_str().to_owned();
+    target.push(format!(
+        ".quarantine-{}-{}",
+        std::process::id(),
+        QUARANTINE_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let target = PathBuf::from(target);
+    fs::rename(path, &target)?;
+    let telemetry = Telemetry::global();
+    if telemetry.enabled() {
+        telemetry.counter("cnc_quarantined_snapshots_total", &[]).inc();
+    }
+    Ok(target)
+}
+
+/// Load attempts per candidate file in [`load_newest_valid`] before a
+/// transient I/O error is treated as fatal for that candidate. Far above
+/// the fault schedule's maximum failure budget (12), so injected faults
+/// always drain first.
+const SNAPSHOT_LOAD_ATTEMPTS: u32 = 16;
+
+/// [`Snapshot::load`] with bounded retries: transient I/O errors back off
+/// and retry (capped exponential); structural verdicts — corrupt bytes,
+/// bad magic, truncation — return immediately, because re-reading the
+/// same bytes cannot change them.
+pub fn load_snapshot_with_retry(path: impl AsRef<Path>) -> Result<Snapshot, SnapshotError> {
+    let path = path.as_ref();
+    let mut attempt = 0;
+    loop {
+        match Snapshot::load(path) {
+            Err(SnapshotError::Io(e))
+                if e.kind() != io::ErrorKind::UnexpectedEof
+                    && attempt + 1 < SNAPSHOT_LOAD_ATTEMPTS =>
+            {
+                cnc_faults::backoff(attempt, 20, 2_000);
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// True for load errors that condemn the *bytes* (quarantine material)
+/// rather than the read path: truncation, bad magic, checksum or
+/// structural failures. Version skew is deliberately excluded — a
+/// snapshot from a newer build is not corrupt, just unreadable here.
+fn condemns_bytes(error: &SnapshotError) -> bool {
+    match error {
+        SnapshotError::Io(e) => e.kind() == io::ErrorKind::UnexpectedEof,
+        SnapshotError::BadMagic(_)
+        | SnapshotError::ChecksumMismatch { .. }
+        | SnapshotError::Corrupt(_)
+        | SnapshotError::MissingSection(_) => true,
+        SnapshotError::UnsupportedVersion(_) => false,
+    }
+}
+
+/// Loads the newest valid snapshot in `dir`: sweeps stale temp files,
+/// then tries every regular file newest-first (mtime, then name, so the
+/// order is total). Files that fail validation are renamed aside
+/// ([`quarantine_snapshot`]) and the scan falls back to the next-newest
+/// candidate; transient I/O errors retry with capped backoff and are
+/// *not* quarantine grounds. Returns the winning path alongside the
+/// snapshot, or the last error when nothing in the directory loads.
+pub fn load_newest_valid(dir: impl AsRef<Path>) -> Result<(PathBuf, Snapshot), SnapshotError> {
+    let dir = dir.as_ref();
+    sweep_temp_files(dir)?;
+    let mut candidates: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.contains(".tmp-") || name.contains(".quarantine-") {
+            continue;
+        }
+        let meta = entry.metadata()?;
+        if !meta.is_file() {
+            continue;
+        }
+        candidates
+            .push((meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH), entry.path()));
+    }
+    candidates.sort_by(|a, b| b.cmp(a));
+    let mut last_err = SnapshotError::Io(io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("no snapshot candidates in {}", dir.display()),
+    ));
+    for (_, path) in candidates {
+        match load_snapshot_with_retry(&path) {
+            Ok(snapshot) => return Ok((path, snapshot)),
+            Err(error) => {
+                if condemns_bytes(&error) {
+                    let _ = quarantine_snapshot(&path);
+                }
+                last_err = error;
+            }
+        }
+    }
+    Err(last_err)
 }
 
 fn encode_dataset(ds: &Dataset) -> Vec<u8> {
@@ -751,5 +948,123 @@ mod tests {
     #[should_panic(expected = "graph/dataset user mismatch")]
     fn inconsistent_parts_cannot_be_bundled() {
         Snapshot::new(Dataset::from_profiles(vec![vec![1]], 0), KnnGraph::new(5, 2), None);
+    }
+
+    fn temp_files(dir: &Path) -> Vec<PathBuf> {
+        fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .map(|e| e.path())
+            .collect()
+    }
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cnc-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crash_between_write_and_rename_preserves_the_old_snapshot() {
+        let _serial = crate::fault_lock();
+        let dir = fresh_dir("snap-crash");
+        let path = dir.join("epoch.snap");
+        let first = build(41);
+        let second = build(42);
+        first.write(&path).unwrap();
+
+        // p = 1, span 12: the path's write site fails up to 12 times,
+        // alternating clean I/O errors with crashes (temp file left
+        // behind, no rename). 16 retries always outlast the budget.
+        let faults = Faults::global();
+        let _guard = faults
+            .arm(cnc_faults::FaultPlan::new(90210, 1.0).only(&[Site::SnapshotWrite]).with_span(12));
+        let mut crashed = false;
+        let mut published = false;
+        for _ in 0..16 {
+            match second.write(&path) {
+                Ok(_) => {
+                    published = true;
+                    break;
+                }
+                Err(SnapshotError::Io(_)) => {
+                    if !temp_files(&dir).is_empty() {
+                        crashed = true;
+                    }
+                    // The published file must stay the old snapshot,
+                    // intact, through every failure mode.
+                    assert_identical(&first, &Snapshot::load(&path).unwrap());
+                }
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        assert!(crashed, "the schedule never drew a crash — pick another seed");
+        assert!(published, "bounded retries must outlast the fault budget");
+        assert_identical(&second, &Snapshot::load(&path).unwrap());
+        // Crash litter carries this (live) process's pid, so the publish
+        // leaves it alone; directory maintenance collects it instead.
+        assert!(!temp_files(&dir).is_empty(), "the schedule left no crash litter to sweep");
+        sweep_temp_files(&dir).unwrap();
+        assert!(temp_files(&dir).is_empty(), "directory maintenance must sweep crash litter");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newest_valid_scan_quarantines_corrupt_files_and_falls_back() {
+        let _serial = crate::fault_lock();
+        let dir = fresh_dir("snap-dir");
+        match load_newest_valid(&dir) {
+            Err(SnapshotError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::NotFound),
+            other => panic!("empty dir must report NotFound, got {other:?}"),
+        }
+
+        let old = build(51);
+        old.write(dir.join("old.snap")).unwrap();
+        // A dead writer's leftover temp file…
+        fs::write(dir.join("new.snap.tmp-99999-0"), b"partial").unwrap();
+        // …and a *newer* snapshot whose payload rotted.
+        let mut bytes = Vec::new();
+        build(52).write_to(&mut bytes).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        fs::write(dir.join("new.snap"), &bytes).unwrap();
+
+        let (path, snap) = load_newest_valid(&dir).unwrap();
+        assert_eq!(path, dir.join("old.snap"), "the scan must fall back to the valid file");
+        assert_identical(&old, &snap);
+        assert!(!dir.join("new.snap").exists(), "the corrupt file must be moved aside");
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names.iter().any(|n| n.starts_with("new.snap.quarantine-")),
+            "quarantine rename missing: {names:?}"
+        );
+        assert!(!names.iter().any(|n| n.contains(".tmp-")), "temp litter not swept: {names:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_load_faults_drain_under_retry() {
+        let _serial = crate::fault_lock();
+        let dir = fresh_dir("snap-load-retry");
+        let path = dir.join("epoch.snap");
+        let snap = build(61);
+        snap.write(&path).unwrap();
+        let faults = Faults::global();
+        let _guard =
+            faults.arm(cnc_faults::FaultPlan::new(7, 1.0).only(&[Site::SnapshotLoad]).with_span(3));
+        // Unretried loads fail while the budget lasts…
+        assert!(matches!(Snapshot::load(&path), Err(SnapshotError::Io(_))));
+        // …but the retrying loader outlasts it without quarantining the
+        // perfectly good bytes.
+        let back = load_snapshot_with_retry(&path).unwrap();
+        assert_identical(&snap, &back);
+        assert!(path.exists(), "transient I/O must never condemn the file");
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -20,6 +20,7 @@ pub use cnc_baselines as baselines;
 pub use cnc_core as core;
 pub use cnc_dataset as dataset;
 pub use cnc_eval as eval;
+pub use cnc_faults as faults;
 pub use cnc_graph as graph;
 pub use cnc_query as query;
 pub use cnc_runtime as runtime;
@@ -36,6 +37,7 @@ pub mod prelude {
         CrossValidation, Dataset, DatasetProfile, DatasetStats, SyntheticConfig,
     };
     pub use cnc_eval::{quality, KnnClassifier, Recommender};
+    pub use cnc_faults::{FaultPlan, Faults};
     pub use cnc_graph::KnnGraph;
     pub use cnc_query::{BeamSearchConfig, DynamicIndex, QueryIndex};
     pub use cnc_runtime::{Runtime, RuntimeConfig, ShardedBuild, SpillMode, StealPolicy};

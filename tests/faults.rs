@@ -1,0 +1,213 @@
+//! Workspace chaos suite (PR 8 keystone): under any seeded fault
+//! schedule the engine *survives*, the build it produces is **bit
+//! identical** to the fault-free build — injected IO errors, torn spill
+//! writes and solver panics may cost retries and requeues, but never an
+//! edge — and the `ClusterCache` comparison accounting still balances.
+//! On the serving side, concurrent readers never observe a partially
+//! published epoch while rebuilds are failing underneath them.
+//!
+//! The schedules stay inside the survivable regime by construction: the
+//! per-key failure-budget span is capped at 2, below the runtime's
+//! 3-attempt solve budget and far below the 16-attempt spill/snapshot
+//! retry loops, so every injected failure is absorbed by recovery rather
+//! than escalated to a typed abort (escalation is pinned by the crate
+//! unit tests).
+
+use cluster_and_conquer::prelude::*;
+use cnc_faults::{silence_injected_panics, Site};
+use cnc_runtime::Runtime;
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Serializes every test that arms the process-global fault registry.
+fn fault_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn chaos_dataset() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        let mut cfg = SyntheticConfig::small(7711);
+        cfg.num_users = 380;
+        cfg.num_items = 320;
+        cfg.communities = 8;
+        cfg.mean_profile = 20.0;
+        cfg.min_profile = 6;
+        cfg.generate()
+    })
+}
+
+fn c2_config() -> C2Config {
+    C2Config {
+        k: 8,
+        b: 64,
+        t: 3,
+        max_cluster_size: 120,
+        backend: SimilarityBackend::Raw,
+        seed: 17,
+        threads: 1,
+        ..C2Config::default()
+    }
+}
+
+/// One chaos cell: builds fault-free, rebuilds under the armed schedule,
+/// and asserts the keystone invariant — identical graphs, balanced
+/// accounting, invariant-clean report.
+fn chaos_case(fault_seed: u64, p: f64, workers: usize, reduce_shards: usize, spill: SpillMode) {
+    let _serial = fault_lock();
+    silence_injected_panics();
+    let dataset = chaos_dataset();
+    let c2 = c2_config();
+    let config = RuntimeConfig { workers, reduce_shards, spill, ..Default::default() };
+    let runtime = Runtime::new(config);
+    let label = format!(
+        "fault_seed={fault_seed} p={p:.2} workers={workers} shards={reduce_shards} spill={spill:?}"
+    );
+
+    let clean = runtime.execute_incremental(dataset, &c2, &ClusterCache::new(&c2), &[]);
+    let faulted = {
+        let _guard = Faults::global().arm(FaultPlan::new(fault_seed, p).with_span(2));
+        runtime.execute_incremental(dataset, &c2, &ClusterCache::new(&c2), &[])
+    };
+    assert!(!Faults::global().armed(), "{label}: guard must disarm on drop");
+
+    assert_eq!(clean.graph.num_users(), faulted.graph.num_users(), "{label}");
+    for u in 0..clean.graph.num_users() as u32 {
+        assert_eq!(
+            clean.graph.neighbors(u).sorted(),
+            faulted.graph.neighbors(u).sorted(),
+            "{label}: user {u} differs between the fault-free and the faulted build"
+        );
+    }
+    faulted
+        .cache
+        .check_accounting(&faulted.rebuild)
+        .unwrap_or_else(|e| panic!("{label}: accounting broke under faults: {e}"));
+    faulted.report.check_invariants().unwrap_or_else(|e| panic!("{label}: {e}"));
+    // Comparisons are a function of the graph, not of the recovery path:
+    // requeued clusters are re-solved from scratch, never double-counted.
+    assert_eq!(
+        faulted.cache.total_comparisons(),
+        clean.cache.total_comparisons(),
+        "{label}: comparison totals drifted under fault recovery"
+    );
+}
+
+/// The acceptance matrix with one fixed schedule at p = 1 — every cluster
+/// solve, reduce shard and spill operation fails at least once before
+/// recovery succeeds.
+#[test]
+fn seeded_schedule_survives_bit_identically_across_the_matrix() {
+    for workers in [1usize, 3] {
+        for reduce_shards in [1usize, 2] {
+            for spill in [SpillMode::Off, SpillMode::Always] {
+                chaos_case(42, 1.0, workers, reduce_shards, spill);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomized fault schedules over the same matrix: whatever subset
+    /// of sites fires, at whatever probability, the surviving build is
+    /// the fault-free build.
+    #[test]
+    fn random_fault_schedules_build_identical_graphs(
+        fault_seed in 0u64..10_000,
+        p_mille in 50u32..1000,
+        cell in 0usize..8,
+    ) {
+        let workers = [1, 3][cell & 1];
+        let reduce_shards = [1, 2][(cell >> 1) & 1];
+        let spill = [SpillMode::Off, SpillMode::Always][(cell >> 2) & 1];
+        chaos_case(fault_seed, p_mille as f64 / 1000.0, workers, reduce_shards, spill);
+    }
+}
+
+/// Serving under failing rebuilds: readers hammer the engine while every
+/// rebuild attempt dies (span 12 exhausts the per-cluster solve budget).
+/// No query may ever observe a partially built epoch — the user count and
+/// the neighbour ids must stay those of the last *good* epoch — and once
+/// the schedule is disarmed the queued inserts publish normally.
+#[test]
+fn readers_never_observe_a_partial_epoch_while_rebuilds_fail() {
+    let _serial = fault_lock();
+    silence_injected_panics();
+    let base = {
+        let mut cfg = SyntheticConfig::small(6006);
+        cfg.num_users = 240;
+        cfg.num_items = 200;
+        cfg.communities = 6;
+        cfg.mean_profile = 16.0;
+        cfg.min_profile = 5;
+        cfg.generate()
+    };
+    let users0 = base.num_users();
+    let config = ServingConfig {
+        c2: C2Config {
+            k: 8,
+            backend: SimilarityBackend::GoldFinger { bits: 1024, seed: 33 },
+            seed: 9,
+            threads: 1,
+            ..C2Config::default()
+        },
+        runtime: RuntimeConfig::with_workers(2),
+        beam: BeamSearchConfig { beam_width: 24, entry_points: 5, max_comparisons: 0 },
+        rebuild_after: 2,
+        ..ServingConfig::default()
+    };
+    let engine = ServingEngine::build(base.clone(), config);
+
+    let inserts = 8usize;
+    let guard =
+        Faults::global().arm(FaultPlan::new(3, 1.0).only(&[Site::SolveCluster]).with_span(12));
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            for i in 0..inserts {
+                let mut profile = base.profile((i % users0) as u32).to_vec();
+                profile.push((i % 50) as u32);
+                profile.sort_unstable();
+                profile.dedup();
+                engine.insert(profile, i as u64);
+            }
+        });
+        for reader in 0..2u64 {
+            let engine = &engine;
+            let base = &base;
+            scope.spawn(move || {
+                let mut session = engine.session();
+                for i in 0..150u64 {
+                    let profile = base.profile(((reader * 97 + i) % users0 as u64) as u32);
+                    let result = engine.query_with(&mut session, profile, 5, i);
+                    assert!(!result.neighbors.is_empty(), "query on a live epoch came back empty");
+                    for n in &result.neighbors {
+                        assert!(
+                            (n.user as usize) < users0,
+                            "reader saw user {} from an unpublished epoch (epoch has {users0})",
+                            n.user
+                        );
+                    }
+                }
+            });
+        }
+        writer.join().expect("writer thread panicked");
+    });
+
+    let stats = engine.stats();
+    assert_eq!(stats.num_users, users0, "a failed rebuild must not publish");
+    assert!(
+        stats.rebuild_failures > 0,
+        "the schedule must have killed at least one rebuild attempt"
+    );
+    assert_eq!(stats.inserts, inserts as u64, "every insert is absorbed despite the failures");
+
+    // Disarm: the engine heals on the next explicit publish, absorbing
+    // everything that queued up while rebuilds were failing.
+    drop(guard);
+    engine.publish();
+    let healed = engine.stats();
+    assert_eq!(healed.num_users, users0 + inserts, "queued inserts publish after recovery");
+}
