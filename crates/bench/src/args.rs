@@ -10,6 +10,7 @@
 //! --datasets a,b       restrict to named presets                 (default: all six)
 //! --workers <n>        pin the runtime sweep's map worker count  (default: sweep)
 //! --reduce-shards <n>  pin the runtime sweep's reduce shards     (default: sweep)
+//! --processes <n>      pin the distributed sweep's process count (default: sweep 1,2,4)
 //! --clients <n>        client threads for the serve bench        (default: 4)
 //! --budget <n>         serve admission budget, comparisons/s     (default: unlimited)
 //! --slo-us <n>         serve p99 latency SLO in µs, 0 = off      (default: 0)
@@ -41,6 +42,10 @@ pub struct HarnessArgs {
     /// Pins the `scaling` experiment to one reduce-shard count
     /// (`None` = sweep the default ladder).
     pub reduce_shards: Option<usize>,
+    /// Pins the `scaling` experiment's *distributed* sweep to
+    /// `{1, n}` worker processes (`None` = sweep `{1, 2, 4}`; the
+    /// single-process point always runs — it is the speed-up baseline).
+    pub processes: Option<usize>,
     /// Client threads driving the `serve` bench (`None` = the default 4).
     pub clients: Option<usize>,
     /// Global admission budget for the serve bench, in similarity
@@ -72,6 +77,7 @@ impl Default for HarnessArgs {
             datasets: DatasetProfile::ALL.to_vec(),
             workers: None,
             reduce_shards: None,
+            processes: None,
             clients: None,
             budget: None,
             slo_us: None,
@@ -141,6 +147,14 @@ impl HarnessArgs {
                     }
                     args.batch = Some(n);
                 }
+                "--processes" => {
+                    let n: usize =
+                        value("--processes")?.parse().map_err(|e| format!("--processes: {e}"))?;
+                    if n == 0 {
+                        return Err("--processes must be positive".into());
+                    }
+                    args.processes = Some(n);
+                }
                 "--reduce-shards" => {
                     args.reduce_shards = Some(
                         value("--reduce-shards")?
@@ -202,6 +216,7 @@ impl HarnessArgs {
     /// The usage string.
     pub fn usage() -> &'static str {
         "usage: [--scale F] [--threads N] [--seed S] [--workers W] [--reduce-shards R] \
+         [--processes P] \
          [--clients C] [--budget CMP_PER_S] [--slo-us US] [--batch B] \
          [--datasets ml1M,ml10M,ml20M,AM,DBLP,GW] [--telemetry on|off] \
          [--profile-out PATH] [--faults seed=S,p=P[,span=N][,sites=a+b]]"
@@ -249,6 +264,14 @@ mod tests {
         assert_eq!(args.reduce_shards, Some(3));
         assert!(parse(&["--workers"]).is_err());
         assert!(parse(&["--reduce-shards", "two"]).is_err());
+    }
+
+    #[test]
+    fn parses_processes_pin() {
+        assert_eq!(parse(&[]).unwrap().processes, None);
+        assert_eq!(parse(&["--processes", "4"]).unwrap().processes, Some(4));
+        assert!(parse(&["--processes", "0"]).is_err());
+        assert!(parse(&["--processes"]).is_err());
     }
 
     #[test]

@@ -58,6 +58,9 @@ const FIDELITY_NOTES: &str = "\
 ";
 
 fn main() {
+    // The scaling section's distributed sweep re-execs this binary as
+    // its worker fleet.
+    cnc_distrib::maybe_run_worker();
     let args = HarnessArgs::from_env();
     let started = std::time::Instant::now();
 

@@ -2,6 +2,8 @@
 //! `cnc_bench::experiments::scaling`).
 
 fn main() {
+    // The distributed sweep re-execs this binary as its worker fleet.
+    cnc_distrib::maybe_run_worker();
     let args = cnc_bench::HarnessArgs::from_env();
     print!("{}", cnc_bench::experiments::scaling::run(&args));
 }

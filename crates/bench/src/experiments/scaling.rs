@@ -18,9 +18,11 @@
 
 use crate::args::HarnessArgs;
 use cnc_core::C2Config;
-use cnc_dataset::SyntheticConfig;
+use cnc_dataset::{Dataset, SyntheticConfig};
+use cnc_distrib::{DistribConfig, DistribRuntime, Transport};
 use cnc_runtime::{Runtime, RuntimeConfig, SpillMode, StealPolicy};
 use cnc_similarity::{SimilarityBackend, SimilarityData};
+use serde::{json, Value};
 use std::time::Instant;
 
 /// Worker counts swept by the map-stage table.
@@ -32,6 +34,14 @@ pub const REDUCE_COUNTS: [usize; 3] = [1, 2, 4];
 /// The fixed map worker count of the shuffle table (unless `--workers`
 /// pins one).
 pub const SHUFFLE_WORKERS: usize = 4;
+
+/// Process counts swept by the distributed table (unless `--processes`
+/// pins one; 1 always runs — it is the speed-up baseline).
+pub const PROCESS_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Reduce shards of the distributed sweep (unless `--reduce-shards`
+/// pins one).
+pub const DISTRIB_SHARDS: usize = 2;
 
 /// Runs both sweeps and renders the markdown section.
 pub fn run(args: &HarnessArgs) -> String {
@@ -117,6 +127,13 @@ pub fn run(args: &HarnessArgs) -> String {
         }
     }
 
+    // --- Distributed processes sweep ------------------------------------
+    // Skipped under `cfg!(test)`: the coordinator re-execs the current
+    // executable as its workers, and the libtest harness binary does not
+    // route `--distrib-worker` through `maybe_run_worker`.
+    let distrib_section =
+        if cfg!(test) { String::new() } else { distrib_sweep(args, &dataset, &c2) };
+
     crate::write_profile(args);
     format!(
         "## Sharded runtime — predicted vs. measured scaling\n\n\
@@ -128,9 +145,146 @@ pub fn run(args: &HarnessArgs) -> String {
          ### Reduce shards & spillable shuffle ({shuffle_workers} map workers)\n\n\
          | R | spill | reduce speed-up | shuffle skew | spilled entries | \
          spilled bytes | reduce makespan |\n\
-         |---:|:---|---:|---:|---:|---:|---:|\n{shuffle_rows}\n",
+         |---:|:---|---:|---:|---:|---:|---:|\n{shuffle_rows}\n{distrib_section}",
         dataset.num_users(),
     )
+}
+
+/// One cell of the distributed sweep.
+struct DistribCell {
+    transport: Transport,
+    processes: usize,
+    wall_ms: f64,
+    speedup: f64,
+    worker_deaths: usize,
+    recovered: u64,
+    identical: bool,
+}
+
+/// Runs the multi-process sweep (§VIII over real processes): for each
+/// transport, walks the process ladder, pins bit-identity against the
+/// single-process point, and merges the measurements into
+/// `BENCH_kernels.json` under the `"distrib"` key. An armed `--faults`
+/// spec ships to the workers (the chaos smoke path: killed workers must
+/// requeue and the graph must still match).
+fn distrib_sweep(args: &HarnessArgs, dataset: &Dataset, c2: &C2Config) -> String {
+    let shards = args.reduce_shards.unwrap_or(DISTRIB_SHARDS);
+    let ladder: Vec<usize> = match args.processes {
+        Some(1) => vec![1],
+        Some(n) => vec![1, n],
+        None => PROCESS_COUNTS.to_vec(),
+    };
+    // Workers solve single-threaded so the speed-up point isolates
+    // process-level parallelism.
+    let c2 = C2Config { threads: 1, ..*c2 };
+    let faults_spec = args.faults.as_ref().map(|plan| plan.spec());
+
+    let mut cells: Vec<DistribCell> = Vec::new();
+    let mut rows = String::new();
+    for transport in [Transport::Pipe, Transport::Socket] {
+        let mut baseline: Option<(f64, cnc_graph::KnnGraph)> = None;
+        for &processes in &ladder {
+            let runtime = DistribRuntime::new(DistribConfig {
+                processes,
+                reduce_shards: shards,
+                transport,
+                faults_spec: faults_spec.clone(),
+                ..DistribConfig::default()
+            });
+            let result = match runtime.execute(dataset, &c2) {
+                Ok(result) => result,
+                Err(err) => {
+                    rows.push_str(&format!(
+                        "| {transport} | {processes} | failed: {err} | | | | |\n"
+                    ));
+                    continue;
+                }
+            };
+            let wall_ms = result.report.wall.as_secs_f64() * 1e3;
+            let (speedup, identical) = match &baseline {
+                None => {
+                    baseline = Some((wall_ms, result.graph.clone()));
+                    (1.0, true)
+                }
+                Some((base_ms, base_graph)) => {
+                    let same = (0..base_graph.num_users() as u32).all(|u| {
+                        base_graph.neighbors(u).sorted() == result.graph.neighbors(u).sorted()
+                    });
+                    (base_ms / wall_ms, same)
+                }
+            };
+            let recovered = result.report.requeued_clusters + result.report.recovered_inline;
+            rows.push_str(&format!(
+                "| {transport} | {processes} | {shards} | {wall_ms:.1} ms | {speedup:.2} | {} | {} |\n",
+                result.report.worker_deaths,
+                if identical { "yes" } else { "**NO**" },
+            ));
+            cells.push(DistribCell {
+                transport,
+                processes,
+                wall_ms,
+                speedup,
+                worker_deaths: result.report.worker_deaths,
+                recovered,
+                identical,
+            });
+        }
+    }
+    record_distrib_json(args, shards, &cells);
+
+    let chaos = faults_spec.map_or(String::new(), |spec| format!(" Chaos spec: `{spec}`."));
+    format!(
+        "### Distributed processes (coordinator + re-exec'd workers, \
+         {shards} reduce shards)\n\n\
+         *Speed-up is wall vs the single-process point of the same transport; \
+         `identical` pins the merged graph against it bit-for-bit. On a box \
+         with fewer cores than P the sweep measures spawn + transport + merge \
+         overhead, not hardware speed-up.{chaos}*\n\n\
+         | transport | P | R | wall | speed-up | deaths | identical |\n\
+         |:---|---:|---:|---:|---:|---:|:---|\n{rows}\n"
+    )
+}
+
+/// Read-modify-write merge of the sweep into `BENCH_kernels.json`: the
+/// `"distrib"` key is replaced, every other key (the kernels bench's
+/// own numbers) survives. Best-effort, like every bench recorder.
+fn record_distrib_json(args: &HarnessArgs, shards: usize, cells: &[DistribCell]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let cell_values: Vec<Value> = cells
+        .iter()
+        .map(|c| {
+            Value::Object(vec![
+                ("transport".into(), Value::Str(c.transport.to_string())),
+                ("processes".into(), Value::UInt(c.processes as u64)),
+                ("shards".into(), Value::UInt(shards as u64)),
+                ("wall_ms".into(), Value::Float(c.wall_ms)),
+                ("speedup".into(), Value::Float(c.speedup)),
+                ("worker_deaths".into(), Value::UInt(c.worker_deaths as u64)),
+                ("recovered_clusters".into(), Value::UInt(c.recovered)),
+            ])
+        })
+        .collect();
+    let best = cells.iter().map(|c| c.speedup).fold(0.0f64, f64::max);
+    let distrib = Value::Object(vec![
+        ("scale".into(), Value::Float(args.scale)),
+        ("graph_identical".into(), Value::Bool(cells.iter().all(|c| c.identical))),
+        ("worker_deaths".into(), Value::UInt(cells.iter().map(|c| c.worker_deaths as u64).sum())),
+        ("recovered_clusters".into(), Value::UInt(cells.iter().map(|c| c.recovered).sum())),
+        ("best_speedup".into(), Value::Float(best)),
+        ("cells".into(), Value::Array(cell_values)),
+    ]);
+    let mut root = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| json::parse(&text).ok())
+        .filter(|v| matches!(v, Value::Object(_)))
+        .unwrap_or_else(|| Value::Object(Vec::new()));
+    if let Value::Object(fields) = &mut root {
+        fields.retain(|(key, _)| key != "distrib");
+        fields.push(("distrib".into(), distrib));
+    }
+    if let Err(err) = std::fs::write(path, json::to_string(&root)) {
+        eprintln!("cannot record distrib sweep to {path} ({err}); continuing");
+    }
 }
 
 #[cfg(test)]

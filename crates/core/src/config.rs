@@ -13,7 +13,9 @@ pub enum ClusteringScheme {
 }
 
 /// All knobs of a C² run. `Default` reproduces the paper's §IV-C setup.
-#[derive(Clone, Copy, Debug)]
+/// Equality is field-wise — the distributed wire codec round-trips a
+/// config bit-exactly and asserts it.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct C2Config {
     /// Neighbourhood size `k` (paper: 30).
     pub k: usize,

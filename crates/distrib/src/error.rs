@@ -1,0 +1,88 @@
+//! Typed failures of the distributed build — the process-level
+//! analogues of [`cnc_runtime::ShuffleError`].
+
+use std::io;
+
+/// Why a distributed build failed. Everything here is *post-recovery*:
+/// transient transport faults retry under backoff, dead workers requeue
+/// on survivors, and a coordinator with no workers left solves inline —
+/// these variants are what remains when those lanes are exhausted.
+#[derive(Debug)]
+pub enum DistribError {
+    /// A worker process failed to spawn or to connect its transport.
+    Spawn {
+        /// The worker ordinal.
+        worker: usize,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A genuine (non-injected) stream error: the wire may hold a
+    /// partial frame, so the write is not retried.
+    Transport {
+        /// What was being written.
+        context: &'static str,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A frame send failed every attempt of its backoff loop.
+    TransportExhausted {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The final attempt's error.
+        last: io::Error,
+    },
+    /// The peer spoke the protocol wrong (bad frame, bad sequence,
+    /// version mismatch).
+    Protocol {
+        /// What was violated.
+        detail: String,
+    },
+    /// One cluster killed [`crate::MAX_CLUSTER_ATTEMPTS`] worker
+    /// processes — the build-level escalation of a per-cluster fault,
+    /// mirroring the in-process engine's solve-attempt bound.
+    ClusterExhausted {
+        /// The global cluster index.
+        cluster: usize,
+        /// Processes that died on it.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for DistribError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistribError::Spawn { worker, source } => {
+                write!(f, "worker {worker} failed to start: {source}")
+            }
+            DistribError::Transport { context, source } => {
+                write!(f, "transport failed during {context}: {source}")
+            }
+            DistribError::TransportExhausted { attempts, last } => write!(
+                f,
+                "transport send failed after {attempts} attempts (capped backoff): {last}"
+            ),
+            DistribError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            DistribError::ClusterExhausted { cluster, attempts } => {
+                write!(f, "cluster {cluster} killed {attempts} worker processes; giving up")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistribError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistribError::Spawn { source, .. } | DistribError::Transport { source, .. } => {
+                Some(source)
+            }
+            DistribError::TransportExhausted { last, .. } => Some(last),
+            DistribError::Protocol { .. } | DistribError::ClusterExhausted { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for DistribError {
+    fn from(source: io::Error) -> DistribError {
+        DistribError::Transport { context: "stream", source }
+    }
+}

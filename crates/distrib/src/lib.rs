@@ -1,0 +1,41 @@
+//! cnc-distrib: the §VIII deployment plan as real processes.
+//!
+//! The in-process engine proved the map/shuffle/reduce decomposition
+//! over threads; this crate runs the *same* decomposition over worker
+//! **processes** — the bench binary re-exec'd in `--distrib-worker`
+//! mode — with the shuffle spill codec as the wire format. Map workers
+//! solve their assigned clusters and ship partial neighbour lists
+//! (cluster content hash on every record) to remote reduce shards; the
+//! coordinator merges the partitions and publishes like the serving
+//! writer. Because the codec is lossless (raw `f32` bits) and the
+//! bounded-heap merge is order-independent, the distributed graph is
+//! **bit-identical** to [`cnc_core::ClusterAndConquer::build`] —
+//! `tests/distrib.rs` pins that over processes × shards × transports,
+//! including with a worker killed mid-build.
+//!
+//! The single-process `Runtime` is the degenerate case: one process,
+//! one shard, no wire.
+//!
+//! # Joining a build
+//!
+//! Any binary that a coordinator may use as a worker calls
+//! [`maybe_run_worker`] first thing in `main`, before touching stdout:
+//!
+//! ```no_run
+//! // first line of main(), before touching stdout:
+//! cnc_distrib::maybe_run_worker(); // never returns in worker mode
+//! ```
+
+pub mod coordinator;
+pub mod error;
+pub mod transport;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{
+    DistribConfig, DistribPublisher, DistribReport, DistribResult, DistribRuntime, KillSpec,
+    ProcExit, ProcStats, MAX_CLUSTER_ATTEMPTS,
+};
+pub use error::DistribError;
+pub use transport::Transport;
+pub use worker::{maybe_run_worker, run_worker, MAX_SOLVE_ATTEMPTS};

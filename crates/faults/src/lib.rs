@@ -31,9 +31,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, Once, OnceLock};
 use std::time::Duration;
 
-/// A typed injection point. The six sites cover every IO or compute step
-/// whose failure the engine promises to survive (see the README's fault
-/// matrix).
+/// A typed injection point. The eight sites cover every IO or compute
+/// step whose failure the engine promises to survive (see the README's
+/// fault matrix).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Site {
     /// Appending one record to a spill stream.
@@ -48,17 +48,28 @@ pub enum Site {
     SolveCluster,
     /// One shuffle message received by a reduce shard.
     ReduceShard,
+    /// Writing one frame onto a distributed-build transport (socket or
+    /// pipe). Injected *before* any byte reaches the wire, so retries
+    /// are always safe.
+    TransportSend,
+    /// A worker *process* dying before a cluster solve — the
+    /// multi-process analogue of a solver panic. The budget counter for
+    /// this site lives with the coordinator (see [`Faults::inject_at`]),
+    /// because the process that draws the fault does not survive it.
+    WorkerExit,
 }
 
 impl Site {
     /// Every site, in stable order (indexes the per-site counters).
-    pub const ALL: [Site; 6] = [
+    pub const ALL: [Site; 8] = [
         Site::SpillWrite,
         Site::SpillReplay,
         Site::SnapshotWrite,
         Site::SnapshotLoad,
         Site::SolveCluster,
         Site::ReduceShard,
+        Site::TransportSend,
+        Site::WorkerExit,
     ];
 
     /// The site's wire name, as used in `sites=` plan specs and metrics.
@@ -70,6 +81,8 @@ impl Site {
             Site::SnapshotLoad => "snapshot.load",
             Site::SolveCluster => "solve.cluster",
             Site::ReduceShard => "reduce.shard",
+            Site::TransportSend => "transport.send",
+            Site::WorkerExit => "worker.exit",
         }
     }
 
@@ -125,9 +138,12 @@ pub struct FaultPlan {
     /// Upper bound of the per-key failure budget; clamped to `1..=12` so
     /// generous retry loops (≥ 16 attempts) always outlast the schedule.
     pub span: u32,
-    /// Bitmask of armed sites (bit = `Site::ALL` index); 0b111111 = all.
+    /// Bitmask of armed sites (bit = `Site::ALL` index); 0xFF = all.
     pub sites: u8,
 }
+
+/// The mask with every [`Site`] armed.
+pub const ALL_SITES: u8 = 0xFF;
 
 impl FaultPlan {
     /// All sites armed at probability `p` (fraction, not mille).
@@ -136,7 +152,7 @@ impl FaultPlan {
             seed,
             p_mille: (p.clamp(0.0, 1.0) * 1000.0).round() as u32,
             span: 4,
-            sites: 0x3F,
+            sites: ALL_SITES,
         }
     }
 
@@ -188,9 +204,20 @@ impl FaultPlan {
         Ok(plan)
     }
 
-    /// Renders the plan back into `parse` form.
+    /// Renders the plan back into `parse` form. Site restrictions are
+    /// preserved, so a spec string is a complete description of the plan
+    /// — the distributed coordinator ships plans to worker processes in
+    /// exactly this form.
     pub fn spec(&self) -> String {
-        format!("seed={},p={},span={}", self.seed, self.p_mille as f64 / 1000.0, self.span)
+        let mut spec =
+            format!("seed={},p={},span={}", self.seed, self.p_mille as f64 / 1000.0, self.span);
+        if self.sites != ALL_SITES {
+            let names: Vec<&str> =
+                Site::ALL.iter().filter(|s| self.armed_site(**s)).map(|s| s.name()).collect();
+            spec.push_str(",sites=");
+            spec.push_str(&names.join("+"));
+        }
+        spec
     }
 
     fn armed_site(&self, site: Site) -> bool {
@@ -222,7 +249,8 @@ impl FaultPlan {
         let h = mix(self.seed ^ SITE_SALT[site.index()].rotate_left(17) ^ key ^ (n as u64) << 48);
         match site {
             Site::SolveCluster | Site::ReduceShard => Fault::Panic,
-            Site::SpillReplay | Site::SnapshotLoad => Fault::Io,
+            Site::WorkerExit => Fault::Crash,
+            Site::SpillReplay | Site::SnapshotLoad | Site::TransportSend => Fault::Io,
             Site::SpillWrite => {
                 if h & 1 == 0 {
                     Fault::Io
@@ -242,13 +270,15 @@ impl FaultPlan {
 }
 
 /// Per-site salts so the same key draws independently across sites.
-const SITE_SALT: [u64; 6] = [
+const SITE_SALT: [u64; 8] = [
     0x9E37_79B9_7F4A_7C15,
     0xBF58_476D_1CE4_E5B9,
     0x94D0_49BB_1331_11EB,
     0xD6E8_FEB8_6659_FD93,
     0xA076_1D64_78BD_642F,
     0xE703_7ED1_A0B4_28DB,
+    0xC2B2_AE3D_27D4_EB4F,
+    0x1656_67B1_9E37_79F9,
 ];
 
 /// splitmix64's finalizer — the same mixer the workspace's vendored PRNG
@@ -271,7 +301,7 @@ struct PlanState {
 pub struct Faults {
     armed: AtomicBool,
     state: Mutex<Option<PlanState>>,
-    injected: [AtomicU64; 6],
+    injected: [AtomicU64; 8],
 }
 
 /// Disarms (and clears) the registry when dropped, so a panicking test
@@ -292,6 +322,8 @@ impl Faults {
             armed: AtomicBool::new(false),
             state: Mutex::new(None),
             injected: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
                 AtomicU64::new(0),
                 AtomicU64::new(0),
                 AtomicU64::new(0),
@@ -373,6 +405,29 @@ impl Faults {
         drop(guard);
         self.injected[site.index()].fetch_add(1, Ordering::Relaxed);
         Some(kind)
+    }
+
+    /// The cross-process variant of [`Faults::inject`]: the caller owns
+    /// the attempt counter instead of the registry's draw state. Attempt
+    /// `n` at `(site, key)` fails iff `n` is below the pair's failure
+    /// budget — a pure function of the armed plan — so a *coordinator*
+    /// can track attempts across worker processes whose own draw
+    /// counters reset every exec (a worker that dies at attempt 0 is
+    /// re-asked at attempt 1 by whoever picks up the cluster, and the
+    /// schedule stays transient). Bumps the site's injection counter on
+    /// `Some`.
+    #[inline]
+    pub fn inject_at(&self, site: Site, key: u64, attempt: u32) -> Option<Fault> {
+        if !self.armed() {
+            return None;
+        }
+        let plan = self.plan()?;
+        let budget = plan.failure_budget(site, key);
+        if attempt >= budget {
+            return None;
+        }
+        self.injected[site.index()].fetch_add(1, Ordering::Relaxed);
+        Some(plan.kind(site, key, attempt))
     }
 
     /// [`Faults::inject`] mapped to `io::Result`: `Fault::Io`/`Torn`/
@@ -569,7 +624,10 @@ mod tests {
             for kind in kinds {
                 let ok = match site {
                     Site::SolveCluster | Site::ReduceShard => *kind == Fault::Panic,
-                    Site::SpillReplay | Site::SnapshotLoad => *kind == Fault::Io,
+                    Site::WorkerExit => *kind == Fault::Crash,
+                    Site::SpillReplay | Site::SnapshotLoad | Site::TransportSend => {
+                        *kind == Fault::Io
+                    }
                     Site::SpillWrite => matches!(kind, Fault::Io | Fault::Torn),
                     Site::SnapshotWrite => matches!(kind, Fault::Io | Fault::Crash),
                 };
@@ -610,7 +668,7 @@ mod tests {
         assert_eq!(plan.seed, 42);
         assert_eq!(plan.p_mille, 20);
         assert_eq!(plan.span, 4);
-        assert_eq!(plan.sites, 0x3F);
+        assert_eq!(plan.sites, ALL_SITES);
         let again = FaultPlan::parse(&plan.spec()).unwrap();
         assert_eq!(again, plan);
 
@@ -620,11 +678,52 @@ mod tests {
         assert!(narrow.armed_site(Site::SolveCluster));
         assert!(narrow.armed_site(Site::SpillWrite));
         assert!(!narrow.armed_site(Site::SnapshotLoad));
+        // Restricted plans round-trip through spec() with their masks.
+        assert_eq!(FaultPlan::parse(&narrow.spec()).unwrap(), narrow);
+
+        let distrib =
+            FaultPlan::parse("seed=3,p=0.25,span=1,sites=transport.send+worker.exit").unwrap();
+        assert!(distrib.armed_site(Site::TransportSend));
+        assert!(distrib.armed_site(Site::WorkerExit));
+        assert!(!distrib.armed_site(Site::SolveCluster));
+        assert_eq!(FaultPlan::parse(&distrib.spec()).unwrap(), distrib);
 
         assert!(FaultPlan::parse("p=2").is_err());
         assert!(FaultPlan::parse("sites=bogus").is_err());
         assert!(FaultPlan::parse("nope=1").is_err());
         assert!(FaultPlan::parse("seed").is_err());
+    }
+
+    #[test]
+    fn inject_at_is_pure_in_the_attempt_number() {
+        let _serial = lock();
+        let plan = FaultPlan::new(21, 0.5).with_span(2);
+        let faults = Faults::global();
+        let _guard = faults.arm(plan);
+        for key in 0..300u64 {
+            let budget = plan.failure_budget(Site::WorkerExit, key);
+            for attempt in 0..budget {
+                // Re-asking the same attempt fails again: no draw state
+                // is consumed, exactly what a re-exec'd process sees.
+                assert!(faults.inject_at(Site::WorkerExit, key, attempt).is_some());
+                assert_eq!(
+                    faults.inject_at(Site::WorkerExit, key, attempt),
+                    Some(Fault::Crash),
+                    "worker.exit draws are crashes"
+                );
+            }
+            for attempt in budget..budget + 3 {
+                assert_eq!(faults.inject_at(Site::WorkerExit, key, attempt), None);
+            }
+        }
+        assert!(faults.injected(Site::WorkerExit) > 0);
+        // inject_at never touches the shared draw counters, so the
+        // classic API still sees the full budget afterwards.
+        let key = (0..300).find(|&k| plan.failure_budget(Site::WorkerExit, k) > 0).unwrap();
+        for _ in 0..plan.failure_budget(Site::WorkerExit, key) {
+            assert!(faults.inject(Site::WorkerExit, key).is_some());
+        }
+        assert_eq!(faults.inject(Site::WorkerExit, key), None);
     }
 
     #[test]

@@ -36,7 +36,8 @@
 use crate::config::{RuntimeConfig, SpillMode, StealPolicy};
 use crate::report::{ReduceStats, RuntimeReport, WorkerStats};
 use crate::shuffle::{
-    encoded_len, note_retry, partition_of, replay_spill, FinishedSpill, SpillDir, SpillWriter,
+    encoded_len, note_retry, partition_of, replay_spill, FinishedSpill, ReducePartition, SpillDir,
+    SpillWriter,
 };
 use cnc_baselines::local;
 use cnc_core::build_plan::{BuildPlan, ClusterCache, ClusterSolution, RebuildStats};
@@ -443,16 +444,9 @@ impl Runtime {
         let queues = JobQueues::new(&deploy, costs, self.config.steal);
 
         // --- Reduce partitioning: a total disjoint cover of the users ----
-        // `owned[r]` lists shard r's users in increasing order and
-        // `local_index[u]` is u's slot within its shard, so concatenating
-        // the per-shard outputs reassembles the graph without a merge.
-        let mut owned: Vec<Vec<UserId>> = vec![Vec::new(); reduce_shards];
-        let mut local_index: Vec<u32> = vec![0; n];
-        for u in 0..n as u32 {
-            let shard = partition_of(u, reduce_shards);
-            local_index[u as usize] = owned[shard].len() as u32;
-            owned[shard].push(u);
-        }
+        // Concatenating the per-shard outputs reassembles the graph
+        // without a merge; the same helper routes the distributed wire.
+        let ReducePartition { owned, local_index } = ReducePartition::new(n, reduce_shards);
 
         // The cleanup-on-drop guard lives on this stack frame: a panicking
         // worker unwinds through the thread scope and still removes the

@@ -50,7 +50,7 @@ pub mod shuffle;
 pub use config::{RuntimeConfig, SpillMode, StealPolicy};
 pub use engine::{IncrementalShardedResult, Runtime, ShardedBuild, ShardedResult};
 pub use report::{ReduceStats, RuntimeReport, WorkerStats};
-pub use shuffle::{partition_of, ShuffleError};
+pub use shuffle::{partition_of, ReducePartition, ShuffleError};
 
 /// Serializes unit tests that arm the process-global fault registry —
 /// one lock for the whole crate, because `cargo test` runs every module's

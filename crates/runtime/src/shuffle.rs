@@ -86,8 +86,10 @@ pub const SPILL_WRITE_ATTEMPTS: u32 = 16;
 /// Retry budget for replaying a sealed spill file.
 pub const SPILL_REPLAY_ATTEMPTS: u32 = 16;
 
-/// Counts one recovery retry at `site` (telemetry-gated, like every hook).
-pub(crate) fn note_retry(site: &'static str) {
+/// Counts one recovery retry at `site` (telemetry-gated, like every
+/// hook). Public so transport layers built on this codec (the
+/// distributed runner) account their retries under the same metric.
+pub fn note_retry(site: &'static str) {
     let telemetry = Telemetry::global();
     if telemetry.enabled() {
         telemetry.counter("cnc_fault_retries_total", &[("site", site)]).add(1);
@@ -107,6 +109,33 @@ pub fn partition_of(user: UserId, reduce_shards: usize) -> usize {
     assert!(reduce_shards > 0, "at least one reduce shard is required");
     let h = (user as u64).wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_mul(0xD1B5_4A32_D192_ED03);
     ((h >> 32) as usize) % reduce_shards
+}
+
+/// The reduce-side view of [`partition_of`]: a total, disjoint cover of
+/// `0..n` across `R` shards, plus each user's slot within its shard —
+/// enough to concatenate per-shard outputs back into a graph without a
+/// merge. Shared by the in-process engine and the distributed
+/// coordinator so both sides of a wire agree on routing by construction.
+#[derive(Clone, Debug)]
+pub struct ReducePartition {
+    /// `owned[r]` lists shard r's users in increasing order.
+    pub owned: Vec<Vec<UserId>>,
+    /// `local_index[u]` is u's slot within `owned[partition_of(u, R)]`.
+    pub local_index: Vec<u32>,
+}
+
+impl ReducePartition {
+    /// Partitions users `0..n` across `reduce_shards` shards.
+    pub fn new(n: usize, reduce_shards: usize) -> ReducePartition {
+        let mut owned: Vec<Vec<UserId>> = vec![Vec::new(); reduce_shards];
+        let mut local_index: Vec<u32> = vec![0; n];
+        for u in 0..n as u32 {
+            let shard = partition_of(u, reduce_shards);
+            local_index[u as usize] = owned[shard].len() as u32;
+            owned[shard].push(u);
+        }
+        ReducePartition { owned, local_index }
+    }
 }
 
 /// Encoded size of one spill record, in bytes: a 16-byte header

@@ -35,6 +35,7 @@
 pub mod export;
 pub mod metrics;
 pub mod span;
+pub mod wire;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricKey, MetricsRegistry};
 pub use span::{SpanCollector, SpanRecord, SpanSummary};

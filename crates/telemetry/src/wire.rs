@@ -1,0 +1,279 @@
+//! Span records over the wire — the serialization the distributed
+//! coordinator uses to merge per-process timelines into one trace.
+//!
+//! The encoding follows the shuffle codec's conventions: little-endian,
+//! length-prefixed, lossless (every `u64` crosses as raw bits, names as
+//! length-prefixed UTF-8). [`SpanRecord::name`] and attribute keys are
+//! `&'static str` in-process; the decoder restores that through a
+//! process-wide intern table, leaking each *distinct* name exactly once
+//! — bounded by the number of span/attr names in the codebase, not by
+//! traffic.
+//!
+//! [`merge_remote`] rebases a decoded batch into the local collector:
+//! thread ids and span ids are offset per source process so worker 0's
+//! "thread 3" and worker 1's "thread 3" stay distinct lanes in the
+//! combined Chrome trace, and parent links keep pointing inside their
+//! own process's forest.
+
+use crate::span::SpanRecord;
+use crate::Telemetry;
+use std::collections::HashSet;
+use std::io::{self, Read, Write};
+use std::sync::Mutex;
+
+/// Decoder guard: a batch longer than this is a corrupt frame, not data.
+const MAX_WIRE_RECORDS: u32 = 1 << 20;
+/// Decoder guard on name/attr-key length.
+const MAX_NAME_LEN: u16 = 4096;
+/// Decoder guard on attribute count per record.
+const MAX_ATTRS: u16 = 1024;
+
+/// Thread-id stride between processes in a merged trace: process `p`'s
+/// threads land on `p * TID_STRIDE + thread`.
+pub const TID_STRIDE: u64 = 100_000;
+
+/// Span-id stride between processes in a merged trace (high bits, so
+/// per-process sequential ids never collide across 2^48 spans).
+pub const ID_STRIDE_SHIFT: u32 = 48;
+
+/// Interns a decoded name, returning the process-lifetime `&'static str`
+/// the in-memory [`SpanRecord`] requires. Each distinct string leaks
+/// once; repeats resolve to the first leak.
+pub fn intern(name: &str) -> &'static str {
+    static TABLE: Mutex<Option<HashSet<&'static str>>> = Mutex::new(None);
+    let mut guard = TABLE.lock().unwrap_or_else(|p| p.into_inner());
+    let table = guard.get_or_insert_with(HashSet::new);
+    match table.get(name) {
+        Some(interned) => interned,
+        None => {
+            let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+            table.insert(leaked);
+            leaked
+        }
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= MAX_NAME_LEN as usize);
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encodes a batch of records into one length-delimited payload.
+pub fn encode_records(records: &[SpanRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + records.len() * 64);
+    put_u32(&mut out, records.len() as u32);
+    for r in records {
+        put_str(&mut out, r.name);
+        put_u64(&mut out, r.id);
+        put_u64(&mut out, r.parent);
+        put_u64(&mut out, r.thread);
+        put_u64(&mut out, r.start_ns);
+        put_u64(&mut out, r.dur_ns);
+        put_u16(&mut out, r.attrs.len() as u16);
+        for (key, value) in &r.attrs {
+            put_str(&mut out, key);
+            put_u64(&mut out, *value);
+        }
+    }
+    out
+}
+
+/// Writes [`encode_records`] to a stream.
+pub fn write_records<W: Write>(out: &mut W, records: &[SpanRecord]) -> io::Result<()> {
+    out.write_all(&encode_records(records))
+}
+
+fn read_exact<R: Read, const N: usize>(input: &mut R) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    input.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_u16<R: Read>(input: &mut R) -> io::Result<u16> {
+    Ok(u16::from_le_bytes(read_exact(input)?))
+}
+
+fn read_u32<R: Read>(input: &mut R) -> io::Result<u32> {
+    Ok(u32::from_le_bytes(read_exact(input)?))
+}
+
+fn read_u64<R: Read>(input: &mut R) -> io::Result<u64> {
+    Ok(u64::from_le_bytes(read_exact(input)?))
+}
+
+fn corrupt(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("span wire: {what}"))
+}
+
+fn read_name<R: Read>(input: &mut R) -> io::Result<&'static str> {
+    let len = read_u16(input)?;
+    if len > MAX_NAME_LEN {
+        return Err(corrupt("name length out of range"));
+    }
+    let mut bytes = vec![0u8; len as usize];
+    input.read_exact(&mut bytes)?;
+    let name = std::str::from_utf8(&bytes).map_err(|_| corrupt("name not UTF-8"))?;
+    Ok(intern(name))
+}
+
+/// Decodes a batch written by [`write_records`]. Truncated or
+/// out-of-range input surfaces as `InvalidData`/`UnexpectedEof`, never a
+/// partial batch.
+pub fn read_records<R: Read>(input: &mut R) -> io::Result<Vec<SpanRecord>> {
+    let count = read_u32(input)?;
+    if count > MAX_WIRE_RECORDS {
+        return Err(corrupt("record count out of range"));
+    }
+    let mut records = Vec::with_capacity(count.min(4096) as usize);
+    for _ in 0..count {
+        let name = read_name(input)?;
+        let id = read_u64(input)?;
+        let parent = read_u64(input)?;
+        let thread = read_u64(input)?;
+        let start_ns = read_u64(input)?;
+        let dur_ns = read_u64(input)?;
+        let n_attrs = read_u16(input)?;
+        if n_attrs > MAX_ATTRS {
+            return Err(corrupt("attr count out of range"));
+        }
+        let mut attrs = Vec::with_capacity(n_attrs as usize);
+        for _ in 0..n_attrs {
+            let key = read_name(input)?;
+            attrs.push((key, read_u64(input)?));
+        }
+        records.push(SpanRecord { name, id, parent, thread, start_ns, dur_ns, attrs });
+    }
+    Ok(records)
+}
+
+/// Rebases one remote process's records and submits them to the local
+/// collector. `process` is a nonzero source ordinal (the coordinator
+/// passes `worker + 1`; 0 is the local process). Thread ids shift by
+/// `process * TID_STRIDE`; span ids and nonzero parent links shift into
+/// the process's id stripe, so cross-process collisions are impossible
+/// and each forest stays internally consistent. No-op when telemetry is
+/// disabled. Returns the number of records submitted.
+pub fn merge_remote(telemetry: &Telemetry, records: Vec<SpanRecord>, process: u64) -> usize {
+    if !telemetry.enabled() {
+        return 0;
+    }
+    let id_offset = process << ID_STRIDE_SHIFT;
+    let mut merged = 0;
+    for mut r in records {
+        r.thread += process * TID_STRIDE;
+        r.id |= id_offset;
+        if r.parent != 0 {
+            r.parent |= id_offset;
+        }
+        telemetry.submit(r);
+        merged += 1;
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                name: "distrib.solve.cluster",
+                id: 3,
+                parent: 1,
+                thread: 2,
+                start_ns: 1_000,
+                dur_ns: 500,
+                attrs: vec![("comparisons", 123), ("cluster", 7)],
+            },
+            SpanRecord {
+                name: "distrib.worker",
+                id: 1,
+                parent: 0,
+                thread: 2,
+                start_ns: 0,
+                dur_ns: 9_999,
+                attrs: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_losslessly() {
+        let records = sample();
+        let bytes = encode_records(&records);
+        let decoded = read_records(&mut bytes.as_slice()).unwrap();
+        assert_eq!(decoded.len(), records.len());
+        for (d, r) in decoded.iter().zip(&records) {
+            assert_eq!(d.name, r.name);
+            assert_eq!(d.id, r.id);
+            assert_eq!(d.parent, r.parent);
+            assert_eq!(d.thread, r.thread);
+            assert_eq!(d.start_ns, r.start_ns);
+            assert_eq!(d.dur_ns, r.dur_ns);
+            assert_eq!(d.attrs, r.attrs);
+        }
+    }
+
+    #[test]
+    fn interning_is_stable_and_deduplicated() {
+        let a = intern("some.span.name");
+        let b = intern("some.span.name");
+        assert!(std::ptr::eq(a, b), "same string must intern to the same leak");
+        // Decoding twice reuses the interned names.
+        let bytes = encode_records(&sample());
+        let first = read_records(&mut bytes.as_slice()).unwrap();
+        let second = read_records(&mut bytes.as_slice()).unwrap();
+        assert!(std::ptr::eq(first[0].name, second[0].name));
+    }
+
+    #[test]
+    fn truncated_and_corrupt_input_is_rejected() {
+        let bytes = encode_records(&sample());
+        // Any strict prefix must fail, never yield a partial batch.
+        for cut in [1usize, 4, 7, bytes.len() - 3] {
+            assert!(read_records(&mut &bytes[..cut]).is_err(), "prefix of {cut} bytes accepted");
+        }
+        // Absurd record count.
+        let mut bogus = Vec::new();
+        bogus.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_records(&mut bogus.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn merge_offsets_threads_and_ids_per_process() {
+        let t = Telemetry::new();
+        t.enable(true);
+        let merged = merge_remote(&t, sample(), 2);
+        assert_eq!(merged, 2);
+        let records = t.span_records();
+        let child = records.iter().find(|r| r.name == "distrib.solve.cluster").unwrap();
+        let root = records.iter().find(|r| r.name == "distrib.worker").unwrap();
+        assert_eq!(child.thread, 2 + 2 * TID_STRIDE);
+        assert_eq!(child.id, 3 | (2u64 << ID_STRIDE_SHIFT));
+        assert_eq!(child.parent, 1 | (2u64 << ID_STRIDE_SHIFT));
+        assert_eq!(root.parent, 0, "roots stay roots");
+        assert_eq!(child.parent, root.id, "forest stays internally linked");
+    }
+
+    #[test]
+    fn merge_is_a_noop_when_disabled() {
+        let t = Telemetry::new();
+        assert_eq!(merge_remote(&t, sample(), 1), 0);
+        assert!(t.span_records().is_empty());
+    }
+}

@@ -19,6 +19,7 @@
 pub use cnc_baselines as baselines;
 pub use cnc_core as core;
 pub use cnc_dataset as dataset;
+pub use cnc_distrib as distrib;
 pub use cnc_eval as eval;
 pub use cnc_faults as faults;
 pub use cnc_graph as graph;
@@ -36,6 +37,7 @@ pub mod prelude {
     pub use cnc_dataset::{
         CrossValidation, Dataset, DatasetProfile, DatasetStats, SyntheticConfig,
     };
+    pub use cnc_distrib::{DistribConfig, DistribPublisher, DistribRuntime, Transport};
     pub use cnc_eval::{quality, KnnClassifier, Recommender};
     pub use cnc_faults::{FaultPlan, Faults};
     pub use cnc_graph::KnnGraph;
