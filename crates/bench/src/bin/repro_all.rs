@@ -77,7 +77,7 @@ fn main() {
     );
 
     type Runner = fn(&HarnessArgs) -> String;
-    let sections: [(&str, Runner); 12] = [
+    let sections: [(&str, Runner); 13] = [
         ("table1", experiments::table1::run),
         ("table2", experiments::table2::run),
         ("table3", experiments::table3::run),
@@ -90,6 +90,7 @@ fn main() {
         ("kernels", experiments::kernels::run),
         ("scaling", experiments::scaling::run),
         ("serve", experiments::serve::run),
+        ("snapshot", experiments::snapshot::run),
     ];
     for (name, runner) in sections {
         eprintln!("=== {name} ===");

@@ -1,0 +1,12 @@
+//! Benchmarks snapshot adoption by load path (cold copy-load vs
+//! zero-copy mmap, plus the publish→adopt lag of the directory
+//! publisher) and merges the `"snapshot"` key into `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run -p cnc-bench --release --bin snapshot -- --scale 0.125
+//! ```
+
+fn main() {
+    let args = cnc_bench::HarnessArgs::from_env();
+    print!("{}", cnc_bench::experiments::snapshot::run(&args));
+}

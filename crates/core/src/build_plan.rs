@@ -229,6 +229,27 @@ impl ClusterCache {
         self.len += 1;
     }
 
+    /// Iterates over every cached solution (unspecified order) — the
+    /// snapshot writer's view of the cache.
+    pub fn solutions(&self) -> impl Iterator<Item = &ClusterSolution> {
+        self.entries.values().flatten()
+    }
+
+    /// Rebuilds a cache from a persisted token and solution set (the
+    /// snapshot loader's inverse of [`ClusterCache::solutions`]). The
+    /// token is stored verbatim, so a cache persisted under one
+    /// configuration still misses wholesale under any other.
+    pub fn from_parts(
+        config_token: u64,
+        solutions: impl IntoIterator<Item = ClusterSolution>,
+    ) -> Self {
+        let mut cache = ClusterCache { config_token, entries: HashMap::new(), len: 0 };
+        for solution in solutions {
+            cache.insert(solution);
+        }
+        cache
+    }
+
     /// Assembles the next build's cache — reused solutions carried over,
     /// fresh ones absorbed — together with the build's [`RebuildStats`]:
     /// the stage-4 bookkeeping shared by the in-process pipeline and the

@@ -5,6 +5,7 @@
 //! delimits user `u`'s profile. Sorted profiles make the exact Jaccard
 //! similarity a linear merge and give deterministic iteration order.
 
+use crate::storage::Storage;
 use std::fmt;
 
 /// Identifier of a user, dense in `0..num_users`.
@@ -20,10 +21,14 @@ pub type ItemId = u32;
 ///   ends at `items.len()`;
 /// * each profile slice is strictly increasing (sorted, no duplicates);
 /// * every item id is `< num_items`.
+///
+/// The two arrays live behind [`Storage`], so a dataset can either own
+/// its CSR (every construction path here) or borrow it from a mapped
+/// snapshot (`cnc-serve`'s zero-copy adoption) with identical behavior.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Dataset {
-    offsets: Vec<usize>,
-    items: Vec<ItemId>,
+    offsets: Storage<usize>,
+    items: Storage<ItemId>,
     num_items: u32,
 }
 
@@ -52,12 +57,41 @@ impl Dataset {
         items: Vec<ItemId>,
         num_items: u32,
     ) -> Result<Dataset, String> {
+        Self::from_csr_storage(offsets.into(), items.into(), num_items)
+    }
+
+    /// [`Dataset::from_csr`] over [`Storage`]-backed arrays — the entry
+    /// point the mmap adoption path uses to build a dataset that
+    /// *borrows* its CSR from a mapped snapshot. Validated identically.
+    pub fn from_csr_storage(
+        offsets: Storage<usize>,
+        items: Storage<ItemId>,
+        num_items: u32,
+    ) -> Result<Dataset, String> {
         if offsets.is_empty() {
             return Err("offsets must hold at least the leading 0".into());
         }
         let ds = Dataset { offsets, items, num_items };
         ds.validate()?;
         Ok(ds)
+    }
+
+    /// True when the CSR borrows shared (e.g. memory-mapped) storage —
+    /// the structural predicate the zero-copy tests assert on.
+    pub fn is_shared(&self) -> bool {
+        self.offsets.is_shared() || self.items.is_shared()
+    }
+
+    /// The raw offset array (`num_users + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw concatenated item array.
+    #[inline]
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
     }
 
     /// Number of users `|U|`.
@@ -109,7 +143,7 @@ impl Dataset {
     /// to absorb.
     pub fn item_frequencies(&self) -> Vec<u32> {
         let mut freq = vec![0u32; self.num_items()];
-        for &item in &self.items {
+        for &item in self.items.iter() {
             freq[item as usize] += 1;
         }
         freq
@@ -236,7 +270,7 @@ impl DatasetBuilder {
     /// is known to be larger than what the sampled profiles reference).
     pub fn build_with_min_items(self, min_num_items: u32) -> Dataset {
         let num_items = self.max_item.map(|m| m + 1).unwrap_or(0).max(min_num_items);
-        let ds = Dataset { offsets: self.offsets, items: self.items, num_items };
+        let ds = Dataset { offsets: self.offsets.into(), items: self.items.into(), num_items };
         debug_assert!(ds.validate().is_ok());
         ds
     }
@@ -338,7 +372,7 @@ mod tests {
     #[test]
     fn validate_rejects_corrupt_offsets() {
         let mut ds = toy();
-        ds.offsets[1] = 100;
+        ds.offsets.to_mut()[1] = 100;
         assert!(ds.validate().is_err());
     }
 }

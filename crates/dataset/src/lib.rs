@@ -27,6 +27,7 @@ pub mod io;
 pub mod sampling;
 pub mod split;
 pub mod stats;
+pub mod storage;
 pub mod synthetic;
 pub mod zipf;
 
@@ -34,4 +35,5 @@ pub use dataset::{Dataset, DatasetBuilder, ItemId, UserId};
 pub use sampling::{sample_profiles, SamplingPolicy};
 pub use split::{CrossValidation, FoldSplit};
 pub use stats::DatasetStats;
+pub use storage::{SharedSlice, Storage};
 pub use synthetic::{DatasetProfile, SyntheticConfig};

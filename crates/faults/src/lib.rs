@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, Once, OnceLock};
 use std::time::Duration;
 
-/// A typed injection point. The eight sites cover every IO or compute
+/// A typed injection point. The nine sites cover every IO or compute
 /// step whose failure the engine promises to survive (see the README's
 /// fault matrix).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -57,11 +57,15 @@ pub enum Site {
     /// this site lives with the coordinator (see [`Faults::inject_at`]),
     /// because the process that draws the fault does not survive it.
     WorkerExit,
+    /// Memory-mapping a snapshot for zero-copy adoption. An injected
+    /// failure here never fails the adopt — it forces the bit-exact copy
+    /// fallback, which is exactly the degraded path chaos runs verify.
+    SnapshotMmap,
 }
 
 impl Site {
     /// Every site, in stable order (indexes the per-site counters).
-    pub const ALL: [Site; 8] = [
+    pub const ALL: [Site; 9] = [
         Site::SpillWrite,
         Site::SpillReplay,
         Site::SnapshotWrite,
@@ -70,6 +74,7 @@ impl Site {
         Site::ReduceShard,
         Site::TransportSend,
         Site::WorkerExit,
+        Site::SnapshotMmap,
     ];
 
     /// The site's wire name, as used in `sites=` plan specs and metrics.
@@ -83,6 +88,7 @@ impl Site {
             Site::ReduceShard => "reduce.shard",
             Site::TransportSend => "transport.send",
             Site::WorkerExit => "worker.exit",
+            Site::SnapshotMmap => "snapshot.mmap",
         }
     }
 
@@ -138,12 +144,12 @@ pub struct FaultPlan {
     /// Upper bound of the per-key failure budget; clamped to `1..=12` so
     /// generous retry loops (≥ 16 attempts) always outlast the schedule.
     pub span: u32,
-    /// Bitmask of armed sites (bit = `Site::ALL` index); 0xFF = all.
-    pub sites: u8,
+    /// Bitmask of armed sites (bit = `Site::ALL` index); 0x1FF = all.
+    pub sites: u16,
 }
 
 /// The mask with every [`Site`] armed.
-pub const ALL_SITES: u8 = 0xFF;
+pub const ALL_SITES: u16 = 0x1FF;
 
 impl FaultPlan {
     /// All sites armed at probability `p` (fraction, not mille).
@@ -158,7 +164,7 @@ impl FaultPlan {
 
     /// Restricts the plan to the given sites.
     pub fn only(mut self, sites: &[Site]) -> FaultPlan {
-        self.sites = sites.iter().fold(0u8, |m, s| m | (1 << s.index()));
+        self.sites = sites.iter().fold(0u16, |m, s| m | (1 << s.index()));
         self
     }
 
@@ -192,7 +198,7 @@ impl FaultPlan {
                 }
                 "span" => plan.span = v.trim().parse().map_err(|e| format!("span: {e}"))?,
                 "sites" => {
-                    let mut mask = 0u8;
+                    let mut mask = 0u16;
                     for name in v.split('+') {
                         mask |= 1 << Site::parse(name.trim())?.index();
                     }
@@ -250,7 +256,9 @@ impl FaultPlan {
         match site {
             Site::SolveCluster | Site::ReduceShard => Fault::Panic,
             Site::WorkerExit => Fault::Crash,
-            Site::SpillReplay | Site::SnapshotLoad | Site::TransportSend => Fault::Io,
+            Site::SpillReplay | Site::SnapshotLoad | Site::TransportSend | Site::SnapshotMmap => {
+                Fault::Io
+            }
             Site::SpillWrite => {
                 if h & 1 == 0 {
                     Fault::Io
@@ -270,7 +278,7 @@ impl FaultPlan {
 }
 
 /// Per-site salts so the same key draws independently across sites.
-const SITE_SALT: [u64; 8] = [
+const SITE_SALT: [u64; 9] = [
     0x9E37_79B9_7F4A_7C15,
     0xBF58_476D_1CE4_E5B9,
     0x94D0_49BB_1331_11EB,
@@ -279,6 +287,7 @@ const SITE_SALT: [u64; 8] = [
     0xE703_7ED1_A0B4_28DB,
     0xC2B2_AE3D_27D4_EB4F,
     0x1656_67B1_9E37_79F9,
+    0x2545_F491_4F6C_DD1D,
 ];
 
 /// splitmix64's finalizer — the same mixer the workspace's vendored PRNG
@@ -301,7 +310,7 @@ struct PlanState {
 pub struct Faults {
     armed: AtomicBool,
     state: Mutex<Option<PlanState>>,
-    injected: [AtomicU64; 8],
+    injected: [AtomicU64; 9],
 }
 
 /// Disarms (and clears) the registry when dropped, so a panicking test
@@ -322,6 +331,7 @@ impl Faults {
             armed: AtomicBool::new(false),
             state: Mutex::new(None),
             injected: [
+                AtomicU64::new(0),
                 AtomicU64::new(0),
                 AtomicU64::new(0),
                 AtomicU64::new(0),
@@ -625,9 +635,10 @@ mod tests {
                 let ok = match site {
                     Site::SolveCluster | Site::ReduceShard => *kind == Fault::Panic,
                     Site::WorkerExit => *kind == Fault::Crash,
-                    Site::SpillReplay | Site::SnapshotLoad | Site::TransportSend => {
-                        *kind == Fault::Io
-                    }
+                    Site::SpillReplay
+                    | Site::SnapshotLoad
+                    | Site::TransportSend
+                    | Site::SnapshotMmap => *kind == Fault::Io,
                     Site::SpillWrite => matches!(kind, Fault::Io | Fault::Torn),
                     Site::SnapshotWrite => matches!(kind, Fault::Io | Fault::Crash),
                 };

@@ -1,22 +1,132 @@
 //! The KNN-graph container.
 
-use crate::neighbors::{Neighbor, NeighborList};
-use cnc_dataset::UserId;
+use crate::neighbors::{Neighbor, NeighborList, Neighbors};
+use cnc_dataset::{Storage, UserId};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
-/// An approximate (or exact) KNN graph: one bounded [`NeighborList`] per
-/// user.
+/// The graph's backing storage: every construction path builds owned
+/// per-user lists; the zero-copy snapshot path borrows a flat CSR
+/// (offsets + heap-ordered entries) straight out of a mapped file. Reads
+/// go through [`Neighbors`] views either way; any mutation promotes the
+/// CSR to owned lists first (copy-on-write).
+#[derive(Clone, Debug)]
+enum Repr {
+    /// One bounded heap per user (every build/mutation path).
+    Lists(Vec<NeighborList>),
+    /// Flat CSR: `offsets[u]..offsets[u + 1]` delimits user `u`'s entries
+    /// in heap order. Validated at construction (see
+    /// [`KnnGraph::from_csr_storage`]), so views uphold every
+    /// [`NeighborList`] invariant.
+    Csr { offsets: Storage<u64>, entries: Storage<Neighbor> },
+}
+
+/// An approximate (or exact) KNN graph: one bounded neighbour list per
+/// user, stored owned or borrowed from a mapped snapshot (see [`Repr`]).
 #[derive(Clone, Debug)]
 pub struct KnnGraph {
-    lists: Vec<NeighborList>,
+    repr: Repr,
     k: usize,
 }
 
 impl KnnGraph {
     /// Creates an empty graph over `n` users with neighbourhood bound `k`.
     pub fn new(n: usize, k: usize) -> Self {
-        KnnGraph { lists: vec![NeighborList::new(k); n], k }
+        KnnGraph { repr: Repr::Lists(vec![NeighborList::new(k); n]), k }
+    }
+
+    /// Assembles a graph borrowing (or owning) a flat CSR — the zero-copy
+    /// snapshot loader's entry point. The parts come from an untrusted
+    /// file, so every neighbour-list invariant is checked here, in one
+    /// streaming pass with **no allocation**: offsets monotone and
+    /// bounded, per-user entry counts ≤ `k`, neighbour ids in range and
+    /// non-self, similarities non-NaN, users distinct within a list, and
+    /// the heap invariant itself. On success, views over the CSR behave
+    /// identically to views over lists rebuilt via
+    /// [`NeighborList::from_heap_order`].
+    pub fn from_csr_storage(
+        k: usize,
+        offsets: Storage<u64>,
+        entries: Storage<Neighbor>,
+    ) -> Result<KnnGraph, String> {
+        if k == 0 {
+            return Err("neighbourhood size k must be positive".into());
+        }
+        let Some((&first, rest)) = offsets.split_first() else {
+            return Err("offsets must hold at least the leading 0".into());
+        };
+        if first != 0 {
+            return Err("offsets must start at 0".into());
+        }
+        let num_users = rest.len();
+        let total = entries.len() as u64;
+        let mut at = 0u64;
+        for (u, &end) in rest.iter().enumerate() {
+            if end < at {
+                return Err(format!("offsets decrease at user {u}"));
+            }
+            if end > total {
+                return Err(format!("offsets of user {u} run past {total} entries"));
+            }
+            let list = &entries[at as usize..end as usize];
+            if list.len() > k {
+                return Err(format!(
+                    "user {u} stores {} entries over the bound k = {k}",
+                    list.len()
+                ));
+            }
+            for (i, n) in list.iter().enumerate() {
+                if n.user as usize >= num_users {
+                    return Err(format!("user {u} references neighbour {} out of range", n.user));
+                }
+                if n.user as usize == u {
+                    return Err(format!("user {u} lists a self-loop"));
+                }
+                if n.sim.is_nan() {
+                    return Err(format!("neighbour {} of user {u} has a NaN similarity", n.user));
+                }
+                if list[..i].iter().any(|b| b.user == n.user) {
+                    return Err(format!("user {} appears twice in user {u}'s list", n.user));
+                }
+                if i > 0 {
+                    // Heap invariant (min at root, `worse_than` order):
+                    // child not worse than parent.
+                    let parent = list[(i - 1) / 2];
+                    let worse = (n.sim, parent.user) < (parent.sim, n.user);
+                    if worse {
+                        return Err(format!("user {u}'s entries are not in heap order"));
+                    }
+                }
+            }
+            at = end;
+        }
+        if at != total {
+            return Err(format!("offsets cover {at} of {total} entries"));
+        }
+        Ok(KnnGraph { repr: Repr::Csr { offsets, entries }, k })
+    }
+
+    /// True when the graph borrows shared (e.g. memory-mapped) storage —
+    /// the structural predicate zero-copy tests assert on.
+    pub fn is_shared(&self) -> bool {
+        match &self.repr {
+            Repr::Lists(_) => false,
+            Repr::Csr { offsets, entries } => offsets.is_shared() || entries.is_shared(),
+        }
+    }
+
+    /// Promotes a CSR-backed graph to owned per-user lists (no-op for an
+    /// already-owned graph) — the copy-on-write step in front of every
+    /// mutating method.
+    fn make_owned(&mut self) -> &mut Vec<NeighborList> {
+        if let Repr::Csr { .. } = self.repr {
+            let lists: Vec<NeighborList> = self.iter().map(|(_, view)| view.to_list()).collect();
+            self.repr = Repr::Lists(lists);
+        }
+        match &mut self.repr {
+            Repr::Lists(lists) => lists,
+            Repr::Csr { .. } => unreachable!("promoted above"),
+        }
     }
 
     /// The neighbourhood bound `k`.
@@ -28,42 +138,56 @@ impl KnnGraph {
     /// Number of users.
     #[inline]
     pub fn num_users(&self) -> usize {
-        self.lists.len()
+        match &self.repr {
+            Repr::Lists(lists) => lists.len(),
+            Repr::Csr { offsets, .. } => offsets.len() - 1,
+        }
     }
 
-    /// The neighbour list of `user`.
+    /// A borrowed view of `user`'s neighbour list (heap order).
     #[inline]
-    pub fn neighbors(&self, user: UserId) -> &NeighborList {
-        &self.lists[user as usize]
+    pub fn neighbors(&self, user: UserId) -> Neighbors<'_> {
+        match &self.repr {
+            Repr::Lists(lists) => lists[user as usize].as_view(),
+            Repr::Csr { offsets, entries } => {
+                let u = user as usize;
+                Neighbors::new(&entries[offsets[u] as usize..offsets[u + 1] as usize], self.k)
+            }
+        }
     }
 
-    /// Mutable access to the neighbour list of `user`.
+    /// Mutable access to the neighbour list of `user` (copy-on-write for
+    /// a CSR-backed graph).
     #[inline]
     pub fn neighbors_mut(&mut self, user: UserId) -> &mut NeighborList {
-        &mut self.lists[user as usize]
+        &mut self.make_owned()[user as usize]
     }
 
     /// Offers the directed edge `user → neighbor`; returns `true` on change.
     #[inline]
     pub fn insert(&mut self, user: UserId, neighbor: UserId, sim: f32) -> bool {
         debug_assert_ne!(user, neighbor, "self-loops are not KNN edges");
-        self.lists[user as usize].insert(neighbor, sim)
+        self.neighbors_mut(user).insert(neighbor, sim)
     }
 
     /// Total number of directed edges currently stored (≤ `k·n`).
     pub fn num_edges(&self) -> usize {
-        self.lists.iter().map(NeighborList::len).sum()
+        match &self.repr {
+            Repr::Lists(lists) => lists.iter().map(NeighborList::len).sum(),
+            Repr::Csr { entries, .. } => entries.len(),
+        }
     }
 
     /// Average of the *stored* similarities over `k·n` slots — Eq. (1) with
     /// missing edges contributing 0. For the paper's quality ratio the
     /// similarities are recomputed exactly; see [`crate::metrics`].
     pub fn avg_stored_similarity(&self) -> f64 {
-        if self.lists.is_empty() {
+        let n = self.num_users();
+        if n == 0 {
             return 0.0;
         }
-        let total: f64 = self.lists.iter().map(NeighborList::sim_sum).sum();
-        total / (self.k as f64 * self.lists.len() as f64)
+        let total: f64 = self.iter().map(|(_, view)| view.sim_sum()).sum();
+        total / (self.k as f64 * n as f64)
     }
 
     /// Initializes every user with `k` distinct random non-self neighbours,
@@ -83,14 +207,15 @@ impl KnnGraph {
         if n <= 1 {
             return graph;
         }
+        let lists = graph.make_owned();
         let mut rng = SmallRng::seed_from_u64(seed);
         let degree = k.min(n - 1);
         for u in 0..n as u32 {
-            while graph.lists[u as usize].len() < degree {
+            while lists[u as usize].len() < degree {
                 let v = rng.random_range(0..n as u32);
-                if v != u && !graph.lists[u as usize].contains(v) {
+                if v != u && !lists[u as usize].contains(v) {
                     let s = sim(u, v);
-                    graph.lists[u as usize].insert(v, s);
+                    lists[u as usize].insert(v, s);
                 }
             }
         }
@@ -101,36 +226,39 @@ impl KnnGraph {
     /// whole graphs); returns the number of list updates.
     pub fn merge(&mut self, other: &KnnGraph) -> usize {
         assert_eq!(self.num_users(), other.num_users(), "graphs must cover the same users");
-        self.lists.iter_mut().zip(other.lists.iter()).map(|(mine, theirs)| mine.merge(theirs)).sum()
+        let lists = self.make_owned();
+        other.iter().map(|(u, theirs)| lists[u as usize].merge_entries(theirs.as_slice())).sum()
     }
 
     /// Reverse adjacency: for every user, who points *to* them. NNDescent
     /// explores both directions of the neighbour relation.
     pub fn reverse(&self) -> Vec<Vec<UserId>> {
-        let mut rev: Vec<Vec<UserId>> = vec![Vec::new(); self.lists.len()];
-        for (u, list) in self.lists.iter().enumerate() {
-            for n in list.iter() {
-                rev[n.user as usize].push(u as UserId);
+        let mut rev: Vec<Vec<UserId>> = vec![Vec::new(); self.num_users()];
+        for (u, view) in self.iter() {
+            for n in view.iter() {
+                rev[n.user as usize].push(u);
             }
         }
         rev
     }
 
-    /// Iterates `(user, &list)` in user order.
-    pub fn iter(&self) -> impl Iterator<Item = (UserId, &NeighborList)> + '_ {
-        self.lists.iter().enumerate().map(|(u, l)| (u as UserId, l))
+    /// Iterates `(user, view)` in user order.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, Neighbors<'_>)> + '_ {
+        (0..self.num_users() as UserId).map(move |u| (u, self.neighbors(u)))
     }
 
     /// Appends a new user with an empty neighbourhood; returns her id.
     /// Supports online growth (see `cnc-query::DynamicIndex`).
     pub fn add_user(&mut self) -> UserId {
-        self.lists.push(NeighborList::new(self.k));
-        (self.lists.len() - 1) as UserId
+        let k = self.k;
+        let lists = self.make_owned();
+        lists.push(NeighborList::new(k));
+        (lists.len() - 1) as UserId
     }
 
     /// The best (most similar) neighbour of `user`, if any.
     pub fn best_neighbor(&self, user: UserId) -> Option<Neighbor> {
-        self.lists[user as usize]
+        self.neighbors(user)
             .iter()
             .copied()
             .max_by(|a, b| a.sim.partial_cmp(&b.sim).unwrap().then(b.user.cmp(&a.user)))
@@ -237,5 +365,94 @@ mod tests {
         let mut a = KnnGraph::new(2, 2);
         let b = KnnGraph::new(3, 2);
         a.merge(&b);
+    }
+
+    /// Flattens a graph into the CSR parts `from_csr_storage` consumes.
+    fn to_csr(g: &KnnGraph) -> (Vec<u64>, Vec<Neighbor>) {
+        let mut offsets = vec![0u64];
+        let mut entries = Vec::new();
+        for (_, view) in g.iter() {
+            entries.extend(view.iter().copied());
+            offsets.push(entries.len() as u64);
+        }
+        (offsets, entries)
+    }
+
+    fn sample_graph() -> KnnGraph {
+        KnnGraph::random_init(40, 4, 21, |u, v| ((u * 31 + v) % 97) as f32 / 97.0)
+    }
+
+    #[test]
+    fn csr_round_trip_is_bit_identical() {
+        let g = sample_graph();
+        let (offsets, entries) = to_csr(&g);
+        let csr = KnnGraph::from_csr_storage(g.k(), offsets.into(), entries.into()).unwrap();
+        assert_eq!(csr.num_users(), g.num_users());
+        assert_eq!(csr.num_edges(), g.num_edges());
+        assert!(!csr.is_shared(), "owned vectors are not shared storage");
+        for (u, view) in g.iter() {
+            // Identical heap order, not merely identical sorted content.
+            assert_eq!(
+                view.iter().collect::<Vec<_>>(),
+                csr.neighbors(u).iter().collect::<Vec<_>>()
+            );
+            assert_eq!(view.sorted(), csr.neighbors(u).sorted());
+        }
+    }
+
+    #[test]
+    fn csr_mutation_promotes_to_owned_lists() {
+        let g = sample_graph();
+        let (offsets, entries) = to_csr(&g);
+        let mut csr = KnnGraph::from_csr_storage(g.k(), offsets.into(), entries.into()).unwrap();
+        let added = csr.add_user();
+        assert_eq!(added as usize, g.num_users());
+        csr.insert(added, 0, 0.5);
+        assert!(csr.neighbors(added).contains(0));
+        // The promoted lists still match the original graph.
+        for (u, view) in g.iter() {
+            assert_eq!(view.sorted(), csr.neighbors(u).sorted());
+        }
+    }
+
+    #[test]
+    fn csr_validation_rejects_corrupt_parts() {
+        let g = sample_graph();
+        let (offsets, entries) = to_csr(&g);
+        let n = |user, sim| Neighbor { user, sim };
+        let check = |k: usize, offs: Vec<u64>, ents: Vec<Neighbor>, what: &str| {
+            assert!(KnnGraph::from_csr_storage(k, offs.into(), ents.into()).is_err(), "{what}");
+        };
+        check(0, offsets.clone(), entries.clone(), "k = 0");
+        check(4, vec![], entries.clone(), "empty offsets");
+        check(4, vec![1, 2], entries.clone(), "nonzero first offset");
+        {
+            let mut bad = offsets.clone();
+            bad[1] = bad[2] + 1;
+            check(4, bad, entries.clone(), "decreasing offsets");
+        }
+        {
+            let mut bad = offsets.clone();
+            *bad.last_mut().unwrap() -= 1;
+            check(4, bad, entries.clone(), "offsets not covering entries");
+        }
+        check(2, offsets.clone(), entries.clone(), "list over the bound");
+        {
+            let mut bad = entries.clone();
+            bad[0].user = g.num_users() as u32;
+            check(4, offsets.clone(), bad, "neighbour out of range");
+        }
+        {
+            let mut bad = entries.clone();
+            bad[0].user = 0; // user 0's own list starts at entry 0
+            check(4, offsets.clone(), bad, "self-loop");
+        }
+        {
+            let mut bad = entries.clone();
+            bad[0].sim = f32::NAN;
+            check(4, offsets.clone(), bad, "NaN similarity");
+        }
+        check(4, vec![0, 2], vec![n(1, 0.9), n(1, 0.1)], "duplicate neighbour");
+        check(4, vec![0, 2], vec![n(1, 0.9), n(2, 0.1)], "heap order violated");
     }
 }

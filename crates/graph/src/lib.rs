@@ -17,5 +17,5 @@ mod knn_graph;
 pub use batch::pairwise_into;
 pub use knn_graph::KnnGraph;
 pub use metrics::{avg_exact_similarity, quality};
-pub use neighbors::{Neighbor, NeighborList};
+pub use neighbors::{Neighbor, NeighborList, Neighbors};
 pub use shared::SharedKnnGraph;

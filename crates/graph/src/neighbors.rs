@@ -10,6 +10,11 @@
 use cnc_dataset::UserId;
 
 /// One directed KNN edge: a neighbour and its similarity to the owner.
+///
+/// `#[repr(C)]` pins the layout to `(user: u32, sim: f32)` — 8 bytes,
+/// align 4 — so the zero-copy snapshot path can reinterpret a mapped run
+/// of little-endian `(id, sim-bits)` pairs as `[Neighbor]` directly.
+#[repr(C)]
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Neighbor {
     /// The neighbour's user id.
@@ -25,6 +30,90 @@ impl Neighbor {
     #[inline]
     fn worse_than(&self, other: &Neighbor) -> bool {
         (self.sim, other.user) < (other.sim, self.user)
+    }
+}
+
+/// A borrowed, read-only view of one user's neighbourhood — what
+/// [`crate::KnnGraph::neighbors`] hands out whether the graph owns its
+/// lists or borrows a flat CSR from a mapped snapshot. `Copy`, so views
+/// pass by value; entries appear in the list's heap (iteration) order.
+#[derive(Clone, Copy, Debug)]
+pub struct Neighbors<'a> {
+    entries: &'a [Neighbor],
+    k: usize,
+}
+
+impl<'a> Neighbors<'a> {
+    /// Wraps a heap-ordered entry run under bound `k`.
+    #[inline]
+    pub(crate) fn new(entries: &'a [Neighbor], k: usize) -> Self {
+        Neighbors { entries, k }
+    }
+
+    /// The bound `k`.
+    #[inline]
+    pub fn k(self) -> usize {
+        self.k
+    }
+
+    /// Current number of neighbours (≤ `k`).
+    #[inline]
+    pub fn len(self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no neighbour is retained.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if `user` is in the neighbourhood.
+    #[inline]
+    pub fn contains(self, user: UserId) -> bool {
+        self.entries.iter().any(|n| n.user == user)
+    }
+
+    /// The entries in heap (unsorted) order — identical to
+    /// [`NeighborList::iter`] over the same list.
+    #[inline]
+    pub fn iter(self) -> std::slice::Iter<'a, Neighbor> {
+        self.entries.iter()
+    }
+
+    /// The raw heap-ordered entry slice.
+    #[inline]
+    pub fn as_slice(self) -> &'a [Neighbor] {
+        self.entries
+    }
+
+    /// The neighbours sorted by decreasing similarity (best first), under
+    /// the same deterministic tie rule as [`NeighborList::sorted`].
+    pub fn sorted(self) -> Vec<Neighbor> {
+        let mut v = self.entries.to_vec();
+        v.sort_unstable_by(|a, b| {
+            b.sim.partial_cmp(&a.sim).unwrap().then_with(|| a.user.cmp(&b.user))
+        });
+        v
+    }
+
+    /// Sum of retained similarities.
+    pub fn sim_sum(self) -> f64 {
+        self.entries.iter().map(|n| n.sim as f64).sum()
+    }
+
+    /// An owned [`NeighborList`] with the identical heap layout (the
+    /// mutating escape hatch for callers that need their own copy).
+    pub fn to_list(self) -> NeighborList {
+        NeighborList { entries: self.entries.to_vec(), k: self.k }
+    }
+}
+
+impl<'a> IntoIterator for Neighbors<'a> {
+    type Item = &'a Neighbor;
+    type IntoIter = std::slice::Iter<'a, Neighbor>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
     }
 }
 
@@ -153,12 +242,24 @@ impl NeighborList {
     /// Merges `other` into `self` (Algorithm 3's per-user step), keeping the
     /// `k` best of the union.
     pub fn merge(&mut self, other: &NeighborList) -> usize {
-        other.iter().filter(|n| self.insert(n.user, n.sim)).count()
+        self.merge_entries(&other.entries)
+    }
+
+    /// [`NeighborList::merge`] over a raw entry slice (the borrowed-view
+    /// form a CSR-backed graph hands out).
+    pub fn merge_entries(&mut self, entries: &[Neighbor]) -> usize {
+        entries.iter().filter(|n| self.insert(n.user, n.sim)).count()
     }
 
     /// Iterates over the retained neighbours in heap (unsorted) order.
     pub fn iter(&self) -> std::slice::Iter<'_, Neighbor> {
         self.entries.iter()
+    }
+
+    /// A borrowed [`Neighbors`] view of this list (heap order preserved).
+    #[inline]
+    pub fn as_view(&self) -> Neighbors<'_> {
+        Neighbors::new(&self.entries, self.k)
     }
 
     /// The neighbours sorted by decreasing similarity (best first).

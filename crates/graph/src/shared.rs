@@ -32,7 +32,7 @@ impl SharedKnnGraph {
         let n = graph.num_users();
         let mut lists = Vec::with_capacity(n);
         for u in 0..n as u32 {
-            lists.push(Mutex::new(graph.neighbors(u).clone()));
+            lists.push(Mutex::new(graph.neighbors(u).to_list()));
         }
         SharedKnnGraph { lists, k }
     }

@@ -35,18 +35,23 @@
 //! # let _ = top5;
 //! ```
 
+pub mod mmap;
+pub mod publish;
 pub mod server;
 pub mod slo;
 pub mod snapshot;
 
 pub use cnc_core::RebuildStats;
+pub use mmap::AdoptedSnapshot;
+pub use publish::{SnapshotAdopter, SnapshotPublisher};
 pub use server::{
     BatchRequest, InsertOutcome, RebuildFailure, ServingConfig, ServingEngine, ServingEpoch,
     ServingSession, ServingStats,
 };
 pub use slo::{ManualClock, Rejected, SloAction, SloConfig, SloController, TokenBucket};
 pub use snapshot::{
-    load_newest_valid, quarantine_snapshot, sweep_temp_files, write_snapshot, write_snapshot_to,
+    checksum64, load_newest_valid, quarantine_snapshot, sweep_temp_files, write_snapshot,
+    write_snapshot_full, write_snapshot_parts_to, write_snapshot_to, write_snapshot_v1_to,
     Snapshot, SnapshotError,
 };
 

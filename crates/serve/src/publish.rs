@@ -1,0 +1,192 @@
+//! Snapshot-directory publishing: the builder/serving split over a
+//! shared filesystem.
+//!
+//! The paper's deployment story separates the expensive offline build
+//! from cheap online serving. This module is the wire between them when
+//! "wire" is a directory: a [`SnapshotPublisher`] on the builder side
+//! writes monotonically sequenced `epoch-<seq>.snap` files (each through
+//! the atomic temp-write + rename in [`crate::snapshot`], so a reader
+//! never sees a torn file), and a [`SnapshotAdopter`] on each serving
+//! host polls the directory and hot-swaps newer epochs into a running
+//! [`ServingEngine`] via the zero-copy [`AdoptedSnapshot`] path — **no
+//! builder ever runs in the serving address space**, and with the mmap
+//! path every replica on a host shares one page-cache copy of the data.
+//!
+//! Sequence numbers, not mtimes, order epochs: the publisher scans for
+//! the highest existing `epoch-<seq>.snap` on startup and continues from
+//! there, so restarts never publish backwards; the adopter remembers the
+//! last sequence it adopted and only moves forward. A published file
+//! that fails to open is quarantined (same policy as
+//! [`load_newest_valid`](crate::snapshot::load_newest_valid)) and the
+//! adopter falls back to the next-newest candidate.
+
+use crate::mmap::AdoptedSnapshot;
+use crate::server::ServingEngine;
+use crate::snapshot::{quarantine_snapshot, sweep_temp_files, SnapshotError};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The file-name prefix/suffix of published epochs.
+const EPOCH_PREFIX: &str = "epoch-";
+const EPOCH_SUFFIX: &str = ".snap";
+
+/// Parses `epoch-<seq>.snap` back into its sequence number.
+fn parse_seq(name: &str) -> Option<u64> {
+    name.strip_prefix(EPOCH_PREFIX)?.strip_suffix(EPOCH_SUFFIX)?.parse().ok()
+}
+
+/// The path of sequence `seq` under `dir`.
+fn seq_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{EPOCH_PREFIX}{seq}{EPOCH_SUFFIX}"))
+}
+
+/// Scans `dir` for the highest published sequence number (ignoring temp
+/// and quarantined files). `None` when nothing is published yet.
+fn newest_seq(dir: &Path) -> io::Result<Option<u64>> {
+    let mut newest = None;
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.contains(".tmp-") || name.contains(".quarantine-") {
+            continue;
+        }
+        if let Some(seq) = parse_seq(&name) {
+            newest = newest.max(Some(seq));
+        }
+    }
+    Ok(newest)
+}
+
+/// The builder side: writes sequenced snapshot files into a directory.
+pub struct SnapshotPublisher {
+    dir: PathBuf,
+    next_seq: u64,
+}
+
+impl SnapshotPublisher {
+    /// Opens (creating if needed) a snapshot directory for publishing,
+    /// sweeping dead writers' temp litter and resuming the sequence
+    /// after the highest file already present.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<SnapshotPublisher> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let _ = sweep_temp_files(&dir);
+        let next_seq = newest_seq(&dir)?.map_or(0, |s| s + 1);
+        Ok(SnapshotPublisher { dir, next_seq })
+    }
+
+    /// The directory being published into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The sequence number the next publish will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Publishes the engine's current epoch (plus its builder cache for
+    /// restart incrementality) as the next sequenced snapshot; returns
+    /// the sequence number and the published path. The write is atomic —
+    /// adopters either see the complete file or nothing.
+    pub fn publish(&mut self, engine: &ServingEngine) -> Result<(u64, PathBuf), SnapshotError> {
+        let seq = self.next_seq;
+        let path = seq_path(&self.dir, seq);
+        engine.write_snapshot(&path)?;
+        self.next_seq = seq + 1;
+        Ok((seq, path))
+    }
+
+    /// Removes published files older than the newest `keep` sequences;
+    /// returns how many were pruned. Serving hosts that already adopted
+    /// a pruned epoch are unaffected — their mapping keeps the inode
+    /// alive until they swap forward.
+    pub fn prune(&self, keep: usize) -> io::Result<usize> {
+        let mut seqs: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            if let Some(seq) = parse_seq(&name.to_string_lossy()) {
+                seqs.push(seq);
+            }
+        }
+        seqs.sort_unstable();
+        let cut = seqs.len().saturating_sub(keep);
+        let mut pruned = 0;
+        for &seq in &seqs[..cut] {
+            if fs::remove_file(seq_path(&self.dir, seq)).is_ok() {
+                pruned += 1;
+            }
+        }
+        Ok(pruned)
+    }
+}
+
+/// The serving side: watches a snapshot directory and hot-swaps newer
+/// epochs into an engine. Holds no builder state — adoption goes through
+/// [`AdoptedSnapshot::open`], zero-copy where the platform allows.
+pub struct SnapshotAdopter {
+    dir: PathBuf,
+    last_adopted: Option<u64>,
+}
+
+impl SnapshotAdopter {
+    /// Watches `dir` for published epochs. Nothing is adopted yet.
+    pub fn new(dir: impl Into<PathBuf>) -> SnapshotAdopter {
+        SnapshotAdopter { dir: dir.into(), last_adopted: None }
+    }
+
+    /// The sequence number last adopted, if any.
+    pub fn last_adopted(&self) -> Option<u64> {
+        self.last_adopted
+    }
+
+    /// Opens the newest published snapshot strictly newer than the last
+    /// adopted one, without touching an engine. `Ok(None)` when there is
+    /// nothing new. Candidates that fail to open are quarantined and the
+    /// scan falls back to the next-newest; an error is returned only
+    /// when every new candidate fails.
+    pub fn poll(&mut self) -> Result<Option<(u64, AdoptedSnapshot)>, SnapshotError> {
+        let mut candidates: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            if let Some(seq) = parse_seq(&name.to_string_lossy()) {
+                if self.last_adopted.is_none_or(|last| seq > last) {
+                    candidates.push(seq);
+                }
+            }
+        }
+        candidates.sort_unstable_by(|a, b| b.cmp(a));
+        let mut last_err = None;
+        for seq in candidates {
+            match AdoptedSnapshot::open(seq_path(&self.dir, seq)) {
+                Ok(adopted) => {
+                    self.last_adopted = Some(seq);
+                    return Ok(Some((seq, adopted)));
+                }
+                Err(error) => {
+                    let _ = quarantine_snapshot(seq_path(&self.dir, seq));
+                    last_err = Some(error);
+                }
+            }
+        }
+        match last_err {
+            None => Ok(None),
+            Some(error) => Err(error),
+        }
+    }
+
+    /// [`poll`](Self::poll) + [`ServingEngine::adopt`]: hot-swaps the
+    /// newest unseen epoch into `engine`. Returns the adopted sequence
+    /// number, or `None` when the engine is already current.
+    pub fn poll_into(&mut self, engine: &ServingEngine) -> Result<Option<u64>, SnapshotError> {
+        match self.poll()? {
+            Some((seq, adopted)) => {
+                engine.adopt(adopted);
+                Ok(Some(seq))
+            }
+            None => Ok(None),
+        }
+    }
+}

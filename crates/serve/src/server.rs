@@ -29,7 +29,7 @@
 //! `tests/serve.rs`).
 
 use crate::slo::{scaled_beam, CrossQueryBatcher, Rejected, SloConfig, SloController, TokenBucket};
-use crate::snapshot::{write_snapshot, Snapshot, SnapshotError};
+use crate::snapshot::{Snapshot, SnapshotError};
 use cnc_core::{C2Config, ClusterCache, RebuildStats};
 use cnc_dataset::{Dataset, ItemId, UserId};
 use cnc_graph::KnnGraph;
@@ -269,7 +269,12 @@ pub struct ServingSession {
 /// pending count lives in an engine-level atomic so monitoring never has
 /// to take this lock (a rebuild holds it for the full build).
 struct Writer {
-    dynamic: DynamicIndex,
+    /// The stream-absorbing index, materialized **lazily** on the first
+    /// insert after a publish or adoption (`None` until then). Building
+    /// it copies every profile — per-user work that must not run during
+    /// epoch adoption, which promises O(1); a pure serving replica never
+    /// pays for it at all.
+    dynamic: Option<DynamicIndex>,
     cache: ClusterCache,
     /// Consecutive failed publish attempts (reset on success); drives the
     /// retry backoff.
@@ -307,6 +312,9 @@ struct ServeMetrics {
     beam_scale_pct: Arc<Gauge>,
     batch_flushes: Arc<Counter>,
     batch_queries: Arc<Counter>,
+    epoch_adopt_seconds: Arc<Histogram>,
+    epoch_adopt_mmap: Arc<Counter>,
+    epoch_adopt_copy: Arc<Counter>,
 }
 
 impl ServeMetrics {
@@ -331,6 +339,9 @@ impl ServeMetrics {
             beam_scale_pct: t.gauge("cnc_beam_scale_pct", &[]),
             batch_flushes: t.counter("cnc_batch_flushes_total", &[]),
             batch_queries: t.counter("cnc_batch_queries_total", &[]),
+            epoch_adopt_seconds: t.histogram("cnc_epoch_adopt_seconds", &[]),
+            epoch_adopt_mmap: t.counter("cnc_epoch_adopt_total", &[("path", "mmap")]),
+            epoch_adopt_copy: t.counter("cnc_epoch_adopt_total", &[("path", "copy")]),
         }
     }
 }
@@ -508,7 +519,7 @@ impl ServingEngine {
         epoch.rebuild = rebuild;
         let epoch = Arc::new(epoch);
         let writer = Writer {
-            dynamic: writer_index(&epoch, &config),
+            dynamic: None,
             cache,
             failed_attempts: 0,
             retry_after: None,
@@ -539,25 +550,49 @@ impl ServingEngine {
     }
 
     /// Brings an engine up from a persisted snapshot; it answers queries
-    /// identically to the engine that wrote the snapshot.
+    /// identically to the engine that wrote the snapshot. When the
+    /// snapshot carries persisted cluster sections (a v2 file written by
+    /// [`ServingEngine::write_snapshot`]), they seed the writer's
+    /// [`ClusterCache`] — the first publish after a restart rebuilds
+    /// incrementally instead of re-solving every cluster (a cache
+    /// persisted under a different configuration misses wholesale, by
+    /// token).
     ///
     /// # Panics
     /// Panics if the snapshot's fingerprints don't match the configured
     /// backend (a mismatch would serve scores inconsistent with every
     /// future rebuild).
     pub fn from_snapshot(snapshot: Snapshot, config: ServingConfig) -> Self {
-        let Snapshot { dataset, graph, goldfinger } = snapshot;
-        Self::from_parts(dataset, graph, goldfinger.map(Arc::new), config)
+        let Snapshot { dataset, graph, goldfinger, cache } = snapshot;
+        let cache = cache.unwrap_or_else(|| ClusterCache::new(&config.c2));
+        Self::from_parts_with(
+            dataset,
+            graph,
+            goldfinger.map(Arc::new),
+            config,
+            cache,
+            RebuildStats::default(),
+        )
     }
 
     /// Persists the current epoch to `path` **atomically**, streaming
     /// straight from the epoch's buffers (no clone of the dataset, graph
     /// or fingerprint words — the footprint matters at serving scale);
-    /// returns the encoded size. Pending (unpublished) inserts are not
-    /// included — publish first if they must survive.
+    /// returns the encoded size. The writer's [`ClusterCache`] rides
+    /// along as per-cluster sections, so the engine that reloads this
+    /// file rebuilds incrementally from the first publish. Pending
+    /// (unpublished) inserts are not included — publish first if they
+    /// must survive.
     pub fn write_snapshot(&self, path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
         let epoch = self.current_epoch();
-        write_snapshot(&epoch.dataset, &epoch.graph, epoch.fingerprints.as_deref(), path)
+        let cache = self.writer_state().cache.clone();
+        crate::snapshot::write_snapshot_full(
+            &epoch.dataset,
+            &epoch.graph,
+            epoch.fingerprints.as_deref(),
+            Some(&cache),
+            path,
+        )
     }
 
     /// Captures the current epoch as an owned, persistable [`Snapshot`]
@@ -611,6 +646,76 @@ impl ServingEngine {
     /// like; swaps never invalidate it).
     pub fn current_epoch(&self) -> Arc<ServingEpoch> {
         Arc::clone(&self.epoch_read())
+    }
+
+    /// The writer's dynamic index, materialized from the live epoch on
+    /// first use (see [`Writer::dynamic`]).
+    fn writer_dynamic<'a>(&self, writer: &'a mut Writer) -> &'a mut DynamicIndex {
+        if writer.dynamic.is_none() {
+            writer.dynamic = Some(writer_index(&self.current_epoch(), &self.config));
+        }
+        writer.dynamic.as_mut().expect("materialized above")
+    }
+
+    /// Hot-swaps the serving state to an externally produced snapshot —
+    /// the adopter half of the snapshot-directory fleet protocol. The
+    /// epoch sequence advances and readers move to the new state via the
+    /// usual single `Arc` store; no build runs in this process, and when
+    /// `adopted` borrows a mapped file ([`crate::mmap::AdoptedSnapshot`])
+    /// no per-user work happens at all — the swap is O(1) in the user
+    /// count. Pending (unpublished) inserts are discarded: an adopting
+    /// replica serves, it does not build.
+    ///
+    /// Records `cnc_epoch_adopt_seconds` and bumps
+    /// `cnc_epoch_adopt_total{path="mmap"|"copy"}`.
+    ///
+    /// # Panics
+    /// Panics if the snapshot's fingerprints don't match the configured
+    /// backend (same contract as [`ServingEngine::from_snapshot`]).
+    pub fn adopt(&self, adopted: crate::mmap::AdoptedSnapshot) -> u64 {
+        let start = Instant::now();
+        let crate::mmap::AdoptedSnapshot { dataset, graph, goldfinger, mapped } = adopted;
+        let fingerprints = goldfinger.map(Arc::new);
+        match (&self.config.c2.backend, &fingerprints) {
+            (SimilarityBackend::GoldFinger { bits, seed }, Some(gf)) => assert_eq!(
+                (*bits, *seed),
+                (gf.bits(), gf.seed()),
+                "fingerprints must match the configured backend"
+            ),
+            (SimilarityBackend::GoldFinger { .. }, None) => {
+                panic!("GoldFinger backend requires the epoch's fingerprints")
+            }
+            (SimilarityBackend::Raw, Some(_)) => {
+                panic!("Raw backend must not carry fingerprints")
+            }
+            (SimilarityBackend::Raw, None) => {}
+        }
+        let mut writer = self.writer_state();
+        let next = self.epoch_read().epoch() + 1;
+        let epoch = Arc::new(ServingEpoch::new(next, dataset, graph, fingerprints));
+        writer.dynamic = None;
+        writer.failed_attempts = 0;
+        writer.retry_after = None;
+        writer.published_at = Instant::now();
+        self.pending.store(0, Ordering::Relaxed);
+        *self.epoch_write() = Arc::clone(&epoch);
+        self.epoch_swaps.fetch_add(1, Ordering::Relaxed);
+        if Telemetry::global().enabled() {
+            // The histogram is integer-bucketed; adoption is sub-second by
+            // design, so the SI-named metric records at nanosecond
+            // resolution (consumers divide by 1e9).
+            self.metrics.epoch_adopt_seconds.record(start.elapsed().as_nanos() as u64);
+            if mapped {
+                self.metrics.epoch_adopt_mmap.inc();
+            } else {
+                self.metrics.epoch_adopt_copy.inc();
+            }
+            self.metrics.epoch.set(next as i64);
+            self.metrics.epoch_users.set(epoch.num_users() as i64);
+            self.metrics.pending_inserts.set(0);
+            self.metrics.epoch_staleness_ms.set(0);
+        }
+        next
     }
 
     /// Allocates per-client scratch, reusable across queries and epoch
@@ -933,7 +1038,7 @@ impl ServingEngine {
     pub fn insert(&self, profile: Vec<ItemId>, seed: u64) -> InsertOutcome {
         let timer = Telemetry::global().enabled().then(Instant::now);
         let mut writer = self.writer_state();
-        let (user, comparisons) = writer.dynamic.add_user(profile, seed);
+        let (user, comparisons) = self.writer_dynamic(&mut writer).add_user(profile, seed);
         let pending = self.pending.fetch_add(1, Ordering::Relaxed) + 1;
         self.inserts.fetch_add(1, Ordering::Relaxed);
         if let Some(start) = timer {
@@ -1024,8 +1129,13 @@ impl ServingEngine {
     fn rebuild_locked(&self, writer: &mut Writer) -> Result<u64, RebuildFailure> {
         let telemetry = Telemetry::global();
         let mut span = telemetry.span("publish");
-        let dataset = writer.dynamic.to_dataset();
-        let inserted: Vec<UserId> = writer.dynamic.inserted_ids().collect();
+        // No inserts since the last swap leaves the dynamic index
+        // unmaterialized; the rebuild then runs straight off the live
+        // epoch's (possibly mapped, cheaply cloned) buffers.
+        let (dataset, inserted): (Dataset, Vec<UserId>) = match &writer.dynamic {
+            Some(dynamic) => (dynamic.to_dataset(), dynamic.inserted_ids().collect()),
+            None => (self.current_epoch().dataset.clone(), Vec::new()),
+        };
         let built = catch_unwind(AssertUnwindSafe(|| {
             build_epoch(&dataset, &self.config, &writer.cache, &inserted)
         }));
@@ -1054,7 +1164,7 @@ impl ServingEngine {
         let mut epoch = ServingEpoch::new(next, dataset, graph, fingerprints);
         epoch.rebuild = rebuild;
         let epoch = Arc::new(epoch);
-        writer.dynamic = writer_index(&epoch, &self.config);
+        writer.dynamic = None;
         writer.cache = cache;
         writer.failed_attempts = 0;
         writer.retry_after = None;

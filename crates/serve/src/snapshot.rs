@@ -2,35 +2,72 @@
 //!
 //! A built KNN graph used to die with the process; a serving deployment
 //! needs it to survive — rebuilt offline, shipped to servers, reloaded in
-//! milliseconds. [`Snapshot`] persists everything an online epoch needs
-//! into **one file**:
+//! milliseconds (format v1) or **adopted in microseconds off a memory
+//! map** (format v2). [`Snapshot`] persists everything an online epoch
+//! needs into **one file**.
+//!
+//! Format **v1** (still read, bit-exactly, through the copy path):
 //!
 //! ```text
 //! ┌──────────────────────────────────────────────────────────────┐
-//! │ magic "CNCSNAP1" (8) │ version u32 │ section_count u32        │
+//! │ magic "CNCSNAP1" (8) │ version = 1 u32 │ section_count u32    │
 //! ├──────────────────────────────────────────────────────────────┤
 //! │ section table: per section { id u32, len u64, checksum u64 } │
 //! ├──────────────────────────────────────────────────────────────┤
-//! │ payloads, in table order                                     │
+//! │ payloads, in table order (length-prefixed per-user lists)    │
 //! │   1 DATASET     num_users, num_items, per-user item lists    │
 //! │   2 GRAPH       num_users, k, per-user neighbour lists       │
 //! │   3 GOLDFINGER  bits, seed, num_users, fingerprint words     │
 //! └──────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! Everything is little-endian and length-prefixed; similarities travel
-//! as raw `f32` bits and fingerprints as raw `u64` words — the same codec
-//! discipline as `cnc_runtime::shuffle`, so a write → load round trip is
-//! **bit-exact**: the dataset compares equal, the graph's neighbour lists
-//! restore their exact heap layout (they are written in
-//! [`NeighborList::iter`] order and rebuilt with
-//! [`NeighborList::from_heap_order`]), and the fingerprint words match
-//! word-for-word. Each section carries an FNV-1a checksum; the loader
-//! verifies magic, version, checksums and every structural invariant
-//! before handing anything out, mapping each failure to a typed
-//! [`SnapshotError`] instead of panicking — snapshot files are untrusted
-//! input.
+//! Format **v2** (the current writer) keeps the magic and the 16-byte
+//! header but stores every payload at a **64-byte-aligned file offset**
+//! recorded in the table, and lays the bulk arrays out *flat* so a mapped
+//! file can be served without decoding:
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────────┐
+//! │ magic "CNCSNAP1" (8) │ version = 2 u32 │ section_count u32        │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │ section table: { id u32, offset u64, len u64, checksum u64 }     │
+//! ├── zero padding to each 64-byte-aligned offset ───────────────────┤
+//! │   1 DATASET       num_users u64, num_items u32, pad u32,         │
+//! │                   offsets (num_users+1)×u64, items ×u32          │
+//! │   2 GRAPH         num_users u64, k u32, pad u32,                 │
+//! │                   offsets (num_users+1)×u64,                     │
+//! │                   entries ×{id u32, sim-bits u32} (heap order)   │
+//! │   3 GOLDFINGER    bits u32, pad u32, seed u64, num_users u64,    │
+//! │                   fingerprint words ×u64                         │
+//! │   4 CLUSTER_META  config_token u64, cluster_count u64            │
+//! │   0x100+i CLUSTER one persisted ClusterSolution each             │
+//! └──────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Alignment rules: each payload starts on a 64-byte boundary (one cache
+//! line, and a multiple of every element alignment used), and within a
+//! section the headers are sized so `u64` arrays land on 8-byte and
+//! interleaved `{u32, f32}` entries on 4-byte boundaries. A mapped v2
+//! file can therefore hand out its offset, entry and word arrays as
+//! typed slices directly (see [`crate::mmap`]) — adoption does no
+//! per-user work. The `0x100 + i` cluster sections persist the builder's
+//! [`ClusterCache`] keyed by `BuildPlan` content hashes, so incremental
+//! rebuilds survive restarts.
+//!
+//! Everything is little-endian; similarities travel as raw `f32` bits
+//! and fingerprints as raw `u64` words — the same codec discipline as
+//! `cnc_runtime::shuffle`, so a write → load round trip is **bit-exact**:
+//! the dataset compares equal, the graph's neighbour lists restore their
+//! exact heap layout (they are written in [`NeighborList::iter`] order),
+//! and the fingerprint words match word-for-word. Each section carries a
+//! checksum (FNV-1a in v1, the chunked [`checksum64`] in v2 — 8 bytes
+//! per step, so verification does not dominate mapped adoption); the
+//! loader verifies magic, version, checksums and every structural
+//! invariant before handing anything out, mapping each failure to a
+//! typed [`SnapshotError`] instead of panicking — snapshot files are
+//! untrusted input.
 
+use cnc_core::build_plan::{ClusterCache, ClusterSolution};
 use cnc_dataset::Dataset;
 use cnc_faults::{injected_io_error, Fault, Faults, Site};
 use cnc_graph::{KnnGraph, Neighbor, NeighborList};
@@ -44,12 +81,27 @@ use std::path::{Path, PathBuf};
 /// The 8-byte file magic ("CNC snapshot, format family 1").
 pub const MAGIC: [u8; 8] = *b"CNCSNAP1";
 
-/// The current format version.
-pub const VERSION: u32 = 1;
+/// The current format version (the writer's output).
+pub const VERSION: u32 = 2;
 
-const SECTION_DATASET: u32 = 1;
-const SECTION_GRAPH: u32 = 2;
-const SECTION_GOLDFINGER: u32 = 3;
+/// The oldest format version the loader still reads.
+pub const MIN_VERSION: u32 = 1;
+
+pub(crate) const SECTION_DATASET: u32 = 1;
+pub(crate) const SECTION_GRAPH: u32 = 2;
+pub(crate) const SECTION_GOLDFINGER: u32 = 3;
+pub(crate) const SECTION_CLUSTER_META: u32 = 4;
+/// Per-cluster solution sections occupy `CLUSTER_SECTION_BASE + i`.
+pub(crate) const CLUSTER_SECTION_BASE: u32 = 0x100;
+
+/// Every v2 payload starts on this file-offset boundary (one cache line;
+/// a multiple of every element alignment the format uses).
+pub(crate) const V2_ALIGN: u64 = 64;
+
+/// v1 caps its section table at 16 entries; v2 adds one section per
+/// persisted cluster, so its cap is correspondingly wider (the table is
+/// 28 bytes per entry — a lying count cannot pre-allocate much).
+const MAX_V2_SECTIONS: u32 = 65_536;
 
 /// Why a snapshot failed to load (or write).
 #[derive(Debug)]
@@ -82,7 +134,10 @@ impl fmt::Display for SnapshotError {
                 write!(f, "not a snapshot: magic {got:02x?} (expected {MAGIC:02x?})")
             }
             SnapshotError::UnsupportedVersion(v) => {
-                write!(f, "snapshot version {v} unsupported (this build reads {VERSION})")
+                write!(
+                    f,
+                    "snapshot version {v} unsupported (this build reads {MIN_VERSION}..={VERSION})"
+                )
             }
             SnapshotError::ChecksumMismatch { section } => {
                 write!(f, "section {section} failed its checksum")
@@ -113,8 +168,32 @@ impl From<io::Error> for SnapshotError {
 /// FNV-1a over a byte slice — cheap, dependency-free integrity hashing
 /// (corruption detection, not authentication). The primitive is shared
 /// with `cnc-core`'s cluster content hashes so the workspace carries one
-/// implementation of the idiom.
+/// implementation of the idiom. v1 sections are checksummed with it.
 use cnc_core::build_plan::fnv1a;
+
+/// The v2 section checksum: FNV-1a-style mixing over **8-byte chunks**
+/// (plus a length-salted tail), about 8× fewer multiplies than the
+/// byte-at-a-time v1 hash. Mapped adoption verifies every section it
+/// touches, so the checksum walk is the dominant cost of an adopt — at
+/// one multiply per 8 bytes it stays far below a decode pass, keeping
+/// the O(1)-per-user promise honest while still catching bit rot.
+/// Corruption detection, not authentication, same as [`fnv1a`].
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET ^ (bytes.len() as u64).wrapping_mul(PRIME);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        hash = (hash ^ u64::from_le_bytes(chunk.try_into().unwrap())).wrapping_mul(PRIME);
+    }
+    let mut tail = [0u8; 8];
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        tail[..rest.len()].copy_from_slice(rest);
+        hash = (hash ^ u64::from_le_bytes(tail)).wrapping_mul(PRIME);
+    }
+    hash
+}
 
 /// A byte cursor over one section's verified payload, with typed
 /// overrun errors.
@@ -174,8 +253,10 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// One persisted serving state: the dataset, its KNN graph, and (when the
-/// backend uses them) the GoldFinger fingerprints the graph was built on.
+/// One persisted serving state: the dataset, its KNN graph, (when the
+/// backend uses them) the GoldFinger fingerprints the graph was built
+/// on, and (when the builder persists it) the per-cluster solution cache
+/// that makes the *next* build incremental.
 #[derive(Clone, Debug)]
 pub struct Snapshot {
     /// The user profiles the graph was built on.
@@ -185,6 +266,9 @@ pub struct Snapshot {
     /// The fingerprints backing query scoring (`None` for raw-Jaccard
     /// deployments).
     pub goldfinger: Option<GoldFinger>,
+    /// The builder's persisted [`ClusterCache`] (v2 files only; `None`
+    /// for v1 files and serving-only snapshots).
+    pub cache: Option<ClusterCache>,
 }
 
 impl Snapshot {
@@ -199,18 +283,36 @@ impl Snapshot {
         if let Some(gf) = &goldfinger {
             assert_eq!(gf.num_users(), dataset.num_users(), "fingerprints must cover the dataset");
         }
-        Snapshot { dataset, graph, goldfinger }
+        Snapshot { dataset, graph, goldfinger, cache: None }
+    }
+
+    /// Attaches a builder's cluster cache for persistence.
+    pub fn with_cache(mut self, cache: ClusterCache) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Writes the snapshot to `path` **atomically** (see
     /// [`write_snapshot`]); returns the encoded size in bytes.
     pub fn write(&self, path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
-        write_snapshot(&self.dataset, &self.graph, self.goldfinger.as_ref(), path)
+        write_snapshot_full(
+            &self.dataset,
+            &self.graph,
+            self.goldfinger.as_ref(),
+            self.cache.as_ref(),
+            path,
+        )
     }
 
     /// Writes the snapshot to any sink; returns the encoded size in bytes.
     pub fn write_to<W: Write>(&self, out: &mut W) -> Result<u64, SnapshotError> {
-        write_snapshot_to(&self.dataset, &self.graph, self.goldfinger.as_ref(), out)
+        write_snapshot_parts_to(
+            &self.dataset,
+            &self.graph,
+            self.goldfinger.as_ref(),
+            self.cache.as_ref(),
+            out,
+        )
     }
 
     /// Loads a snapshot from `path`, verifying magic, version, checksums
@@ -232,7 +334,11 @@ impl Snapshot {
         Ok(snap)
     }
 
-    /// Loads a snapshot from any source (see [`Snapshot::load`]).
+    /// Loads a snapshot from any source (see [`Snapshot::load`]). Reads
+    /// both format versions: v1 streams its length-prefixed sections; v2
+    /// streams its aligned sections through the same owned decoding the
+    /// mapped path borrows (so v1 files and v2 files load bit-identical
+    /// states from identical builds).
     pub fn load_from<R: Read>(input: &mut R) -> Result<Snapshot, SnapshotError> {
         let mut header = [0u8; 16];
         input.read_exact(&mut header)?;
@@ -241,10 +347,18 @@ impl Snapshot {
             return Err(SnapshotError::BadMagic(magic));
         }
         let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
-        if version != VERSION {
-            return Err(SnapshotError::UnsupportedVersion(version));
-        }
         let section_count = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        match version {
+            1 => Self::load_v1_sections(input, section_count),
+            2 => Self::load_v2_sections(input, section_count),
+            other => Err(SnapshotError::UnsupportedVersion(other)),
+        }
+    }
+
+    fn load_v1_sections<R: Read>(
+        input: &mut R,
+        section_count: u32,
+    ) -> Result<Snapshot, SnapshotError> {
         if section_count > 16 {
             return Err(SnapshotError::Corrupt(format!(
                 "implausible section count {section_count}"
@@ -291,6 +405,10 @@ impl Snapshot {
                     return Err(SnapshotError::Corrupt(format!("duplicate section {id}")));
                 }
                 other => {
+                    // v2 sections (cluster meta/solutions) inside a file
+                    // whose header claims v1 are structural corruption,
+                    // reported as such — never a panic, never silently
+                    // skipped.
                     return Err(SnapshotError::Corrupt(format!("unknown section id {other}")));
                 }
             }
@@ -298,13 +416,9 @@ impl Snapshot {
 
         let dataset = dataset.ok_or(SnapshotError::MissingSection("dataset"))?;
         let graph = graph.ok_or(SnapshotError::MissingSection("graph"))?;
-        if graph.num_users() != dataset.num_users() {
-            return Err(SnapshotError::Corrupt(format!(
-                "graph covers {} users, dataset {}",
-                graph.num_users(),
-                dataset.num_users()
-            )));
-        }
+        // v1's list decoder does not range-check neighbour ids against the
+        // population (the CSR constructor used by v2 does), so walk the
+        // edges here.
         for (u, list) in graph.iter() {
             for n in list.iter() {
                 if n.user as usize >= dataset.num_users() || n.user == u {
@@ -315,29 +429,244 @@ impl Snapshot {
                 }
             }
         }
-        if let Some(gf) = &goldfinger {
-            if gf.num_users() != dataset.num_users() {
+        cross_validate(&dataset, &graph, goldfinger.as_ref())?;
+        Ok(Snapshot { dataset, graph, goldfinger, cache: None })
+    }
+
+    fn load_v2_sections<R: Read>(
+        input: &mut R,
+        section_count: u32,
+    ) -> Result<Snapshot, SnapshotError> {
+        let table = read_v2_table(input, section_count)?;
+        let mut at = (16 + 28 * table.len()) as u64;
+
+        let mut dataset: Option<Dataset> = None;
+        let mut graph: Option<KnnGraph> = None;
+        let mut goldfinger: Option<GoldFinger> = None;
+        let mut cluster_meta: Option<(u64, u64)> = None;
+        let mut clusters: Vec<Option<ClusterSolution>> = Vec::new();
+        for entry in table {
+            // Sections are laid out in table order; skip the alignment
+            // padding between the previous payload and this one.
+            if entry.offset < at {
                 return Err(SnapshotError::Corrupt(format!(
-                    "fingerprints cover {} users, dataset {}",
-                    gf.num_users(),
-                    dataset.num_users()
+                    "section {} overlaps its predecessor",
+                    entry.id
                 )));
             }
+            io::copy(&mut input.take(entry.offset - at), &mut io::sink())?;
+            let mut payload = Vec::new();
+            input.take(entry.len).read_to_end(&mut payload)?;
+            if (payload.len() as u64) < entry.len {
+                return Err(SnapshotError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!(
+                        "section {} truncated: {} of {} bytes",
+                        entry.id,
+                        payload.len(),
+                        entry.len
+                    ),
+                )));
+            }
+            at = entry.offset + entry.len;
+            if checksum64(&payload) != entry.checksum {
+                return Err(SnapshotError::ChecksumMismatch { section: entry.id });
+            }
+            match entry.id {
+                SECTION_DATASET if dataset.is_none() => {
+                    dataset = Some(decode_dataset_v2(&payload)?);
+                }
+                SECTION_GRAPH if graph.is_none() => graph = Some(decode_graph_v2(&payload)?),
+                SECTION_GOLDFINGER if goldfinger.is_none() => {
+                    goldfinger = Some(decode_goldfinger_v2(&payload)?);
+                }
+                SECTION_CLUSTER_META if cluster_meta.is_none() => {
+                    let meta = decode_cluster_meta(&payload)?;
+                    clusters = (0..meta.1).map(|_| None).collect();
+                    cluster_meta = Some(meta);
+                }
+                id if id >= CLUSTER_SECTION_BASE => {
+                    let index = (id - CLUSTER_SECTION_BASE) as usize;
+                    let slot = clusters.get_mut(index).ok_or_else(|| {
+                        SnapshotError::Corrupt(format!(
+                            "cluster section {index} outside the declared count"
+                        ))
+                    })?;
+                    if slot.is_some() {
+                        return Err(SnapshotError::Corrupt(format!("duplicate section {id}")));
+                    }
+                    *slot = Some(decode_cluster_solution(&payload)?);
+                }
+                id @ (SECTION_DATASET | SECTION_GRAPH | SECTION_GOLDFINGER
+                | SECTION_CLUSTER_META) => {
+                    return Err(SnapshotError::Corrupt(format!("duplicate section {id}")));
+                }
+                other => {
+                    return Err(SnapshotError::Corrupt(format!("unknown section id {other}")));
+                }
+            }
         }
-        Ok(Snapshot { dataset, graph, goldfinger })
+
+        let dataset = dataset.ok_or(SnapshotError::MissingSection("dataset"))?;
+        let graph = graph.ok_or(SnapshotError::MissingSection("graph"))?;
+        cross_validate(&dataset, &graph, goldfinger.as_ref())?;
+        let cache = match cluster_meta {
+            None if clusters.is_empty() => None,
+            None => unreachable!("cluster sections allocate from the meta section"),
+            Some((token, count)) => {
+                let mut solutions = Vec::with_capacity(count as usize);
+                for (i, slot) in clusters.into_iter().enumerate() {
+                    solutions.push(slot.ok_or_else(|| {
+                        SnapshotError::Corrupt(format!("cluster section {i} missing"))
+                    })?);
+                }
+                Some(ClusterCache::from_parts(token, solutions))
+            }
+        };
+        Ok(Snapshot { dataset, graph, goldfinger, cache })
     }
+}
+
+/// One v2 section-table row.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SectionEntry {
+    pub(crate) id: u32,
+    pub(crate) offset: u64,
+    pub(crate) len: u64,
+    pub(crate) checksum: u64,
+}
+
+/// Reads and sanity-checks a v2 section table (count bound, 64-byte
+/// offset alignment). Ordering/overlap is the caller's concern — the
+/// streaming loader enforces it pairwise, the mapped parser per lookup.
+pub(crate) fn read_v2_table<R: Read>(
+    input: &mut R,
+    section_count: u32,
+) -> Result<Vec<SectionEntry>, SnapshotError> {
+    if section_count > MAX_V2_SECTIONS {
+        return Err(SnapshotError::Corrupt(format!("implausible section count {section_count}")));
+    }
+    let mut table = Vec::with_capacity(section_count as usize);
+    for _ in 0..section_count {
+        let mut entry = [0u8; 28];
+        input.read_exact(&mut entry)?;
+        let entry = SectionEntry {
+            id: u32::from_le_bytes(entry[0..4].try_into().unwrap()),
+            offset: u64::from_le_bytes(entry[4..12].try_into().unwrap()),
+            len: u64::from_le_bytes(entry[12..20].try_into().unwrap()),
+            checksum: u64::from_le_bytes(entry[20..28].try_into().unwrap()),
+        };
+        if !entry.offset.is_multiple_of(V2_ALIGN) {
+            return Err(SnapshotError::Corrupt(format!(
+                "section {} offset {} is not {V2_ALIGN}-byte aligned",
+                entry.id, entry.offset
+            )));
+        }
+        table.push(entry);
+    }
+    Ok(table)
+}
+
+/// The cheap cross-section consistency checks shared by every load path
+/// (per-edge range checks live with the per-version graph decoding).
+pub(crate) fn cross_validate(
+    dataset: &Dataset,
+    graph: &KnnGraph,
+    goldfinger: Option<&GoldFinger>,
+) -> Result<(), SnapshotError> {
+    if graph.num_users() != dataset.num_users() {
+        return Err(SnapshotError::Corrupt(format!(
+            "graph covers {} users, dataset {}",
+            graph.num_users(),
+            dataset.num_users()
+        )));
+    }
+    if let Some(gf) = goldfinger {
+        if gf.num_users() != dataset.num_users() {
+            return Err(SnapshotError::Corrupt(format!(
+                "fingerprints cover {} users, dataset {}",
+                gf.num_users(),
+                dataset.num_users()
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Streams one serving state to a sink from **borrowed** parts — the
 /// encoding core shared by [`Snapshot::write_to`] and
 /// `ServingEngine::write_snapshot`, which must not deep-clone an epoch
-/// (dataset + graph + fingerprint words) just to persist it. Returns the
-/// encoded size in bytes.
+/// (dataset + graph + fingerprint words) just to persist it. Writes
+/// format v2 (see the module docs); returns the encoded size in bytes.
 ///
 /// # Panics
 /// Panics if the parts disagree on the user count (same contract as
 /// [`Snapshot::new`]).
+pub fn write_snapshot_parts_to<W: Write>(
+    dataset: &Dataset,
+    graph: &KnnGraph,
+    goldfinger: Option<&GoldFinger>,
+    cache: Option<&ClusterCache>,
+    out: &mut W,
+) -> Result<u64, SnapshotError> {
+    assert_eq!(dataset.num_users(), graph.num_users(), "graph/dataset user mismatch");
+    if let Some(gf) = goldfinger {
+        assert_eq!(gf.num_users(), dataset.num_users(), "fingerprints must cover the dataset");
+    }
+    let mut sections: Vec<(u32, Vec<u8>)> = Vec::with_capacity(4);
+    sections.push((SECTION_DATASET, encode_dataset_v2(dataset)));
+    sections.push((SECTION_GRAPH, encode_graph_v2(graph)));
+    if let Some(gf) = goldfinger {
+        sections.push((SECTION_GOLDFINGER, encode_goldfinger_v2(gf)));
+    }
+    if let Some(cache) = cache {
+        sections.push((SECTION_CLUSTER_META, encode_cluster_meta(cache)));
+        for (i, solution) in cache.solutions().enumerate() {
+            sections.push((CLUSTER_SECTION_BASE + i as u32, encode_cluster_solution(solution)));
+        }
+    }
+
+    out.write_all(&MAGIC)?;
+    out.write_all(&VERSION.to_le_bytes())?;
+    out.write_all(&(sections.len() as u32).to_le_bytes())?;
+    // Lay payloads out in table order, each at the next 64-byte-aligned
+    // file offset.
+    let mut at = 16 + 28 * sections.len() as u64;
+    let mut offsets = Vec::with_capacity(sections.len());
+    for (id, payload) in &sections {
+        let offset = at.next_multiple_of(V2_ALIGN);
+        offsets.push(offset);
+        out.write_all(&id.to_le_bytes())?;
+        out.write_all(&offset.to_le_bytes())?;
+        out.write_all(&(payload.len() as u64).to_le_bytes())?;
+        out.write_all(&checksum64(payload).to_le_bytes())?;
+        at = offset + payload.len() as u64;
+    }
+    let mut written = 16 + 28 * sections.len() as u64;
+    for ((_, payload), offset) in sections.iter().zip(offsets) {
+        const ZEROS: [u8; V2_ALIGN as usize] = [0; V2_ALIGN as usize];
+        out.write_all(&ZEROS[..(offset - written) as usize])?;
+        out.write_all(payload)?;
+        written = offset + payload.len() as u64;
+    }
+    Ok(written)
+}
+
+/// [`write_snapshot_parts_to`] without a cluster cache (the common
+/// serving-only case).
 pub fn write_snapshot_to<W: Write>(
+    dataset: &Dataset,
+    graph: &KnnGraph,
+    goldfinger: Option<&GoldFinger>,
+    out: &mut W,
+) -> Result<u64, SnapshotError> {
+    write_snapshot_parts_to(dataset, graph, goldfinger, None, out)
+}
+
+/// Streams a **format v1** snapshot — kept for wire-compat tests and for
+/// shipping snapshots to deployments that have not picked up v2 yet. New
+/// code should write v2 ([`write_snapshot_parts_to`]).
+pub fn write_snapshot_v1_to<W: Write>(
     dataset: &Dataset,
     graph: &KnnGraph,
     goldfinger: Option<&GoldFinger>,
@@ -355,7 +684,7 @@ pub fn write_snapshot_to<W: Write>(
     }
 
     out.write_all(&MAGIC)?;
-    out.write_all(&VERSION.to_le_bytes())?;
+    out.write_all(&1u32.to_le_bytes())?;
     out.write_all(&(sections.len() as u32).to_le_bytes())?;
     let mut total = 16u64;
     for (id, payload) in &sections {
@@ -391,6 +720,18 @@ pub fn write_snapshot(
     goldfinger: Option<&GoldFinger>,
     path: impl AsRef<Path>,
 ) -> Result<u64, SnapshotError> {
+    write_snapshot_full(dataset, graph, goldfinger, None, path)
+}
+
+/// [`write_snapshot`] with a builder's [`ClusterCache`] persisted
+/// alongside the serving state (per-cluster sections; see module docs).
+pub fn write_snapshot_full(
+    dataset: &Dataset,
+    graph: &KnnGraph,
+    goldfinger: Option<&GoldFinger>,
+    cache: Option<&ClusterCache>,
+    path: impl AsRef<Path>,
+) -> Result<u64, SnapshotError> {
     // The temp name must be unique per *call*, not just per process: two
     // engine threads snapshotting to the same path would otherwise
     // interleave writes in one temp file and rename garbage over a good
@@ -414,7 +755,7 @@ pub fn write_snapshot(
     let mut simulated_crash = false;
     let result = (|| {
         let mut out = BufWriter::new(File::create(&tmp)?);
-        let bytes = write_snapshot_to(dataset, graph, goldfinger, &mut out)?;
+        let bytes = write_snapshot_parts_to(dataset, graph, goldfinger, cache, &mut out)?;
         out.flush()?;
         out.get_ref().sync_all()?;
         drop(out);
@@ -448,7 +789,7 @@ pub fn write_snapshot(
 
 /// The fault-registry key of a snapshot path (stable across retries of
 /// the same file).
-fn path_key(path: &Path) -> u64 {
+pub(crate) fn path_key(path: &Path) -> u64 {
     fnv1a(path.as_os_str().as_encoded_bytes())
 }
 
@@ -743,6 +1084,302 @@ fn decode_goldfinger(payload: &[u8]) -> Result<GoldFinger, SnapshotError> {
     Ok(gf)
 }
 
+// ---------------------------------------------------------------------
+// Format v2: flat sections. Each `parse_*_v2` validates a section's byte
+// geometry and hands back raw sub-slices, so the owned decoder (copy
+// path) and the mapped adopter (zero-copy path) share one layout
+// definition; structural invariants are enforced by the validated
+// constructors both paths call (`Dataset::from_csr_storage`,
+// `KnnGraph::from_csr_storage`, `GoldFinger::from_storage`).
+// ---------------------------------------------------------------------
+
+/// The byte geometry of a v2 dataset section.
+pub(crate) struct DatasetLayoutV2<'a> {
+    pub(crate) num_users: usize,
+    pub(crate) num_items: u32,
+    /// `num_users + 1` little-endian `u64` profile offsets (8-aligned
+    /// within the section).
+    pub(crate) offsets: &'a [u8],
+    /// `offsets[num_users]` little-endian `u32` item ids (4-aligned).
+    pub(crate) items: &'a [u8],
+}
+
+pub(crate) fn parse_dataset_v2(payload: &[u8]) -> Result<DatasetLayoutV2<'_>, SnapshotError> {
+    if payload.len() < 16 {
+        return Err(SnapshotError::Corrupt("dataset section shorter than its header".into()));
+    }
+    let num_users = usize::try_from(u64::from_le_bytes(payload[0..8].try_into().unwrap()))
+        .map_err(|_| SnapshotError::Corrupt("dataset user count overflows".into()))?;
+    let num_items = u32::from_le_bytes(payload[8..12].try_into().unwrap());
+    let offsets_len = num_users
+        .checked_add(1)
+        .and_then(|n| n.checked_mul(8))
+        .filter(|&n| n <= payload.len() - 16)
+        .ok_or_else(|| SnapshotError::Corrupt("dataset offsets overrun the section".into()))?;
+    let offsets = &payload[16..16 + offsets_len];
+    let ratings =
+        usize::try_from(u64::from_le_bytes(offsets[offsets_len - 8..].try_into().unwrap()))
+            .map_err(|_| SnapshotError::Corrupt("dataset rating count overflows".into()))?;
+    let items_len =
+        ratings.checked_mul(4).filter(|&n| 16 + offsets_len + n == payload.len()).ok_or_else(
+            || SnapshotError::Corrupt("dataset items do not fill the section exactly".into()),
+        )?;
+    let items = &payload[16 + offsets_len..16 + offsets_len + items_len];
+    Ok(DatasetLayoutV2 { num_users, num_items, offsets, items })
+}
+
+fn encode_dataset_v2(ds: &Dataset) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + 8 * (ds.num_users() + 1) + 4 * ds.num_ratings());
+    out.extend_from_slice(&(ds.num_users() as u64).to_le_bytes());
+    out.extend_from_slice(&(ds.num_items() as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    for &off in ds.offsets() {
+        out.extend_from_slice(&(off as u64).to_le_bytes());
+    }
+    for &item in ds.items() {
+        out.extend_from_slice(&item.to_le_bytes());
+    }
+    out
+}
+
+fn decode_dataset_v2(payload: &[u8]) -> Result<Dataset, SnapshotError> {
+    let layout = parse_dataset_v2(payload)?;
+    let mut offsets = Vec::with_capacity(layout.num_users + 1);
+    for chunk in layout.offsets.chunks_exact(8) {
+        let off = usize::try_from(u64::from_le_bytes(chunk.try_into().unwrap()))
+            .map_err(|_| SnapshotError::Corrupt("dataset offset overflows".into()))?;
+        offsets.push(off);
+    }
+    let items: Vec<u32> =
+        layout.items.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
+    Dataset::from_csr(offsets, items, layout.num_items).map_err(SnapshotError::Corrupt)
+}
+
+/// The byte geometry of a v2 graph section.
+pub(crate) struct GraphLayoutV2<'a> {
+    pub(crate) num_users: usize,
+    pub(crate) k: usize,
+    /// `num_users + 1` little-endian `u64` entry offsets (8-aligned).
+    pub(crate) offsets: &'a [u8],
+    /// `offsets[num_users]` interleaved `{id u32, sim-bits u32}` entries
+    /// in [`NeighborList::iter`] heap order (4-aligned, 8 bytes each).
+    pub(crate) entries: &'a [u8],
+}
+
+pub(crate) fn parse_graph_v2(payload: &[u8]) -> Result<GraphLayoutV2<'_>, SnapshotError> {
+    if payload.len() < 16 {
+        return Err(SnapshotError::Corrupt("graph section shorter than its header".into()));
+    }
+    let num_users = usize::try_from(u64::from_le_bytes(payload[0..8].try_into().unwrap()))
+        .map_err(|_| SnapshotError::Corrupt("graph user count overflows".into()))?;
+    let k = u32::from_le_bytes(payload[8..12].try_into().unwrap()) as usize;
+    if k == 0 || k > MAX_K {
+        return Err(SnapshotError::Corrupt(format!(
+            "graph bound k = {k} outside the sane range 1..={MAX_K}"
+        )));
+    }
+    let offsets_len = num_users
+        .checked_add(1)
+        .and_then(|n| n.checked_mul(8))
+        .filter(|&n| n <= payload.len() - 16)
+        .ok_or_else(|| SnapshotError::Corrupt("graph offsets overrun the section".into()))?;
+    let offsets = &payload[16..16 + offsets_len];
+    let num_edges =
+        usize::try_from(u64::from_le_bytes(offsets[offsets_len - 8..].try_into().unwrap()))
+            .map_err(|_| SnapshotError::Corrupt("graph edge count overflows".into()))?;
+    let entries_len =
+        num_edges.checked_mul(8).filter(|&n| 16 + offsets_len + n == payload.len()).ok_or_else(
+            || SnapshotError::Corrupt("graph entries do not fill the section exactly".into()),
+        )?;
+    let entries = &payload[16 + offsets_len..16 + offsets_len + entries_len];
+    Ok(GraphLayoutV2 { num_users, k, offsets, entries })
+}
+
+fn encode_graph_v2(graph: &KnnGraph) -> Vec<u8> {
+    let n = graph.num_users();
+    let mut out = Vec::with_capacity(16 + 8 * (n + 1) + 8 * graph.num_edges());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&(graph.k() as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    let mut at = 0u64;
+    out.extend_from_slice(&at.to_le_bytes());
+    for (_, list) in graph.iter() {
+        at += list.len() as u64;
+        out.extend_from_slice(&at.to_le_bytes());
+    }
+    for (_, list) in graph.iter() {
+        // Heap (iter) order, so both load paths expose the identical
+        // in-memory layout.
+        for n in list.iter() {
+            out.extend_from_slice(&n.user.to_le_bytes());
+            out.extend_from_slice(&n.sim.to_bits().to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_graph_v2(payload: &[u8]) -> Result<KnnGraph, SnapshotError> {
+    let layout = parse_graph_v2(payload)?;
+    let mut offsets: Vec<u64> = Vec::with_capacity(layout.num_users + 1);
+    offsets
+        .extend(layout.offsets.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())));
+    let entries: Vec<Neighbor> = layout
+        .entries
+        .chunks_exact(8)
+        .map(|c| Neighbor {
+            user: u32::from_le_bytes(c[0..4].try_into().unwrap()),
+            sim: f32::from_bits(u32::from_le_bytes(c[4..8].try_into().unwrap())),
+        })
+        .collect();
+    KnnGraph::from_csr_storage(layout.k, offsets.into(), entries.into())
+        .map_err(SnapshotError::Corrupt)
+}
+
+/// The byte geometry of a v2 fingerprint section.
+pub(crate) struct GoldFingerLayoutV2<'a> {
+    pub(crate) bits: usize,
+    pub(crate) seed: u64,
+    pub(crate) num_users: usize,
+    /// `num_users · bits/64` little-endian `u64` words (8-aligned).
+    pub(crate) words: &'a [u8],
+}
+
+pub(crate) fn parse_goldfinger_v2(payload: &[u8]) -> Result<GoldFingerLayoutV2<'_>, SnapshotError> {
+    if payload.len() < 24 {
+        return Err(SnapshotError::Corrupt("goldfinger section shorter than its header".into()));
+    }
+    let bits = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+    let seed = u64::from_le_bytes(payload[8..16].try_into().unwrap());
+    let num_users = usize::try_from(u64::from_le_bytes(payload[16..24].try_into().unwrap()))
+        .map_err(|_| SnapshotError::Corrupt("fingerprint user count overflows".into()))?;
+    if bits == 0 || !bits.is_multiple_of(64) {
+        return Err(SnapshotError::Corrupt(format!(
+            "fingerprint width {bits} is not a positive multiple of 64"
+        )));
+    }
+    let words_len = num_users
+        .checked_mul(bits / 64)
+        .and_then(|w| w.checked_mul(8))
+        .filter(|&n| 24 + n == payload.len())
+        .ok_or_else(|| {
+            SnapshotError::Corrupt("fingerprint words do not fill the section exactly".into())
+        })?;
+    Ok(GoldFingerLayoutV2 { bits, seed, num_users, words: &payload[24..24 + words_len] })
+}
+
+fn encode_goldfinger_v2(gf: &GoldFinger) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + 8 * gf.words().len());
+    out.extend_from_slice(&(gf.bits() as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&gf.seed().to_le_bytes());
+    out.extend_from_slice(&(gf.num_users() as u64).to_le_bytes());
+    for &word in gf.words() {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+fn decode_goldfinger_v2(payload: &[u8]) -> Result<GoldFinger, SnapshotError> {
+    let layout = parse_goldfinger_v2(payload)?;
+    let words: Vec<u64> =
+        layout.words.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+    let gf = GoldFinger::from_storage(words.into(), layout.bits, layout.seed)
+        .map_err(SnapshotError::Corrupt)?;
+    if gf.num_users() != layout.num_users {
+        return Err(SnapshotError::Corrupt(format!(
+            "fingerprint section claims {} users but holds {}",
+            layout.num_users,
+            gf.num_users()
+        )));
+    }
+    Ok(gf)
+}
+
+fn encode_cluster_meta(cache: &ClusterCache) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&cache.config_token().to_le_bytes());
+    out.extend_from_slice(&(cache.len() as u64).to_le_bytes());
+    out
+}
+
+/// Decodes `(config_token, cluster_count)` from a cluster-meta section.
+fn decode_cluster_meta(payload: &[u8]) -> Result<(u64, u64), SnapshotError> {
+    let mut cur = Cursor::new(payload, "cluster-meta");
+    let token = cur.u64()?;
+    let count = cur.u64()?;
+    cur.finish()?;
+    if count > MAX_V2_SECTIONS as u64 {
+        return Err(SnapshotError::Corrupt(format!("implausible cluster count {count}")));
+    }
+    Ok((token, count))
+}
+
+fn encode_cluster_solution(s: &ClusterSolution) -> Vec<u8> {
+    let k = s.lists.first().map(NeighborList::k).unwrap_or(1);
+    let entries: usize = s.lists.iter().map(NeighborList::len).sum();
+    let mut out = Vec::with_capacity(32 + 8 * s.users.len() + 8 * entries);
+    out.extend_from_slice(&s.hash.to_le_bytes());
+    out.extend_from_slice(&s.seed.to_le_bytes());
+    out.extend_from_slice(&s.comparisons.to_le_bytes());
+    out.extend_from_slice(&(k as u32).to_le_bytes());
+    out.extend_from_slice(&(s.users.len() as u32).to_le_bytes());
+    for &user in &s.users {
+        out.extend_from_slice(&user.to_le_bytes());
+    }
+    for list in &s.lists {
+        out.extend_from_slice(&(list.len() as u32).to_le_bytes());
+    }
+    for list in &s.lists {
+        for n in list.iter() {
+            out.extend_from_slice(&n.user.to_le_bytes());
+            out.extend_from_slice(&n.sim.to_bits().to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_cluster_solution(payload: &[u8]) -> Result<ClusterSolution, SnapshotError> {
+    let mut cur = Cursor::new(payload, "cluster");
+    let hash = cur.u64()?;
+    let seed = cur.u64()?;
+    let comparisons = cur.u64()?;
+    let k = cur.u32()? as usize;
+    if k == 0 || k > MAX_K {
+        return Err(SnapshotError::Corrupt(format!(
+            "cluster list bound k = {k} outside the sane range 1..={MAX_K}"
+        )));
+    }
+    let num_users = cur.u32()? as usize;
+    if num_users.checked_mul(8).is_none_or(|n| n > payload.len()) {
+        return Err(SnapshotError::Corrupt(format!(
+            "cluster claims {num_users} members but only {} bytes follow",
+            payload.len()
+        )));
+    }
+    let mut users = Vec::with_capacity(num_users);
+    for _ in 0..num_users {
+        users.push(cur.u32()?);
+    }
+    let mut lens = Vec::with_capacity(num_users);
+    for _ in 0..num_users {
+        lens.push(cur.u32()? as usize);
+    }
+    let mut lists = Vec::with_capacity(num_users);
+    for (i, len) in lens.into_iter().enumerate() {
+        let mut entries = Vec::with_capacity(len.min(k));
+        for _ in 0..len {
+            let user = cur.u32()?;
+            let sim = f32::from_bits(cur.u32()?);
+            entries.push(Neighbor { user, sim });
+        }
+        let list = NeighborList::from_heap_order(k, entries)
+            .map_err(|e| SnapshotError::Corrupt(format!("cluster {hash:016x} member {i}: {e}")))?;
+        lists.push(list);
+    }
+    cur.finish()?;
+    Ok(ClusterSolution { hash, users, seed, lists, comparisons })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -884,10 +1521,10 @@ mod tests {
     fn version_skew_is_rejected() {
         let mut buf = Vec::new();
         build(25).write_to(&mut buf).unwrap();
-        buf[8..12].copy_from_slice(&2u32.to_le_bytes());
+        buf[8..12].copy_from_slice(&3u32.to_le_bytes());
         match Snapshot::load_from(&mut buf.as_slice()) {
-            Err(SnapshotError::UnsupportedVersion(2)) => {}
-            other => panic!("expected UnsupportedVersion(2), got {other:?}"),
+            Err(SnapshotError::UnsupportedVersion(3)) => {}
+            other => panic!("expected UnsupportedVersion(3), got {other:?}"),
         }
     }
 

@@ -13,12 +13,17 @@
 //! ablates the choice in Table V.
 
 use crate::hash::SeededHash;
-use cnc_dataset::{Dataset, ItemId, UserId};
+use cnc_dataset::{Dataset, ItemId, Storage, UserId};
 
 /// Per-dataset GoldFinger fingerprints (one `bits`-wide vector per user).
+///
+/// The word array lives behind [`Storage`], so a fingerprint set either
+/// owns its words (every build path) or borrows them straight out of a
+/// mapped snapshot (`cnc-serve` zero-copy adoption); the rare mutating
+/// path ([`GoldFinger::push_user`]) promotes to an owned copy first.
 #[derive(Clone, Debug)]
 pub struct GoldFinger {
-    words: Vec<u64>,
+    words: Storage<u64>,
     words_per_user: usize,
     bits: usize,
     seed: u64,
@@ -77,7 +82,7 @@ impl GoldFinger {
                 }
             });
         }
-        GoldFinger { words, words_per_user, bits, seed, num_users: n }
+        GoldFinger { words: words.into(), words_per_user, bits, seed, num_users: n }
     }
 
     /// Sets the fingerprint bits of one user's profile into its word row.
@@ -151,10 +156,13 @@ impl GoldFinger {
 
     /// Appends one user's fingerprint (online growth — the streaming-insert
     /// side of `cnc-query::DynamicIndex`); returns the new user's id.
+    /// Copy-on-write: a fingerprint set borrowed from a mapped snapshot
+    /// is promoted to an owned copy on the first push.
     pub fn push_user(&mut self, profile: &[ItemId]) -> UserId {
-        let base = self.words.len();
-        self.words.resize(base + self.words_per_user, 0);
-        Self::fill_user(&mut self.words[base..], profile, SeededHash::new(self.seed), self.bits);
+        let words = self.words.to_mut();
+        let base = words.len();
+        words.resize(base + self.words_per_user, 0);
+        Self::fill_user(&mut words[base..], profile, SeededHash::new(self.seed), self.bits);
         self.num_users += 1;
         (self.num_users - 1) as UserId
     }
@@ -165,6 +173,13 @@ impl GoldFinger {
     /// [`GoldFinger::seed`]; rejects inconsistent dimensions instead of
     /// panicking, since the parts come from an untrusted file.
     pub fn from_parts(words: Vec<u64>, bits: usize, seed: u64) -> Result<GoldFinger, String> {
+        Self::from_storage(words.into(), bits, seed)
+    }
+
+    /// [`GoldFinger::from_parts`] over [`Storage`]-backed words — the
+    /// entry point mmap adoption uses to borrow the word array straight
+    /// from a mapped snapshot. Validated identically.
+    pub fn from_storage(words: Storage<u64>, bits: usize, seed: u64) -> Result<GoldFinger, String> {
         if bits == 0 || !bits.is_multiple_of(64) {
             return Err(format!("fingerprint width {bits} is not a positive multiple of 64"));
         }
@@ -177,6 +192,12 @@ impl GoldFinger {
         }
         let num_users = words.len() / words_per_user;
         Ok(GoldFinger { words, words_per_user, bits, seed, num_users })
+    }
+
+    /// True when the word array borrows shared (e.g. memory-mapped)
+    /// storage — the structural predicate zero-copy tests assert on.
+    pub fn is_shared(&self) -> bool {
+        self.words.is_shared()
     }
 
     /// Estimated Jaccard similarity of two users, in `[0, 1]`.

@@ -211,3 +211,70 @@ fn readers_never_observe_a_partial_epoch_while_rebuilds_fail() {
     let healed = engine.stats();
     assert_eq!(healed.num_users, users0 + inserts, "queued inserts publish after recovery");
 }
+
+/// The `snapshot.mmap` fault site: an injected map failure never fails
+/// the adoption — it forces the bit-exact copy fallback, and the engine
+/// that adopts the fallen-back state serves exactly like one that
+/// mapped.
+#[test]
+fn injected_mmap_failures_fall_back_to_the_copy_path() {
+    use cluster_and_conquer::serve::AdoptedSnapshot;
+
+    let _serial = fault_lock();
+    silence_injected_panics();
+    let base = {
+        let mut cfg = SyntheticConfig::small(4242);
+        cfg.num_users = 160;
+        cfg.num_items = 140;
+        cfg.communities = 6;
+        cfg.mean_profile = 14.0;
+        cfg.min_profile = 5;
+        cfg.generate()
+    };
+    let config = ServingConfig {
+        c2: C2Config {
+            k: 8,
+            backend: SimilarityBackend::GoldFinger { bits: 1024, seed: 33 },
+            seed: 9,
+            threads: 1,
+            ..C2Config::default()
+        },
+        runtime: RuntimeConfig::with_workers(2),
+        beam: BeamSearchConfig { beam_width: 24, entry_points: 5, max_comparisons: 0 },
+        rebuild_after: 0,
+        ..ServingConfig::default()
+    };
+    let engine = ServingEngine::build(base.clone(), config);
+    let path = std::env::temp_dir().join(format!("cnc-chaos-mmap-{}.snap", std::process::id()));
+    engine.write_snapshot(&path).unwrap();
+
+    let mapped = AdoptedSnapshot::open(&path).unwrap();
+    let fallback = {
+        let _guard =
+            Faults::global().arm(FaultPlan::new(5, 1.0).only(&[Site::SnapshotMmap]).with_span(2));
+        let fallback = AdoptedSnapshot::open(&path).unwrap();
+        assert!(!fallback.mapped, "an armed snapshot.mmap site must force the copy path");
+        assert!(
+            Faults::global().injected(Site::SnapshotMmap) > 0,
+            "the injection must actually have fired"
+        );
+        fallback
+    };
+    let _ = std::fs::remove_file(&path);
+
+    // Both load paths decode the same file in file order: bit-identical,
+    // heap layout included.
+    assert_eq!(mapped.dataset, fallback.dataset);
+    assert_eq!(mapped.graph.num_users(), fallback.graph.num_users());
+    for (u, list) in mapped.graph.iter() {
+        let mine: Vec<(u32, u32)> = list.iter().map(|n| (n.user, n.sim.to_bits())).collect();
+        let got: Vec<(u32, u32)> =
+            fallback.graph.neighbors(u).iter().map(|n| (n.user, n.sim.to_bits())).collect();
+        assert_eq!(mine, got, "user {u} differs between mmap and copy fallback");
+    }
+
+    // The fallen-back state still adopts and serves.
+    engine.adopt(fallback);
+    let result = engine.query(base.profile(3), 5, 1);
+    assert!(!result.neighbors.is_empty(), "the adopted fallback epoch must answer queries");
+}

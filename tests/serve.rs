@@ -4,7 +4,10 @@
 //! concurrent reader/writer epoch-swap behaviour.
 
 use cluster_and_conquer::prelude::*;
-use cluster_and_conquer::serve::SnapshotError;
+use cluster_and_conquer::serve::{
+    write_snapshot, write_snapshot_v1_to, AdoptedSnapshot, SnapshotAdopter, SnapshotError,
+    SnapshotPublisher,
+};
 use cnc_query::QueryResult;
 use cnc_similarity::SimilarityData;
 use proptest::prelude::*;
@@ -27,6 +30,27 @@ impl TempPath {
 impl Drop for TempPath {
     fn drop(&mut self) {
         let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// A unique temp directory removed (recursively) on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "cnc-serve-{}-{tag}-{:?}.d",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
     }
 }
 
@@ -56,16 +80,20 @@ fn serving_config(rebuild_after: usize) -> ServingConfig {
     }
 }
 
-fn assert_snapshots_identical(a: &Snapshot, b: &Snapshot) {
-    assert_eq!(a.dataset, b.dataset);
-    assert_eq!(a.graph.k(), b.graph.k());
-    assert_eq!(a.graph.num_users(), b.graph.num_users());
-    for (u, list) in a.graph.iter() {
+fn assert_graphs_identical(a: &KnnGraph, b: &KnnGraph) {
+    assert_eq!(a.k(), b.k());
+    assert_eq!(a.num_users(), b.num_users());
+    for (u, list) in a.iter() {
         let mine: Vec<(u32, u32)> = list.iter().map(|n| (n.user, n.sim.to_bits())).collect();
         let got: Vec<(u32, u32)> =
-            b.graph.neighbors(u).iter().map(|n| (n.user, n.sim.to_bits())).collect();
+            b.neighbors(u).iter().map(|n| (n.user, n.sim.to_bits())).collect();
         assert_eq!(mine, got, "user {u} neighbour layout differs");
     }
+}
+
+fn assert_snapshots_identical(a: &Snapshot, b: &Snapshot) {
+    assert_eq!(a.dataset, b.dataset);
+    assert_graphs_identical(&a.graph, &b.graph);
     match (&a.goldfinger, &b.goldfinger) {
         (None, None) => {}
         (Some(x), Some(y)) => {
@@ -86,15 +114,25 @@ fn snapshot_file_round_trip_is_bit_exact() {
     let back = Snapshot::load(&path.0).unwrap();
     assert_snapshots_identical(&snap, &back);
 
-    // The streaming engine-side writer produces the identical file
-    // without cloning the epoch.
+    // The streaming borrowed-parts writer produces the identical file
+    // without cloning the parts.
     let streamed = TempPath::new("streamed");
-    engine.write_snapshot(&streamed.0).unwrap();
+    write_snapshot(&snap.dataset, &snap.graph, snap.goldfinger.as_ref(), &streamed.0).unwrap();
     assert_eq!(
         std::fs::read(&path.0).unwrap(),
         std::fs::read(&streamed.0).unwrap(),
         "owned and streamed writers must emit identical bytes"
     );
+
+    // The engine-side writer additionally persists the builder's cluster
+    // cache (extra per-cluster sections) but restores the identical
+    // serving state.
+    let engine_written = TempPath::new("engine");
+    engine.write_snapshot(&engine_written.0).unwrap();
+    let full = Snapshot::load(&engine_written.0).unwrap();
+    assert_snapshots_identical(&snap, &full);
+    assert!(full.cache.is_some(), "engine snapshots must carry the cluster cache");
+    assert!(snap.cache.is_none(), "epoch-only snapshots carry no builder state");
 }
 
 #[test]
@@ -268,6 +306,206 @@ fn held_epochs_stay_queryable_after_many_swaps() {
     let after = held.index().search(ds.profile(3), 5, &serving_config(0).beam, 1);
     assert_eq!(before.neighbors, after.neighbors);
     assert_eq!(held.epoch(), 1);
+}
+
+#[test]
+fn mmap_adoption_is_zero_copy_and_bit_identical_to_the_copy_path() {
+    let ds = dataset(10, 250);
+    let config = serving_config(0);
+    let engine = ServingEngine::build(ds.clone(), config);
+    let path = TempPath::new("mmap");
+    engine.write_snapshot(&path.0).unwrap();
+
+    let adopted = AdoptedSnapshot::open(&path.0).unwrap();
+    assert_eq!(
+        adopted.mapped,
+        AdoptedSnapshot::zero_copy_supported(),
+        "a v2 file must map wherever the platform allows"
+    );
+    let copied = AdoptedSnapshot::load_copied(&path.0).unwrap();
+    assert!(!copied.mapped);
+
+    // Bit-identity between the two load paths: same profiles, same
+    // neighbour heap layout, same fingerprint words.
+    assert_eq!(adopted.dataset, copied.dataset);
+    assert_graphs_identical(&adopted.graph, &copied.graph);
+    assert_eq!(
+        adopted.goldfinger.as_ref().unwrap().words(),
+        copied.goldfinger.as_ref().unwrap().words()
+    );
+
+    if adopted.mapped {
+        // The structural zero-copy assertion: every bulk array borrows
+        // the map — adoption did no per-user work.
+        assert!(adopted.dataset.is_shared(), "mapped dataset must borrow the file");
+        assert!(adopted.graph.is_shared(), "mapped graph must borrow the file");
+        assert!(adopted.goldfinger.as_ref().unwrap().is_shared());
+    }
+
+    // Adopt into an engine serving something else entirely; afterwards it
+    // must answer exactly like an engine that decoded the same file.
+    let serving = ServingEngine::build(dataset(11, 150), config);
+    let epoch = serving.adopt(adopted);
+    assert_eq!(epoch, 2, "adoption publishes the next epoch");
+    if AdoptedSnapshot::zero_copy_supported() {
+        let current = serving.current_epoch();
+        assert!(
+            current.dataset().is_shared() && current.graph().is_shared(),
+            "the adopted epoch must keep borrowing the map"
+        );
+    }
+    let reference = ServingEngine::from_snapshot(Snapshot::load(&path.0).unwrap(), config);
+    for q in 0..25u64 {
+        let profile = ds.profile((q * 13 % 250) as u32);
+        let mine: QueryResult = serving.query(profile, 10, q);
+        let theirs: QueryResult = reference.query(profile, 10, q);
+        assert_eq!(mine.neighbors, theirs.neighbors, "query {q} diverged under mmap");
+        assert_eq!(mine.comparisons, theirs.comparisons, "query {q} cost diverged under mmap");
+    }
+
+    // The adopted engine is not read-only: inserts copy-on-write and the
+    // serving loop continues.
+    serving.insert(ds.profile(7).to_vec(), 99);
+    serving.publish();
+    assert_eq!(serving.stats().num_users, 251);
+}
+
+#[test]
+fn v1_snapshots_load_bit_exactly_through_the_copy_path() {
+    let ds = dataset(12, 180);
+    let engine = ServingEngine::build(ds, serving_config(0));
+    let snap = engine.snapshot();
+
+    let mut v1 = Vec::new();
+    write_snapshot_v1_to(&snap.dataset, &snap.graph, snap.goldfinger.as_ref(), &mut v1).unwrap();
+    let back = Snapshot::load_from(&mut v1.as_slice()).unwrap();
+    assert_snapshots_identical(&snap, &back);
+    assert!(back.cache.is_none(), "v1 has no cluster sections");
+
+    // Adoption of a v1 file must silently take the copy fallback, never
+    // fail for want of a flat layout.
+    let path = TempPath::new("v1");
+    std::fs::write(&path.0, &v1).unwrap();
+    let adopted = AdoptedSnapshot::open(&path.0).unwrap();
+    assert!(!adopted.mapped, "v1 files cannot be served zero-copy");
+    assert_eq!(adopted.dataset, snap.dataset);
+    assert_graphs_identical(&adopted.graph, &snap.graph);
+}
+
+#[test]
+fn version_header_skew_and_table_truncation_are_typed_errors() {
+    let ds = dataset(13, 100);
+    let engine = ServingEngine::build(ds, serving_config(0));
+    let mut v2 = Vec::new();
+    engine.snapshot().write_to(&mut v2).unwrap();
+
+    // A v1 header over v2 sections: the v1 table/codec cannot interpret
+    // the aligned layout — a typed error, never a panic, never a
+    // half-decoded snapshot.
+    let mut crossed = v2.clone();
+    crossed[8..12].copy_from_slice(&1u32.to_le_bytes());
+    assert!(
+        Snapshot::load_from(&mut crossed.as_slice()).is_err(),
+        "v1 header over v2 sections must not load"
+    );
+    let path = TempPath::new("crossed");
+    std::fs::write(&path.0, &crossed).unwrap();
+    assert!(AdoptedSnapshot::open(&path.0).is_err(), "adoption must reject it too");
+
+    // Truncation inside the v2 section table, through both load paths.
+    for cut in [17usize, 16 + 10, 16 + 28, 16 + 28 + 5] {
+        let truncated = &v2[..cut];
+        match Snapshot::load_from(&mut truncated.to_vec().as_slice()) {
+            Err(SnapshotError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof, "cut at {cut}")
+            }
+            Err(other) => panic!("cut at {cut}: expected UnexpectedEof, got {other}"),
+            Ok(_) => panic!("truncated table at {cut} bytes loaded successfully"),
+        }
+        std::fs::write(&path.0, truncated).unwrap();
+        assert!(AdoptedSnapshot::open(&path.0).is_err(), "adoption must reject the cut at {cut}");
+    }
+}
+
+#[test]
+fn persisted_cluster_cache_makes_the_first_post_restart_publish_incremental() {
+    let ds = dataset(14, 300);
+    let config = serving_config(0);
+    let engine = ServingEngine::build(ds.clone(), config);
+    let path = TempPath::new("restart");
+    engine.write_snapshot(&path.0).unwrap();
+    drop(engine); // the builder leaves the address space entirely
+
+    let snap = Snapshot::load(&path.0).unwrap();
+    assert!(snap.cache.is_some(), "the builder cache must survive the file");
+    let restored = ServingEngine::from_snapshot(snap, config);
+    restored.insert(ds.profile(4).to_vec(), 1);
+    restored.publish();
+    let first = restored.current_epoch().rebuild_stats();
+    assert!(
+        first.reuse_ratio > 0.0,
+        "restart lost incrementality: {} of {} clusters reused",
+        first.clusters_reused(),
+        first.clusters_total
+    );
+
+    // And reuse is exact: the incremental post-restart build publishes
+    // the same neighbourhoods — same users, same similarity bits — as a
+    // from-scratch engine fed the same insert. (Heap *layout* is compared
+    // order-independently: the multi-worker merge order varies even
+    // between two identical in-process builds.)
+    let scratch = ServingEngine::build(ds.clone(), config);
+    scratch.insert(ds.profile(4).to_vec(), 1);
+    scratch.publish();
+    let (a, b) = (restored.current_epoch(), scratch.current_epoch());
+    assert_eq!(a.graph().num_users(), b.graph().num_users());
+    for (u, list) in a.graph().iter() {
+        let mut mine: Vec<(u32, u32)> = list.iter().map(|n| (n.user, n.sim.to_bits())).collect();
+        let mut theirs: Vec<(u32, u32)> =
+            b.graph().neighbors(u).iter().map(|n| (n.user, n.sim.to_bits())).collect();
+        mine.sort_unstable();
+        theirs.sort_unstable();
+        assert_eq!(mine, theirs, "user {u}: restart-incremental differs from from-scratch");
+    }
+}
+
+#[test]
+fn snapshot_directory_publisher_and_adopter_hand_off_epochs() {
+    let dir = TempDir::new("publish");
+    let ds = dataset(15, 200);
+    let config = serving_config(0);
+    let builder = ServingEngine::build(ds.clone(), config);
+
+    let mut publisher = SnapshotPublisher::open(&dir.0).unwrap();
+    let (seq0, path0) = publisher.publish(&builder).unwrap();
+    assert_eq!(seq0, 0);
+
+    // A serving replica bootstraps from the published file and then
+    // follows the directory — no builder in its address space.
+    let replica = ServingEngine::from_snapshot(Snapshot::load(&path0).unwrap(), config);
+    let mut adopter = SnapshotAdopter::new(&dir.0);
+    assert_eq!(adopter.poll_into(&replica).unwrap(), Some(0), "first poll adopts seq 0");
+    assert_eq!(adopter.poll_into(&replica).unwrap(), None, "nothing new");
+
+    // The builder moves on; the replica catches up on the next poll.
+    builder.insert(ds.profile(3).to_vec(), 7);
+    builder.publish();
+    let (seq1, _) = publisher.publish(&builder).unwrap();
+    assert_eq!(seq1, 1);
+    assert_eq!(adopter.poll_into(&replica).unwrap(), Some(1));
+    assert_eq!(replica.stats().num_users, 201, "the adopted epoch serves the new user");
+    for q in 0..10u64 {
+        let profile = ds.profile((q * 17 % 200) as u32);
+        let a: QueryResult = replica.query(profile, 8, q);
+        let b: QueryResult = builder.query(profile, 8, q);
+        assert_eq!(a.neighbors, b.neighbors, "replica diverged from builder on query {q}");
+    }
+
+    // Publisher restarts resume the sequence; pruning keeps the tail.
+    drop(publisher);
+    let publisher = SnapshotPublisher::open(&dir.0).unwrap();
+    assert_eq!(publisher.next_seq(), 2, "restart must resume after the newest file");
+    assert_eq!(publisher.prune(1).unwrap(), 1, "pruning drops all but the newest");
 }
 
 proptest! {

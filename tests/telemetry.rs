@@ -173,6 +173,66 @@ fn exports_render_after_a_real_build() {
 }
 
 #[test]
+fn epoch_adoption_records_latency_and_path_counters() {
+    use cluster_and_conquer::serve::AdoptedSnapshot;
+    use cnc_similarity::SimilarityBackend;
+
+    let telemetry = Telemetry::global();
+    telemetry.enable(true);
+    let adopt_seconds = telemetry.histogram("cnc_epoch_adopt_seconds", &[]);
+    let adopt_mmap = telemetry.counter("cnc_epoch_adopt_total", &[("path", "mmap")]);
+    let adopt_copy = telemetry.counter("cnc_epoch_adopt_total", &[("path", "copy")]);
+    let (hist_before, mmap_before, copy_before) =
+        (adopt_seconds.count(), adopt_mmap.value(), adopt_copy.value());
+
+    let mut cfg = SyntheticConfig::small(55);
+    cfg.num_users = 120;
+    cfg.num_items = 100;
+    let ds = cfg.generate();
+    let config = ServingConfig {
+        c2: C2Config {
+            k: 6,
+            backend: SimilarityBackend::GoldFinger { bits: 256, seed: 3 },
+            threads: 1,
+            ..C2Config::default()
+        },
+        ..ServingConfig::default()
+    };
+    let engine = ServingEngine::build(ds, config);
+    let path = std::env::temp_dir().join(format!(
+        "cnc-telemetry-adopt-{}-{:?}.snap",
+        std::process::id(),
+        std::thread::current().id(),
+    ));
+    engine.write_snapshot(&path).unwrap();
+
+    // One adoption per load path; each must record a latency sample and
+    // bump its own path counter.
+    let preferred = AdoptedSnapshot::open(&path).unwrap();
+    let preferred_mapped = preferred.mapped;
+    engine.adopt(preferred);
+    let copied = AdoptedSnapshot::load_copied(&path).unwrap();
+    engine.adopt(copied);
+    let _ = std::fs::remove_file(&path);
+
+    assert!(
+        adopt_seconds.count() >= hist_before + 2,
+        "both adoptions must record cnc_epoch_adopt_seconds"
+    );
+    assert!(adopt_copy.value() > copy_before, "the copy adoption must count path=copy");
+    if preferred_mapped {
+        assert!(adopt_mmap.value() > mmap_before, "the mapped adoption must count path=mmap");
+    }
+
+    let text = telemetry.prometheus_text();
+    assert!(text.contains("cnc_epoch_adopt_seconds"), "missing histogram in:\n{text}");
+    assert!(text.contains("cnc_epoch_adopt_total"), "missing counter in:\n{text}");
+    assert!(text.contains("path=\"copy\""), "missing path label in:\n{text}");
+    let profile = telemetry.json_profile();
+    assert!(profile.contains("cnc_epoch_adopt_total"));
+}
+
+#[test]
 fn disabled_telemetry_records_no_new_spans() {
     // A private instance (not the global one): enabling/disabling the
     // global mid-test would race the integration tests above.
